@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation of the §6.1 optimizations beyond the paper's Figures 12-13:
+ * each of { overlap with compute, deferred reclamation, eager
+ * allocation } is disabled one at a time (and all together) on the
+ * same online serving run, reporting how much allocation latency
+ * lands on the critical path and what it costs end to end. The "all
+ * off" row shows raw CUDA-VMM demand paging — functional but slower —
+ * and the "all on" row shows the paper's full system, where the
+ * driver effectively disappears from the critical path.
+ */
+
+#include "bench_util.hh"
+
+using namespace vattn;
+using namespace vattn::bench;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    bool overlap;
+    bool deferred;
+    bool eager;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: the §6.1 latency-hiding optimizations",
+           "Yi-6B, 1x A100, chat trace at 5 QPS, 2MB page-groups");
+
+    const Variant variants[] = {
+        {"all optimizations ON", true, true, true},
+        {"no overlap (sync decode alloc)", false, true, true},
+        {"no deferred reclamation", true, false, true},
+        {"no eager allocation", true, true, false},
+        {"all OFF (raw demand paging)", false, false, false},
+    };
+
+    Table table({"variant", "median lat s", "p99 s",
+                 "critical alloc ms", "hidden alloc ms",
+                 "sync handles", "bg handles"});
+    for (const Variant &variant : variants) {
+        Setup setup{perf::ModelSpec::yi6B(), 1};
+        auto config =
+            makeEngineConfig(setup, perf::BackendKind::kFa2VAttention);
+        config.vattn.page_group = PageGroup::k2MB;
+        config.vattn.overlap_allocation = variant.overlap;
+        config.vattn.deferred_reclamation = variant.deferred;
+        config.vattn.eager_allocation = variant.eager;
+        config.scheduler.max_batched_tokens = 8192;
+        serving::Engine engine(config);
+
+        auto trace = serving::openChatTrace(300, 17);
+        serving::assignPoissonArrivals(trace, 5.0, 33);
+        const auto report = engine.run(std::move(trace));
+
+        const auto &stats =
+            engine.vattnBackend()->runtime().stats();
+        table.addRow({
+            variant.name,
+            Table::num(report.latency_s.median(), 2),
+            Table::num(report.latency_s.p99(), 2),
+            Table::num(static_cast<double>(stats.critical_ns) / 1e6,
+                       1),
+            Table::num(static_cast<double>(stats.background_ns) / 1e6,
+                       1),
+            Table::integer(stats.sync_handles),
+            Table::integer(stats.background_handles),
+        });
+    }
+    table.print("ablation (critical alloc ms = total driver latency "
+                "paid inside step(); hidden = absorbed by the "
+                "background worker)");
+    std::printf("\nreading: with everything on, nearly all page-group "
+                "mapping is prefetched or reused, so the critical "
+                "path sees almost no driver latency; turning the "
+                "optimizations off pushes every map call into the "
+                "iteration, like the spikes of Figure 12.\n");
+    return 0;
+}

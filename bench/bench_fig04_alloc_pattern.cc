@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 4: decode throughput (a) and physical memory allocation rate
+ * (b) vs batch size, initial context 1K. Both saturate with batch
+ * size; the peak allocation rate stays under ~750 MB/s — the §4
+ * observation that makes demand paging through slow VMM APIs viable.
+ */
+
+#include "bench_util.hh"
+
+using namespace vattn;
+using namespace vattn::bench;
+
+int
+main()
+{
+    banner("Figure 4: decode throughput and memory allocation rate",
+           "batch 1-320, initial context 1K, A100s (engine simulation)");
+
+    for (const auto &setup : evalSetups()) {
+        Table table({"batch", "effective", "tokens/s", "alloc MB/s"});
+        double peak_alloc = 0;
+        for (int batch : {1, 32, 64, 128, 192, 256, 320}) {
+            auto config = makeEngineConfig(
+                setup, perf::BackendKind::kFa2VAttention);
+            config.scheduler.max_num_seqs = 512;
+            config.vattn.max_batch_size = 512;
+            // Decode-only stress: nearly all memory can go to KV
+            // (Yi-34B at batch 320 holds 38GB of KV per worker).
+            config.gpu_mem_util = 0.95;
+            config.activation_reserve_bytes = 1 * GiB;
+            serving::Engine engine(config);
+            // Stagger initial contexts across one page-group span so
+            // group-boundary crossings — and hence allocations — are
+            // spread uniformly over the run (steady state).
+            const i64 span = 2048; // tokens per 2MB group, all setups
+            std::vector<i64> contexts;
+            for (int i = 0; i < batch; ++i) {
+                contexts.push_back(1024 + (static_cast<i64>(i) * span) /
+                                              batch);
+            }
+            auto run = engine.decodeOnlyVaried(contexts, 300);
+            peak_alloc =
+                std::max(peak_alloc, run.alloc_bytes_per_second / 1e6);
+            table.addRow({
+                Table::integer(batch),
+                Table::integer(run.effective_batch),
+                Table::num(run.tokens_per_second, 0),
+                Table::num(run.alloc_bytes_per_second / 1e6, 1),
+            });
+        }
+        table.print("Figure 4: " + setupLabel(setup));
+        std::printf("peak allocation rate: %.0f MB/s "
+                    "(paper: <= ~750 MB/s across models)\n",
+                    peak_alloc);
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 9: offline (batch) inference throughput in requests/minute
+ * on the arXiv-Summarization long-context trace (427 requests,
+ * 64K-192K total context, mean P:D 356). FA2_vAttention beats
+ * FA2_Paged by 1.18/1.15/1.13x and FI_Paged by 1.19/1.23/1.14x.
+ */
+
+#include "bench_util.hh"
+
+using namespace vattn;
+using namespace vattn::bench;
+
+int
+main()
+{
+    banner("Figure 9: offline throughput, arXiv-Summarization trace",
+           "427 requests, ctx 64K-192K; requests per minute; A100s");
+
+    const perf::BackendKind kinds[] = {
+        perf::BackendKind::kFa2Paged,
+        perf::BackendKind::kFiPaged,
+        perf::BackendKind::kFa2VAttention,
+    };
+
+    Table table({"model", "FA2_Paged", "FI_Paged", "FA2_vAttention",
+                 "vAttn/FA2_Paged", "vAttn/FI_Paged"});
+    for (const auto &setup : evalSetups()) {
+        double rpm[3];
+        for (int i = 0; i < 3; ++i) {
+            auto trace = serving::arxivOfflineTrace();
+            serving::assignOfflineArrivals(trace);
+            serving::Engine engine(makeEngineConfig(setup, kinds[i]));
+            const auto report = engine.run(std::move(trace));
+            rpm[i] = report.requestsPerMinute();
+        }
+        table.addRow({
+            setupLabel(setup),
+            Table::num(rpm[0], 2),
+            Table::num(rpm[1], 2),
+            Table::num(rpm[2], 2),
+            Table::num(rpm[2] / rpm[0], 2) + "x",
+            Table::num(rpm[2] / rpm[1], 2) + "x",
+        });
+    }
+    table.print("Figure 9 (paper: 2.79/2.75/3.28, 4.55/4.27/5.25, "
+                "1.30/1.28/1.47 req/min)");
+    return 0;
+}

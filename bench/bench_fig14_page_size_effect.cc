@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 14 (§7.6.3): effect of the backing page size on attention
+ * kernel runtime. The KV access stream of FlashAttention-2's prefill
+ * and decode kernels is replayed through the simulated GPU TLB with
+ * 64KB and 2MB pages; page-walk counts are converted to exposed
+ * latency by the kernel model. Finding: attention's sequential access
+ * pattern never thrashes the TLB, so 64KB pages cost ~nothing
+ * (paper: 0.98x-1.02x).
+ */
+
+#include "bench_util.hh"
+#include "gpu/tlb.hh"
+#include "perf/kernel_model.hh"
+
+using namespace vattn;
+using namespace vattn::bench;
+
+namespace
+{
+
+/**
+ * Replay the per-token KV touch stream of an attention kernel over
+ * @p tokens tokens (one K + one V touch per token per KV head, per
+ * layer) and return the number of page walks.
+ */
+u64
+replayKvStream(PageSize page, const perf::ModelSpec &model, int tp,
+               i64 tokens, int passes)
+{
+    gpu::Tlb tlb;
+    const u64 token_stride =
+        static_cast<u64>(model.kvHeadsPerWorker(tp)) *
+        static_cast<u64>(model.head_dim) * 2;
+    // K and V live in separate buffers per layer; give each a
+    // distinct VA region so they contend in the TLB like real life.
+    const Addr layer_stride = 1ULL << 40;
+    for (int pass = 0; pass < passes; ++pass) {
+        for (int layer = 0; layer < model.num_layers; ++layer) {
+            const Addr k_base = layer_stride * (2u * layer + 1);
+            const Addr v_base = layer_stride * (2u * layer + 2);
+            for (i64 t = 0; t < tokens; ++t) {
+                tlb.access(k_base + static_cast<u64>(t) * token_stride,
+                           page);
+                tlb.access(v_base + static_cast<u64>(t) * token_stride,
+                           page);
+            }
+        }
+    }
+    return tlb.pageWalks();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 14: effect of page size on attention kernels",
+           "FA2 kernels, Llama-3-8B; TLB replay + kernel model");
+
+    const perf::ModelSpec model = perf::ModelSpec::llama3_8B();
+    perf::KernelModel kernel(perf::GpuSpec::a100(), model, 1);
+
+    Table prefill({"context", "kernel ms", "walks 2MB", "walks 64KB",
+                   "runtime 64KB vs 2MB"});
+    for (i64 ctx = 2048; ctx <= 32 * 1024; ctx *= 2) {
+        const auto base_ns = kernel.prefillAttention(
+            perf::BackendKind::kFa2VAttention, ctx);
+        const u64 walks_2m =
+            replayKvStream(PageSize::k2MB, model, 1, ctx, 1);
+        const u64 walks_64k =
+            replayKvStream(PageSize::k64KB, model, 1, ctx, 1);
+        const double t_2m = static_cast<double>(
+            base_ns + perf::KernelModel::tlbWalkPenalty(walks_2m));
+        const double t_64k = static_cast<double>(
+            base_ns + perf::KernelModel::tlbWalkPenalty(walks_64k));
+        prefill.addRow({
+            std::to_string(ctx / 1024) + "K",
+            Table::num(static_cast<double>(base_ns) / 1e6, 2),
+            Table::integer(static_cast<long long>(walks_2m)),
+            Table::integer(static_cast<long long>(walks_64k)),
+            Table::num(t_64k / t_2m, 3) + "x",
+        });
+    }
+    prefill.print("Figure 14 (left): prefill kernel");
+
+    Table decode({"batch x ctx", "kernel ms", "walks 2MB",
+                  "walks 64KB", "runtime 64KB vs 2MB"});
+    for (i64 batch = 1; batch <= 16; batch *= 2) {
+        const i64 ctx = 32 * 1024;
+        const auto base_ns = kernel.decodeAttention(
+            perf::BackendKind::kFa2VAttention, batch * ctx);
+        // Decode streams every request's KV once per iteration.
+        const u64 walks_2m = replayKvStream(PageSize::k2MB, model, 1,
+                                            ctx,
+                                            static_cast<int>(batch));
+        const u64 walks_64k = replayKvStream(PageSize::k64KB, model, 1,
+                                             ctx,
+                                             static_cast<int>(batch));
+        const double t_2m = static_cast<double>(
+            base_ns + perf::KernelModel::tlbWalkPenalty(walks_2m));
+        const double t_64k = static_cast<double>(
+            base_ns + perf::KernelModel::tlbWalkPenalty(walks_64k));
+        decode.addRow({
+            std::to_string(batch) + "*32K",
+            Table::num(static_cast<double>(base_ns) / 1e6, 2),
+            Table::integer(static_cast<long long>(walks_2m)),
+            Table::integer(static_cast<long long>(walks_64k)),
+            Table::num(t_64k / t_2m, 3) + "x",
+        });
+    }
+    decode.print("Figure 14 (right): decode kernel");
+    std::printf("\npaper: 64KB pages change kernel runtime by at most "
+                "~2%% in either direction (no TLB thrashing)\n");
+    return 0;
+}

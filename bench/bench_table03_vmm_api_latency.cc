@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table 3: latency of the VMM driver APIs per page-group size — the
+ * stock CUDA path (2MB) and the paper's driver-extension path
+ * (64KB/128KB/256KB). Values are the calibrated model; the second
+ * table exercises the live simulated driver and cross-checks that the
+ * ledger charges exactly these costs.
+ */
+
+#include "bench_util.hh"
+#include "cuvmm/driver.hh"
+
+using namespace vattn;
+using namespace vattn::bench;
+
+int
+main()
+{
+    banner("Table 3: CUDA VMM / driver-extension API latencies",
+           "microseconds per call; '-' = fused into another call");
+
+    cuvmm::LatencyModel model;
+    Table table({"API", "64KB", "128KB", "256KB", "2MB"});
+    struct Row
+    {
+        const char *name;
+        cuvmm::Api api;
+        bool only_2mb;
+    };
+    const Row rows[] = {
+        {"MemAddressReserve", cuvmm::Api::kAddressReserve, false},
+        {"MemCreate", cuvmm::Api::kCreate, false},
+        {"MemMap", cuvmm::Api::kMap, false},
+        {"MemSetAccess", cuvmm::Api::kSetAccess, true},
+        {"MemUnmap", cuvmm::Api::kUnmap, true},
+        {"MemRelease", cuvmm::Api::kRelease, false},
+        {"MemAddressFree", cuvmm::Api::kAddressFree, false},
+    };
+    for (const Row &row : rows) {
+        std::vector<std::string> cells{row.name};
+        for (PageGroup group : kAllPageGroups) {
+            if (row.only_2mb && group != PageGroup::k2MB) {
+                cells.push_back("-");
+            } else {
+                cells.push_back(Table::num(
+                    static_cast<double>(model.cost(row.api, group)) /
+                        1e3,
+                    1));
+            }
+        }
+        table.addRow(cells);
+    }
+    table.print("Table 3 (model values = paper's measurements)");
+
+    // Live cross-check: run one full lifecycle per page-group size on
+    // the simulated driver and report the charged latency per call.
+    gpu::GpuDevice device;
+    cuvmm::Driver driver(device);
+    Table live({"page-group", "reserve us", "create us", "map us",
+                "reclaim us", "free us", "steady-state grow us"});
+    for (PageGroup group : kAllPageGroups) {
+        Addr va = 0;
+        cuvmm::MemHandle handle = cuvmm::kInvalidHandle;
+        driver.consumeElapsedNs();
+
+        std::vector<double> us;
+        if (group == PageGroup::k2MB) {
+            driver.cuMemAddressReserve(&va, bytes(group));
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.cuMemCreate(&handle, bytes(group));
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.cuMemMap(va, bytes(group), 0, handle);
+            driver.cuMemSetAccess(va, bytes(group));
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.cuMemUnmap(va, bytes(group));
+            driver.cuMemRelease(handle);
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.cuMemAddressFree(va, bytes(group));
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+        } else {
+            driver.vMemReserve(&va, bytes(group));
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.vMemCreate(&handle, group);
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.vMemMap(va, handle);
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.vMemRelease(handle);
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+            driver.vMemFree(va, bytes(group));
+            us.push_back(driver.consumeElapsedNs() / 1e3);
+        }
+        live.addRow({
+            toString(group),
+            Table::num(us[0], 1),
+            Table::num(us[1], 1),
+            Table::num(us[2], 1),
+            Table::num(us[3], 1),
+            Table::num(us[4], 1),
+            Table::num(static_cast<double>(
+                           driver.latency().mapGroupCost(group)) /
+                           1e3,
+                       1),
+        });
+    }
+    live.print("Live driver lifecycle (map column includes the access "
+               "grant; reclaim = unmap+release path)");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness. Every bench binary
+ * regenerates one table or figure of the paper (see DESIGN.md §3) and
+ * prints it in a uniform, diffable format.
+ */
+
+#ifndef VATTN_BENCH_BENCH_UTIL_HH
+#define VATTN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "perf/backend_kind.hh"
+#include "perf/gpu_spec.hh"
+#include "perf/model_spec.hh"
+#include "serving/engine.hh"
+
+namespace vattn::bench
+{
+
+/** One evaluated deployment (Table 5 of the paper). */
+struct Setup
+{
+    perf::ModelSpec model;
+    int tp;
+};
+
+/** The three models on their paper hardware (Table 5). */
+inline std::vector<Setup>
+evalSetups()
+{
+    return {
+        {perf::ModelSpec::yi6B(), 1},
+        {perf::ModelSpec::llama3_8B(), 2},
+        {perf::ModelSpec::yi34B(), 2},
+    };
+}
+
+/** Engine configuration matching the paper's serving setup. */
+inline serving::EngineConfig
+makeEngineConfig(const Setup &setup, perf::BackendKind backend,
+                 const perf::GpuSpec &gpu = perf::GpuSpec::a100())
+{
+    serving::EngineConfig config;
+    config.model = setup.model;
+    config.gpu = gpu;
+    config.tp = setup.tp;
+    config.backend = backend;
+    config.scheduler.max_num_seqs = 256;
+    config.scheduler.max_batched_tokens = 192 * 1024;
+    config.vattn.max_batch_size = 256;
+    return config;
+}
+
+inline void
+banner(const std::string &title, const std::string &what)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==========================================================\n");
+    std::fflush(stdout);
+}
+
+inline std::string
+setupLabel(const Setup &setup)
+{
+    return setup.model.name + " (TP-" + std::to_string(setup.tp) + ")";
+}
+
+} // namespace vattn::bench
+
+#endif // VATTN_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Offline long-document summarization — the paper's headline serving
+ * scenario (§7.3). A batch of arXiv-length documents (tens of
+ * thousands of tokens each) is summarized offline; we compare the
+ * end-to-end throughput of PagedAttention back-ends against
+ * vAttention-backed non-paged kernels on the same engine.
+ *
+ * Build & run:  ./build/examples/offline_summarization [num_docs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "serving/engine.hh"
+
+using namespace vattn;
+
+int
+main(int argc, char **argv)
+{
+    const int num_docs = argc > 1 ? std::atoi(argv[1]) : 64;
+    std::printf("summarizing %d long documents offline "
+                "(Llama-3-8B on 2x A100)\n\n",
+                num_docs);
+
+    const perf::BackendKind kinds[] = {
+        perf::BackendKind::kVllmPaged,
+        perf::BackendKind::kFa2Paged,
+        perf::BackendKind::kFiPaged,
+        perf::BackendKind::kFa2VAttention,
+        perf::BackendKind::kFiVAttention,
+    };
+
+    Table table({"backend", "req/min", "prefill tok/s", "decode tok/s",
+                 "mean latency s", "preemptions"});
+    double baseline_rpm = 0;
+    for (auto kind : kinds) {
+        serving::EngineConfig config;
+        config.model = perf::ModelSpec::llama3_8B();
+        config.gpu = perf::GpuSpec::a100();
+        config.tp = 2;
+        config.backend = kind;
+        config.scheduler.max_num_seqs = 128;
+        config.scheduler.max_batched_tokens = 128 * 1024;
+        config.vattn.max_batch_size = 128;
+        serving::Engine engine(config);
+
+        auto trace = serving::arxivOfflineTrace(num_docs, 11);
+        serving::assignOfflineArrivals(trace);
+        const auto report = engine.run(std::move(trace));
+
+        if (kind == kinds[0]) {
+            baseline_rpm = report.requestsPerMinute();
+        }
+        table.addRow({
+            std::string(toString(kind)) +
+                (kind == perf::BackendKind::kFa2VAttention ||
+                         kind == perf::BackendKind::kFiVAttention
+                     ? " *"
+                     : ""),
+            Table::num(report.requestsPerMinute(), 2),
+            Table::num(report.prefillTokensPerSecond(), 0),
+            Table::num(report.decodeTokensPerSecond(), 0),
+            Table::num(report.latency_s.mean(), 1),
+            Table::integer(static_cast<long long>(report.preemptions)),
+        });
+    }
+    table.print("offline summarization throughput "
+                "(* = vAttention-managed, unmodified kernels)");
+    std::printf("\nvLLM baseline: %.2f req/min. The vAttention "
+                "back-ends win because prefill attention runs the\n"
+                "non-paged kernels over a virtually contiguous KV "
+                "cache (no Block-Table dereferencing).\n",
+                baseline_rpm);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Online chat serving — continuous batching under Poisson arrivals
+ * (the §7.4 scenario at chat scale). Shows how vAttention's faster
+ * prefill shortens queueing delays near capacity, and how the
+ * page-group size trades fragmentation against allocation granularity
+ * for the achievable batch size.
+ *
+ * Build & run:  ./build/examples/online_chat [qps]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "serving/engine.hh"
+
+using namespace vattn;
+
+int
+main(int argc, char **argv)
+{
+    const double qps = argc > 1 ? std::atof(argv[1]) : 6.0;
+    std::printf("online chat serving: Yi-6B on 1x A100, %.1f "
+                "queries/second, 400 requests\n\n",
+                qps);
+
+    const perf::BackendKind kinds[] = {
+        perf::BackendKind::kFa2Paged,
+        perf::BackendKind::kFa2VAttention,
+    };
+
+    Table table({"backend", "median s", "p90 s", "p99 s", "TTFT p50 s",
+                 "peak batch"});
+    for (auto kind : kinds) {
+        serving::EngineConfig config;
+        config.model = perf::ModelSpec::yi6B();
+        config.gpu = perf::GpuSpec::a100();
+        config.tp = 1;
+        config.backend = kind;
+        config.scheduler.max_num_seqs = 256;
+        config.scheduler.max_batched_tokens = 8192;
+        config.vattn.max_batch_size = 256;
+        serving::Engine engine(config);
+
+        auto trace = serving::openChatTrace(400, 5);
+        serving::assignPoissonArrivals(trace, qps, 21);
+        const auto report = engine.run(std::move(trace));
+        table.addRow({
+            toString(kind),
+            Table::num(report.latency_s.median(), 2),
+            Table::num(report.latency_s.quantile(0.9), 2),
+            Table::num(report.latency_s.p99(), 2),
+            Table::num(report.ttft_s.median(), 2),
+            Table::integer(report.peak_batch),
+        });
+    }
+    table.print("end-to-end request latency");
+
+    // Page-group size study at the same load (vAttention only).
+    Table pg_table({"page-group", "median s", "peak batch",
+                    "KV waste/req"});
+    for (PageGroup group : kAllPageGroups) {
+        serving::EngineConfig config;
+        config.model = perf::ModelSpec::yi6B();
+        config.tp = 1;
+        config.backend = perf::BackendKind::kFa2VAttention;
+        config.vattn.page_group = group;
+        config.scheduler.max_batched_tokens = 8192;
+        serving::Engine engine(config);
+
+        auto trace = serving::openChatTrace(400, 5);
+        serving::assignPoissonArrivals(trace, qps, 21);
+        const auto report = engine.run(std::move(trace));
+
+        core::Config kv_config;
+        kv_config.num_layers = config.model.num_layers;
+        kv_config.num_kv_heads = config.model.num_kv_heads;
+        kv_config.head_dim = config.model.head_dim;
+        kv_config.max_batch_size = 1;
+        kv_config.max_context_len = config.model.max_context_len;
+        kv_config.page_group = group;
+        kv_config.use_driver_extension = group != PageGroup::k2MB;
+        core::KvGeometry geom(kv_config);
+        pg_table.addRow({
+            toString(group),
+            Table::num(report.latency_s.median(), 2),
+            Table::integer(report.peak_batch),
+            Table::num(static_cast<double>(
+                           geom.wasteBytesForTokens(3600)) /
+                           1e6,
+                       1) + " MB",
+        });
+    }
+    pg_table.print("vAttention page-group size at the same load "
+                   "(waste shown for a typical 3.6K-token request)");
+    return 0;
+}

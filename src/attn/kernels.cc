@@ -1,0 +1,383 @@
+#include "attn/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vattn::attn
+{
+
+// --------------------------------------------------------------------
+// KV views
+// --------------------------------------------------------------------
+
+TensorKvView::TensorKvView(tensor::VirtualTensor k,
+                           tensor::VirtualTensor v, bool touch_tlb)
+    : k_(std::move(k)), v_(std::move(v)), touch_tlb_(touch_tlb)
+{
+    panic_if(k_.shape().rank() != 3 || v_.shape().rank() != 3,
+             "TensorKvView expects [L, H, D] tensors");
+    panic_if(!(k_.shape() == v_.shape()), "K/V shape mismatch");
+}
+
+int
+TensorKvView::numKvHeads() const
+{
+    return static_cast<int>(k_.shape()[1]);
+}
+
+int
+TensorKvView::headDim() const
+{
+    return static_cast<int>(k_.shape()[2]);
+}
+
+void
+TensorKvView::touch(const tensor::VirtualTensor &t, i64 token,
+                    int head) const
+{
+    if (touch_tlb_) {
+        const i64 idx[3] = {token, head, 0};
+        t.device()->translateTouched(t.elemVa(idx, 3));
+    }
+}
+
+void
+TensorKvView::loadK(i64 token, int head, float *out) const
+{
+    touch(k_, token, head);
+    const i64 idx[3] = {token, head, 0};
+    k_.readRow(idx, 3, out, headDim());
+}
+
+void
+TensorKvView::loadV(i64 token, int head, float *out) const
+{
+    touch(v_, token, head);
+    const i64 idx[3] = {token, head, 0};
+    v_.readRow(idx, 3, out, headDim());
+}
+
+void
+TensorKvView::storeK(i64 token, int head, const float *in)
+{
+    touch(k_, token, head);
+    const i64 idx[3] = {token, head, 0};
+    k_.writeRow(idx, 3, in, headDim());
+}
+
+void
+TensorKvView::storeV(i64 token, int head, const float *in)
+{
+    touch(v_, token, head);
+    const i64 idx[3] = {token, head, 0};
+    v_.writeRow(idx, 3, in, headDim());
+}
+
+PagedKvView::PagedKvView(tensor::VirtualTensor k_pool,
+                         tensor::VirtualTensor v_pool,
+                         std::vector<i32> block_table, i64 block_size,
+                         bool touch_tlb)
+    : k_pool_(std::move(k_pool)), v_pool_(std::move(v_pool)),
+      block_table_(std::move(block_table)), block_size_(block_size),
+      touch_tlb_(touch_tlb)
+{
+    panic_if(k_pool_.shape().rank() != 4,
+             "pool must be [num_blocks, block_size, H, D]");
+    panic_if(k_pool_.shape()[1] != block_size_,
+             "pool block size mismatch");
+    panic_if(!(k_pool_.shape() == v_pool_.shape()),
+             "K/V pool shape mismatch");
+}
+
+int
+PagedKvView::numKvHeads() const
+{
+    return static_cast<int>(k_pool_.shape()[2]);
+}
+
+int
+PagedKvView::headDim() const
+{
+    return static_cast<int>(k_pool_.shape()[3]);
+}
+
+std::pair<i64, i64>
+PagedKvView::locate(i64 token) const
+{
+    // This is the Block-Table indirection PagedAttention kernels pay
+    // for on every KV tile (§3.3.1).
+    const auto slot = static_cast<std::size_t>(token / block_size_);
+    panic_if(slot >= block_table_.size(),
+             "token ", token, " beyond block table (",
+             block_table_.size(), " blocks)");
+    const i64 block = block_table_[slot];
+    panic_if(block < 0, "token in unallocated block");
+    return {block, token % block_size_};
+}
+
+void
+PagedKvView::loadK(i64 token, int head, float *out) const
+{
+    const auto [block, offset] = locate(token);
+    const i64 idx[4] = {block, offset, head, 0};
+    if (touch_tlb_) {
+        k_pool_.device()->translateTouched(k_pool_.elemVa(idx, 4));
+    }
+    k_pool_.readRow(idx, 4, out, headDim());
+}
+
+void
+PagedKvView::loadV(i64 token, int head, float *out) const
+{
+    const auto [block, offset] = locate(token);
+    const i64 idx[4] = {block, offset, head, 0};
+    if (touch_tlb_) {
+        v_pool_.device()->translateTouched(v_pool_.elemVa(idx, 4));
+    }
+    v_pool_.readRow(idx, 4, out, headDim());
+}
+
+void
+PagedKvView::storeK(i64 token, int head, const float *in)
+{
+    const auto [block, offset] = locate(token);
+    const i64 idx[4] = {block, offset, head, 0};
+    k_pool_.writeRow(idx, 4, in, headDim());
+}
+
+void
+PagedKvView::storeV(i64 token, int head, const float *in)
+{
+    const auto [block, offset] = locate(token);
+    const i64 idx[4] = {block, offset, head, 0};
+    v_pool_.writeRow(idx, 4, in, headDim());
+}
+
+HostKvView::HostKvView(tensor::HostTensor *k, tensor::HostTensor *v)
+    : k_(k), v_(v)
+{
+    panic_if(!k_ || !v_, "HostKvView with null tensors");
+    panic_if(k_->shape().rank() != 3, "host KV must be [L, H, D]");
+    panic_if(!(k_->shape() == v_->shape()), "K/V shape mismatch");
+}
+
+int
+HostKvView::numKvHeads() const
+{
+    return static_cast<int>(k_->shape()[1]);
+}
+
+int
+HostKvView::headDim() const
+{
+    return static_cast<int>(k_->shape()[2]);
+}
+
+void
+HostKvView::loadK(i64 token, int head, float *out) const
+{
+    const float *row = k_->row({token, head});
+    std::copy(row, row + headDim(), out);
+}
+
+void
+HostKvView::loadV(i64 token, int head, float *out) const
+{
+    const float *row = v_->row({token, head});
+    std::copy(row, row + headDim(), out);
+}
+
+void
+HostKvView::storeK(i64 token, int head, const float *in)
+{
+    float *row = k_->row({token, head});
+    std::copy(in, in + headDim(), row);
+}
+
+void
+HostKvView::storeV(i64 token, int head, const float *in)
+{
+    float *row = v_->row({token, head});
+    std::copy(in, in + headDim(), row);
+}
+
+// --------------------------------------------------------------------
+// Tiled kernels (online softmax)
+// --------------------------------------------------------------------
+
+namespace
+{
+
+float
+dot(const float *a, const float *b, int n)
+{
+    float acc = 0.0f;
+    for (int i = 0; i < n; ++i) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+/**
+ * Online-softmax accumulator state for one query row: running max,
+ * running denominator, and the un-normalized output accumulator —
+ * exactly the FlashAttention recurrence.
+ */
+struct OnlineRow
+{
+    float row_max = -INFINITY;
+    float denom = 0.0f;
+    std::vector<float> acc;
+
+    explicit OnlineRow(int d) : acc(static_cast<std::size_t>(d), 0.0f) {}
+
+    void
+    absorb(float score, const float *value, int d)
+    {
+        if (score > row_max) {
+            const float correction =
+                row_max == -INFINITY ? 0.0f : std::exp(row_max - score);
+            denom *= correction;
+            for (int c = 0; c < d; ++c) {
+                acc[static_cast<std::size_t>(c)] *= correction;
+            }
+            row_max = score;
+        }
+        const float w = std::exp(score - row_max);
+        denom += w;
+        for (int c = 0; c < d; ++c) {
+            acc[static_cast<std::size_t>(c)] += w * value[c];
+        }
+    }
+
+    void
+    finish(float *out, int d) const
+    {
+        const float inv = denom > 0.0f ? 1.0f / denom : 0.0f;
+        for (int c = 0; c < d; ++c) {
+            out[c] = acc[static_cast<std::size_t>(c)] * inv;
+        }
+    }
+};
+
+} // namespace
+
+void
+flashPrefill(const AttnConfig &config, const tensor::HostTensor &q,
+             const KvView &kv, i64 kv_len, tensor::HostTensor &out)
+{
+    config.validate();
+    const i64 lq = q.shape()[0];
+    panic_if(q.shape().rank() != 3, "q must be [Lq, Hq, D]");
+    panic_if(kv_len < lq, "kv_len must cover the queries");
+    panic_if(!(out.shape() == q.shape()), "out shape mismatch");
+
+    const float scale = config.effectiveScale();
+    const int d = config.head_dim;
+    const i64 kv_offset = kv_len - lq;
+
+    std::vector<float> key(static_cast<std::size_t>(d));
+    std::vector<float> value(static_cast<std::size_t>(d));
+
+    for (int qh = 0; qh < config.num_q_heads; ++qh) {
+        const int kvh = config.kvHeadFor(qh);
+        for (i64 i = 0; i < lq; ++i) {
+            const i64 visible =
+                config.causal ? kv_offset + i + 1 : kv_len;
+            const float *qrow = q.row({i, qh});
+            OnlineRow state(d);
+            // Iterate KV in tiles, maintaining the online softmax.
+            for (i64 tile = 0; tile < visible; tile += kKvTile) {
+                const i64 tile_end = std::min(tile + kKvTile, visible);
+                for (i64 t = tile; t < tile_end; ++t) {
+                    kv.loadK(t, kvh, key.data());
+                    const float s = dot(qrow, key.data(), d) * scale;
+                    kv.loadV(t, kvh, value.data());
+                    state.absorb(s, value.data(), d);
+                }
+            }
+            state.finish(out.row({i, qh}), d);
+        }
+    }
+}
+
+void
+flashDecode(const AttnConfig &config, const tensor::HostTensor &q,
+            const KvView &kv, i64 kv_len, tensor::HostTensor &out)
+{
+    config.validate();
+    panic_if(q.shape().rank() != 2, "q must be [Hq, D]");
+    panic_if(!(out.shape() == q.shape()), "out shape mismatch");
+
+    const float scale = config.effectiveScale();
+    const int d = config.head_dim;
+
+    std::vector<float> key(static_cast<std::size_t>(d));
+    std::vector<float> value(static_cast<std::size_t>(d));
+
+    for (int qh = 0; qh < config.num_q_heads; ++qh) {
+        const int kvh = config.kvHeadFor(qh);
+        const float *qrow = q.row({qh});
+        OnlineRow state(d);
+        for (i64 tile = 0; tile < kv_len; tile += kKvTile) {
+            const i64 tile_end = std::min(tile + kKvTile, kv_len);
+            for (i64 t = tile; t < tile_end; ++t) {
+                kv.loadK(t, kvh, key.data());
+                const float s = dot(qrow, key.data(), d) * scale;
+                kv.loadV(t, kvh, value.data());
+                state.absorb(s, value.data(), d);
+            }
+        }
+        state.finish(out.row({qh}), d);
+    }
+}
+
+void
+flashDecodeBatch(const AttnConfig &config, const tensor::HostTensor &q,
+                 const std::vector<const KvView *> &kv_views,
+                 const std::vector<i64> &kv_lens,
+                 const std::vector<i32> &cache_batch_idx,
+                 tensor::HostTensor &out)
+{
+    panic_if(q.shape().rank() != 3, "q must be [B, Hq, D]");
+    const i64 batch = q.shape()[0];
+    panic_if(cache_batch_idx.size() != static_cast<std::size_t>(batch),
+             "cache_batch_idx size mismatch");
+    panic_if(kv_views.size() != kv_lens.size(),
+             "kv_views/kv_lens size mismatch");
+
+    tensor::HostTensor qi(
+        tensor::Shape{q.shape()[1], q.shape()[2]});
+    tensor::HostTensor oi(
+        tensor::Shape{q.shape()[1], q.shape()[2]});
+
+    for (i64 b = 0; b < batch; ++b) {
+        const auto slot =
+            static_cast<std::size_t>(cache_batch_idx[
+                static_cast<std::size_t>(b)]);
+        panic_if(slot >= kv_views.size(),
+                 "cache_batch_idx out of range");
+        std::copy(q.row({b}),
+                  q.row({b}) + q.shape()[1] * q.shape()[2], qi.data());
+        flashDecode(config, qi, *kv_views[slot], kv_lens[slot], oi);
+        std::copy(oi.data(), oi.data() + oi.numel(), out.row({b}));
+    }
+}
+
+void
+appendKv(KvWriter &writer, i64 start, i64 num_tokens, int num_kv_heads,
+         int head_dim, const float *k_in, const float *v_in)
+{
+    for (i64 t = 0; t < num_tokens; ++t) {
+        for (int h = 0; h < num_kv_heads; ++h) {
+            const std::size_t off = static_cast<std::size_t>(
+                (t * num_kv_heads + h) * head_dim);
+            writer.storeK(start + t, h, k_in + off);
+            writer.storeV(start + t, h, v_in + off);
+        }
+    }
+}
+
+} // namespace vattn::attn

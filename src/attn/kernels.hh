@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Flash-style tiled attention kernels (online softmax over KV tiles,
+ * O(tile) memory) — functional models of FlashAttention-2 / FlashInfer /
+ * FA3 compute. They consume any KvView, so the *same kernel code* runs
+ * over a contiguous vAttention cache, a strided tensor-slicing cache, or
+ * (via PagedKvView) a paged cache — mirroring the portability argument
+ * of the paper.
+ *
+ * Also provides the KV append path (what a serving iteration does after
+ * QKV projection) and a batched decode entry point with FA2's
+ * cache_batch_idx semantics (§5.3.4: Q row i may use any KV slot).
+ */
+
+#ifndef VATTN_ATTN_KERNELS_HH
+#define VATTN_ATTN_KERNELS_HH
+
+#include <vector>
+
+#include "attn/kv_view.hh"
+#include "attn/reference.hh"
+#include "tensor/host_tensor.hh"
+
+namespace vattn::attn
+{
+
+/** KV tile width used by the tiled kernels. */
+constexpr i64 kKvTile = 64;
+
+/**
+ * Tiled prefill attention: q [Lq, Hq, D] occupying the last Lq
+ * positions of kv_len tokens; out [Lq, Hq, D].
+ */
+void flashPrefill(const AttnConfig &config, const tensor::HostTensor &q,
+                  const KvView &kv, i64 kv_len, tensor::HostTensor &out);
+
+/** Tiled decode attention: q/out [Hq, D] over kv_len tokens. */
+void flashDecode(const AttnConfig &config, const tensor::HostTensor &q,
+                 const KvView &kv, i64 kv_len, tensor::HostTensor &out);
+
+/**
+ * Batched decode with cache_batch_idx: row i of q (shape [B, Hq, D])
+ * attends over kv_views[cache_batch_idx[i]] with length
+ * kv_lens[cache_batch_idx[i]]. This is the FlashAttention-2 API surface
+ * that lets vAttention leave holes in the KV batch dimension when a
+ * request finishes mid-batch (continuous batching, §5.3.4).
+ */
+void flashDecodeBatch(const AttnConfig &config,
+                      const tensor::HostTensor &q,
+                      const std::vector<const KvView *> &kv_views,
+                      const std::vector<i64> &kv_lens,
+                      const std::vector<i32> &cache_batch_idx,
+                      tensor::HostTensor &out);
+
+/**
+ * Append the K/V vectors of @p num_tokens tokens (host arrays of shape
+ * [num_tokens, Hkv, D]) to the cache starting at position @p start.
+ */
+void appendKv(KvWriter &writer, i64 start, i64 num_tokens, int num_kv_heads,
+              int head_dim, const float *k_in, const float *v_in);
+
+} // namespace vattn::attn
+
+#endif // VATTN_ATTN_KERNELS_HH

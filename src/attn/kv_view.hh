@@ -1,0 +1,133 @@
+/**
+ * @file
+ * KV-cache accessors for the attention kernels. The paper's central
+ * point is that kernels written for *contiguous* KV (FlashAttention-2,
+ * FlashInfer non-paged, FA3) work unmodified under vAttention, while
+ * PagedAttention forces a rewrite to dereference scattered blocks.
+ * We model that split explicitly:
+ *
+ *  - TensorKvView   : contiguous (or strided, §8.2) virtual tensor —
+ *                     what an unmodified kernel consumes.
+ *  - PagedKvView    : block-table indirection over a block pool — what
+ *                     a PagedAttention kernel must implement.
+ *  - HostKvView     : plain host arrays for reference tests.
+ *
+ * Views optionally replay their page touches through the device TLB
+ * model (for the §7.6.3 page-size study).
+ */
+
+#ifndef VATTN_ATTN_KV_VIEW_HH
+#define VATTN_ATTN_KV_VIEW_HH
+
+#include <vector>
+
+#include "tensor/host_tensor.hh"
+#include "tensor/virtual_tensor.hh"
+
+namespace vattn::attn
+{
+
+/** Read access to the K/V vectors of one request at one layer. */
+class KvView
+{
+  public:
+    virtual ~KvView() = default;
+
+    /** Number of KV heads. */
+    virtual int numKvHeads() const = 0;
+    /** Head dimension. */
+    virtual int headDim() const = 0;
+
+    /** Load K[token, head, :] into @p out (headDim floats). */
+    virtual void loadK(i64 token, int head, float *out) const = 0;
+    /** Load V[token, head, :] into @p out (headDim floats). */
+    virtual void loadV(i64 token, int head, float *out) const = 0;
+};
+
+/** Write access used when appending new tokens to the cache. */
+class KvWriter
+{
+  public:
+    virtual ~KvWriter() = default;
+    virtual void storeK(i64 token, int head, const float *in) = 0;
+    virtual void storeV(i64 token, int head, const float *in) = 0;
+};
+
+/**
+ * View over K and V virtual tensors of logical shape [L, H, D]; the
+ * tensors may be strided views into bigger buffers ([B, L, H, D] batch
+ * tensors or the [B, L, N, H, D] tensor-slicing layout).
+ */
+class TensorKvView : public KvView, public KvWriter
+{
+  public:
+    TensorKvView(tensor::VirtualTensor k, tensor::VirtualTensor v,
+                 bool touch_tlb = false);
+
+    int numKvHeads() const override;
+    int headDim() const override;
+    void loadK(i64 token, int head, float *out) const override;
+    void loadV(i64 token, int head, float *out) const override;
+    void storeK(i64 token, int head, const float *in) override;
+    void storeV(i64 token, int head, const float *in) override;
+
+  private:
+    void touch(const tensor::VirtualTensor &t, i64 token, int head) const;
+
+    tensor::VirtualTensor k_;
+    tensor::VirtualTensor v_;
+    bool touch_tlb_;
+};
+
+/**
+ * PagedAttention-style view: token t lives in pool block
+ * block_table[t / block_size] at offset t % block_size. Pool tensors
+ * have shape [num_blocks, block_size, H, D].
+ */
+class PagedKvView : public KvView, public KvWriter
+{
+  public:
+    PagedKvView(tensor::VirtualTensor k_pool, tensor::VirtualTensor v_pool,
+                std::vector<i32> block_table, i64 block_size,
+                bool touch_tlb = false);
+
+    int numKvHeads() const override;
+    int headDim() const override;
+    void loadK(i64 token, int head, float *out) const override;
+    void loadV(i64 token, int head, float *out) const override;
+    void storeK(i64 token, int head, const float *in) override;
+    void storeV(i64 token, int head, const float *in) override;
+
+    const std::vector<i32> &blockTable() const { return block_table_; }
+
+  private:
+    std::pair<i64, i64> locate(i64 token) const; ///< (block, offset)
+
+    tensor::VirtualTensor k_pool_;
+    tensor::VirtualTensor v_pool_;
+    std::vector<i32> block_table_;
+    i64 block_size_;
+    bool touch_tlb_;
+};
+
+/** Host-array KV view for reference tests; shape [L, H, D]. */
+class HostKvView : public KvView, public KvWriter
+{
+  public:
+    HostKvView(tensor::HostTensor *k, tensor::HostTensor *v);
+
+    int numKvHeads() const override;
+    int headDim() const override;
+    void loadK(i64 token, int head, float *out) const override;
+    void loadV(i64 token, int head, float *out) const override;
+    void storeK(i64 token, int head, const float *in) override;
+    void storeV(i64 token, int head, const float *in) override;
+
+  private:
+    tensor::HostTensor *k_;
+    tensor::HostTensor *v_;
+};
+
+} // namespace vattn::attn
+
+#endif // VATTN_ATTN_KV_VIEW_HH

@@ -1,0 +1,153 @@
+#include "attn/reference.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vattn::attn
+{
+
+float
+AttnConfig::effectiveScale() const
+{
+    return scale != 0.0f
+               ? scale
+               : 1.0f / std::sqrt(static_cast<float>(head_dim));
+}
+
+int
+AttnConfig::kvHeadFor(int q_head) const
+{
+    return q_head / (num_q_heads / num_kv_heads);
+}
+
+void
+AttnConfig::validate() const
+{
+    fatal_if(num_q_heads <= 0 || num_kv_heads <= 0 || head_dim <= 0,
+             "attention dims must be positive");
+    fatal_if(num_q_heads % num_kv_heads != 0,
+             "num_q_heads must be a multiple of num_kv_heads (GQA)");
+}
+
+namespace
+{
+
+float
+dot(const float *a, const float *b, int n)
+{
+    float acc = 0.0f;
+    for (int i = 0; i < n; ++i) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+} // namespace
+
+void
+referencePrefill(const AttnConfig &config, const tensor::HostTensor &q,
+                 const KvView &kv, i64 kv_len, tensor::HostTensor &out)
+{
+    config.validate();
+    const i64 lq = q.shape()[0];
+    panic_if(q.shape().rank() != 3, "q must be [Lq, Hq, D]");
+    panic_if(q.shape()[1] != config.num_q_heads, "q head count mismatch");
+    panic_if(q.shape()[2] != config.head_dim, "q head dim mismatch");
+    panic_if(kv_len < lq, "kv_len must cover the queries");
+    panic_if(!(out.shape() == q.shape()), "out shape mismatch");
+
+    const float scale = config.effectiveScale();
+    const int d = config.head_dim;
+    const i64 kv_offset = kv_len - lq; // first query's position
+
+    std::vector<float> key(static_cast<std::size_t>(d));
+    std::vector<float> value(static_cast<std::size_t>(d));
+    std::vector<float> scores;
+
+    for (int qh = 0; qh < config.num_q_heads; ++qh) {
+        const int kvh = config.kvHeadFor(qh);
+        for (i64 i = 0; i < lq; ++i) {
+            const i64 visible =
+                config.causal ? kv_offset + i + 1 : kv_len;
+            scores.assign(static_cast<std::size_t>(visible), 0.0f);
+            const float *qrow = q.row({i, qh});
+
+            float peak = -INFINITY;
+            for (i64 t = 0; t < visible; ++t) {
+                kv.loadK(t, kvh, key.data());
+                const float s = dot(qrow, key.data(), d) * scale;
+                scores[static_cast<std::size_t>(t)] = s;
+                peak = std::max(peak, s);
+            }
+            float denom = 0.0f;
+            for (i64 t = 0; t < visible; ++t) {
+                auto &s = scores[static_cast<std::size_t>(t)];
+                s = std::exp(s - peak);
+                denom += s;
+            }
+            float *orow = out.row({i, qh});
+            for (int c = 0; c < d; ++c) {
+                orow[c] = 0.0f;
+            }
+            for (i64 t = 0; t < visible; ++t) {
+                kv.loadV(t, kvh, value.data());
+                const float w = scores[static_cast<std::size_t>(t)] / denom;
+                for (int c = 0; c < d; ++c) {
+                    orow[c] += w * value[c];
+                }
+            }
+        }
+    }
+}
+
+void
+referenceDecode(const AttnConfig &config, const tensor::HostTensor &q,
+                const KvView &kv, i64 kv_len, tensor::HostTensor &out)
+{
+    config.validate();
+    panic_if(q.shape().rank() != 2, "q must be [Hq, D]");
+    panic_if(q.shape()[0] != config.num_q_heads, "q head count mismatch");
+    panic_if(q.shape()[1] != config.head_dim, "q head dim mismatch");
+    panic_if(!(out.shape() == q.shape()), "out shape mismatch");
+
+    const float scale = config.effectiveScale();
+    const int d = config.head_dim;
+
+    std::vector<float> key(static_cast<std::size_t>(d));
+    std::vector<float> value(static_cast<std::size_t>(d));
+    std::vector<float> scores(static_cast<std::size_t>(kv_len));
+
+    for (int qh = 0; qh < config.num_q_heads; ++qh) {
+        const int kvh = config.kvHeadFor(qh);
+        const float *qrow = q.row({qh});
+
+        float peak = -INFINITY;
+        for (i64 t = 0; t < kv_len; ++t) {
+            kv.loadK(t, kvh, key.data());
+            const float s = dot(qrow, key.data(), d) * scale;
+            scores[static_cast<std::size_t>(t)] = s;
+            peak = std::max(peak, s);
+        }
+        float denom = 0.0f;
+        for (i64 t = 0; t < kv_len; ++t) {
+            auto &s = scores[static_cast<std::size_t>(t)];
+            s = std::exp(s - peak);
+            denom += s;
+        }
+        float *orow = out.row({qh});
+        for (int c = 0; c < d; ++c) {
+            orow[c] = 0.0f;
+        }
+        for (i64 t = 0; t < kv_len; ++t) {
+            kv.loadV(t, kvh, value.data());
+            const float w = scores[static_cast<std::size_t>(t)] / denom;
+            for (int c = 0; c < d; ++c) {
+                orow[c] += w * value[c];
+            }
+        }
+    }
+}
+
+} // namespace vattn::attn

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Numerically straightforward attention implementations (full-matrix
+ * softmax, O(L^2) memory) used as the oracle against which the
+ * flash-style tiled kernels are verified.
+ */
+
+#ifndef VATTN_ATTN_REFERENCE_HH
+#define VATTN_ATTN_REFERENCE_HH
+
+#include "attn/kv_view.hh"
+#include "tensor/host_tensor.hh"
+
+namespace vattn::attn
+{
+
+/** Kernel-level attention configuration (one request, one layer). */
+struct AttnConfig
+{
+    int num_q_heads;
+    int num_kv_heads;
+    int head_dim;
+    bool causal = true;
+    /** softmax scale; 0 means 1/sqrt(head_dim). */
+    float scale = 0.0f;
+
+    float effectiveScale() const;
+    /** KV head serving query head @p q_head (GQA mapping). */
+    int kvHeadFor(int q_head) const;
+    void validate() const;
+};
+
+/**
+ * Reference prefill attention. q has shape [Lq, Hq, D]; the queries
+ * occupy the *last* Lq positions of a kv_len-token context (so chunked
+ * prefill with history is expressible). out has shape [Lq, Hq, D].
+ */
+void referencePrefill(const AttnConfig &config,
+                      const tensor::HostTensor &q, const KvView &kv,
+                      i64 kv_len, tensor::HostTensor &out);
+
+/** Reference single-token decode. q/out have shape [Hq, D]. */
+void referenceDecode(const AttnConfig &config,
+                     const tensor::HostTensor &q, const KvView &kv,
+                     i64 kv_len, tensor::HostTensor &out);
+
+} // namespace vattn::attn
+
+#endif // VATTN_ATTN_REFERENCE_HH

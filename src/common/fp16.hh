@@ -1,0 +1,124 @@
+/**
+ * @file
+ * IEEE-754 binary16 (half precision) storage type. The KV cache in the
+ * paper is FP16/BF16 (P = 2 bytes, Table 2); our functional kernels store
+ * KV in fp16 and accumulate in fp32, like FlashAttention does.
+ */
+
+#ifndef VATTN_COMMON_FP16_HH
+#define VATTN_COMMON_FP16_HH
+
+#include <cmath>
+#include <cstring>
+
+#include "common/types.hh"
+
+namespace vattn
+{
+
+/** Convert fp32 -> fp16 bits with round-to-nearest-even. */
+inline u16
+fp32ToFp16Bits(float f)
+{
+    u32 x;
+    std::memcpy(&x, &f, sizeof(x));
+
+    const u32 sign = (x >> 16) & 0x8000u;
+    u32 mantissa = x & 0x007fffffu;
+    const i32 exp = static_cast<i32>((x >> 23) & 0xffu) - 127;
+
+    if (exp == 128) { // inf or nan
+        if (mantissa) {
+            return static_cast<u16>(sign | 0x7e00u); // quiet NaN
+        }
+        return static_cast<u16>(sign | 0x7c00u); // inf
+    }
+    if (exp > 15) { // overflow -> inf
+        return static_cast<u16>(sign | 0x7c00u);
+    }
+    if (exp >= -14) { // normal range
+        u32 half_exp = static_cast<u32>(exp + 15);
+        // round mantissa from 23 to 10 bits, round-to-nearest-even
+        u32 mant = mantissa >> 13;
+        const u32 rest = mantissa & 0x1fffu;
+        if (rest > 0x1000u || (rest == 0x1000u && (mant & 1u))) {
+            ++mant;
+            if (mant == 0x400u) { // mantissa overflow -> bump exponent
+                mant = 0;
+                ++half_exp;
+                if (half_exp == 31) {
+                    return static_cast<u16>(sign | 0x7c00u);
+                }
+            }
+        }
+        return static_cast<u16>(sign | (half_exp << 10) | mant);
+    }
+    if (exp >= -25) { // subnormal half
+        mantissa |= 0x00800000u; // implicit leading one
+        // Shift so the result is expressed in units of 2^-24 (the half
+        // subnormal ulp); a round-up past 0x3ff naturally carries into
+        // the exponent field and yields the smallest normal.
+        const u32 total_shift = static_cast<u32>(13 + (-14 - exp));
+        u32 mant = mantissa >> total_shift;
+        const u32 rest = mantissa & ((1u << total_shift) - 1);
+        const u32 halfway = 1u << (total_shift - 1);
+        if (rest > halfway || (rest == halfway && (mant & 1u))) {
+            ++mant;
+        }
+        return static_cast<u16>(sign | mant);
+    }
+    return static_cast<u16>(sign); // underflow -> signed zero
+}
+
+/** Convert fp16 bits -> fp32. */
+inline float
+fp16BitsToFp32(u16 h)
+{
+    const u32 sign = static_cast<u32>(h & 0x8000u) << 16;
+    const u32 exp = (h >> 10) & 0x1fu;
+    const u32 mant = h & 0x3ffu;
+
+    u32 out;
+    if (exp == 0) {
+        if (mant == 0) {
+            out = sign; // zero
+        } else {
+            // subnormal: normalize
+            u32 m = mant;
+            i32 e = -1;
+            while (!(m & 0x400u)) {
+                m <<= 1;
+                ++e;
+            }
+            m &= 0x3ffu;
+            out = sign | static_cast<u32>((127 - 15 - e) << 23) | (m << 13);
+        }
+    } else if (exp == 31) {
+        out = sign | 0x7f800000u | (mant << 13); // inf / nan
+    } else {
+        out = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+    }
+    float f;
+    std::memcpy(&f, &out, sizeof(f));
+    return f;
+}
+
+/** Half-precision value with fp32 conversion operators. */
+struct Fp16
+{
+    u16 bits = 0;
+
+    Fp16() = default;
+    explicit Fp16(float f) : bits(fp32ToFp16Bits(f)) {}
+
+    float toFloat() const { return fp16BitsToFp32(bits); }
+    explicit operator float() const { return toFloat(); }
+
+    bool operator==(const Fp16 &o) const { return bits == o.bits; }
+};
+
+static_assert(sizeof(Fp16) == 2, "Fp16 must be 2 bytes");
+
+} // namespace vattn
+
+#endif // VATTN_COMMON_FP16_HH

@@ -1,0 +1,87 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/types.hh"
+
+namespace vattn
+{
+
+const char *
+toString(PageGroup pg)
+{
+    switch (pg) {
+      case PageGroup::k64KB: return "64KB";
+      case PageGroup::k128KB: return "128KB";
+      case PageGroup::k256KB: return "256KB";
+      case PageGroup::k2MB: return "2MB";
+    }
+    return "?";
+}
+
+const char *
+toString(PageSize ps)
+{
+    switch (ps) {
+      case PageSize::k4KB: return "4KB";
+      case PageSize::k64KB: return "64KB";
+      case PageSize::k2MB: return "2MB";
+    }
+    return "?";
+}
+
+namespace log_detail
+{
+
+namespace
+{
+bool throw_on_error = false;
+} // namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throw_on_error = enable;
+}
+
+bool
+throwOnError()
+{
+    return throw_on_error;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    if (throw_on_error) {
+        throw SimError{msg};
+    }
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    if (throw_on_error) {
+        throw SimError{msg};
+    }
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace log_detail
+} // namespace vattn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn()/inform() for
+ * diagnostics. Message formatting uses ostream chaining so any
+ * streamable type can be logged.
+ */
+
+#ifndef VATTN_COMMON_LOGGING_HH
+#define VATTN_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace vattn
+{
+
+namespace log_detail
+{
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Test hook: when set, panic/fatal throw instead of aborting. */
+void setThrowOnError(bool enable);
+bool throwOnError();
+
+} // namespace log_detail
+
+/** Thrown by panic()/fatal() in unit tests (see setThrowOnError). */
+struct SimError
+{
+    std::string message;
+};
+
+} // namespace vattn
+
+/**
+ * panic: something happened that should never happen regardless of what
+ * the user does — an actual simulator bug. Aborts (or throws in tests).
+ */
+#define panic(...)                                                        \
+    ::vattn::log_detail::panicImpl(__FILE__, __LINE__,                    \
+        ::vattn::log_detail::concat(__VA_ARGS__))
+
+/** panic if @p cond does not hold. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            panic(__VA_ARGS__);                                           \
+        }                                                                 \
+    } while (0)
+
+/**
+ * fatal: the simulation cannot continue due to a condition that is the
+ * user's fault (bad configuration, invalid arguments).
+ */
+#define fatal(...)                                                        \
+    ::vattn::log_detail::fatalImpl(__FILE__, __LINE__,                    \
+        ::vattn::log_detail::concat(__VA_ARGS__))
+
+/** fatal if @p cond does not hold. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            fatal(__VA_ARGS__);                                           \
+        }                                                                 \
+    } while (0)
+
+/** Non-fatal warning about questionable behaviour. */
+#define warn(...)                                                         \
+    ::vattn::log_detail::warnImpl(__FILE__, __LINE__,                     \
+        ::vattn::log_detail::concat(__VA_ARGS__))
+
+/** Informative status message. */
+#define inform(...)                                                       \
+    ::vattn::log_detail::informImpl(                                      \
+        ::vattn::log_detail::concat(__VA_ARGS__))
+
+#endif // VATTN_COMMON_LOGGING_HH

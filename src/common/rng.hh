@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deterministic random number generation (xoshiro256** seeded through
+ * splitmix64) and the distributions used by the workload generators:
+ * uniform, exponential (Poisson inter-arrivals), log-normal (context
+ * length spread) and categorical mixes.
+ */
+
+#ifndef VATTN_COMMON_RNG_HH
+#define VATTN_COMMON_RNG_HH
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace vattn
+{
+
+/** xoshiro256** PRNG; fast, high quality, fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void
+    reseed(u64 seed)
+    {
+        // splitmix64 expansion of the seed into the full state
+        u64 x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    uniformInt(i64 lo, i64 hi)
+    {
+        panic_if(hi < lo, "uniformInt: hi < lo");
+        const u64 span = static_cast<u64>(hi - lo) + 1;
+        return lo + static_cast<i64>(next() % span);
+    }
+
+    /** Exponential with given rate (mean = 1/rate). */
+    double
+    exponential(double rate)
+    {
+        panic_if(rate <= 0, "exponential: rate must be > 0");
+        double u = uniform();
+        if (u <= 0) {
+            u = 0x1.0p-53;
+        }
+        return -std::log1p(-u) / rate;
+    }
+
+    /** Log-normal with the given parameters of the underlying normal. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * normal());
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    normal()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 <= 0) {
+            u1 = 0x1.0p-53;
+        }
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Sample an index from unnormalized weights. */
+    std::size_t
+    categorical(const std::vector<double> &weights)
+    {
+        panic_if(weights.empty(), "categorical: empty weights");
+        double total = 0;
+        for (double w : weights) {
+            total += w;
+        }
+        double x = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            x -= weights[i];
+            if (x <= 0) {
+                return i;
+            }
+        }
+        return weights.size() - 1;
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(uniformInt(0, static_cast<i64>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<u64, 4> state_{};
+    bool have_cached_ = false;
+    double cached_ = 0;
+};
+
+} // namespace vattn
+
+#endif // VATTN_COMMON_RNG_HH

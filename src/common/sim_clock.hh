@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic virtual clock. All kernel / driver latencies in the
+ * reproduction are model outputs accumulated on this clock, which makes
+ * every experiment replayable bit-for-bit (see DESIGN.md §2.1).
+ */
+
+#ifndef VATTN_COMMON_SIM_CLOCK_HH
+#define VATTN_COMMON_SIM_CLOCK_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace vattn
+{
+
+/** Monotonic simulated-time source (nanoseconds). */
+class SimClock
+{
+  public:
+    TimeNs now() const { return now_ns_; }
+
+    /** Move time forward by @p delta_ns. */
+    void
+    advance(TimeNs delta_ns)
+    {
+        now_ns_ += delta_ns;
+    }
+
+    /** Jump to an absolute time >= now. */
+    void
+    advanceTo(TimeNs t_ns)
+    {
+        panic_if(t_ns < now_ns_, "SimClock cannot go backwards: ",
+                 t_ns, " < ", now_ns_);
+        now_ns_ = t_ns;
+    }
+
+    void reset() { now_ns_ = 0; }
+
+    static double toSeconds(TimeNs t) { return static_cast<double>(t) / 1e9; }
+    static double toMillis(TimeNs t) { return static_cast<double>(t) / 1e6; }
+    static double toMicros(TimeNs t) { return static_cast<double>(t) / 1e3; }
+
+  private:
+    TimeNs now_ns_ = 0;
+};
+
+} // namespace vattn
+
+#endif // VATTN_COMMON_SIM_CLOCK_HH

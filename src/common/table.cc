@@ -1,0 +1,102 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vattn
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "row arity ", cells.size(), " != header arity ",
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::integer(long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << (c == 0 ? "| " : " | ")
+                << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+        }
+        oss << " |\n";
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        oss << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+    }
+    oss << "-|\n";
+    for (const auto &row : rows_) {
+        emit_row(row);
+    }
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) {
+                oss << ",";
+            }
+            oss << row[c];
+        }
+        oss << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return oss.str();
+}
+
+void
+Table::print(const std::string &caption) const
+{
+    std::printf("\n== %s ==\n%s", caption.c_str(), toString().c_str());
+    std::fflush(stdout);
+}
+
+} // namespace vattn

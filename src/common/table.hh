@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table / CSV emitter used by the benchmark harness to print the
+ * paper's tables and figure series in a uniform, diffable format.
+ */
+
+#ifndef VATTN_COMMON_TABLE_HH
+#define VATTN_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vattn
+{
+
+/** Column-aligned text table with optional CSV rendering. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 2);
+    static std::string integer(long long v);
+
+    /** Render with aligned columns. */
+    std::string toString() const;
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+    /** Print toString() to stdout with a caption line. */
+    void print(const std::string &caption) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vattn
+
+#endif // VATTN_COMMON_TABLE_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fundamental integer/size types and unit constants shared by all of the
+ * vattn substrates (gem5-style naming).
+ */
+
+#ifndef VATTN_COMMON_TYPES_HH
+#define VATTN_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace vattn
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Device virtual address (byte-granular). */
+using Addr = u64;
+/** Device physical address (byte-granular). */
+using PhysAddr = u64;
+/** Simulated time in nanoseconds. */
+using TimeNs = u64;
+
+constexpr u64 KiB = 1024ULL;
+constexpr u64 MiB = 1024ULL * KiB;
+constexpr u64 GiB = 1024ULL * MiB;
+constexpr u64 TiB = 1024ULL * GiB;
+
+constexpr u64 kUsec = 1000ULL;            ///< ns in a microsecond
+constexpr u64 kMsec = 1000ULL * kUsec;    ///< ns in a millisecond
+constexpr u64 kSec = 1000ULL * kMsec;     ///< ns in a second
+
+/** Is @p x a power of two (zero is not). */
+constexpr bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Round @p x up to the next multiple of @p align (align must be pow2). */
+constexpr u64
+roundUp(u64 x, u64 align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Round @p x down to a multiple of @p align (align must be pow2). */
+constexpr u64
+roundDown(u64 x, u64 align)
+{
+    return x & ~(align - 1);
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr u64
+ceilDiv(u64 num, u64 den)
+{
+    return (num + den - 1) / den;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2Exact(u64 x)
+{
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/**
+ * Hardware page sizes natively supported by the simulated GPU MMU
+ * (NVIDIA GPUs support at least 4KB, 64KB and 2MB; §6.2 of the paper).
+ */
+enum class PageSize : u64
+{
+    k4KB = 4 * KiB,
+    k64KB = 64 * KiB,
+    k2MB = 2 * MiB,
+};
+
+constexpr u64
+bytes(PageSize ps)
+{
+    return static_cast<u64>(ps);
+}
+
+/**
+ * Physical allocation granularities ("page-groups", §2.2/§6.2). A single
+ * driver call allocates one page-group. CUDA stock APIs only support the
+ * 2MB granularity; the paper's driver extension adds the smaller three.
+ */
+enum class PageGroup : u64
+{
+    k64KB = 64 * KiB,
+    k128KB = 128 * KiB,
+    k256KB = 256 * KiB,
+    k2MB = 2 * MiB,
+};
+
+constexpr u64
+bytes(PageGroup pg)
+{
+    return static_cast<u64>(pg);
+}
+
+/** All page-group sizes, smallest first (handy for sweeps). */
+constexpr PageGroup kAllPageGroups[] = {
+    PageGroup::k64KB, PageGroup::k128KB, PageGroup::k256KB, PageGroup::k2MB,
+};
+
+/** True iff the page-group size is servable by stock CUDA APIs. */
+constexpr bool
+isCudaNative(PageGroup pg)
+{
+    return bytes(pg) % bytes(PageSize::k2MB) == 0;
+}
+
+const char *toString(PageGroup pg);
+const char *toString(PageSize ps);
+
+} // namespace vattn
+
+#endif // VATTN_COMMON_TYPES_HH

@@ -1,0 +1,26 @@
+#include "core/background.hh"
+
+namespace vattn::core
+{
+
+void
+BackgroundWorker::beginWindow(TimeNs budget_ns)
+{
+    remaining_ns_ = budget_ns;
+    ++num_windows_;
+}
+
+bool
+BackgroundWorker::tryConsume(TimeNs cost_ns)
+{
+    if (cost_ns > remaining_ns_) {
+        remaining_ns_ = 0;
+        return false;
+    }
+    remaining_ns_ -= cost_ns;
+    total_hidden_ns_ += cost_ns;
+    ++items_completed_;
+    return true;
+}
+
+} // namespace vattn::core

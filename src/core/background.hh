@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic model of the background allocation thread (§6.1.1).
+ * The real system spawns a thread from the step API and lets it map
+ * page-groups while the GPU executes the current iteration; here the
+ * engine grants the worker a time window equal to the iteration's
+ * compute time, and the worker performs driver operations until the
+ * window is spent. Work that does not fit spills back into the next
+ * step()'s critical path — which is exactly the latency-spike behaviour
+ * Figure 12 measures when overlapping is disabled (window = 0).
+ */
+
+#ifndef VATTN_CORE_BACKGROUND_HH
+#define VATTN_CORE_BACKGROUND_HH
+
+#include "common/types.hh"
+
+namespace vattn::core
+{
+
+/** Time-budgeted background work tracker. */
+class BackgroundWorker
+{
+  public:
+    /** Open a window of @p budget_ns of hidden (overlapped) time. */
+    void beginWindow(TimeNs budget_ns);
+
+    /**
+     * Try to account @p cost_ns of driver work inside the current
+     * window. Returns true (and consumes budget) if it fits; false if
+     * the window is exhausted.
+     */
+    bool tryConsume(TimeNs cost_ns);
+
+    TimeNs windowRemaining() const { return remaining_ns_; }
+
+    // Lifetime statistics.
+    u64 numWindows() const { return num_windows_; }
+    TimeNs totalHiddenNs() const { return total_hidden_ns_; }
+    u64 itemsCompleted() const { return items_completed_; }
+
+  private:
+    TimeNs remaining_ns_ = 0;
+    u64 num_windows_ = 0;
+    TimeNs total_hidden_ns_ = 0;
+    u64 items_completed_ = 0;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_BACKGROUND_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * vAttention configuration: the init() parameters of Table 4 (N, B, L,
+ * H, D, P and the preferred page-group size) plus switches for each of
+ * the paper's optimizations so the ablations of §7.6 can toggle them.
+ */
+
+#ifndef VATTN_CORE_CONFIG_HH
+#define VATTN_CORE_CONFIG_HH
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "tensor/dtype.hh"
+
+namespace vattn::core
+{
+
+/** Serving-worker configuration for the vAttention runtime. */
+struct Config
+{
+    // ---- Model/worker shape (Table 2 notation) ---------------------
+    int num_layers = 0;        ///< N: layers hosted by this worker
+    int num_kv_heads = 0;      ///< H: KV heads on this worker
+    int head_dim = 0;          ///< D
+    int bytes_per_elem = 2;    ///< P (2 = FP16/BF16)
+    int max_batch_size = 0;    ///< B
+    i64 max_context_len = 0;   ///< L
+
+    // ---- Allocation policy ------------------------------------------
+    /** Physical allocation granularity (§6.2). */
+    PageGroup page_group = PageGroup::k2MB;
+    /** Use the driver extension (vMem*); required for sub-2MB groups.
+     *  When false, the stock cuMem* path is used (2MB only). */
+    bool use_driver_extension = true;
+    /** §8.2 layout: one [B, L, N, H, D] tensor per K/V instead of 2N
+     *  per-layer tensors; shrinks the per-group token footprint N-fold. */
+    bool tensor_slicing = false;
+
+    // ---- §6.1 optimizations ------------------------------------------
+    /** Keep completed requests' page-groups mapped for reuse. */
+    bool deferred_reclamation = true;
+    /** Keep one free reqId pre-mapped with a few groups. */
+    bool eager_allocation = true;
+    /** Overlap allocation with the previous iteration's compute. */
+    bool overlap_allocation = true;
+    /** Page-groups eagerly mapped per tensor on the warm slot. */
+    i64 eager_groups = 4;
+
+    // ---- Capacity -----------------------------------------------------
+    /** Physical bytes this worker may commit for KV (0 = all device
+     *  memory still free when the runtime initializes). */
+    u64 phys_budget_bytes = 0;
+    /** Background reclamation refills the pool to this fraction of the
+     *  budget (§6.1.2: "e.g. less than 10% of GPU memory"). */
+    double reclaim_low_watermark = 0.10;
+
+    /** Storage dtype implied by bytes_per_elem. */
+    tensor::DType dtype() const;
+
+    /** Validate user-provided parameters. */
+    Status validate() const;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_CONFIG_HH

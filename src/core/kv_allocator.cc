@@ -1,0 +1,312 @@
+#include "core/kv_allocator.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::core
+{
+
+KvAllocator::KvAllocator(cuvmm::Driver &driver, const Config &config,
+                         PagePool &pool)
+    : driver_(driver), config_(config), geom_(config), pool_(pool),
+      use_cu_path_(config.page_group == PageGroup::k2MB),
+      slots_(static_cast<std::size_t>(config.max_batch_size))
+{
+    config_.validate().expectOk("KvAllocator config");
+
+    const int nbuf = geom_.numBuffers();
+    const u64 buf_bytes = geom_.bufferBytes();
+    buffer_base_.reserve(static_cast<std::size_t>(nbuf));
+    for (int b = 0; b < nbuf; ++b) {
+        Addr base = 0;
+        cuvmm::CuResult r;
+        if (use_cu_path_) {
+            r = driver_.cuMemAddressReserve(&base, buf_bytes,
+                                            geom_.groupBytes());
+        } else {
+            r = driver_.vMemReserve(&base, buf_bytes,
+                                    geom_.groupBytes());
+        }
+        fatal_if(r != cuvmm::CuResult::kSuccess,
+                 "virtual buffer reservation failed: ",
+                 cuvmm::toString(r), " (buffer ", b, " of ", nbuf,
+                 ", ", buf_bytes, " bytes)");
+        buffer_base_.push_back(base);
+    }
+
+    // Build the full-batch tensor views.
+    const auto dtype = config_.dtype();
+    const i64 batch = config_.max_batch_size;
+    const i64 len = config_.max_context_len;
+    const i64 heads = config_.num_kv_heads;
+    const i64 dim = config_.head_dim;
+    const i64 layers = config_.num_layers;
+    const i64 batch_stride = static_cast<i64>(
+        geom_.perRequestBytesAligned() /
+        static_cast<u64>(config_.bytes_per_elem));
+
+    layer_tensors_.reserve(static_cast<std::size_t>(layers));
+    if (config_.tensor_slicing) {
+        // One [B, L, N, H, D] tensor per K/V; per-layer tensors are
+        // strided slices of it.
+        tensor::Layout big;
+        big.shape = tensor::Shape{batch, len, layers, heads, dim};
+        big.strides = {batch_stride, layers * heads * dim, heads * dim,
+                       dim, 1};
+        big.offset = 0;
+        tensor::VirtualTensor k_big(&driver_.device(), buffer_base_[0],
+                                    big, dtype);
+        tensor::VirtualTensor v_big(&driver_.device(), buffer_base_[1],
+                                    big, dtype);
+        for (i64 layer = 0; layer < layers; ++layer) {
+            layer_tensors_.push_back(LayerKv{
+                k_big.slice(2, layer, 1).squeeze(2),
+                v_big.slice(2, layer, 1).squeeze(2),
+            });
+        }
+    } else {
+        tensor::Layout per_layer;
+        per_layer.shape = tensor::Shape{batch, len, heads, dim};
+        per_layer.strides = {batch_stride, heads * dim, dim, 1};
+        per_layer.offset = 0;
+        for (i64 layer = 0; layer < layers; ++layer) {
+            const auto kb = static_cast<std::size_t>(
+                kBuffer(static_cast<int>(layer)));
+            const auto vb = static_cast<std::size_t>(
+                vBuffer(static_cast<int>(layer)));
+            layer_tensors_.push_back(LayerKv{
+                tensor::VirtualTensor(&driver_.device(),
+                                      buffer_base_[kb], per_layer,
+                                      dtype),
+                tensor::VirtualTensor(&driver_.device(),
+                                      buffer_base_[vb], per_layer,
+                                      dtype),
+            });
+        }
+    }
+
+    for (auto &slot : slots_) {
+        slot.handles.resize(static_cast<std::size_t>(nbuf));
+    }
+}
+
+KvAllocator::~KvAllocator()
+{
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        releaseAll(slot);
+    }
+    const u64 buf_bytes = geom_.bufferBytes();
+    for (Addr base : buffer_base_) {
+        if (use_cu_path_) {
+            driver_.cuMemAddressFree(base, buf_bytes);
+        } else {
+            driver_.vMemFree(base, buf_bytes);
+        }
+    }
+}
+
+int
+KvAllocator::kBuffer(int layer) const
+{
+    return config_.tensor_slicing ? 0 : layer;
+}
+
+int
+KvAllocator::vBuffer(int layer) const
+{
+    return config_.tensor_slicing ? 1 : config_.num_layers + layer;
+}
+
+Addr
+KvAllocator::groupVa(int buffer, int slot, i64 group) const
+{
+    return buffer_base_[static_cast<std::size_t>(buffer)] +
+           static_cast<u64>(slot) * geom_.perRequestBytesAligned() +
+           static_cast<u64>(group) * geom_.groupBytes();
+}
+
+tensor::VirtualTensor
+KvAllocator::kView(int layer, int slot) const
+{
+    return layer_tensors_[static_cast<std::size_t>(layer)]
+        .k.slice(0, slot, 1)
+        .squeeze(0);
+}
+
+tensor::VirtualTensor
+KvAllocator::vView(int layer, int slot) const
+{
+    return layer_tensors_[static_cast<std::size_t>(layer)]
+        .v.slice(0, slot, 1)
+        .squeeze(0);
+}
+
+i64
+KvAllocator::groupsMapped(int slot) const
+{
+    return slots_[static_cast<std::size_t>(slot)].groups;
+}
+
+Status
+KvAllocator::mapOne(int buffer, int slot, i64 group,
+                    cuvmm::MemHandle handle)
+{
+    const Addr va = groupVa(buffer, slot, group);
+    if (use_cu_path_) {
+        auto r = driver_.cuMemMap(va, geom_.groupBytes(), 0, handle);
+        if (r != cuvmm::CuResult::kSuccess) {
+            return errorStatus(ErrorCode::kFailedPrecondition,
+                               cuvmm::toString(r));
+        }
+        r = driver_.cuMemSetAccess(va, geom_.groupBytes());
+        if (r != cuvmm::CuResult::kSuccess) {
+            return errorStatus(ErrorCode::kFailedPrecondition,
+                               cuvmm::toString(r));
+        }
+        return Status::ok();
+    }
+    const auto r = driver_.vMemMap(va, handle);
+    if (r != cuvmm::CuResult::kSuccess) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           cuvmm::toString(r));
+    }
+    return Status::ok();
+}
+
+void
+KvAllocator::unmapOne(int buffer, int slot, i64 group)
+{
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    auto &list = mappings.handles[static_cast<std::size_t>(buffer)];
+    const cuvmm::MemHandle handle =
+        list[static_cast<std::size_t>(group)];
+    const Addr va = groupVa(buffer, slot, group);
+    if (use_cu_path_) {
+        // Stock path: unmap but keep the physical handle pooled.
+        const auto r = driver_.cuMemUnmap(va, geom_.groupBytes());
+        panic_if(r != cuvmm::CuResult::kSuccess,
+                 "cuMemUnmap failed: ", cuvmm::toString(r));
+        pool_.release(handle);
+    } else {
+        // Extension path: vMemRelease fuses unmap + free; the handle
+        // is destroyed and the budget slot becomes creatable again.
+        const auto r = driver_.vMemRelease(handle);
+        panic_if(r != cuvmm::CuResult::kSuccess,
+                 "vMemRelease failed: ", cuvmm::toString(r));
+        pool_.releaseDestroyed();
+    }
+    list[static_cast<std::size_t>(group)] = cuvmm::kInvalidHandle;
+}
+
+Status
+KvAllocator::growTo(int slot, i64 target_groups)
+{
+    panic_if(slot < 0 || slot >= config_.max_batch_size,
+             "slot out of range");
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    panic_if(target_groups > geom_.maxGroupsPerRequest(),
+             "growTo beyond the max context length");
+
+    const int nbuf = geom_.numBuffers();
+    while (mappings.groups < target_groups) {
+        const i64 group = mappings.groups;
+        // Acquire + map the group on every buffer; only then commit.
+        int mapped = 0;
+        Status failure;
+        for (int b = 0; b < nbuf; ++b) {
+            auto handle = pool_.acquire();
+            if (!handle.isOk()) {
+                failure = handle.status();
+                break;
+            }
+            auto status = mapOne(b, slot, group, handle.value());
+            status.expectOk("page-group map");
+            mappings.handles[static_cast<std::size_t>(b)].push_back(
+                handle.value());
+            ++mapped;
+        }
+        if (mapped < nbuf) {
+            // Roll the partially mapped group back so every buffer
+            // keeps the same group count.
+            for (int b = mapped - 1; b >= 0; --b) {
+                unmapOne(b, slot, group);
+                mappings.handles[static_cast<std::size_t>(b)].pop_back();
+            }
+            return failure;
+        }
+        ++mappings.groups;
+    }
+    return Status::ok();
+}
+
+Status
+KvAllocator::shrinkTail(int slot)
+{
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    if (mappings.groups == 0) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "slot has no mapped groups");
+    }
+    const i64 group = mappings.groups - 1;
+    const int nbuf = geom_.numBuffers();
+    for (int b = 0; b < nbuf; ++b) {
+        unmapOne(b, slot, group);
+        mappings.handles[static_cast<std::size_t>(b)].pop_back();
+    }
+    --mappings.groups;
+    return Status::ok();
+}
+
+void
+KvAllocator::releaseAll(int slot)
+{
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    while (mappings.groups > 0) {
+        shrinkTail(slot).expectOk("releaseAll");
+    }
+}
+
+i64
+KvAllocator::totalHandlesMapped() const
+{
+    i64 total = 0;
+    for (const auto &slot : slots_) {
+        total += slot.groups;
+    }
+    return total * geom_.numBuffers();
+}
+
+u64
+KvAllocator::physBytesMapped() const
+{
+    return static_cast<u64>(totalHandlesMapped()) * geom_.groupBytes();
+}
+
+bool
+KvAllocator::checkInvariants() const
+{
+    const int nbuf = geom_.numBuffers();
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+        for (int b = 0; b < nbuf; ++b) {
+            const auto &list =
+                mappings.handles[static_cast<std::size_t>(b)];
+            if (static_cast<i64>(list.size()) != mappings.groups) {
+                return false;
+            }
+            // Mapped region must be accessible; the byte after must
+            // not be mapped.
+            if (mappings.groups > 0) {
+                const Addr start = groupVa(b, slot, 0);
+                const u64 span = static_cast<u64>(mappings.groups) *
+                                 geom_.groupBytes();
+                if (!driver_.device().pageTable().isAccessible(start,
+                                                               span)) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace vattn::core

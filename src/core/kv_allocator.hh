@@ -1,0 +1,117 @@
+/**
+ * @file
+ * KV virtual-tensor allocator: reserves the 2N per-layer virtual
+ * buffers (or the 2 sliced buffers of §8.2) at init and performs the
+ * runtime page-group (un)mapping that backs each request's sub-tensor.
+ *
+ * Layout (§5.1.3 / §5.2.3): request reqId occupies the byte range
+ * [reqId * S_aligned, (reqId+1) * S_aligned) of every buffer, where
+ * S_aligned is the per-request share rounded up to the page-group size
+ * so requests never share a group. The invariant maintained here is
+ * that a slot has the same number of groups mapped in every buffer
+ * (tokens arrive at all layers simultaneously).
+ */
+
+#ifndef VATTN_CORE_KV_ALLOCATOR_HH
+#define VATTN_CORE_KV_ALLOCATOR_HH
+
+#include <vector>
+
+#include "attn/kv_view.hh"
+#include "core/config.hh"
+#include "core/kv_geometry.hh"
+#include "core/page_pool.hh"
+#include "cuvmm/driver.hh"
+#include "tensor/virtual_tensor.hh"
+
+namespace vattn::core
+{
+
+/** K and V tensors of one layer, each [B, L, H, D] (possibly strided). */
+struct LayerKv
+{
+    tensor::VirtualTensor k;
+    tensor::VirtualTensor v;
+};
+
+/** Owns the virtual buffers + per-slot mapping state. */
+class KvAllocator
+{
+  public:
+    KvAllocator(cuvmm::Driver &driver, const Config &config,
+                PagePool &pool);
+    ~KvAllocator();
+
+    KvAllocator(const KvAllocator &) = delete;
+    KvAllocator &operator=(const KvAllocator &) = delete;
+
+    const KvGeometry &geometry() const { return geom_; }
+
+    /** Per-layer full-batch KV tensors (what init() hands the serving
+     *  framework, Table 4). */
+    const std::vector<LayerKv> &layerTensors() const
+    {
+        return layer_tensors_;
+    }
+
+    /** One request's K (or V) cache at one layer: a [L, H, D] view. */
+    tensor::VirtualTensor kView(int layer, int slot) const;
+    tensor::VirtualTensor vView(int layer, int slot) const;
+
+    /** Page-groups currently mapped for the slot (per buffer). */
+    i64 groupsMapped(int slot) const;
+
+    /**
+     * Grow the slot's backing to @p target_groups per buffer. Groups
+     * are mapped across all buffers in lockstep; on pool exhaustion the
+     * slot is left consistent at its previous (or partially grown)
+     * group count and kOutOfMemory is returned.
+     */
+    Status growTo(int slot, i64 target_groups);
+
+    /** Unmap the slot's last group from every buffer (reclaim). */
+    Status shrinkTail(int slot);
+
+    /** Unmap everything mapped for the slot. */
+    void releaseAll(int slot);
+
+    /** Sum of groupsMapped over all slots, times numBuffers. */
+    i64 totalHandlesMapped() const;
+    u64 physBytesMapped() const;
+
+    /** Every mapped group must be RW-accessible; per-slot counts must
+     *  be consistent with the page table. */
+    bool checkInvariants() const;
+
+  private:
+    int kBuffer(int layer) const;
+    int vBuffer(int layer) const;
+    Addr groupVa(int buffer, int slot, i64 group) const;
+
+    /** Map one pool handle at (buffer, slot, group). */
+    Status mapOne(int buffer, int slot, i64 group,
+                  cuvmm::MemHandle handle);
+    /** Unmap the group and return/destroy its handle per the API
+     *  path (§6.2: 2MB keeps the handle, vMemRelease destroys it). */
+    void unmapOne(int buffer, int slot, i64 group);
+
+    struct SlotMappings
+    {
+        i64 groups = 0;
+        /** handles[buffer][group] */
+        std::vector<std::vector<cuvmm::MemHandle>> handles;
+    };
+
+    cuvmm::Driver &driver_;
+    Config config_;
+    KvGeometry geom_;
+    PagePool &pool_;
+    bool use_cu_path_; ///< stock CUDA calls (2MB) vs vMem extension
+    std::vector<Addr> buffer_base_;
+    std::vector<LayerKv> layer_tensors_;
+    std::vector<SlotMappings> slots_;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_KV_ALLOCATOR_HH

@@ -1,0 +1,103 @@
+#include "core/kv_geometry.hh"
+
+namespace vattn::core
+{
+
+KvGeometry::KvGeometry(const Config &config)
+    : config_(config)
+{
+}
+
+int
+KvGeometry::numBuffers() const
+{
+    return config_.tensor_slicing ? 2 : 2 * config_.num_layers;
+}
+
+u64
+KvGeometry::tokenBytesPerBuffer() const
+{
+    u64 per_layer = static_cast<u64>(config_.num_kv_heads) *
+                    static_cast<u64>(config_.head_dim) *
+                    static_cast<u64>(config_.bytes_per_elem);
+    return config_.tensor_slicing
+               ? per_layer * static_cast<u64>(config_.num_layers)
+               : per_layer;
+}
+
+u64
+KvGeometry::tokenBytesTotal() const
+{
+    return 2 * static_cast<u64>(config_.num_layers) *
+           static_cast<u64>(config_.num_kv_heads) *
+           static_cast<u64>(config_.head_dim) *
+           static_cast<u64>(config_.bytes_per_elem);
+}
+
+u64
+KvGeometry::perRequestBytes() const
+{
+    return static_cast<u64>(config_.max_context_len) *
+           tokenBytesPerBuffer();
+}
+
+u64
+KvGeometry::perRequestBytesAligned() const
+{
+    return roundUp(perRequestBytes(), groupBytes());
+}
+
+u64
+KvGeometry::bufferBytes() const
+{
+    return static_cast<u64>(config_.max_batch_size) *
+           perRequestBytesAligned();
+}
+
+u64
+KvGeometry::totalVirtualBytes() const
+{
+    return bufferBytes() * static_cast<u64>(numBuffers());
+}
+
+i64
+KvGeometry::tokensPerGroup() const
+{
+    return static_cast<i64>(groupBytes() / tokenBytesPerBuffer());
+}
+
+i64
+KvGeometry::groupsForTokens(i64 tokens) const
+{
+    if (tokens <= 0) {
+        return 0;
+    }
+    const u64 bytes_needed =
+        static_cast<u64>(tokens) * tokenBytesPerBuffer();
+    return static_cast<i64>(ceilDiv(bytes_needed, groupBytes()));
+}
+
+i64
+KvGeometry::maxGroupsPerRequest() const
+{
+    return groupsForTokens(config_.max_context_len);
+}
+
+u64
+KvGeometry::physBytesForTokens(i64 tokens) const
+{
+    return static_cast<u64>(groupsForTokens(tokens)) * groupBytes() *
+           static_cast<u64>(numBuffers());
+}
+
+u64
+KvGeometry::wasteBytesForTokens(i64 tokens) const
+{
+    if (tokens <= 0) {
+        return 0;
+    }
+    return physBytesForTokens(tokens) -
+           static_cast<u64>(tokens) * tokenBytesTotal();
+}
+
+} // namespace vattn::core

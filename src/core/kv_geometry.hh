@@ -1,0 +1,76 @@
+/**
+ * @file
+ * All of the paper's KV-cache size arithmetic in one place (§5.1.3,
+ * Table 8, Table 10): buffer sizes, per-request sub-tensor strides,
+ * tokens per page-group ("block size"), and page-group counts for a
+ * given context length.
+ */
+
+#ifndef VATTN_CORE_KV_GEOMETRY_HH
+#define VATTN_CORE_KV_GEOMETRY_HH
+
+#include "common/types.hh"
+#include "core/config.hh"
+
+namespace vattn::core
+{
+
+/** Derived size/layout quantities for one worker's KV cache. */
+class KvGeometry
+{
+  public:
+    explicit KvGeometry(const Config &config);
+
+    /** Number of virtual buffers: 2N per-layer tensors, or 2 in the
+     *  tensor-slicing layout (§8.2). */
+    int numBuffers() const;
+
+    /**
+     * Bytes one token contributes to ONE buffer: H*D*P for per-layer
+     * tensors, N*H*D*P when slicing (the token's KV of all layers
+     * lives in one tensor).
+     */
+    u64 tokenBytesPerBuffer() const;
+
+    /** Bytes one token contributes across the whole KV cache
+     *  (2*N*H*D*P — §4's 64KB/128KB/240KB per-token figures). */
+    u64 tokenBytesTotal() const;
+
+    /** S: one request's maximum share of one buffer (L tokens). */
+    u64 perRequestBytes() const;
+
+    /** S rounded up to the page-group so requests never share one. */
+    u64 perRequestBytesAligned() const;
+
+    /** BS = B * S_aligned: total size of one virtual buffer. */
+    u64 bufferBytes() const;
+
+    /** Total virtual memory reserved across all buffers. */
+    u64 totalVirtualBytes() const;
+
+    /** Tokens covered by one page-group in one buffer — the paper's
+     *  "block size" (Tables 8 and 10). */
+    i64 tokensPerGroup() const;
+
+    /** Page-groups (per buffer) needed to back @p tokens tokens. */
+    i64 groupsForTokens(i64 tokens) const;
+
+    /** Max page-groups per buffer per request (context = L). */
+    i64 maxGroupsPerRequest() const;
+
+    /** Physical bytes mapped for a request of @p tokens tokens across
+     *  all buffers, including page-group rounding waste. */
+    u64 physBytesForTokens(i64 tokens) const;
+
+    /** Internal fragmentation for a request of @p tokens tokens. */
+    u64 wasteBytesForTokens(i64 tokens) const;
+
+    u64 groupBytes() const { return bytes(config_.page_group); }
+
+  private:
+    Config config_;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_KV_GEOMETRY_HH

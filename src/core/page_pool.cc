@@ -1,0 +1,83 @@
+#include "core/page_pool.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::core
+{
+
+PagePool::PagePool(cuvmm::Driver &driver, PageGroup group,
+                   u64 budget_bytes, bool precreate)
+    : driver_(driver), group_(group), budget_bytes_(budget_bytes),
+      total_groups_(static_cast<i64>(budget_bytes / bytes(group)))
+{
+    fatal_if(total_groups_ <= 0,
+             "page pool budget smaller than one page-group");
+    if (precreate) {
+        free_.reserve(static_cast<std::size_t>(total_groups_));
+        while (created_ < total_groups_) {
+            cuvmm::MemHandle handle = cuvmm::kInvalidHandle;
+            const auto r = driver_.vMemCreate(&handle, group_);
+            if (r != cuvmm::CuResult::kSuccess) {
+                // Device memory ran out below the nominal budget
+                // (some is owned by weights/activations); shrink.
+                warn("page pool pre-creation stopped at ", created_,
+                     " of ", total_groups_, " groups: ",
+                     cuvmm::toString(r));
+                total_groups_ = created_;
+                break;
+            }
+            free_.push_back(handle);
+            ++created_;
+        }
+    }
+}
+
+PagePool::~PagePool()
+{
+    for (cuvmm::MemHandle handle : free_) {
+        driver_.vMemRelease(handle);
+    }
+}
+
+Result<cuvmm::MemHandle>
+PagePool::acquire()
+{
+    if (!free_.empty()) {
+        const cuvmm::MemHandle handle = free_.back();
+        free_.pop_back();
+        ++groups_in_use_;
+        return handle;
+    }
+    if (created_ >= total_groups_) {
+        return Result<cuvmm::MemHandle>(ErrorCode::kOutOfMemory,
+                                        "page pool budget exhausted");
+    }
+    cuvmm::MemHandle handle = cuvmm::kInvalidHandle;
+    const auto r = driver_.vMemCreate(&handle, group_);
+    if (r != cuvmm::CuResult::kSuccess) {
+        total_groups_ = created_; // device genuinely out of memory
+        return Result<cuvmm::MemHandle>(ErrorCode::kOutOfMemory,
+                                        "device out of physical memory");
+    }
+    ++created_;
+    ++groups_in_use_;
+    return handle;
+}
+
+void
+PagePool::release(cuvmm::MemHandle handle)
+{
+    panic_if(groups_in_use_ <= 0, "pool release without acquire");
+    --groups_in_use_;
+    free_.push_back(handle);
+}
+
+void
+PagePool::releaseDestroyed()
+{
+    panic_if(groups_in_use_ <= 0, "pool release without acquire");
+    --groups_in_use_;
+    --created_;
+}
+
+} // namespace vattn::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Physical page-group pool. vAttention pre-allocates physical memory
+ * handles at initialization (§5.3.1) so that creating physical memory
+ * (cuMemCreate / vMemCreate — a slow OS round-trip) never happens in
+ * the serving critical path; at runtime only (un)map operations touch
+ * the driver. The pool hands handles to the KV allocator and takes them
+ * back when groups are reclaimed.
+ */
+
+#ifndef VATTN_CORE_PAGE_POOL_HH
+#define VATTN_CORE_PAGE_POOL_HH
+
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "cuvmm/driver.hh"
+
+namespace vattn::core
+{
+
+/** Pool of same-sized physical page-group handles. */
+class PagePool
+{
+  public:
+    /**
+     * @param driver driver owning the physical memory
+     * @param group page-group size for every handle
+     * @param budget_bytes maximum physical bytes the pool may own
+     * @param precreate create all handles now (init-time, off the
+     *        critical path) instead of lazily on first acquire
+     */
+    PagePool(cuvmm::Driver &driver, PageGroup group, u64 budget_bytes,
+             bool precreate = true);
+    ~PagePool();
+
+    PagePool(const PagePool &) = delete;
+    PagePool &operator=(const PagePool &) = delete;
+
+    /** Take a handle out of the pool. Fails when the budget is fully
+     *  handed out (the caller may then reclaim cached groups). */
+    Result<cuvmm::MemHandle> acquire();
+
+    /** Return a handle to the pool. */
+    void release(cuvmm::MemHandle handle);
+
+    /**
+     * Account for a handed-out handle that was destroyed instead of
+     * returned (the sub-2MB reclaim path uses vMemRelease, which fuses
+     * unmap + free, so the handle ceases to exist; the budget slot it
+     * occupied becomes creatable again).
+     */
+    void releaseDestroyed();
+
+    /** Groups still obtainable: pooled handles + creatable budget. */
+    i64
+    availableGroups() const
+    {
+        return totalGroups() - groupsInUse();
+    }
+
+    PageGroup group() const { return group_; }
+    u64 groupBytes() const { return bytes(group_); }
+    u64 budgetBytes() const { return budget_bytes_; }
+
+    /** Handles currently in the pool (not handed out). */
+    i64 freeGroups() const { return static_cast<i64>(free_.size()); }
+    /** Handles handed out to the allocator. */
+    i64 groupsInUse() const { return groups_in_use_; }
+    /** Total groups the budget allows. */
+    i64 totalGroups() const { return total_groups_; }
+
+    bool
+    exhausted() const
+    {
+        return free_.empty() && created_ >= total_groups_;
+    }
+
+  private:
+    cuvmm::Driver &driver_;
+    PageGroup group_;
+    u64 budget_bytes_;
+    i64 total_groups_;
+    i64 created_ = 0;
+    i64 groups_in_use_ = 0;
+    std::vector<cuvmm::MemHandle> free_;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_PAGE_POOL_HH

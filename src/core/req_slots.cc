@@ -1,0 +1,153 @@
+#include "core/req_slots.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::core
+{
+
+const char *
+toString(SlotState state)
+{
+    switch (state) {
+      case SlotState::kFree: return "Free";
+      case SlotState::kActive: return "Active";
+      case SlotState::kCached: return "Cached";
+    }
+    return "?";
+}
+
+ReqSlots::ReqSlots(int capacity)
+    : capacity_(capacity), num_free_(capacity),
+      states_(static_cast<std::size_t>(capacity), SlotState::kFree),
+      cached_pos_(static_cast<std::size_t>(capacity))
+{
+    fatal_if(capacity <= 0, "ReqSlots needs positive capacity");
+}
+
+void
+ReqSlots::checkSlot(int slot) const
+{
+    panic_if(slot < 0 || slot >= capacity_, "reqId ", slot,
+             " out of range [0, ", capacity_, ")");
+}
+
+SlotState
+ReqSlots::state(int slot) const
+{
+    checkSlot(slot);
+    return states_[static_cast<std::size_t>(slot)];
+}
+
+Status
+ReqSlots::activate(int slot)
+{
+    checkSlot(slot);
+    auto &s = states_[static_cast<std::size_t>(slot)];
+    switch (s) {
+      case SlotState::kFree:
+        --num_free_;
+        break;
+      case SlotState::kCached:
+        cached_order_.erase(cached_pos_[static_cast<std::size_t>(slot)]);
+        break;
+      case SlotState::kActive:
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "slot already active");
+    }
+    s = SlotState::kActive;
+    ++num_active_;
+    return Status::ok();
+}
+
+Status
+ReqSlots::moveToCached(int slot)
+{
+    checkSlot(slot);
+    auto &s = states_[static_cast<std::size_t>(slot)];
+    if (s != SlotState::kActive) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "only active slots can be cached");
+    }
+    s = SlotState::kCached;
+    --num_active_;
+    cached_order_.push_back(slot);
+    cached_pos_[static_cast<std::size_t>(slot)] =
+        std::prev(cached_order_.end());
+    return Status::ok();
+}
+
+Status
+ReqSlots::cacheFreeSlot(int slot)
+{
+    checkSlot(slot);
+    auto &s = states_[static_cast<std::size_t>(slot)];
+    if (s != SlotState::kFree) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "only free slots can be parked as cached");
+    }
+    s = SlotState::kCached;
+    --num_free_;
+    cached_order_.push_back(slot);
+    cached_pos_[static_cast<std::size_t>(slot)] =
+        std::prev(cached_order_.end());
+    return Status::ok();
+}
+
+Status
+ReqSlots::moveToFree(int slot)
+{
+    checkSlot(slot);
+    auto &s = states_[static_cast<std::size_t>(slot)];
+    switch (s) {
+      case SlotState::kFree:
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "slot already free");
+      case SlotState::kActive:
+        --num_active_;
+        break;
+      case SlotState::kCached:
+        cached_order_.erase(cached_pos_[static_cast<std::size_t>(slot)]);
+        break;
+    }
+    s = SlotState::kFree;
+    ++num_free_;
+    return Status::ok();
+}
+
+int
+ReqSlots::firstFree() const
+{
+    for (int slot = 0; slot < capacity_; ++slot) {
+        if (states_[static_cast<std::size_t>(slot)] == SlotState::kFree) {
+            return slot;
+        }
+    }
+    return -1;
+}
+
+std::vector<int>
+ReqSlots::cachedLruOrder() const
+{
+    return {cached_order_.begin(), cached_order_.end()};
+}
+
+int
+ReqSlots::oldestCached() const
+{
+    return cached_order_.empty() ? -1 : cached_order_.front();
+}
+
+std::vector<int>
+ReqSlots::activeSlots() const
+{
+    std::vector<int> out;
+    for (int slot = 0; slot < capacity_; ++slot) {
+        if (states_[static_cast<std::size_t>(slot)] ==
+            SlotState::kActive) {
+            out.push_back(slot);
+        }
+    }
+    return out;
+}
+
+} // namespace vattn::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * reqId slot registry (§5.2.3): requests occupy non-overlapping
+ * sub-tensors identified by an integer reqId in [0, B). Slots move
+ * through Free -> Active -> (Cached | Free): Cached slots belong to
+ * completed requests whose physical page-groups were deliberately kept
+ * mapped (deferred reclamation, §6.1.2) so a future request can reuse
+ * them without any driver calls.
+ */
+
+#ifndef VATTN_CORE_REQ_SLOTS_HH
+#define VATTN_CORE_REQ_SLOTS_HH
+
+#include <list>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace vattn::core
+{
+
+enum class SlotState : u8
+{
+    kFree = 0,
+    kActive,
+    kCached, ///< free for reuse, mappings retained
+};
+
+const char *toString(SlotState state);
+
+/** Tracks slot states plus the LRU order of cached slots. */
+class ReqSlots
+{
+  public:
+    explicit ReqSlots(int capacity);
+
+    int capacity() const { return capacity_; }
+    SlotState state(int slot) const;
+
+    int numActive() const { return num_active_; }
+    int numFree() const { return num_free_; }
+    int numCached() const
+    {
+        return capacity_ - num_active_ - num_free_;
+    }
+
+    /** Activate a specific slot (must be Free or Cached). */
+    Status activate(int slot);
+
+    /** Active -> Cached (deferred reclamation). */
+    Status moveToCached(int slot);
+
+    /** Free -> Cached (eager allocation parks a pre-mapped warm slot
+     *  with the cached ones so allocReqId can hand it out). */
+    Status cacheFreeSlot(int slot);
+
+    /** Active or Cached -> Free (mappings gone). */
+    Status moveToFree(int slot);
+
+    /** Lowest-numbered free slot, or -1. */
+    int firstFree() const;
+
+    /** Cached slots, least recently cached first (reclaim victims). */
+    std::vector<int> cachedLruOrder() const;
+
+    /** Oldest cached slot, or -1. */
+    int oldestCached() const;
+
+    /** All active slots in ascending order. */
+    std::vector<int> activeSlots() const;
+
+  private:
+    void checkSlot(int slot) const;
+
+    int capacity_;
+    int num_active_ = 0;
+    int num_free_;
+    std::vector<SlotState> states_;
+    /** Cached slots in insertion order (front = oldest). */
+    std::list<int> cached_order_;
+    /** Iterator into cached_order_ per slot (valid when Cached). */
+    std::vector<std::list<int>::iterator> cached_pos_;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_REQ_SLOTS_HH

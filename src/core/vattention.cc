@@ -1,0 +1,386 @@
+#include "core/vattention.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vattn::core
+{
+
+namespace
+{
+
+u64
+resolveBudget(const Config &config, cuvmm::Driver &driver)
+{
+    if (config.phys_budget_bytes != 0) {
+        return config.phys_budget_bytes;
+    }
+    return driver.device().freePhysBytes();
+}
+
+} // namespace
+
+VAttention::VAttention(cuvmm::Driver &driver, const Config &config)
+    : driver_(driver), config_(config),
+      pool_(driver, config.page_group, resolveBudget(config, driver),
+            /*precreate=*/true),
+      allocator_(driver, config, pool_),
+      slots_(config.max_batch_size),
+      last_seq_lens_(static_cast<std::size_t>(config.max_batch_size), 0)
+{
+    // Reservation + pre-created handles happen before serving starts;
+    // none of it is critical-path time.
+    stats_.init_ns = driver_.consumeElapsedNs();
+}
+
+tensor::VirtualTensor
+VAttention::kCache(int layer, int req_id) const
+{
+    return allocator_.kView(layer, req_id);
+}
+
+tensor::VirtualTensor
+VAttention::vCache(int layer, int req_id) const
+{
+    return allocator_.vView(layer, req_id);
+}
+
+attn::TensorKvView
+VAttention::requestView(int layer, int req_id, bool touch_tlb) const
+{
+    return attn::TensorKvView(kCache(layer, req_id),
+                              vCache(layer, req_id), touch_tlb);
+}
+
+Result<int>
+VAttention::allocReqId()
+{
+    // Prefer the cached slot with the most retained page-groups: a new
+    // request can then reuse R1's physical memory without any driver
+    // calls (Figure 5 (d)-(e)).
+    int best = -1;
+    i64 best_groups = -1;
+    if (config_.deferred_reclamation || config_.eager_allocation) {
+        for (int slot : slots_.cachedLruOrder()) {
+            const i64 groups = allocator_.groupsMapped(slot);
+            if (groups > best_groups) {
+                best = slot;
+                best_groups = groups;
+            }
+        }
+    }
+    if (best >= 0) {
+        slots_.activate(best).expectOk("activate cached slot");
+        ++stats_.reused_cached_slots;
+        return best;
+    }
+    const int free_slot = slots_.firstFree();
+    if (free_slot < 0) {
+        return Result<int>(ErrorCode::kOutOfMemory,
+                           "all reqIds active (batch full)");
+    }
+    slots_.activate(free_slot).expectOk("activate free slot");
+    return free_slot;
+}
+
+Status
+VAttention::freeReqId(int req_id)
+{
+    if (req_id < 0 || req_id >= config_.max_batch_size) {
+        return errorStatus(ErrorCode::kInvalidArgument, "bad reqId");
+    }
+    if (slots_.state(req_id) != SlotState::kActive) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "reqId not active");
+    }
+    last_seq_lens_[static_cast<std::size_t>(req_id)] = 0;
+    if (config_.deferred_reclamation &&
+        allocator_.groupsMapped(req_id) > 0) {
+        return slots_.moveToCached(req_id);
+    }
+    allocator_.releaseAll(req_id);
+    return slots_.moveToFree(req_id);
+}
+
+bool
+VAttention::stealOneCachedGroup()
+{
+    for (int victim : slots_.cachedLruOrder()) {
+        if (allocator_.groupsMapped(victim) == 0) {
+            slots_.moveToFree(victim).expectOk("empty cached slot");
+            continue;
+        }
+        allocator_.shrinkTail(victim).expectOk("reclaim cached group");
+        stats_.reclaimed_handles += allocator_.geometry().numBuffers();
+        if (allocator_.groupsMapped(victim) == 0) {
+            slots_.moveToFree(victim).expectOk("drained cached slot");
+        }
+        return true;
+    }
+    return false;
+}
+
+Status
+VAttention::ensureGroups(int slot, i64 target, i64 *stolen)
+{
+    while (true) {
+        auto status = allocator_.growTo(slot, target);
+        if (status.isOk()) {
+            return status;
+        }
+        if (status.code() != ErrorCode::kOutOfMemory) {
+            return status;
+        }
+        if (!stealOneCachedGroup()) {
+            return status; // genuinely out of memory
+        }
+        if (stolen) {
+            *stolen += allocator_.geometry().numBuffers();
+        }
+    }
+}
+
+StepStats
+VAttention::step(const std::vector<i64> &seq_lens)
+{
+    StepStats result;
+    if (seq_lens.size() !=
+        static_cast<std::size_t>(config_.max_batch_size)) {
+        result.status = errorStatus(ErrorCode::kInvalidArgument,
+                                    "seq_lens size must equal B");
+        return result;
+    }
+
+    ++stats_.steps;
+    driver_.consumeElapsedNs(); // open a fresh accounting window
+    const i64 mapped_before = allocator_.totalHandlesMapped();
+
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        const i64 len = seq_lens[static_cast<std::size_t>(slot)];
+        if (slots_.state(slot) != SlotState::kActive) {
+            if (len != 0) {
+                result.status = errorStatus(
+                    ErrorCode::kInvalidArgument,
+                    "non-zero length for inactive reqId");
+                result.critical_ns = driver_.consumeElapsedNs();
+                stats_.critical_ns += result.critical_ns;
+                return result;
+            }
+            continue;
+        }
+        if (len > config_.max_context_len) {
+            result.status = errorStatus(
+                ErrorCode::kInvalidArgument,
+                "context length beyond the model maximum");
+            result.critical_ns = driver_.consumeElapsedNs();
+            stats_.critical_ns += result.critical_ns;
+            return result;
+        }
+        const i64 target = allocator_.geometry().groupsForTokens(len);
+        if (target > allocator_.groupsMapped(slot)) {
+            auto status = ensureGroups(slot, target,
+                                       &result.handles_stolen);
+            if (!status.isOk()) {
+                result.status = status;
+                result.critical_ns = driver_.consumeElapsedNs();
+                stats_.critical_ns += result.critical_ns;
+                return result;
+            }
+        }
+    }
+
+    last_seq_lens_ = seq_lens;
+    result.handles_mapped =
+        allocator_.totalHandlesMapped() - mapped_before +
+        result.handles_stolen;
+    result.critical_ns = driver_.consumeElapsedNs();
+    stats_.sync_handles += result.handles_mapped;
+    stats_.critical_ns += result.critical_ns;
+    return result;
+}
+
+TimeNs
+VAttention::mapAllBuffersCost() const
+{
+    return driver_.latency().mapGroupCost(config_.page_group) *
+           static_cast<u64>(allocator_.geometry().numBuffers());
+}
+
+void
+VAttention::computePhase(TimeNs window_ns)
+{
+    background_.beginWindow(window_ns);
+    driver_.consumeElapsedNs();
+    const i64 mapped_before = allocator_.totalHandlesMapped();
+    bool window_open = true;
+
+    // (1) Decode prefetch: each active request will need at most one
+    // more group per buffer next iteration (§6.1.1).
+    if (config_.overlap_allocation) {
+        for (int slot = 0;
+             window_open && slot < config_.max_batch_size; ++slot) {
+            if (slots_.state(slot) != SlotState::kActive) {
+                continue;
+            }
+            const i64 len =
+                last_seq_lens_[static_cast<std::size_t>(slot)];
+            if (len <= 0 || len >= config_.max_context_len) {
+                continue;
+            }
+            const i64 target =
+                allocator_.geometry().groupsForTokens(len + 1);
+            while (window_open &&
+                   allocator_.groupsMapped(slot) < target) {
+                // Gate on the estimated cost first: a real background
+                // thread that runs out of iteration time simply leaves
+                // the work for the next step()'s critical path.
+                if (!background_.tryConsume(mapAllBuffersCost())) {
+                    window_open = false;
+                    break;
+                }
+                if (!ensureGroups(slot,
+                                  allocator_.groupsMapped(slot) + 1,
+                                  nullptr)
+                         .isOk()) {
+                    window_open = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    // (2) Eager allocation: keep ONE inactive reqId pre-mapped with a
+    // few groups so a fresh prefill starts without driver calls. If a
+    // cached slot (deferred reclamation or a previous warm slot)
+    // already holds mappings, the next request reuses it and nothing
+    // needs to be warmed.
+    if (config_.eager_allocation && window_open) {
+        bool have_warm = false;
+        for (int slot : slots_.cachedLruOrder()) {
+            if (allocator_.groupsMapped(slot) > 0) {
+                have_warm = true;
+                break;
+            }
+        }
+        const int warm = have_warm ? -1 : slots_.firstFree();
+        const i64 eager_target =
+            std::min(config_.eager_groups,
+                     allocator_.geometry().maxGroupsPerRequest());
+        if (warm >= 0 && eager_target > 0) {
+            bool warmed = false;
+            while (window_open &&
+                   allocator_.groupsMapped(warm) < eager_target &&
+                   pool_.availableGroups() >=
+                       allocator_.geometry().numBuffers()) {
+                if (!background_.tryConsume(mapAllBuffersCost())) {
+                    window_open = false;
+                    break;
+                }
+                if (!allocator_
+                         .growTo(warm,
+                                 allocator_.groupsMapped(warm) + 1)
+                         .isOk()) {
+                    break;
+                }
+                warmed = true;
+            }
+            if (warmed) {
+                // The warm slot now holds mappings: park it with the
+                // cached slots so allocReqId can hand it out.
+                slots_.cacheFreeSlot(warm).expectOk("cache warm slot");
+            }
+        }
+    }
+
+    // (3) Watermark reclamation: when the pool of uncommitted groups
+    // runs low, trim cached slots in the background instead of paying
+    // the unmap latency at allocation time (§6.1.2).
+    if (config_.deferred_reclamation && window_open) {
+        const i64 watermark = static_cast<i64>(
+            config_.reclaim_low_watermark *
+            static_cast<double>(pool_.totalGroups()));
+        const TimeNs reclaim_cost =
+            driver_.latency().unmapGroupCost(config_.page_group) *
+            static_cast<u64>(allocator_.geometry().numBuffers());
+        while (window_open && pool_.availableGroups() < watermark &&
+               cachedHandles() > 0) {
+            if (!background_.tryConsume(reclaim_cost)) {
+                window_open = false;
+                break;
+            }
+            if (!stealOneCachedGroup()) {
+                break;
+            }
+        }
+    }
+
+    stats_.background_handles +=
+        std::max<i64>(0, allocator_.totalHandlesMapped() - mapped_before);
+    stats_.background_ns += driver_.consumeElapsedNs();
+}
+
+bool
+VAttention::canAllocate(i64 prompt_tokens) const
+{
+    if (slots_.numFree() == 0 && slots_.numCached() == 0) {
+        return false;
+    }
+    const auto &geom = allocator_.geometry();
+    const i64 need = geom.groupsForTokens(prompt_tokens);
+    if (need > geom.maxGroupsPerRequest()) {
+        return false;
+    }
+
+    i64 best_cached = 0;
+    i64 cached_total = 0;
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        if (slots_.state(slot) == SlotState::kCached) {
+            const i64 groups = allocator_.groupsMapped(slot);
+            cached_total += groups;
+            best_cached = std::max(best_cached, groups);
+        }
+    }
+    if (slots_.numFree() == 0 && slots_.numCached() == 0) {
+        return false;
+    }
+    const i64 nbuf = geom.numBuffers();
+    const i64 extra_needed = std::max<i64>(0, need - best_cached) * nbuf;
+    const i64 supply = pool_.availableGroups() +
+                       (cached_total - best_cached) * nbuf;
+    return extra_needed <= supply;
+}
+
+i64
+VAttention::cachedHandles() const
+{
+    i64 total = 0;
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        if (slots_.state(slot) == SlotState::kCached) {
+            total += allocator_.groupsMapped(slot);
+        }
+    }
+    return total * allocator_.geometry().numBuffers();
+}
+
+bool
+VAttention::checkInvariants() const
+{
+    if (!allocator_.checkInvariants()) {
+        return false;
+    }
+    // Every handle handed out by the pool is mapped somewhere.
+    if (pool_.groupsInUse() != allocator_.totalHandlesMapped()) {
+        return false;
+    }
+    // Free slots hold no mappings (cached/active ones may).
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        if (slots_.state(slot) == SlotState::kFree &&
+            allocator_.groupsMapped(slot) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace vattn::core

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The vAttention runtime — the paper's primary contribution. Exposes
+ * the Table-4 API to a serving framework:
+ *
+ *   init (constructor)  : configure with N, B, L, H, D, P and a
+ *                         page-group size; reserves 2N virtual tensors
+ *                         and pre-creates physical page-groups.
+ *   allocReqId          : lease an unused reqId (prefers slots whose
+ *                         mappings were retained by deferred
+ *                         reclamation, §6.1.2).
+ *   freeReqId           : return a reqId; mappings are kept (Cached)
+ *                         unless deferred reclamation is disabled.
+ *   step                : given the per-reqId sequence lengths, ensure
+ *                         every active request's KV sub-tensors are
+ *                         physically backed (Algorithm 1, line 13).
+ *
+ * plus the engine-facing computePhase() hook that models the
+ * background allocation thread (§6.1.1): decode prefetch, eager
+ * allocation and watermark-driven reclamation all run inside the
+ * previous iteration's compute window.
+ */
+
+#ifndef VATTN_CORE_VATTENTION_HH
+#define VATTN_CORE_VATTENTION_HH
+
+#include <vector>
+
+#include "attn/kv_view.hh"
+#include "core/background.hh"
+#include "core/config.hh"
+#include "core/kv_allocator.hh"
+#include "core/page_pool.hh"
+#include "core/req_slots.hh"
+#include "cuvmm/driver.hh"
+
+namespace vattn::core
+{
+
+/** Outcome of one step() call. */
+struct StepStats
+{
+    Status status;          ///< OK, or kOutOfMemory -> preempt & retry
+    i64 handles_mapped = 0; ///< page-groups mapped synchronously
+    i64 handles_stolen = 0; ///< groups reclaimed from cached slots
+    TimeNs critical_ns = 0; ///< driver latency on the critical path
+};
+
+/** Lifetime counters for the ablation studies. */
+struct RuntimeStats
+{
+    u64 steps = 0;
+    i64 sync_handles = 0;        ///< mapped inside step()
+    i64 background_handles = 0;  ///< mapped inside computePhase()
+    i64 reclaimed_handles = 0;   ///< unmapped from cached slots
+    i64 reused_cached_slots = 0; ///< allocReqId hits on cached slots
+    TimeNs critical_ns = 0;
+    TimeNs background_ns = 0;
+    TimeNs init_ns = 0;
+};
+
+/** The per-worker vAttention memory manager. */
+class VAttention
+{
+  public:
+    VAttention(cuvmm::Driver &driver, const Config &config);
+
+    const Config &config() const { return config_; }
+    const KvGeometry &geometry() const { return allocator_.geometry(); }
+
+    /** The KV cache tensors handed to the model (Table 4 init). */
+    const std::vector<LayerKv> &kvCache() const
+    {
+        return allocator_.layerTensors();
+    }
+
+    /** One request's [L, H, D] views for attention kernels. */
+    tensor::VirtualTensor kCache(int layer, int req_id) const;
+    tensor::VirtualTensor vCache(int layer, int req_id) const;
+    /** Convenience KV view combining both. */
+    attn::TensorKvView requestView(int layer, int req_id,
+                                   bool touch_tlb = false) const;
+
+    /** Lease a reqId. Fails when all B slots are active. */
+    Result<int> allocReqId();
+
+    /** Return a reqId (request completed or preempted). */
+    Status freeReqId(int req_id);
+
+    /**
+     * Ensure physical backing for the given context lengths
+     * (seq_lens[reqId], 0 for inactive slots; size must be B).
+     * Returns kOutOfMemory when demand cannot be met even after
+     * reclaiming every cached group — the framework should preempt a
+     * request and call step again (§5.3.3).
+     */
+    StepStats step(const std::vector<i64> &seq_lens);
+
+    /**
+     * Model the background thread running during an iteration whose
+     * compute lasts @p window_ns: prefetch next-iteration decode
+     * groups, keep the eager slot warm, refill the pool from cached
+     * slots when it drops below the low watermark.
+     */
+    void computePhase(TimeNs window_ns);
+
+    // ---- Capacity / admission ---------------------------------------
+
+    /** Could a new request with this prompt be admitted right now? */
+    bool canAllocate(i64 prompt_tokens) const;
+
+    /** Physical bytes currently mapped into KV tensors. */
+    u64 physBytesMapped() const { return allocator_.physBytesMapped(); }
+    /** Groups held by completed requests awaiting reuse. */
+    i64 cachedHandles() const;
+    i64 poolFreeHandles() const { return pool_.freeGroups(); }
+    /** Pooled + still-creatable handles (the small-page reclaim path
+     *  destroys handles rather than pooling them, §6.2). */
+    i64 poolAvailableHandles() const { return pool_.availableGroups(); }
+    u64 budgetBytes() const { return pool_.budgetBytes(); }
+
+    const RuntimeStats &stats() const { return stats_; }
+    const ReqSlots &slots() const { return slots_; }
+    i64 groupsMapped(int req_id) const
+    {
+        return allocator_.groupsMapped(req_id);
+    }
+
+    bool checkInvariants() const;
+
+  private:
+    /** Grow @p slot to @p target groups, stealing cached groups on
+     *  pool exhaustion. */
+    Status ensureGroups(int slot, i64 target, i64 *stolen);
+
+    /** Reclaim one group from the oldest cached slot. */
+    bool stealOneCachedGroup();
+
+    /** Estimated driver cost of mapping one group on every buffer. */
+    TimeNs mapAllBuffersCost() const;
+
+    cuvmm::Driver &driver_;
+    Config config_;
+    PagePool pool_;
+    KvAllocator allocator_;
+    ReqSlots slots_;
+    BackgroundWorker background_;
+    std::vector<i64> last_seq_lens_;
+    RuntimeStats stats_;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_VATTENTION_HH

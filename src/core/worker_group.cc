@@ -1,0 +1,136 @@
+#include "core/worker_group.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::core
+{
+
+WorkerGroup::WorkerGroup(int num_workers, const Config &config,
+                         u64 device_mem_bytes)
+{
+    fatal_if(num_workers <= 0, "WorkerGroup needs >= 1 worker");
+    config.validate().expectOk("WorkerGroup config");
+    workers_.reserve(static_cast<std::size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+        Worker worker;
+        gpu::GpuDevice::Config dev_config;
+        dev_config.name = "simGPU-worker" + std::to_string(w);
+        dev_config.mem_bytes = device_mem_bytes;
+        worker.device = std::make_unique<gpu::GpuDevice>(dev_config);
+        worker.driver = std::make_unique<cuvmm::Driver>(*worker.device);
+        worker.runtime =
+            std::make_unique<VAttention>(*worker.driver, config);
+        workers_.push_back(std::move(worker));
+    }
+}
+
+VAttention &
+WorkerGroup::worker(int index)
+{
+    panic_if(index < 0 || index >= numWorkers(), "bad worker index");
+    return *workers_[static_cast<std::size_t>(index)].runtime;
+}
+
+cuvmm::Driver &
+WorkerGroup::driver(int index)
+{
+    panic_if(index < 0 || index >= numWorkers(), "bad worker index");
+    return *workers_[static_cast<std::size_t>(index)].driver;
+}
+
+Result<int>
+WorkerGroup::allocReqId()
+{
+    auto first = workers_[0].runtime->allocReqId();
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        auto other = workers_[w].runtime->allocReqId();
+        panic_if(other.isOk() != first.isOk() ||
+                     (first.isOk() && other.value() != first.value()),
+                 "TP workers diverged in allocReqId");
+    }
+    return first;
+}
+
+Status
+WorkerGroup::freeReqId(int req_id)
+{
+    Status first = workers_[0].runtime->freeReqId(req_id);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        Status other = workers_[w].runtime->freeReqId(req_id);
+        panic_if(!(other == first), "TP workers diverged in freeReqId");
+    }
+    return first;
+}
+
+StepStats
+WorkerGroup::step(const std::vector<i64> &seq_lens)
+{
+    StepStats first = workers_[0].runtime->step(seq_lens);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        StepStats other = workers_[w].runtime->step(seq_lens);
+        panic_if(other.handles_mapped != first.handles_mapped ||
+                     other.critical_ns != first.critical_ns ||
+                     !(other.status == first.status),
+                 "TP workers diverged in step");
+    }
+    return first;
+}
+
+void
+WorkerGroup::computePhase(TimeNs window_ns)
+{
+    for (auto &worker : workers_) {
+        worker.runtime->computePhase(window_ns);
+    }
+}
+
+u64
+WorkerGroup::physBytesMappedTotal() const
+{
+    u64 total = 0;
+    for (const auto &worker : workers_) {
+        total += worker.runtime->physBytesMapped();
+    }
+    return total;
+}
+
+bool
+WorkerGroup::inLockstep() const
+{
+    const auto &reference = *workers_[0].runtime;
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        const auto &other = *workers_[w].runtime;
+        if (other.physBytesMapped() != reference.physBytesMapped() ||
+            other.poolFreeHandles() != reference.poolFreeHandles() ||
+            other.cachedHandles() != reference.cachedHandles() ||
+            other.slots().numActive() !=
+                reference.slots().numActive() ||
+            other.slots().numCached() !=
+                reference.slots().numCached()) {
+            return false;
+        }
+        for (int slot = 0; slot < reference.config().max_batch_size;
+             ++slot) {
+            if (other.groupsMapped(slot) !=
+                    reference.groupsMapped(slot) ||
+                other.slots().state(slot) !=
+                    reference.slots().state(slot)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+WorkerGroup::checkInvariants() const
+{
+    for (const auto &worker : workers_) {
+        if (!worker.runtime->checkInvariants()) {
+            return false;
+        }
+    }
+    return inLockstep();
+}
+
+} // namespace vattn::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tensor-parallel worker group (§5.3): one vAttention instance per TP
+ * worker, each with its own (simulated) GPU and driver, driven in
+ * lockstep. The paper discusses a single worker "for simplicity; all
+ * workers behave the same" — this class makes that property explicit
+ * and checkable: because every control input (reqIds, sequence
+ * lengths, windows) is identical and the runtime is deterministic,
+ * workers must remain in identical states; the group verifies it.
+ *
+ * Workers allocate physical memory in parallel, so the group's
+ * aggregate allocation bandwidth scales with TP (Table 9) while the
+ * critical-path latency per iteration stays that of one worker.
+ */
+
+#ifndef VATTN_CORE_WORKER_GROUP_HH
+#define VATTN_CORE_WORKER_GROUP_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/vattention.hh"
+#include "cuvmm/driver.hh"
+#include "gpu/device.hh"
+
+namespace vattn::core
+{
+
+/** Lockstep group of per-worker vAttention runtimes. */
+class WorkerGroup
+{
+  public:
+    /**
+     * @param num_workers tensor-parallel degree
+     * @param config per-worker configuration (H must already be the
+     *        per-worker head count; §5.1.3)
+     * @param device_mem_bytes memory of each worker's GPU
+     */
+    WorkerGroup(int num_workers, const Config &config,
+                u64 device_mem_bytes);
+
+    int numWorkers() const { return static_cast<int>(workers_.size()); }
+    VAttention &worker(int index);
+    cuvmm::Driver &driver(int index);
+
+    /** Lease the same reqId on every worker. */
+    Result<int> allocReqId();
+
+    /** Free the reqId on every worker. */
+    Status freeReqId(int req_id);
+
+    /**
+     * Step every worker with the same lengths. The returned stats are
+     * worker 0's; critical_ns is the per-iteration latency (workers
+     * run concurrently, so the group does not serialize).
+     */
+    StepStats step(const std::vector<i64> &seq_lens);
+
+    /** Run every worker's background window. */
+    void computePhase(TimeNs window_ns);
+
+    /** Physical KV bytes mapped across ALL workers. */
+    u64 physBytesMappedTotal() const;
+
+    /**
+     * Are all workers in identical states (slot states, group counts,
+     * pool levels)? True by construction; a false return indicates a
+     * determinism bug.
+     */
+    bool inLockstep() const;
+
+    bool checkInvariants() const;
+
+  private:
+    struct Worker
+    {
+        std::unique_ptr<gpu::GpuDevice> device;
+        std::unique_ptr<cuvmm::Driver> driver;
+        std::unique_ptr<VAttention> runtime;
+    };
+
+    std::vector<Worker> workers_;
+};
+
+} // namespace vattn::core
+
+#endif // VATTN_CORE_WORKER_GROUP_HH

@@ -1,0 +1,436 @@
+#include "cuvmm/driver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vattn::cuvmm
+{
+
+const char *
+toString(CuResult result)
+{
+    switch (result) {
+      case CuResult::kSuccess: return "CUDA_SUCCESS";
+      case CuResult::kErrorInvalidValue: return "CUDA_ERROR_INVALID_VALUE";
+      case CuResult::kErrorOutOfMemory: return "CUDA_ERROR_OUT_OF_MEMORY";
+      case CuResult::kErrorNotMapped: return "CUDA_ERROR_NOT_MAPPED";
+      case CuResult::kErrorAlreadyMapped:
+        return "CUDA_ERROR_ALREADY_MAPPED";
+      case CuResult::kErrorNotReserved: return "CUDA_ERROR_NOT_RESERVED";
+      case CuResult::kErrorInvalidHandle:
+        return "CUDA_ERROR_INVALID_HANDLE";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Hardware page size used to back a page-group of the given size. */
+PageSize
+pageFor(u64 group_bytes)
+{
+    if (group_bytes % bytes(PageSize::k2MB) == 0) {
+        return PageSize::k2MB;
+    }
+    if (group_bytes % bytes(PageSize::k64KB) == 0) {
+        return PageSize::k64KB;
+    }
+    return PageSize::k4KB;
+}
+
+/** PageGroup bucket used for latency charging of arbitrary sizes. */
+PageGroup
+latencyBucket(u64 size)
+{
+    if (size <= 64 * KiB) {
+        return PageGroup::k64KB;
+    }
+    if (size <= 128 * KiB) {
+        return PageGroup::k128KB;
+    }
+    if (size <= 256 * KiB) {
+        return PageGroup::k256KB;
+    }
+    return PageGroup::k2MB;
+}
+
+} // namespace
+
+Driver::Driver(gpu::GpuDevice &device, LatencyModel latency)
+    : device_(device), latency_(latency)
+{
+}
+
+void
+Driver::charge(Api api, PageGroup pg)
+{
+    const TimeNs cost = latency_.cost(api, pg);
+    pending_ns_ += cost;
+    total_ns_ += cost;
+    switch (api) {
+      case Api::kAddressReserve: ++counters_.reserve; break;
+      case Api::kCreate: ++counters_.create; break;
+      case Api::kMap: ++counters_.map; break;
+      case Api::kSetAccess: ++counters_.set_access; break;
+      case Api::kUnmap: ++counters_.unmap; break;
+      case Api::kRelease: ++counters_.release; break;
+      case Api::kAddressFree: ++counters_.address_free; break;
+    }
+}
+
+TimeNs
+Driver::consumeElapsedNs()
+{
+    const TimeNs t = pending_ns_;
+    pending_ns_ = 0;
+    return t;
+}
+
+// --------------------------------------------------------------------
+// Stock CUDA VMM API
+// --------------------------------------------------------------------
+
+CuResult
+Driver::cuMemAddressReserve(Addr *ptr, u64 size, u64 alignment, Addr fixed)
+{
+    charge(Api::kAddressReserve, PageGroup::k2MB);
+    if (!ptr || size == 0 || size % bytes(PageSize::k2MB) != 0) {
+        return CuResult::kErrorInvalidValue;
+    }
+    if (alignment == 0) {
+        alignment = bytes(PageSize::k2MB);
+    }
+    auto res = device_.vaSpace().reserve(size, alignment, fixed);
+    if (!res.isOk()) {
+        return res.code() == ErrorCode::kInvalidArgument
+                   ? CuResult::kErrorInvalidValue
+                   : CuResult::kErrorOutOfMemory;
+    }
+    *ptr = res.value();
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cuMemAddressFree(Addr ptr, u64 size)
+{
+    charge(Api::kAddressFree, PageGroup::k2MB);
+    if (device_.vaSpace().reservationSize(ptr) != size) {
+        return CuResult::kErrorInvalidValue;
+    }
+    // CUDA requires all mappings in the range to be gone.
+    if (device_.pageTable().numExtents() > 0) {
+        bool any = false;
+        device_.pageTable().forEachExtent(ptr, size,
+            [&](Addr, Addr, PhysAddr, PageSize, gpu::Access) {
+                any = true;
+            });
+        if (any) {
+            return CuResult::kErrorAlreadyMapped;
+        }
+    }
+    auto status = device_.vaSpace().release(ptr);
+    return status.isOk() ? CuResult::kSuccess
+                         : CuResult::kErrorInvalidValue;
+}
+
+CuResult
+Driver::cuMemCreate(MemHandle *handle, u64 size)
+{
+    charge(Api::kCreate, PageGroup::k2MB);
+    if (!handle || size == 0 || size % bytes(PageSize::k2MB) != 0) {
+        return CuResult::kErrorInvalidValue;
+    }
+    auto phys = device_.physAllocator().alloc(size);
+    if (!phys.isOk()) {
+        return CuResult::kErrorOutOfMemory;
+    }
+    const MemHandle h = next_handle_++;
+    handles_[h] =
+        HandleInfo{size, phys.value(), PageSize::k2MB, {}, false};
+    phys_in_use_ += size;
+    *handle = h;
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cuMemRelease(MemHandle handle)
+{
+    charge(Api::kRelease, PageGroup::k2MB);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+        return CuResult::kErrorInvalidHandle;
+    }
+    if (!it->second.mappings.empty()) {
+        // CUDA defers the actual free until unmap; we require the
+        // caller to unmap first, which is what vAttention does.
+        return CuResult::kErrorAlreadyMapped;
+    }
+    device_.physAllocator().free(it->second.phys, it->second.size)
+        .expectOk("buddy free on release");
+    phys_in_use_ -= it->second.size;
+    handles_.erase(it);
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::doMap(Addr ptr, MemHandle handle, gpu::Access access)
+{
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+        return CuResult::kErrorInvalidHandle;
+    }
+    HandleInfo &info = it->second;
+    if (!device_.vaSpace().isReserved(ptr, info.size)) {
+        return CuResult::kErrorNotReserved;
+    }
+    // A handle may be mapped at several VAs simultaneously (physical
+    // aliasing) — the mechanism behind KV prefix de-duplication.
+    auto status = device_.pageTable().map(ptr, info.phys, info.size,
+                                          info.page, access);
+    if (!status.isOk()) {
+        return status.code() == ErrorCode::kAlreadyExists
+                   ? CuResult::kErrorAlreadyMapped
+                   : CuResult::kErrorInvalidValue;
+    }
+    info.mappings.push_back(ptr);
+    mapped_[ptr] = handle;
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cuMemMap(Addr ptr, u64 size, u64 offset, MemHandle handle)
+{
+    charge(Api::kMap, PageGroup::k2MB);
+    if (offset != 0) {
+        return CuResult::kErrorInvalidValue; // matches current CUDA
+    }
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+        return CuResult::kErrorInvalidHandle;
+    }
+    if (size != it->second.size) {
+        return CuResult::kErrorInvalidValue;
+    }
+    return doMap(ptr, handle, gpu::Access::kNone);
+}
+
+CuResult
+Driver::cuMemSetAccess(Addr ptr, u64 size)
+{
+    charge(Api::kSetAccess, PageGroup::k2MB);
+    auto status =
+        device_.pageTable().setAccess(ptr, size, gpu::Access::kReadWrite);
+    return status.isOk() ? CuResult::kSuccess : CuResult::kErrorNotMapped;
+}
+
+CuResult
+Driver::doUnmapOne(HandleInfo &info, Addr ptr)
+{
+    auto status = device_.pageTable().unmap(ptr, info.size);
+    if (!status.isOk()) {
+        return CuResult::kErrorNotMapped;
+    }
+    mapped_.erase(ptr);
+    info.mappings.erase(
+        std::find(info.mappings.begin(), info.mappings.end(), ptr));
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cuMemUnmap(Addr ptr, u64 size)
+{
+    charge(Api::kUnmap, PageGroup::k2MB);
+    auto it = mapped_.find(ptr);
+    if (it == mapped_.end()) {
+        return CuResult::kErrorNotMapped;
+    }
+    HandleInfo &info = handles_.at(it->second);
+    if (info.size != size) {
+        return CuResult::kErrorInvalidValue;
+    }
+    return doUnmapOne(info, ptr);
+}
+
+// --------------------------------------------------------------------
+// cudaMalloc / cudaFree
+// --------------------------------------------------------------------
+
+CuResult
+Driver::cudaMalloc(Addr *ptr, u64 size)
+{
+    if (!ptr || size == 0) {
+        return CuResult::kErrorInvalidValue;
+    }
+    // cudaMalloc commits virtual + physical together (the
+    // reservation-based model the paper contrasts with, §1).
+    const u64 padded = roundUp(size, bytes(PageSize::k2MB));
+    Addr va = 0;
+    CuResult r = cuMemAddressReserve(&va, padded);
+    if (r != CuResult::kSuccess) {
+        return r;
+    }
+    MemHandle h = kInvalidHandle;
+    r = cuMemCreate(&h, padded);
+    if (r != CuResult::kSuccess) {
+        cuMemAddressFree(va, padded);
+        return r;
+    }
+    r = cuMemMap(va, padded, 0, h);
+    if (r == CuResult::kSuccess) {
+        r = cuMemSetAccess(va, padded);
+    }
+    if (r != CuResult::kSuccess) {
+        cuMemRelease(h);
+        cuMemAddressFree(va, padded);
+        return r;
+    }
+    mallocs_[va] = MallocInfo{padded, h};
+    *ptr = va;
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cudaFree(Addr ptr)
+{
+    auto it = mallocs_.find(ptr);
+    if (it == mallocs_.end()) {
+        return CuResult::kErrorInvalidValue;
+    }
+    const MallocInfo info = it->second;
+    mallocs_.erase(it);
+    CuResult r = cuMemUnmap(ptr, info.size);
+    if (r != CuResult::kSuccess) {
+        return r;
+    }
+    r = cuMemRelease(info.handle);
+    if (r != CuResult::kSuccess) {
+        return r;
+    }
+    return cuMemAddressFree(ptr, info.size);
+}
+
+// --------------------------------------------------------------------
+// Driver extension (vMem*)
+// --------------------------------------------------------------------
+
+CuResult
+Driver::vMemReserve(Addr *ptr, u64 size, u64 alignment)
+{
+    if (!ptr || size == 0 || size % bytes(PageSize::k64KB) != 0) {
+        charge(Api::kAddressReserve, PageGroup::k64KB);
+        return CuResult::kErrorInvalidValue;
+    }
+    charge(Api::kAddressReserve, latencyBucket(size));
+    if (alignment == 0) {
+        alignment = bytes(PageSize::k64KB);
+    }
+    auto res = device_.vaSpace().reserve(size, alignment);
+    if (!res.isOk()) {
+        return CuResult::kErrorOutOfMemory;
+    }
+    *ptr = res.value();
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::vMemFree(Addr ptr, u64 size)
+{
+    charge(Api::kAddressFree, latencyBucket(size));
+    if (device_.vaSpace().reservationSize(ptr) != size) {
+        return CuResult::kErrorInvalidValue;
+    }
+    bool any = false;
+    device_.pageTable().forEachExtent(ptr, size,
+        [&](Addr, Addr, PhysAddr, PageSize, gpu::Access) { any = true; });
+    if (any) {
+        return CuResult::kErrorAlreadyMapped;
+    }
+    return device_.vaSpace().release(ptr).isOk()
+               ? CuResult::kSuccess
+               : CuResult::kErrorInvalidValue;
+}
+
+CuResult
+Driver::vMemCreate(MemHandle *handle, PageGroup group)
+{
+    charge(Api::kCreate, group);
+    if (!handle) {
+        return CuResult::kErrorInvalidValue;
+    }
+    const u64 size = bytes(group);
+    auto phys = device_.physAllocator().alloc(size);
+    if (!phys.isOk()) {
+        return CuResult::kErrorOutOfMemory;
+    }
+    const MemHandle h = next_handle_++;
+    handles_[h] =
+        HandleInfo{size, phys.value(), pageFor(size), {}, true};
+    phys_in_use_ += size;
+    *handle = h;
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::vMemMap(Addr ptr, MemHandle handle)
+{
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+        charge(Api::kMap, PageGroup::k64KB);
+        return CuResult::kErrorInvalidHandle;
+    }
+    charge(Api::kMap, latencyBucket(it->second.size));
+    // vMemMap = cuMemMap + cuMemSetAccess in one kernel crossing.
+    return doMap(ptr, handle, gpu::Access::kReadWrite);
+}
+
+CuResult
+Driver::vMemRelease(MemHandle handle)
+{
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+        charge(Api::kRelease, PageGroup::k64KB);
+        return CuResult::kErrorInvalidHandle;
+    }
+    charge(Api::kRelease, latencyBucket(it->second.size));
+    HandleInfo &info = it->second;
+    while (!info.mappings.empty()) {
+        const CuResult r = doUnmapOne(info, info.mappings.back());
+        if (r != CuResult::kSuccess) {
+            return r;
+        }
+    }
+    device_.physAllocator().free(info.phys, info.size)
+        .expectOk("buddy free on vMemRelease");
+    phys_in_use_ -= info.size;
+    handles_.erase(it);
+    return CuResult::kSuccess;
+}
+
+// --------------------------------------------------------------------
+// Introspection
+// --------------------------------------------------------------------
+
+u64
+Driver::handleSize(MemHandle handle) const
+{
+    auto it = handles_.find(handle);
+    return it == handles_.end() ? 0 : it->second.size;
+}
+
+bool
+Driver::isMapped(MemHandle handle) const
+{
+    auto it = handles_.find(handle);
+    return it != handles_.end() && !it->second.mappings.empty();
+}
+
+std::size_t
+Driver::numMappings(MemHandle handle) const
+{
+    auto it = handles_.find(handle);
+    return it == handles_.end() ? 0 : it->second.mappings.size();
+}
+
+} // namespace vattn::cuvmm

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The VMM driver facade the vAttention library is written against. The
+ * call surface mirrors the CUDA driver API (Table 3 of the paper):
+ *
+ *   - cuMemAddressReserve / cuMemAddressFree : virtual space only
+ *   - cuMemCreate / cuMemRelease             : physical handles (2MB mult.)
+ *   - cuMemMap / cuMemSetAccess / cuMemUnmap : (un)mapping + access
+ *   - cudaMalloc / cudaFree                  : classic fused allocation
+ *
+ * plus the paper's open-source driver extension:
+ *
+ *   - vMemReserve / vMemFree     : same as the cu* versions
+ *   - vMemCreate                 : one page-group (64KB..2MB) per handle
+ *   - vMemMap                    : map + grant access in one call
+ *   - vMemRelease                : unmap (if mapped) + free in one call
+ *
+ * Every call charges its Table-3 latency to an internal ledger which the
+ * caller drains with consumeElapsedNs() and attributes to either the
+ * critical path or the background-allocation thread.
+ */
+
+#ifndef VATTN_CUVMM_DRIVER_HH
+#define VATTN_CUVMM_DRIVER_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "cuvmm/latency_model.hh"
+#include "gpu/device.hh"
+
+namespace vattn::cuvmm
+{
+
+/** CUDA-style result codes. */
+enum class CuResult
+{
+    kSuccess = 0,
+    kErrorInvalidValue,
+    kErrorOutOfMemory,
+    kErrorNotMapped,
+    kErrorAlreadyMapped,
+    kErrorNotReserved,
+    kErrorInvalidHandle,
+};
+
+const char *toString(CuResult result);
+
+/** Opaque physical-memory handle (CUmemGenericAllocationHandle). */
+using MemHandle = u64;
+constexpr MemHandle kInvalidHandle = 0;
+
+/** Per-API call counters (tests/benches). */
+struct DriverCounters
+{
+    u64 reserve = 0;
+    u64 create = 0;
+    u64 map = 0;
+    u64 set_access = 0;
+    u64 unmap = 0;
+    u64 release = 0;
+    u64 address_free = 0;
+
+    u64
+    total() const
+    {
+        return reserve + create + map + set_access + unmap + release +
+               address_free;
+    }
+};
+
+/** Driver instance bound to one GPU device. */
+class Driver
+{
+  public:
+    explicit Driver(gpu::GpuDevice &device, LatencyModel latency = {});
+
+    // --- Stock CUDA VMM API (2MB granularity) ----------------------
+
+    CuResult cuMemAddressReserve(Addr *ptr, u64 size, u64 alignment = 0,
+                                 Addr fixed = 0);
+    CuResult cuMemAddressFree(Addr ptr, u64 size);
+    CuResult cuMemCreate(MemHandle *handle, u64 size);
+    CuResult cuMemRelease(MemHandle handle);
+    CuResult cuMemMap(Addr ptr, u64 size, u64 offset, MemHandle handle);
+    CuResult cuMemUnmap(Addr ptr, u64 size);
+    CuResult cuMemSetAccess(Addr ptr, u64 size);
+
+    // --- Classic allocation (virtual + physical fused) -------------
+
+    CuResult cudaMalloc(Addr *ptr, u64 size);
+    CuResult cudaFree(Addr ptr);
+
+    // --- Paper's driver extension (§6.2): small page-groups --------
+
+    CuResult vMemReserve(Addr *ptr, u64 size, u64 alignment = 0);
+    CuResult vMemFree(Addr ptr, u64 size);
+    CuResult vMemCreate(MemHandle *handle, PageGroup group);
+    CuResult vMemMap(Addr ptr, MemHandle handle);
+    CuResult vMemRelease(MemHandle handle);
+
+    // --- Introspection ----------------------------------------------
+
+    gpu::GpuDevice &device() { return device_; }
+    const LatencyModel &latency() const { return latency_; }
+    LatencyModel &latency() { return latency_; }
+
+    /** Latency accrued since the last call to this function. */
+    TimeNs consumeElapsedNs();
+    TimeNs totalNs() const { return total_ns_; }
+    const DriverCounters &counters() const { return counters_; }
+
+    /** Bytes of physical memory currently owned by live handles. */
+    u64 physBytesInUse() const { return phys_in_use_; }
+    /** Live (created, not released) handle count. */
+    std::size_t numLiveHandles() const { return handles_.size(); }
+
+    /** Page-group size of a live handle (tests). */
+    u64 handleSize(MemHandle handle) const;
+    /** Is the handle currently mapped somewhere? */
+    bool isMapped(MemHandle handle) const;
+    /** Number of VAs the handle is mapped at (>1 = aliased). */
+    std::size_t numMappings(MemHandle handle) const;
+
+  private:
+    struct HandleInfo
+    {
+        u64 size = 0;
+        PhysAddr phys = 0;
+        PageSize page = PageSize::k2MB; ///< hardware page backing it
+        /** Every VA this handle is mapped at. More than one entry
+         *  means the physical memory is aliased — the KV
+         *  de-duplication capability of §8.1. */
+        std::vector<Addr> mappings;
+        bool is_extension = false;      ///< created via vMemCreate
+    };
+
+    struct MallocInfo
+    {
+        u64 size = 0;
+        MemHandle handle = kInvalidHandle;
+    };
+
+    void charge(Api api, PageGroup pg);
+
+    CuResult doMap(Addr ptr, MemHandle handle, gpu::Access access);
+    CuResult doUnmapOne(HandleInfo &info, Addr ptr);
+
+    gpu::GpuDevice &device_;
+    LatencyModel latency_;
+    std::unordered_map<MemHandle, HandleInfo> handles_;
+    std::unordered_map<Addr, MemHandle> mapped_; ///< map VA -> handle
+    std::unordered_map<Addr, MallocInfo> mallocs_;
+    MemHandle next_handle_ = 1;
+    TimeNs pending_ns_ = 0;
+    TimeNs total_ns_ = 0;
+    u64 phys_in_use_ = 0;
+    DriverCounters counters_;
+};
+
+} // namespace vattn::cuvmm
+
+#endif // VATTN_CUVMM_DRIVER_HH

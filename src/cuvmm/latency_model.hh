@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Calibrated latency model for the VMM driver calls, reproducing Table 3
+ * of the paper: per-API, per-page-group-size costs measured on an A100
+ * system. Stock CUDA APIs (cu*) only operate at 2MB granularity; the
+ * driver-extension APIs (v*) support 64KB/128KB/256KB and fuse
+ * map+set-access and unmap+release.
+ */
+
+#ifndef VATTN_CUVMM_LATENCY_MODEL_HH
+#define VATTN_CUVMM_LATENCY_MODEL_HH
+
+#include "common/types.hh"
+
+namespace vattn::cuvmm
+{
+
+/** The driver entry points that carry a modelled cost. */
+enum class Api
+{
+    kAddressReserve, ///< cuMemAddressReserve / vMemReserve
+    kCreate,         ///< cuMemCreate / vMemCreate
+    kMap,            ///< cuMemMap / vMemMap (v: includes access grant)
+    kSetAccess,      ///< cuMemSetAccess (2MB path only)
+    kUnmap,          ///< cuMemUnmap (2MB path only)
+    kRelease,        ///< cuMemRelease / vMemRelease (v: includes unmap)
+    kAddressFree,    ///< cuMemAddressFree / vMemFree
+};
+
+const char *toString(Api api);
+
+/** Table-3 cost model. All values in nanoseconds. */
+class LatencyModel
+{
+  public:
+    /** Latency of @p api when operating on @p pg sized page-groups. */
+    TimeNs cost(Api api, PageGroup pg) const;
+
+    /**
+     * Steady-state cost of growing a mapped region by one page-group
+     * (handles recycled from a pool, so only the mapping step pays):
+     * vMemMap for small groups; cuMemMap + cuMemSetAccess for 2MB.
+     */
+    TimeNs mapGroupCost(PageGroup pg) const;
+
+    /** Cost of returning one page-group to the pool (unmap path). */
+    TimeNs unmapGroupCost(PageGroup pg) const;
+
+    /** Scale all costs (sensitivity studies); 1.0 = Table 3. */
+    void setScale(double scale) { scale_ = scale; }
+    double scale() const { return scale_; }
+
+  private:
+    double scale_ = 1.0;
+};
+
+} // namespace vattn::cuvmm
+
+#endif // VATTN_CUVMM_LATENCY_MODEL_HH

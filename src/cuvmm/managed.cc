@@ -1,0 +1,121 @@
+#include "cuvmm/managed.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::cuvmm
+{
+
+ManagedMemory::ManagedMemory(gpu::GpuDevice &device)
+    : device_(device)
+{
+}
+
+ManagedMemory::~ManagedMemory()
+{
+    while (!regions_.empty()) {
+        freeManaged(regions_.begin()->first);
+    }
+}
+
+CuResult
+ManagedMemory::mallocManaged(Addr *ptr, u64 size)
+{
+    if (!ptr || size == 0) {
+        return CuResult::kErrorInvalidValue;
+    }
+    const u64 padded = roundUp(size, kManagedPage);
+    auto reservation =
+        device_.vaSpace().reserve(padded, kManagedPage);
+    if (!reservation.isOk()) {
+        return CuResult::kErrorOutOfMemory;
+    }
+    regions_.emplace(reservation.value(), Region{padded, {}});
+    *ptr = reservation.value();
+    return CuResult::kSuccess;
+}
+
+Result<int>
+ManagedMemory::touch(Addr addr, u64 size)
+{
+    auto it = regions_.upper_bound(addr);
+    if (it == regions_.begin()) {
+        return Result<int>(ErrorCode::kNotFound, "not managed memory");
+    }
+    --it;
+    const Addr base = it->first;
+    Region &region = it->second;
+    if (addr + size > base + region.size) {
+        return Result<int>(ErrorCode::kInvalidArgument,
+                           "touch beyond the allocation");
+    }
+
+    int committed = 0;
+    const u64 first = (addr - base) / kManagedPage;
+    const u64 last = (addr + size - 1 - base) / kManagedPage;
+    for (u64 page = first; page <= last; ++page) {
+        if (region.committed.count(page)) {
+            continue;
+        }
+        // UVM commits full 2MB pages on first touch — the
+        // fragmentation the paper's §6.2 granularity work avoids.
+        auto phys = device_.physAllocator().alloc(kManagedPage);
+        if (!phys.isOk()) {
+            return Result<int>(phys.status());
+        }
+        device_.pageTable()
+            .map(base + page * kManagedPage, phys.value(),
+                 kManagedPage, PageSize::k2MB,
+                 gpu::Access::kReadWrite)
+            .expectOk("managed map");
+        region.committed.emplace(page, phys.value());
+        committed_bytes_ += kManagedPage;
+        ++committed;
+    }
+    return committed;
+}
+
+CuResult
+ManagedMemory::freeManaged(Addr ptr)
+{
+    auto it = regions_.find(ptr);
+    if (it == regions_.end()) {
+        return CuResult::kErrorInvalidValue;
+    }
+    Region &region = it->second;
+    for (const auto &[page, phys] : region.committed) {
+        device_.pageTable()
+            .unmap(ptr + page * kManagedPage, kManagedPage)
+            .expectOk("managed unmap");
+        device_.physAllocator()
+            .free(phys, kManagedPage)
+            .expectOk("managed phys free");
+        committed_bytes_ -= kManagedPage;
+    }
+    device_.vaSpace().release(ptr).expectOk("managed va release");
+    regions_.erase(it);
+    return CuResult::kSuccess;
+}
+
+u64
+ManagedMemory::committedBytes(Addr ptr) const
+{
+    auto it = regions_.find(ptr);
+    if (it == regions_.end()) {
+        return 0;
+    }
+    return it->second.committed.size() * kManagedPage;
+}
+
+CuResult
+ManagedMemory::releaseRange(Addr addr, u64 size)
+{
+    (void)addr;
+    (void)size;
+    // cudaMallocManaged memory "does not support partial freeing,
+    // preventing reclamation of physical memory of individual
+    // requests" (§8.1). The call exists so callers can observe the
+    // limitation programmatically.
+    return CuResult::kErrorInvalidValue;
+}
+
+} // namespace vattn::cuvmm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unified-memory (cudaMallocManaged) emulation, reproducing the §8.1
+ * discussion of why UVM is NOT suitable for KV cache management even
+ * though it provides demand paging:
+ *
+ *   1. physical pages are committed on first touch at 2MB granularity
+ *      (severe internal fragmentation for slowly-growing caches);
+ *   2. there is no partial freeing — memory comes back only when the
+ *      whole allocation is freed, so one request's pages cannot be
+ *      reclaimed while its neighbours are live;
+ *   3. no memory aliasing, so KV prefix de-duplication is impossible.
+ *
+ * The paper's driver extension is "unified memory optimized for LLM
+ * serving": it adds partial freeing (vMemRelease per page-group),
+ * smaller pages and sharing — all of which the main driver implements.
+ */
+
+#ifndef VATTN_CUVMM_MANAGED_HH
+#define VATTN_CUVMM_MANAGED_HH
+
+#include <map>
+#include <vector>
+
+#include "cuvmm/driver.hh"
+
+namespace vattn::cuvmm
+{
+
+/** cudaMallocManaged-style allocator over the simulated device. */
+class ManagedMemory
+{
+  public:
+    explicit ManagedMemory(gpu::GpuDevice &device);
+    ~ManagedMemory();
+
+    ManagedMemory(const ManagedMemory &) = delete;
+    ManagedMemory &operator=(const ManagedMemory &) = delete;
+
+    /** Reserve @p size bytes of managed virtual memory. No physical
+     *  memory is committed yet (demand paging). */
+    CuResult mallocManaged(Addr *ptr, u64 size);
+
+    /**
+     * Touch [addr, addr+size): commits any uncommitted 2MB pages in
+     * the range, like a first GPU access would. Returns the number of
+     * pages committed by this call.
+     */
+    Result<int> touch(Addr addr, u64 size);
+
+    /** Free a whole managed allocation. This is the ONLY way memory
+     *  returns to the device — no partial freeing (§8.1). */
+    CuResult freeManaged(Addr ptr);
+
+    /** Committed physical bytes across all managed allocations. */
+    u64 committedBytes() const { return committed_bytes_; }
+    /** Committed bytes attributable to one allocation. */
+    u64 committedBytes(Addr ptr) const;
+
+    /** The §8.1 limitation, stated as API absence: partial release
+     *  always fails. */
+    CuResult releaseRange(Addr addr, u64 size);
+
+    static constexpr u64 kManagedPage = 2 * MiB;
+
+  private:
+    struct Region
+    {
+        u64 size = 0;
+        /** page index -> physical base of the committed page. */
+        std::map<u64, PhysAddr> committed;
+    };
+
+    gpu::GpuDevice &device_;
+    std::map<Addr, Region> regions_;
+    u64 committed_bytes_ = 0;
+};
+
+} // namespace vattn::cuvmm
+
+#endif // VATTN_CUVMM_MANAGED_HH

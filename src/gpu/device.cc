@@ -1,0 +1,71 @@
+#include "gpu/device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vattn::gpu
+{
+
+GpuDevice::GpuDevice() : GpuDevice(Config{}) {}
+
+GpuDevice::GpuDevice(Config config)
+    : config_(config),
+      mem_(config.mem_bytes),
+      phys_alloc_(config.mem_bytes, config.min_phys_block,
+                  config.max_phys_block),
+      va_space_(),
+      page_table_(),
+      tlb_(config.tlb)
+{
+}
+
+template <typename Fn>
+void
+GpuDevice::walk(Addr va, u64 size, Fn &&fn) const
+{
+    while (size > 0) {
+        auto xlat = page_table_.translate(va);
+        panic_if(!xlat.isOk(), "device fault: VA ", va, " not mapped");
+        const Translation &t = xlat.value();
+        panic_if(t.access != Access::kReadWrite,
+                 "device fault: VA ", va, " mapped without access");
+        const u64 in_extent = t.extent_end - va;
+        const u64 take = std::min(size, in_extent);
+        fn(t.phys, take);
+        va += take;
+        size -= take;
+    }
+}
+
+void
+GpuDevice::readVa(Addr va, void *buf, u64 size) const
+{
+    auto *out = static_cast<std::byte *>(buf);
+    walk(va, size, [&](PhysAddr pa, u64 n) {
+        mem_.read(pa, out, n);
+        out += n;
+    });
+}
+
+void
+GpuDevice::writeVa(Addr va, const void *buf, u64 size)
+{
+    const auto *in = static_cast<const std::byte *>(buf);
+    walk(va, size, [&](PhysAddr pa, u64 n) {
+        mem_.write(pa, in, n);
+        in += n;
+    });
+}
+
+PhysAddr
+GpuDevice::translateTouched(Addr va)
+{
+    auto xlat = page_table_.translate(va);
+    panic_if(!xlat.isOk(), "device fault: VA ", va, " not mapped");
+    const Translation &t = xlat.value();
+    tlb_.access(va, t.page);
+    return t.phys;
+}
+
+} // namespace vattn::gpu

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A simulated GPU device: physical memory + physical allocator + virtual
+ * address space + page table + TLB. One GpuDevice per tensor-parallel
+ * worker. Functional loads/stores go through virtual addresses exactly
+ * like GPU kernels do, enforcing map + access-rights semantics.
+ */
+
+#ifndef VATTN_GPU_DEVICE_HH
+#define VATTN_GPU_DEVICE_HH
+
+#include <string>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "gpu/buddy_allocator.hh"
+#include "gpu/page_table.hh"
+#include "gpu/phys_mem.hh"
+#include "gpu/tlb.hh"
+#include "gpu/va_space.hh"
+
+namespace vattn::gpu
+{
+
+/** Ties the memory-system substrates of one device together. */
+class GpuDevice
+{
+  public:
+    struct Config
+    {
+        std::string name = "simA100";
+        u64 mem_bytes = 80 * GiB;
+        u64 min_phys_block = 4 * KiB;
+        u64 max_phys_block = 32 * MiB;
+        Tlb::Config tlb = {};
+    };
+
+    GpuDevice();
+    explicit GpuDevice(Config config);
+
+    const std::string &name() const { return config_.name; }
+    u64 memBytes() const { return config_.mem_bytes; }
+
+    PhysicalMemory &mem() { return mem_; }
+    BuddyAllocator &physAllocator() { return phys_alloc_; }
+    VaSpace &vaSpace() { return va_space_; }
+    PageTable &pageTable() { return page_table_; }
+    Tlb &tlb() { return tlb_; }
+    const PageTable &pageTable() const { return page_table_; }
+    const Tlb &tlb() const { return tlb_; }
+
+    /**
+     * Functional virtual-address read. Requires every byte to be
+     * mapped with RW access; panics on fault like a device would trap.
+     */
+    void readVa(Addr va, void *buf, u64 size) const;
+
+    /** Functional virtual-address write (same access rules). */
+    void writeVa(Addr va, const void *buf, u64 size);
+
+    /**
+     * Translate + record a TLB access (for kernel replay). Returns the
+     * physical address.
+     */
+    PhysAddr translateTouched(Addr va);
+
+    /** Free device memory as seen by the physical allocator. */
+    u64 freePhysBytes() const { return phys_alloc_.freeBytes(); }
+
+  private:
+    /** Walk translations across extent boundaries applying fn(pa, n). */
+    template <typename Fn>
+    void walk(Addr va, u64 size, Fn &&fn) const;
+
+    Config config_;
+    PhysicalMemory mem_;
+    BuddyAllocator phys_alloc_;
+    VaSpace va_space_;
+    PageTable page_table_;
+    Tlb tlb_;
+};
+
+} // namespace vattn::gpu
+
+#endif // VATTN_GPU_DEVICE_HH

@@ -1,0 +1,128 @@
+#include "gpu/page_table.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vattn::gpu
+{
+
+Status
+PageTable::map(Addr va, PhysAddr pa, u64 size, PageSize page,
+               Access access)
+{
+    const u64 psize = bytes(page);
+    if (size == 0 || size % psize != 0) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "size not a multiple of the page size");
+    }
+    if (va % psize != 0 || pa % psize != 0) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "addresses not page aligned");
+    }
+    return map_.insert(va, va + size, Extent{pa, page, access});
+}
+
+Status
+PageTable::setAccess(Addr va, u64 size, Access access)
+{
+    if (size == 0) {
+        return errorStatus(ErrorCode::kInvalidArgument, "zero size");
+    }
+    // Verify the range decomposes into whole extents first (no partial
+    // side effects on failure, and access never leaks outside [va, size)).
+    Addr cursor = va;
+    std::vector<Addr> starts;
+    bool bad = false;
+    map_.forEachIn(va, va + size, [&](const auto &e) {
+        if (bad) {
+            return;
+        }
+        if (e.start != cursor || e.end > va + size) {
+            bad = true; // gap or extent crossing the range boundary
+            return;
+        }
+        starts.push_back(e.start);
+        cursor = e.end;
+    });
+    if (bad || cursor != va + size) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "range not fully mapped as whole extents");
+    }
+    for (Addr s : starts) {
+        Extent *extent = map_.findValue(s);
+        panic_if(!extent, "extent vanished during setAccess");
+        extent->access = access;
+    }
+    return Status::ok();
+}
+
+Status
+PageTable::unmap(Addr va, u64 size)
+{
+    if (size == 0) {
+        return errorStatus(ErrorCode::kInvalidArgument, "zero size");
+    }
+    // The range must decompose into whole extents with no gaps and no
+    // partial overlap at either boundary.
+    Addr cursor = va;
+    std::vector<Addr> starts;
+    bool bad = false;
+    map_.forEachIn(va, va + size, [&](const auto &e) {
+        if (bad) {
+            return;
+        }
+        if (e.start != cursor || e.end > va + size) {
+            bad = true;
+            return;
+        }
+        starts.push_back(e.start);
+        cursor = e.end;
+    });
+    if (bad || cursor != va + size) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "range does not match mapped extents");
+    }
+    for (Addr s : starts) {
+        map_.eraseAt(s).expectOk("page table erase");
+    }
+    return Status::ok();
+}
+
+Result<Translation>
+PageTable::translate(Addr va) const
+{
+    auto entry = map_.find(va);
+    if (!entry) {
+        return Result<Translation>(ErrorCode::kNotFound,
+                                   "address not mapped");
+    }
+    const Extent &extent = entry->value;
+    return Translation{
+        extent.phys + (va - entry->start),
+        entry->start,
+        entry->end,
+        extent.page,
+        extent.access,
+    };
+}
+
+bool
+PageTable::isAccessible(Addr va, u64 size) const
+{
+    Addr cursor = va;
+    bool ok = true;
+    map_.forEachIn(va, va + size, [&](const auto &e) {
+        if (!ok) {
+            return;
+        }
+        if (e.start > cursor || e.value.access != Access::kReadWrite) {
+            ok = false;
+            return;
+        }
+        cursor = e.end;
+    });
+    return ok && cursor >= va + size;
+}
+
+} // namespace vattn::gpu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-device page table. Mappings are created at page-group granularity
+ * (one driver call = one physically contiguous range), so the table
+ * stores variable-size extents rather than fixed 4KB PTEs; translation
+ * also reports the hardware page size backing the extent, which the TLB
+ * model consumes.
+ *
+ * CUDA semantics honoured here: cuMemMap creates a mapping with *no*
+ * access rights; cuMemSetAccess grants RW. The paper's vMemMap fuses the
+ * two (§6.2), which the driver expresses by mapping with kReadWrite
+ * directly.
+ */
+
+#ifndef VATTN_GPU_PAGE_TABLE_HH
+#define VATTN_GPU_PAGE_TABLE_HH
+
+#include <optional>
+
+#include "common/interval_map.hh"
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace vattn::gpu
+{
+
+/** Access rights on a mapped extent. */
+enum class Access : u8
+{
+    kNone = 0,   ///< mapped but not accessible (cuMemMap w/o SetAccess)
+    kReadWrite,  ///< fully accessible
+};
+
+/** Result of a successful translation. */
+struct Translation
+{
+    PhysAddr phys;     ///< physical address for the queried VA
+    Addr extent_start; ///< VA where this mapping begins
+    Addr extent_end;   ///< VA where this mapping ends (exclusive)
+    PageSize page;     ///< hardware page size backing the extent
+    Access access;
+};
+
+/** Variable-extent page table with exact-range map/unmap. */
+class PageTable
+{
+  public:
+    /**
+     * Map [va, va+size) -> [pa, pa+size). Both addresses must be
+     * aligned to @p page and @p size must be a multiple of it.
+     */
+    Status map(Addr va, PhysAddr pa, u64 size, PageSize page,
+               Access access);
+
+    /**
+     * Change access on mapped extents fully covering [va, va+size).
+     * Fails without side effects if any byte of the range is unmapped.
+     */
+    Status setAccess(Addr va, u64 size, Access access);
+
+    /**
+     * Remove mappings covering exactly [va, va+size). The range must
+     * decompose into whole previously-mapped extents.
+     */
+    Status unmap(Addr va, u64 size);
+
+    /** Translate one VA; fails if unmapped. Access is NOT enforced
+     *  here — the device read/write path checks it. */
+    Result<Translation> translate(Addr va) const;
+
+    /** True iff every byte of [va, va+size) is mapped with RW access. */
+    bool isAccessible(Addr va, u64 size) const;
+
+    u64 mappedBytes() const { return map_.coveredBytes(); }
+    std::size_t numExtents() const { return map_.size(); }
+
+    /** Visit extents intersecting [va, va+size). */
+    template <typename Fn>
+    void
+    forEachExtent(Addr va, u64 size, Fn &&fn) const
+    {
+        map_.forEachIn(va, va + size, [&](const auto &e) {
+            fn(e.start, e.end, e.value.phys, e.value.page, e.value.access);
+        });
+    }
+
+  private:
+    struct Extent
+    {
+        PhysAddr phys;
+        PageSize page;
+        Access access;
+    };
+
+    IntervalMap<Extent> map_;
+};
+
+} // namespace vattn::gpu
+
+#endif // VATTN_GPU_PAGE_TABLE_HH

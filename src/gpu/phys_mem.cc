@@ -1,0 +1,95 @@
+#include "gpu/phys_mem.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vattn::gpu
+{
+
+PhysicalMemory::PhysicalMemory(u64 capacity)
+    : capacity_(capacity)
+{
+    panic_if(capacity == 0, "PhysicalMemory with zero capacity");
+}
+
+void
+PhysicalMemory::checkRange(PhysAddr addr, u64 size) const
+{
+    panic_if(addr + size < addr, "physical range wraps");
+    panic_if(addr + size > capacity_,
+             "physical access [", addr, ", ", addr + size,
+             ") beyond capacity ", capacity_);
+}
+
+const std::byte *
+PhysicalMemory::chunkFor(u64 index) const
+{
+    auto it = chunks_.find(index);
+    return it == chunks_.end() ? nullptr : it->second.get();
+}
+
+std::byte *
+PhysicalMemory::chunkForWrite(u64 index)
+{
+    auto it = chunks_.find(index);
+    if (it == chunks_.end()) {
+        auto chunk = std::make_unique<std::byte[]>(kChunkBytes);
+        std::memset(chunk.get(), 0, kChunkBytes);
+        it = chunks_.emplace(index, std::move(chunk)).first;
+    }
+    return it->second.get();
+}
+
+void
+PhysicalMemory::read(PhysAddr addr, void *buf, u64 size) const
+{
+    checkRange(addr, size);
+    auto *out = static_cast<std::byte *>(buf);
+    while (size > 0) {
+        const u64 index = addr / kChunkBytes;
+        const u64 offset = addr % kChunkBytes;
+        const u64 take = std::min(size, kChunkBytes - offset);
+        if (const std::byte *chunk = chunkFor(index)) {
+            std::memcpy(out, chunk + offset, take);
+        } else {
+            std::memset(out, 0, take);
+        }
+        out += take;
+        addr += take;
+        size -= take;
+    }
+}
+
+void
+PhysicalMemory::write(PhysAddr addr, const void *buf, u64 size)
+{
+    checkRange(addr, size);
+    const auto *in = static_cast<const std::byte *>(buf);
+    while (size > 0) {
+        const u64 index = addr / kChunkBytes;
+        const u64 offset = addr % kChunkBytes;
+        const u64 take = std::min(size, kChunkBytes - offset);
+        std::memcpy(chunkForWrite(index) + offset, in, take);
+        in += take;
+        addr += take;
+        size -= take;
+    }
+}
+
+void
+PhysicalMemory::fill(PhysAddr addr, u8 value, u64 size)
+{
+    checkRange(addr, size);
+    while (size > 0) {
+        const u64 index = addr / kChunkBytes;
+        const u64 offset = addr % kChunkBytes;
+        const u64 take = std::min(size, kChunkBytes - offset);
+        std::memset(chunkForWrite(index) + offset, value, take);
+        addr += take;
+        size -= take;
+    }
+}
+
+} // namespace vattn::gpu

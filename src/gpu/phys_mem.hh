@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simulated GPU physical memory. Capacity is accounted exactly (80GB for
+ * an A100) but host backing is committed lazily in small chunks on first
+ * write, so experiments that only exercise allocation metadata cost
+ * almost no host RAM while functional kernels still move real bytes.
+ */
+
+#ifndef VATTN_GPU_PHYS_MEM_HH
+#define VATTN_GPU_PHYS_MEM_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace vattn::gpu
+{
+
+/** Byte-addressable device memory with sparse host backing. */
+class PhysicalMemory
+{
+  public:
+    explicit PhysicalMemory(u64 capacity);
+
+    u64 capacity() const { return capacity_; }
+
+    /** Copy @p size bytes at @p addr into @p buf; untouched = zeros. */
+    void read(PhysAddr addr, void *buf, u64 size) const;
+
+    /** Copy @p size bytes from @p buf to @p addr. */
+    void write(PhysAddr addr, const void *buf, u64 size);
+
+    /** Fill [addr, addr+size) with @p value. */
+    void fill(PhysAddr addr, u8 value, u64 size);
+
+    /** Host bytes actually committed for backing store. */
+    u64 touchedBytes() const { return chunks_.size() * kChunkBytes; }
+
+    /** Backing-store chunk granularity (host-side detail). */
+    static constexpr u64 kChunkBytes = 64 * KiB;
+
+  private:
+    void checkRange(PhysAddr addr, u64 size) const;
+
+    /** Backing chunk for index, or nullptr if never written. */
+    const std::byte *chunkFor(u64 index) const;
+    /** Backing chunk for index, created on demand. */
+    std::byte *chunkForWrite(u64 index);
+
+    u64 capacity_;
+    std::unordered_map<u64, std::unique_ptr<std::byte[]>> chunks_;
+};
+
+} // namespace vattn::gpu
+
+#endif // VATTN_GPU_PHYS_MEM_HH

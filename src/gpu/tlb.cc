@@ -1,0 +1,136 @@
+#include "gpu/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::gpu
+{
+
+TlbLevel::TlbLevel(unsigned num_entries, unsigned associativity)
+    : num_entries_(num_entries), assoc_(associativity),
+      num_sets_(num_entries / associativity),
+      ways_(num_entries)
+{
+    panic_if(num_entries_ == 0 || assoc_ == 0,
+             "TLB level with zero entries/assoc");
+    panic_if(num_entries_ % assoc_ != 0,
+             "TLB entries must be a multiple of associativity");
+    panic_if(!isPow2(num_sets_), "TLB set count must be a power of two");
+}
+
+bool
+TlbLevel::access(Addr vpn_key)
+{
+    ++tick_;
+    const unsigned set =
+        static_cast<unsigned>(vpn_key & (num_sets_ - 1));
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+
+    Way *victim = base;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == vpn_key) {
+            way.lru = tick_;
+            ++stats_.hits;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+    ++stats_.misses;
+    victim->tag = vpn_key;
+    victim->valid = true;
+    victim->lru = tick_;
+    return false;
+}
+
+void
+TlbLevel::flush()
+{
+    for (Way &way : ways_) {
+        way.valid = false;
+    }
+}
+
+Tlb::Tlb() : Tlb(Config{}) {}
+
+Tlb::Tlb(Config config)
+    : c4k_{TlbLevel(config.l1_entries, config.l1_assoc),
+           TlbLevel(config.l2_entries, config.l2_assoc)},
+      c64k_{TlbLevel(config.l1_entries, config.l1_assoc),
+            TlbLevel(config.l2_entries, config.l2_assoc)},
+      c2m_{TlbLevel(config.l1_entries, config.l1_assoc),
+           TlbLevel(config.l2_entries, config.l2_assoc)}
+{
+}
+
+Tlb::SizeClass &
+Tlb::classFor(PageSize page)
+{
+    switch (page) {
+      case PageSize::k4KB: return c4k_;
+      case PageSize::k64KB: return c64k_;
+      case PageSize::k2MB: return c2m_;
+    }
+    panic("unknown page size");
+}
+
+const Tlb::SizeClass &
+Tlb::classFor(PageSize page) const
+{
+    return const_cast<Tlb *>(this)->classFor(page);
+}
+
+int
+Tlb::access(Addr va, PageSize page)
+{
+    SizeClass &sc = classFor(page);
+    const Addr vpn = va / bytes(page);
+    if (sc.l1.access(vpn)) {
+        return 1;
+    }
+    if (sc.l2.access(vpn)) {
+        return 2;
+    }
+    ++page_walks_;
+    return 0;
+}
+
+const TlbStats &
+Tlb::l1Stats(PageSize page) const
+{
+    return classFor(page).l1.stats();
+}
+
+const TlbStats &
+Tlb::l2Stats(PageSize page) const
+{
+    return classFor(page).l2.stats();
+}
+
+void
+Tlb::flush()
+{
+    c4k_.l1.flush();
+    c4k_.l2.flush();
+    c64k_.l1.flush();
+    c64k_.l2.flush();
+    c2m_.l1.flush();
+    c2m_.l2.flush();
+}
+
+void
+Tlb::resetStats()
+{
+    c4k_.l1.resetStats();
+    c4k_.l2.resetStats();
+    c64k_.l1.resetStats();
+    c64k_.l2.resetStats();
+    c2m_.l1.resetStats();
+    c2m_.l2.resetStats();
+    page_walks_ = 0;
+}
+
+} // namespace vattn::gpu

@@ -1,0 +1,202 @@
+#include "paged/block_manager.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace vattn::paged
+{
+
+BlockManager::BlockManager(i64 num_blocks, i64 block_size)
+    : num_blocks_(num_blocks), block_size_(block_size),
+      ref_counts_(static_cast<std::size_t>(num_blocks), 0)
+{
+    fatal_if(num_blocks <= 0, "BlockManager needs > 0 blocks");
+    fatal_if(block_size <= 0, "BlockManager needs > 0 block size");
+    free_list_.resize(static_cast<std::size_t>(num_blocks));
+    // Hand out low block ids first (stable, test friendly).
+    std::iota(free_list_.rbegin(), free_list_.rend(), 0);
+}
+
+i64
+BlockManager::blocksFor(i64 tokens) const
+{
+    return static_cast<i64>(
+        ceilDiv(static_cast<u64>(tokens), static_cast<u64>(block_size_)));
+}
+
+Result<i32>
+BlockManager::allocBlock()
+{
+    if (free_list_.empty()) {
+        return Result<i32>(ErrorCode::kOutOfMemory, "block pool empty");
+    }
+    const i32 block = free_list_.back();
+    free_list_.pop_back();
+    ref_counts_[static_cast<std::size_t>(block)] = 1;
+    return block;
+}
+
+Status
+BlockManager::addRef(i32 block)
+{
+    if (block < 0 || block >= num_blocks_) {
+        return errorStatus(ErrorCode::kInvalidArgument, "bad block id");
+    }
+    auto &count = ref_counts_[static_cast<std::size_t>(block)];
+    if (count == 0) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "addRef on free block");
+    }
+    ++count;
+    return Status::ok();
+}
+
+Status
+BlockManager::freeBlock(i32 block)
+{
+    if (block < 0 || block >= num_blocks_) {
+        return errorStatus(ErrorCode::kInvalidArgument, "bad block id");
+    }
+    auto &count = ref_counts_[static_cast<std::size_t>(block)];
+    if (count == 0) {
+        return errorStatus(ErrorCode::kFailedPrecondition, "double free");
+    }
+    if (--count == 0) {
+        free_list_.push_back(block);
+    }
+    return Status::ok();
+}
+
+int
+BlockManager::refCount(i32 block) const
+{
+    panic_if(block < 0 || block >= num_blocks_, "bad block id");
+    return ref_counts_[static_cast<std::size_t>(block)];
+}
+
+bool
+BlockManager::checkInvariants() const
+{
+    i64 free_refs = 0;
+    for (i32 block : free_list_) {
+        if (block < 0 || block >= num_blocks_ ||
+            ref_counts_[static_cast<std::size_t>(block)] != 0) {
+            return false;
+        }
+        ++free_refs;
+    }
+    i64 zero_refs = 0;
+    for (int count : ref_counts_) {
+        if (count == 0) {
+            ++zero_refs;
+        }
+    }
+    return free_refs == zero_refs;
+}
+
+RequestBlocks::RequestBlocks(BlockManager *manager)
+    : manager_(manager)
+{
+    panic_if(!manager_, "RequestBlocks with null manager");
+}
+
+RequestBlocks::~RequestBlocks()
+{
+    releaseAll();
+}
+
+RequestBlocks::RequestBlocks(RequestBlocks &&other) noexcept
+    : manager_(other.manager_), blocks_(std::move(other.blocks_))
+{
+    other.blocks_.clear();
+}
+
+RequestBlocks &
+RequestBlocks::operator=(RequestBlocks &&other) noexcept
+{
+    if (this != &other) {
+        releaseAll();
+        manager_ = other.manager_;
+        blocks_ = std::move(other.blocks_);
+        other.blocks_.clear();
+    }
+    return *this;
+}
+
+Status
+RequestBlocks::ensureTokens(i64 tokens)
+{
+    const i64 need = manager_->blocksFor(tokens);
+    while (static_cast<i64>(blocks_.size()) < need) {
+        auto block = manager_->allocBlock();
+        if (!block.isOk()) {
+            return block.status();
+        }
+        blocks_.push_back(block.value());
+    }
+    return Status::ok();
+}
+
+Status
+RequestBlocks::shareFrom(const RequestBlocks &parent, i64 prefix_tokens)
+{
+    if (!blocks_.empty()) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "shareFrom on a non-empty block list");
+    }
+    if (manager_ != parent.manager_) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "parent uses a different block pool");
+    }
+    // Only whole blocks can be shared; a partial tail block would mix
+    // two requests' tokens.
+    const auto shared = static_cast<std::size_t>(
+        prefix_tokens / manager_->blockSize());
+    if (shared > parent.blocks_.size()) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "prefix longer than the parent's cache");
+    }
+    for (std::size_t i = 0; i < shared; ++i) {
+        const i32 block = parent.blocks_[i];
+        auto status = manager_->addRef(block);
+        if (!status.isOk()) {
+            releaseAll();
+            return status;
+        }
+        blocks_.push_back(block);
+    }
+    return Status::ok();
+}
+
+Status
+RequestBlocks::replaceBlock(std::size_t index, i32 new_block)
+{
+    if (index >= blocks_.size()) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "block index out of range");
+    }
+    auto status = manager_->freeBlock(blocks_[index]);
+    if (!status.isOk()) {
+        return status;
+    }
+    blocks_[index] = new_block;
+    return Status::ok();
+}
+
+void
+RequestBlocks::releaseAll()
+{
+    for (i32 block : blocks_) {
+        manager_->freeBlock(block).expectOk("RequestBlocks release");
+    }
+    blocks_.clear();
+}
+
+i64
+RequestBlocks::numTokensCapacity() const
+{
+    return static_cast<i64>(blocks_.size()) * manager_->blockSize();
+}
+
+} // namespace vattn::paged

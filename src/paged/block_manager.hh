@@ -1,0 +1,108 @@
+/**
+ * @file
+ * vLLM-style block manager: the user-space memory manager that the
+ * PagedAttention approach forces a serving framework to implement (§3.2).
+ * The KV cache is carved into fixed-size blocks of block_size tokens;
+ * a logical block id indexes the per-layer K and V pools simultaneously,
+ * so one block accounts for 2 * N * H * D * P * block_size bytes.
+ */
+
+#ifndef VATTN_PAGED_BLOCK_MANAGER_HH
+#define VATTN_PAGED_BLOCK_MANAGER_HH
+
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace vattn::paged
+{
+
+/** Free-list allocator of KV-cache blocks with refcounts. */
+class BlockManager
+{
+  public:
+    /**
+     * @param num_blocks pool capacity in blocks
+     * @param block_size tokens per block
+     */
+    BlockManager(i64 num_blocks, i64 block_size);
+
+    i64 numBlocks() const { return num_blocks_; }
+    i64 blockSize() const { return block_size_; }
+    i64 numFree() const { return static_cast<i64>(free_list_.size()); }
+    i64 numAllocated() const { return num_blocks_ - numFree(); }
+
+    /** Blocks needed to store @p tokens tokens. */
+    i64 blocksFor(i64 tokens) const;
+
+    /** Allocate one block (refcount = 1). */
+    Result<i32> allocBlock();
+
+    /** Increase the refcount (prefix sharing / copy-on-write support). */
+    Status addRef(i32 block);
+
+    /** Drop a reference; the block is freed when the count hits zero. */
+    Status freeBlock(i32 block);
+
+    int refCount(i32 block) const;
+
+    /** Conservation check for tests. */
+    bool checkInvariants() const;
+
+  private:
+    i64 num_blocks_;
+    i64 block_size_;
+    std::vector<i32> free_list_;
+    std::vector<int> ref_counts_;
+};
+
+/**
+ * The per-request logical-to-physical block list a PagedAttention
+ * serving framework maintains, mirroring what the OS page table already
+ * does (Figure 1 of the paper).
+ */
+class RequestBlocks
+{
+  public:
+    explicit RequestBlocks(BlockManager *manager);
+    ~RequestBlocks();
+
+    RequestBlocks(const RequestBlocks &) = delete;
+    RequestBlocks &operator=(const RequestBlocks &) = delete;
+    RequestBlocks(RequestBlocks &&other) noexcept;
+    RequestBlocks &operator=(RequestBlocks &&other) noexcept;
+
+    /** Grow the block list to cover @p tokens tokens. */
+    Status ensureTokens(i64 tokens);
+
+    /**
+     * Share the parent's blocks covering the first @p prefix_tokens
+     * tokens (prefix de-duplication, as in vLLM's prefix caching):
+     * full blocks are reference-counted rather than copied. This list
+     * must be empty. Writes into shared blocks must go through
+     * PagedKvCache::ensurePrivate (copy-on-write).
+     */
+    Status shareFrom(const RequestBlocks &parent, i64 prefix_tokens);
+
+    /**
+     * Swap the block at @p index for @p new_block (whose reference
+     * the caller transfers in), dropping this list's reference on the
+     * old block. Used by the copy-on-write path.
+     */
+    Status replaceBlock(std::size_t index, i32 new_block);
+
+    /** Release all blocks back to the manager. */
+    void releaseAll();
+
+    i64 numTokensCapacity() const;
+    const std::vector<i32> &blocks() const { return blocks_; }
+
+  private:
+    BlockManager *manager_;
+    std::vector<i32> blocks_;
+};
+
+} // namespace vattn::paged
+
+#endif // VATTN_PAGED_BLOCK_MANAGER_HH

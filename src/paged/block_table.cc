@@ -1,0 +1,66 @@
+#include "paged/block_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vattn::paged
+{
+
+PaddedBlockTable
+PaddedBlockTable::build(
+    const std::vector<const std::vector<i32> *> &request_blocks)
+{
+    PaddedBlockTable table;
+    table.batch = static_cast<i64>(request_blocks.size());
+    for (const auto *blocks : request_blocks) {
+        table.max_blocks = std::max(
+            table.max_blocks, static_cast<i64>(blocks->size()));
+    }
+    table.entries.assign(
+        static_cast<std::size_t>(table.batch * table.max_blocks), -1);
+    for (i64 r = 0; r < table.batch; ++r) {
+        const auto &blocks = *request_blocks[static_cast<std::size_t>(r)];
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            table.entries[static_cast<std::size_t>(r * table.max_blocks) +
+                          b] = blocks[b];
+        }
+    }
+    return table;
+}
+
+i32
+PaddedBlockTable::at(i64 request, i64 slot) const
+{
+    panic_if(request < 0 || request >= batch, "request out of range");
+    panic_if(slot < 0 || slot >= max_blocks, "slot out of range");
+    return entries[static_cast<std::size_t>(request * max_blocks + slot)];
+}
+
+CompressedBlockTable
+CompressedBlockTable::build(
+    const std::vector<const std::vector<i32> *> &request_blocks)
+{
+    CompressedBlockTable table;
+    table.indptr.reserve(request_blocks.size() + 1);
+    table.indptr.push_back(0);
+    for (const auto *blocks : request_blocks) {
+        table.indices.insert(table.indices.end(), blocks->begin(),
+                             blocks->end());
+        table.indptr.push_back(static_cast<i32>(table.indices.size()));
+    }
+    return table;
+}
+
+std::pair<const i32 *, const i32 *>
+CompressedBlockTable::row(i64 request) const
+{
+    panic_if(request < 0 || request >= batch(), "request out of range");
+    const auto begin = static_cast<std::size_t>(
+        indptr[static_cast<std::size_t>(request)]);
+    const auto end = static_cast<std::size_t>(
+        indptr[static_cast<std::size_t>(request) + 1]);
+    return {indices.data() + begin, indices.data() + end};
+}
+
+} // namespace vattn::paged

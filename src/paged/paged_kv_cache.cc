@@ -1,0 +1,123 @@
+#include "paged/paged_kv_cache.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::paged
+{
+
+PagedKvCache::PagedKvCache(cuvmm::Driver &driver, const Config &config)
+    : driver_(driver), config_(config),
+      manager_(config.num_blocks, config.block_size)
+{
+    fatal_if(config_.num_layers <= 0, "need >= 1 layer");
+    const tensor::Shape pool_shape{
+        config_.num_blocks, config_.block_size,
+        config_.num_kv_heads, config_.head_dim};
+    const u64 pool_bytes = static_cast<u64>(pool_shape.numel()) *
+                           tensor::dtypeBytes(config_.dtype);
+
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+        for (int which = 0; which < 2; ++which) {
+            Addr base = 0;
+            const auto r = driver_.cudaMalloc(&base, pool_bytes);
+            fatal_if(r != cuvmm::CuResult::kSuccess,
+                     "PagedKvCache pool allocation failed: ",
+                     cuvmm::toString(r));
+            auto &bases = which == 0 ? k_base_ : v_base_;
+            auto &pools = which == 0 ? k_pool_ : v_pool_;
+            bases.push_back(base);
+            pools.emplace_back(&driver_.device(), base,
+                               tensor::Layout::contiguous(pool_shape),
+                               config_.dtype);
+        }
+    }
+}
+
+PagedKvCache::~PagedKvCache()
+{
+    for (Addr base : k_base_) {
+        driver_.cudaFree(base);
+    }
+    for (Addr base : v_base_) {
+        driver_.cudaFree(base);
+    }
+}
+
+tensor::VirtualTensor &
+PagedKvCache::kPool(int layer)
+{
+    panic_if(layer < 0 || layer >= config_.num_layers, "bad layer");
+    return k_pool_[static_cast<std::size_t>(layer)];
+}
+
+tensor::VirtualTensor &
+PagedKvCache::vPool(int layer)
+{
+    panic_if(layer < 0 || layer >= config_.num_layers, "bad layer");
+    return v_pool_[static_cast<std::size_t>(layer)];
+}
+
+attn::PagedKvView
+PagedKvCache::view(const std::vector<i32> &blocks, int layer,
+                   bool touch_tlb)
+{
+    return attn::PagedKvView(kPool(layer), vPool(layer), blocks,
+                             config_.block_size, touch_tlb);
+}
+
+Result<i32>
+PagedKvCache::ensurePrivate(RequestBlocks &blocks, i64 token)
+{
+    const auto index =
+        static_cast<std::size_t>(token / config_.block_size);
+    if (index >= blocks.blocks().size()) {
+        return Result<i32>(ErrorCode::kInvalidArgument,
+                           "token beyond the allocated blocks");
+    }
+    const i32 old_block = blocks.blocks()[index];
+    if (manager_.refCount(old_block) <= 1) {
+        return old_block; // already private
+    }
+    auto fresh = manager_.allocBlock();
+    if (!fresh.isOk()) {
+        return Result<i32>(fresh.status());
+    }
+    copyBlockData(fresh.value(), old_block);
+    auto status = blocks.replaceBlock(index, fresh.value());
+    status.expectOk("copy-on-write swap");
+    return fresh.value();
+}
+
+void
+PagedKvCache::copyBlockData(i32 dst, i32 src)
+{
+    panic_if(dst < 0 || dst >= config_.num_blocks, "bad dst block");
+    panic_if(src < 0 || src >= config_.num_blocks, "bad src block");
+    std::vector<float> row(static_cast<std::size_t>(config_.head_dim));
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+        for (auto *pool : {&kPool(layer), &vPool(layer)}) {
+            for (i64 t = 0; t < config_.block_size; ++t) {
+                for (int h = 0; h < config_.num_kv_heads; ++h) {
+                    const i64 src_idx[4] = {src, t, h, 0};
+                    const i64 dst_idx[4] = {dst, t, h, 0};
+                    pool->readRow(src_idx, 4, row.data(),
+                                  config_.head_dim);
+                    pool->writeRow(dst_idx, 4, row.data(),
+                                   config_.head_dim);
+                }
+            }
+        }
+    }
+}
+
+u64
+PagedKvCache::committedBytes() const
+{
+    const u64 per_pool =
+        static_cast<u64>(config_.num_blocks * config_.block_size *
+                         config_.num_kv_heads * config_.head_dim) *
+        tensor::dtypeBytes(config_.dtype);
+    return per_pool * 2 * static_cast<u64>(config_.num_layers);
+}
+
+} // namespace vattn::paged

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional paged KV cache: per-layer K/V pool tensors of shape
+ * [num_blocks, block_size, H, D], committed up-front via cudaMalloc
+ * (exactly how vLLM pre-reserves its whole KV region at startup) and
+ * addressed through Block-Tables. Used by the functional correctness
+ * tests and the paged-vs-contiguous equivalence properties.
+ */
+
+#ifndef VATTN_PAGED_PAGED_KV_CACHE_HH
+#define VATTN_PAGED_PAGED_KV_CACHE_HH
+
+#include <vector>
+
+#include "attn/kv_view.hh"
+#include "cuvmm/driver.hh"
+#include "paged/block_manager.hh"
+#include "tensor/virtual_tensor.hh"
+
+namespace vattn::paged
+{
+
+/** Owns the pool tensors for every layer plus the block manager. */
+class PagedKvCache
+{
+  public:
+    struct Config
+    {
+        int num_layers;
+        int num_kv_heads;
+        int head_dim;
+        i64 block_size = 16;
+        i64 num_blocks;
+        tensor::DType dtype = tensor::DType::kF16;
+    };
+
+    PagedKvCache(cuvmm::Driver &driver, const Config &config);
+    ~PagedKvCache();
+
+    PagedKvCache(const PagedKvCache &) = delete;
+    PagedKvCache &operator=(const PagedKvCache &) = delete;
+
+    BlockManager &blockManager() { return manager_; }
+    const Config &config() const { return config_; }
+
+    /** Pool tensors of one layer. */
+    tensor::VirtualTensor &kPool(int layer);
+    tensor::VirtualTensor &vPool(int layer);
+
+    /** Paged view for a request's blocks at one layer. */
+    attn::PagedKvView view(const std::vector<i32> &blocks, int layer,
+                           bool touch_tlb = false);
+
+    /**
+     * Copy-on-write: make the block holding @p token private to
+     * @p blocks. If the block is shared (refcount > 1), a fresh block
+     * is allocated, the K/V data of every layer is copied, and the
+     * request's table entry is swapped. Returns the (possibly new)
+     * block id. Call before appending KV into a shared prefix region.
+     */
+    Result<i32> ensurePrivate(RequestBlocks &blocks, i64 token);
+
+    /** Copy one block's K and V data across all layers. */
+    void copyBlockData(i32 dst, i32 src);
+
+    /** Total pool bytes committed at startup. */
+    u64 committedBytes() const;
+
+  private:
+    cuvmm::Driver &driver_;
+    Config config_;
+    BlockManager manager_;
+    std::vector<Addr> k_base_; ///< one cudaMalloc region per layer
+    std::vector<Addr> v_base_;
+    std::vector<tensor::VirtualTensor> k_pool_;
+    std::vector<tensor::VirtualTensor> v_pool_;
+};
+
+} // namespace vattn::paged
+
+#endif // VATTN_PAGED_PAGED_KV_CACHE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Attention back-end configurations evaluated in the paper (§7):
+ * kernel family x memory-management approach. "Paged" back-ends
+ * dereference Block-Tables inside the kernel; "vAttention" back-ends
+ * run the unmodified non-paged kernels over virtually contiguous KV.
+ */
+
+#ifndef VATTN_PERF_BACKEND_KIND_HH
+#define VATTN_PERF_BACKEND_KIND_HH
+
+namespace vattn::perf
+{
+
+/** Kernel library family. */
+enum class KernelFamily
+{
+    kVllm,  ///< vLLM's original PagedAttention decode kernel
+    kFa2,   ///< FlashAttention-2
+    kFi,    ///< FlashInfer
+    kFa3,   ///< FlashAttention-3 (Hopper only, non-paged at release)
+};
+
+/** The evaluated back-end configurations. */
+enum class BackendKind
+{
+    kVllmPaged,      ///< vLLM kernel + PagedAttention blocks
+    kFa2Paged,       ///< FA2 paged kernels (block size 256)
+    kFiPaged,        ///< FlashInfer paged kernels (block size 16)
+    kFa2VAttention,  ///< FA2 non-paged kernels + vAttention
+    kFiVAttention,   ///< FI non-paged kernels + vAttention
+    kFa3VAttention,  ///< FA3 + vAttention (H100)
+};
+
+constexpr bool
+isPaged(BackendKind kind)
+{
+    return kind == BackendKind::kVllmPaged ||
+           kind == BackendKind::kFa2Paged ||
+           kind == BackendKind::kFiPaged;
+}
+
+constexpr KernelFamily
+kernelFamily(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kVllmPaged: return KernelFamily::kVllm;
+      case BackendKind::kFa2Paged: return KernelFamily::kFa2;
+      case BackendKind::kFiPaged: return KernelFamily::kFi;
+      case BackendKind::kFa2VAttention: return KernelFamily::kFa2;
+      case BackendKind::kFiVAttention: return KernelFamily::kFi;
+      case BackendKind::kFa3VAttention: return KernelFamily::kFa3;
+    }
+    return KernelFamily::kFa2;
+}
+
+/** The KV block size each paged system performs best at (§7,
+ *  "Baselines"): 16 for vLLM and FlashInfer, 256 for FA2. */
+constexpr int
+defaultBlockSize(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kVllmPaged: return 16;
+      case BackendKind::kFiPaged: return 16;
+      case BackendKind::kFa2Paged: return 256;
+      default: return 0; // vAttention back-ends have no block table
+    }
+}
+
+constexpr const char *
+toString(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kVllmPaged: return "vLLM";
+      case BackendKind::kFa2Paged: return "FA2_Paged";
+      case BackendKind::kFiPaged: return "FI_Paged";
+      case BackendKind::kFa2VAttention: return "FA2_vAttention";
+      case BackendKind::kFiVAttention: return "FI_vAttention";
+      case BackendKind::kFa3VAttention: return "FA3_vAttention";
+    }
+    return "?";
+}
+
+} // namespace vattn::perf
+
+#endif // VATTN_PERF_BACKEND_KIND_HH

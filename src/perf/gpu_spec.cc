@@ -1,0 +1,30 @@
+#include "perf/gpu_spec.hh"
+
+namespace vattn::perf
+{
+
+GpuSpec
+GpuSpec::a100()
+{
+    return GpuSpec{
+        "A100-SXM-80GB",
+        312e12,  // dense FP16 tensor core peak
+        2039e9,  // HBM2e
+        80 * GiB,
+        300e9,   // NVLink3 per direction
+    };
+}
+
+GpuSpec
+GpuSpec::h100()
+{
+    return GpuSpec{
+        "H100-SXM-80GB",
+        989e12,  // dense FP16 tensor core peak
+        3352e9,  // HBM3
+        80 * GiB,
+        450e9,   // NVLink4 per direction
+    };
+}
+
+} // namespace vattn::perf

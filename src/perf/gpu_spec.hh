@@ -1,0 +1,35 @@
+/**
+ * @file
+ * GPU hardware descriptions used by the roofline kernel model. Only
+ * aggregate throughput numbers matter: peak dense FP16 FLOPs, HBM
+ * bandwidth and memory capacity.
+ */
+
+#ifndef VATTN_PERF_GPU_SPEC_HH
+#define VATTN_PERF_GPU_SPEC_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace vattn::perf
+{
+
+/** Aggregate hardware throughput description of one GPU. */
+struct GpuSpec
+{
+    std::string name;
+    double fp16_flops;      ///< peak dense FP16 FLOP/s
+    double hbm_bytes_per_s; ///< peak HBM bandwidth
+    u64 mem_bytes;          ///< device memory
+    double nvlink_bytes_per_s; ///< per-direction link bandwidth
+
+    /** NVIDIA A100-SXM 80GB (the paper's main platform, Table 5). */
+    static GpuSpec a100();
+    /** NVIDIA H100-SXM 80GB (the §7.5 portability platform). */
+    static GpuSpec h100();
+};
+
+} // namespace vattn::perf
+
+#endif // VATTN_PERF_GPU_SPEC_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Analytic GPU kernel timing model: roofline (compute-bound prefill
+ * attention and linear ops, bandwidth-bound decode attention and
+ * weight streaming) plus per-back-end paging-overhead curves calibrated
+ * from the paper's own kernel measurements (Figures 2-3, Tables 6-7).
+ *
+ * The functional CPU kernels in attn/ prove the memory layouts work;
+ * this model plays the role of the A100/H100 silicon so end-to-end
+ * experiments reproduce the paper's *relative* behaviour at full scale.
+ * Calibration anchors are asserted in tests/test_kernel_model.cc.
+ */
+
+#ifndef VATTN_PERF_KERNEL_MODEL_HH
+#define VATTN_PERF_KERNEL_MODEL_HH
+
+#include "common/types.hh"
+#include "perf/backend_kind.hh"
+#include "perf/gpu_spec.hh"
+#include "perf/model_spec.hh"
+
+namespace vattn::perf
+{
+
+/** Per-worker kernel latency model for one (GPU, model, TP) triple. */
+class KernelModel
+{
+  public:
+    KernelModel(GpuSpec gpu, ModelSpec model, int tp);
+
+    const GpuSpec &gpu() const { return gpu_; }
+    const ModelSpec &model() const { return model_; }
+    int tp() const { return tp_; }
+
+    // ---- Attention ---------------------------------------------------
+
+    /**
+     * Attention time of prefilling one @p ctx-token request across all
+     * layers of one worker (includes the paged-kernel overhead for
+     * paged back-ends).
+     */
+    TimeNs prefillAttention(BackendKind kind, i64 ctx) const;
+
+    /**
+     * Decode attention for one iteration over a batch whose KV lengths
+     * sum to @p total_kv_tokens. @p block_size overrides the back-end
+     * default block size (vLLM block-size sensitivity, Figure 3).
+     */
+    TimeNs decodeAttention(BackendKind kind, i64 total_kv_tokens,
+                           int block_size = 0) const;
+
+    // ---- Non-attention operators ---------------------------------------
+
+    /** Linear/positionwise operators for @p tokens prefill tokens. */
+    TimeNs prefillLinear(i64 tokens) const;
+
+    /** Linear operators for one decode iteration of @p batch requests. */
+    TimeNs decodeLinear(i64 batch) const;
+
+    /** Tensor-parallel all-reduce time for one iteration moving
+     *  @p tokens activations (0 when TP=1). */
+    TimeNs commTime(i64 tokens) const;
+
+    // ---- Calibrated factors (exposed for tests/benches) -----------------
+
+    /** Paged/non-paged prefill kernel ratio (Figure 2 / Table 6). */
+    double prefillPagedOverhead(KernelFamily family, i64 ctx) const;
+
+    /** vLLM decode latency multiplier vs its block-16 config
+     *  (Figure 3); depends weakly on the total token count. */
+    double vllmBlockSizeFactor(int block_size, i64 total_kv_tokens) const;
+
+    /** Decode kernel multiplier of a back-end vs the non-paged FA2
+     *  kernel (Table 7: vLLM up to 2.8x, driven by the GQA ratio). */
+    double decodeBackendFactor(BackendKind kind) const;
+
+    /** Compute efficiency of a kernel family's prefill kernel. */
+    double prefillEfficiency(KernelFamily family) const;
+
+    /** Extra kernel time due to TLB misses (page-size study §7.6.3);
+     *  walks overlap with memory latency almost entirely. */
+    static TimeNs tlbWalkPenalty(u64 page_walks);
+
+  private:
+    bool isHopper() const;
+
+    GpuSpec gpu_;
+    ModelSpec model_;
+    int tp_;
+};
+
+} // namespace vattn::perf
+
+#endif // VATTN_PERF_KERNEL_MODEL_HH

@@ -1,0 +1,421 @@
+#include "serving/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "serving/paged_backend.hh"
+
+namespace vattn::serving
+{
+
+u64
+EngineConfig::kvBudgetPerWorker() const
+{
+    if (kv_budget_override != 0) {
+        return kv_budget_override;
+    }
+    const double usable =
+        gpu_mem_util * static_cast<double>(gpu.mem_bytes);
+    const double weights =
+        static_cast<double>(model.weightBytesPerWorker(tp));
+    const double budget = usable - weights -
+                          static_cast<double>(activation_reserve_bytes);
+    fatal_if(budget <= 0, "model ", model.name,
+             " does not fit on ", tp, "x ", gpu.name);
+    return static_cast<u64>(budget);
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      kernel_(config.gpu, config.model, config.tp),
+      overhead_(),
+      scheduler_(config.scheduler),
+      block_size_(perf::defaultBlockSize(config.backend))
+{
+    const u64 budget = config_.kvBudgetPerWorker();
+    if (perf::isPaged(config_.backend)) {
+        backend_ = std::make_unique<PagedBackend>(
+            config_.model, config_.tp, block_size_, budget);
+    } else {
+        auto options = config_.vattn;
+        options.max_batch_size =
+            std::max(options.max_batch_size,
+                     config_.scheduler.max_num_seqs);
+        auto backend = std::make_unique<VAttentionBackend>(
+            config_.model, config_.tp, budget, options);
+        vattn_backend_ = backend.get();
+        backend_ = std::move(backend);
+    }
+}
+
+void
+Engine::admitArrivals(const std::vector<Request *> &by_arrival,
+                      std::size_t &next_arrival)
+{
+    while (next_arrival < by_arrival.size() &&
+           by_arrival[next_arrival]->arrival_ns <= clock_.now()) {
+        scheduler_.enqueue(by_arrival[next_arrival]);
+        ++next_arrival;
+    }
+}
+
+ActiveLens
+Engine::activeLens() const
+{
+    ActiveLens active;
+    active.reserve(running_.size());
+    for (const Request *request : running_) {
+        active.emplace_back(request->slot, request->contextLen());
+    }
+    return active;
+}
+
+void
+Engine::preemptOne()
+{
+    panic_if(running_.empty(), "preemption with nothing running");
+    // vLLM preempts the most recently admitted request and recomputes
+    // it from scratch later.
+    Request *victim = running_.back();
+    running_.pop_back();
+    backend_->freeSlot(victim->slot);
+    victim->slot = -1;
+    victim->generated = 0;
+    ++victim->preemptions;
+    scheduler_.requeueFront(victim);
+}
+
+TimeNs
+Engine::ensureWithPreemption(RunReport &report)
+{
+    while (true) {
+        auto result = backend_->ensure(activeLens());
+        if (result.isOk()) {
+            return result.value();
+        }
+        panic_if(result.code() != ErrorCode::kOutOfMemory,
+                 "backend ensure failed: ", result.status().message());
+        panic_if(running_.empty(),
+                 "a single request exceeds the KV budget");
+        preemptOne();
+        ++report.preemptions;
+    }
+}
+
+void
+Engine::finishRequest(Request *request, RunReport &report)
+{
+    backend_->freeSlot(request->slot);
+    request->slot = -1;
+    request->state = Request::State::kFinished;
+    request->finish_ns = clock_.now();
+    report.addRequest(*request);
+    running_.erase(std::find(running_.begin(), running_.end(), request));
+}
+
+i64
+Engine::maxBlocksInBatch() const
+{
+    if (block_size_ == 0) {
+        return 0;
+    }
+    i64 max_blocks = 0;
+    for (const Request *request : running_) {
+        max_blocks = std::max(
+            max_blocks, static_cast<i64>(ceilDiv(
+                            static_cast<u64>(request->contextLen()),
+                            static_cast<u64>(block_size_))));
+    }
+    return max_blocks;
+}
+
+i64
+Engine::totalBlocksInBatch() const
+{
+    if (block_size_ == 0) {
+        return 0;
+    }
+    i64 total = 0;
+    for (const Request *request : running_) {
+        total += static_cast<i64>(
+            ceilDiv(static_cast<u64>(request->contextLen()),
+                    static_cast<u64>(block_size_)));
+    }
+    return total;
+}
+
+void
+Engine::runPrefillIteration(std::vector<Request *> prompts,
+                            RunReport &report)
+{
+    for (Request *request : prompts) {
+        auto slot = backend_->allocSlot();
+        panic_if(!slot.isOk(), "allocSlot failed after canAdmit");
+        request->slot = slot.value();
+        request->state = Request::State::kRunning;
+        if (request->first_scheduled_ns == 0) {
+            request->first_scheduled_ns = clock_.now();
+        }
+        running_.push_back(request);
+    }
+
+    const TimeNs mem_ns = ensureWithPreemption(report);
+
+    i64 prefill_tokens = 0;
+    TimeNs attn_ns = 0;
+    i64 new_blocks = 0;
+    for (const Request *request : prompts) {
+        if (request->state != Request::State::kRunning) {
+            continue; // preempted while ensuring memory
+        }
+        prefill_tokens += request->prompt_tokens;
+        attn_ns += kernel_.prefillAttention(config_.backend,
+                                            request->prompt_tokens);
+        if (block_size_ > 0) {
+            new_blocks += static_cast<i64>(
+                ceilDiv(static_cast<u64>(request->prompt_tokens),
+                        static_cast<u64>(block_size_)));
+        }
+    }
+    const TimeNs linear_ns = kernel_.prefillLinear(prefill_tokens);
+    const TimeNs comm_ns = kernel_.commTime(prefill_tokens);
+    const TimeNs gpu_ns = attn_ns + linear_ns + comm_ns;
+    const TimeNs cpu_ns = overhead_.prefillCpu(
+        config_.backend, static_cast<i64>(prompts.size()), new_blocks);
+
+    backend_->computeWindow(gpu_ns);
+
+    const TimeNs start = clock_.now();
+    clock_.advance(mem_ns + gpu_ns + cpu_ns);
+    ++report.prefill_iterations;
+    report.peak_batch =
+        std::max(report.peak_batch, static_cast<i64>(running_.size()));
+    if (config_.record_iterations) {
+        report.iterations.push_back(IterationRecord{
+            start, clock_.now() - start, true,
+            static_cast<i64>(prompts.size()), mem_ns, 0});
+    }
+
+    // The prefill emits each prompt's first output token.
+    for (Request *request : prompts) {
+        // The request may have been preempted during ensure; skip it.
+        if (request->state != Request::State::kRunning) {
+            continue;
+        }
+        request->prefill_done_ns = clock_.now();
+        request->generated = 1;
+        if (request->done() ||
+            request->contextLen() >= config_.model.max_context_len) {
+            finishRequest(request, report);
+        }
+    }
+}
+
+void
+Engine::runDecodeIteration(RunReport &report)
+{
+    const TimeNs mem_ns = ensureWithPreemption(report);
+    const i64 batch = static_cast<i64>(running_.size());
+    if (batch == 0) {
+        return; // everything got preempted (pathological budget)
+    }
+
+    i64 total_kv = 0;
+    for (const Request *request : running_) {
+        total_kv += request->contextLen();
+    }
+
+    const TimeNs gpu_ns = kernel_.decodeLinear(batch) +
+                          kernel_.decodeAttention(config_.backend,
+                                                  total_kv) +
+                          kernel_.commTime(batch);
+    const TimeNs cpu_ns = overhead_.decodeCpu(
+        config_.backend, batch, maxBlocksInBatch(),
+        totalBlocksInBatch());
+
+    backend_->computeWindow(gpu_ns);
+
+    const TimeNs start = clock_.now();
+    clock_.advance(mem_ns + gpu_ns + cpu_ns);
+    ++report.decode_iterations;
+    report.peak_batch = std::max(report.peak_batch, batch);
+    if (config_.record_iterations) {
+        i64 groups = 0;
+        if (vattn_backend_) {
+            groups = vattn_backend_->lastStep().handles_mapped;
+        }
+        report.iterations.push_back(IterationRecord{
+            start, clock_.now() - start, false, batch, mem_ns, groups});
+    }
+
+    // Each running request produced one token.
+    std::vector<Request *> finished;
+    for (Request *request : running_) {
+        ++request->generated;
+        if (request->done() ||
+            request->contextLen() >= config_.model.max_context_len) {
+            finished.push_back(request);
+        }
+    }
+    for (Request *request : finished) {
+        finishRequest(request, report);
+    }
+}
+
+RunReport
+Engine::run(std::vector<Request> trace)
+{
+    RunReport report;
+    if (trace.empty()) {
+        return report;
+    }
+
+    std::vector<Request *> by_arrival;
+    by_arrival.reserve(trace.size());
+    for (Request &request : trace) {
+        by_arrival.push_back(&request);
+    }
+    std::stable_sort(by_arrival.begin(), by_arrival.end(),
+                     [](const Request *a, const Request *b) {
+                         return a->arrival_ns < b->arrival_ns;
+                     });
+
+    std::size_t next_arrival = 0;
+    std::size_t finished = 0;
+    while (finished < trace.size()) {
+        admitArrivals(by_arrival, next_arrival);
+
+        if (running_.empty() && !scheduler_.hasWaiting()) {
+            panic_if(next_arrival >= by_arrival.size(),
+                     "engine idle with unfinished requests");
+            clock_.advanceTo(by_arrival[next_arrival]->arrival_ns);
+            continue;
+        }
+
+        auto prompts = scheduler_.pickPrefillBatch(
+            static_cast<int>(running_.size()),
+            [&](const Request &request) {
+                return backend_->canAdmit(request.prompt_tokens);
+            });
+
+        const i64 finished_before = report.num_requests;
+        if (!prompts.empty()) {
+            runPrefillIteration(std::move(prompts), report);
+        } else if (!running_.empty()) {
+            runDecodeIteration(report);
+        } else {
+            fatal("head-of-queue request (",
+                  scheduler_.numWaiting(),
+                  " waiting) can never be admitted: prompt exceeds "
+                  "the KV budget");
+        }
+        finished += static_cast<std::size_t>(report.num_requests -
+                                             finished_before);
+    }
+
+    report.makespan_ns = clock_.now();
+    return report;
+}
+
+Engine::DecodeRun
+Engine::decodeOnly(int batch, i64 initial_ctx, int iterations)
+{
+    return decodeOnlyVaried(
+        std::vector<i64>(static_cast<std::size_t>(batch), initial_ctx),
+        iterations);
+}
+
+Engine::DecodeRun
+Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
+                         int iterations)
+{
+    RunReport scratch;
+    const int batch = static_cast<int>(initial_ctx.size());
+    // Stand the batch up (untimed setup).
+    std::vector<Request> requests(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+        auto &request = requests[static_cast<std::size_t>(i)];
+        request.id = static_cast<u64>(i);
+        request.prompt_tokens = initial_ctx[static_cast<std::size_t>(i)];
+        request.max_new_tokens = iterations + 2;
+        auto slot = backend_->allocSlot();
+        panic_if(!slot.isOk(), "decodeOnly: batch does not fit: ",
+                 slot.status().message());
+        request.slot = slot.value();
+        request.state = Request::State::kRunning;
+        request.generated = 1;
+        running_.push_back(&request);
+    }
+    // Untimed prefill backing; preempts (drops) tail requests if the
+    // whole batch cannot fit, exactly like the serving loop would.
+    ensureWithPreemption(scratch);
+
+    DecodeRun result;
+    const TimeNs t0 = clock_.now();
+    const u64 bytes0 = backend_->bytesInUse();
+    const bool record = config_.record_iterations;
+    i64 tokens = 0;
+    for (int i = 0; i < iterations; ++i) {
+        const TimeNs iter_start = clock_.now();
+        runDecodeIteration(scratch);
+        tokens += static_cast<i64>(running_.size());
+        const double ms =
+            SimClock::toMillis(clock_.now() - iter_start);
+        result.iter_ms.add(ms);
+        if (record && !scratch.iterations.empty()) {
+            result.iterations.push_back(scratch.iterations.back());
+        }
+    }
+    const double elapsed_s = SimClock::toSeconds(clock_.now() - t0);
+    result.tokens_per_second =
+        static_cast<double>(tokens) / elapsed_s;
+    const u64 bytes1 = backend_->bytesInUse();
+    result.alloc_bytes_per_second =
+        bytes1 > bytes0 ? static_cast<double>(bytes1 - bytes0) *
+                              config_.tp / elapsed_s
+                        : 0.0;
+    result.mean_iter_ms = result.iter_ms.mean();
+    result.effective_batch = static_cast<i64>(running_.size());
+    result.preemptions = scratch.preemptions;
+
+    // Tear the batch down; drop any requests preemption pushed back
+    // into the queue (they point into this frame's storage).
+    while (!running_.empty()) {
+        Request *request = running_.back();
+        running_.pop_back();
+        backend_->freeSlot(request->slot);
+    }
+    scheduler_.clearWaiting();
+    return result;
+}
+
+Engine::PrefillRun
+Engine::prefillOnce(i64 ctx)
+{
+    auto slot = backend_->allocSlot();
+    panic_if(!slot.isOk(), "prefillOnce: no slot available");
+
+    PrefillRun result;
+    ActiveLens active{{slot.value(), ctx}};
+    auto mem = backend_->ensure(active);
+    panic_if(!mem.isOk(), "prefillOnce: prompt does not fit");
+    result.mem_ns = mem.value();
+    result.attention_ns = kernel_.prefillAttention(config_.backend, ctx);
+    result.linear_ns = kernel_.prefillLinear(ctx);
+    result.comm_ns = kernel_.commTime(ctx);
+    i64 new_blocks = 0;
+    if (block_size_ > 0) {
+        new_blocks = static_cast<i64>(ceilDiv(
+            static_cast<u64>(ctx), static_cast<u64>(block_size_)));
+    }
+    result.cpu_ns = overhead_.prefillCpu(config_.backend, 1, new_blocks);
+    result.total_ns = result.mem_ns + result.attention_ns +
+                      result.linear_ns + result.comm_ns + result.cpu_ns;
+
+    backend_->computeWindow(result.attention_ns + result.linear_ns);
+    clock_.advance(result.total_ns);
+    backend_->freeSlot(slot.value());
+    return result;
+}
+
+} // namespace vattn::serving

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The serving engine: continuous-batching event loop over a virtual
+ * clock, combining the memory backend (paged or vAttention), the
+ * roofline kernel model and the CPU overhead model. One Engine models
+ * one model replica (TP workers behave identically and advance in
+ * lockstep, so a single simulated worker carries the per-worker state
+ * while kernel times account for the TP split).
+ */
+
+#ifndef VATTN_SERVING_ENGINE_HH
+#define VATTN_SERVING_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/sim_clock.hh"
+#include "perf/backend_kind.hh"
+#include "perf/gpu_spec.hh"
+#include "perf/kernel_model.hh"
+#include "perf/model_spec.hh"
+#include "perf/overhead_model.hh"
+#include "serving/memory_backend.hh"
+#include "serving/metrics.hh"
+#include "serving/scheduler.hh"
+#include "serving/vattn_backend.hh"
+#include "serving/workload.hh"
+
+namespace vattn::serving
+{
+
+/** Everything needed to stand up one serving deployment. */
+struct EngineConfig
+{
+    perf::ModelSpec model = perf::ModelSpec::yi6B();
+    perf::GpuSpec gpu = perf::GpuSpec::a100();
+    int tp = 1;
+    perf::BackendKind backend = perf::BackendKind::kFa2VAttention;
+
+    /** vLLM-style memory split: KV gets util * mem - weights -
+     *  activation reserve (per worker). */
+    double gpu_mem_util = 0.90;
+    u64 activation_reserve_bytes = 2 * GiB;
+    /** Non-zero overrides the computed per-worker KV budget. */
+    u64 kv_budget_override = 0;
+
+    VAttentionBackend::Options vattn = {};
+    Scheduler::Config scheduler = {};
+    bool record_iterations = false;
+
+    /** Per-worker KV pool size implied by the settings above. */
+    u64 kvBudgetPerWorker() const;
+};
+
+/** One model replica under simulation. */
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config);
+
+    /** Serve a whole trace (offline or online per arrival times). */
+    RunReport run(std::vector<Request> trace);
+
+    // ---- Microbenchmark entry points ----------------------------------
+
+    struct DecodeRun
+    {
+        double tokens_per_second = 0;
+        double alloc_bytes_per_second = 0; ///< KV commit rate, all workers
+        double mean_iter_ms = 0;
+        /** Requests still running at the end; smaller than the asked
+         *  batch when the KV budget forced preemptions (vLLM-style). */
+        i64 effective_batch = 0;
+        u64 preemptions = 0;
+        Percentiles iter_ms;
+        std::vector<IterationRecord> iterations;
+    };
+
+    /** Figure 4/8 style run: @p batch requests at @p initial_ctx
+     *  context, timed for @p iterations decode steps (prefill is
+     *  performed but not timed). */
+    DecodeRun decodeOnly(int batch, i64 initial_ctx, int iterations);
+
+    /** Same, with per-request initial contexts (Figure 12 staggers
+     *  page-group boundary crossings across the batch). */
+    DecodeRun decodeOnlyVaried(const std::vector<i64> &initial_ctx,
+                               int iterations);
+
+    struct PrefillRun
+    {
+        TimeNs total_ns = 0;
+        TimeNs attention_ns = 0;
+        TimeNs linear_ns = 0;
+        TimeNs mem_ns = 0; ///< critical-path allocation
+        TimeNs cpu_ns = 0;
+        TimeNs comm_ns = 0;
+    };
+
+    /** Prefill a single fresh request of @p ctx tokens and release it
+     *  (completion path honours deferred reclamation, so back-to-back
+     *  calls reproduce the Figure 13 reuse behaviour). */
+    PrefillRun prefillOnce(i64 ctx);
+
+    // ---- Introspection -------------------------------------------------
+
+    const EngineConfig &config() const { return config_; }
+    const perf::KernelModel &kernelModel() const { return kernel_; }
+    const perf::OverheadModel &overheadModel() const { return overhead_; }
+    MemoryBackend &backend() { return *backend_; }
+    /** Non-null when the backend is vAttention. */
+    VAttentionBackend *vattnBackend() { return vattn_backend_; }
+    SimClock &clock() { return clock_; }
+
+  private:
+    struct Running
+    {
+        Request *request;
+    };
+
+    void admitArrivals(const std::vector<Request *> &by_arrival,
+                       std::size_t &next_arrival);
+    ActiveLens activeLens() const;
+    /** ensure() with preemption-on-OOM; returns critical ns. */
+    TimeNs ensureWithPreemption(RunReport &report);
+    void preemptOne();
+    void finishRequest(Request *request, RunReport &report);
+    void runPrefillIteration(std::vector<Request *> prompts,
+                             RunReport &report);
+    void runDecodeIteration(RunReport &report);
+    i64 maxBlocksInBatch() const;
+    i64 totalBlocksInBatch() const;
+
+    EngineConfig config_;
+    perf::KernelModel kernel_;
+    perf::OverheadModel overhead_;
+    std::unique_ptr<MemoryBackend> backend_;
+    VAttentionBackend *vattn_backend_ = nullptr; ///< owned by backend_
+    Scheduler scheduler_;
+    SimClock clock_;
+    std::vector<Request *> running_; ///< admission order
+    i64 block_size_ = 0;             ///< paged back-ends only
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_ENGINE_HH

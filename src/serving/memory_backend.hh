@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The memory-management interface the serving engine programs against.
+ * Two implementations reproduce the paper's comparison:
+ *
+ *  - PagedBackend     : user-space block management (vLLM model; the
+ *    whole KV region is committed up-front, blocks are CPU-side
+ *    bookkeeping, so ensure() never pays driver latency).
+ *  - VAttentionBackend: the paper's system — physical memory is
+ *    committed page-group by page-group through the (simulated) CUDA
+ *    VMM driver, with latency hidden by the §6.1 optimizations.
+ */
+
+#ifndef VATTN_SERVING_MEMORY_BACKEND_HH
+#define VATTN_SERVING_MEMORY_BACKEND_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace vattn::serving
+{
+
+/** (slot, context length) pairs for the active batch. */
+using ActiveLens = std::vector<std::pair<int, i64>>;
+
+/** KV memory manager abstraction used by the engine. */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /** Could a request with this prompt be admitted right now? */
+    virtual bool canAdmit(i64 prompt_tokens) const = 0;
+
+    /** Lease a slot for a new request. */
+    virtual Result<int> allocSlot() = 0;
+
+    /** Release a slot (completion or preemption). */
+    virtual void freeSlot(int slot) = 0;
+
+    /**
+     * Ensure KV backing for the given active lengths before an
+     * iteration; returns the critical-path allocation latency.
+     * kOutOfMemory means the engine must preempt and retry.
+     */
+    virtual Result<TimeNs> ensure(const ActiveLens &active) = 0;
+
+    /** Grant the backend the iteration's compute window for
+     *  background work (no-op for the paged backend). */
+    virtual void computeWindow(TimeNs window_ns) = 0;
+
+    /** Physical KV bytes currently committed to live requests. */
+    virtual u64 bytesInUse() const = 0;
+    /** Total KV bytes this backend may use. */
+    virtual u64 budgetBytes() const = 0;
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_MEMORY_BACKEND_HH

@@ -1,0 +1,51 @@
+#include "serving/metrics.hh"
+
+#include "common/sim_clock.hh"
+
+namespace vattn::serving
+{
+
+double
+RunReport::requestsPerMinute() const
+{
+    if (makespan_ns == 0) {
+        return 0;
+    }
+    return static_cast<double>(num_requests) /
+           (SimClock::toSeconds(makespan_ns) / 60.0);
+}
+
+double
+RunReport::decodeTokensPerSecond() const
+{
+    if (makespan_ns == 0) {
+        return 0;
+    }
+    return static_cast<double>(decode_tokens) /
+           SimClock::toSeconds(makespan_ns);
+}
+
+double
+RunReport::prefillTokensPerSecond() const
+{
+    if (makespan_ns == 0) {
+        return 0;
+    }
+    return static_cast<double>(prompt_tokens) /
+           SimClock::toSeconds(makespan_ns);
+}
+
+void
+RunReport::addRequest(const Request &request)
+{
+    ++num_requests;
+    prompt_tokens += request.prompt_tokens;
+    decode_tokens += request.generated;
+    preemptions += request.preemptions;
+    latency_s.add(SimClock::toSeconds(request.finish_ns -
+                                      request.arrival_ns));
+    ttft_s.add(SimClock::toSeconds(request.prefill_done_ns -
+                                   request.arrival_ns));
+}
+
+} // namespace vattn::serving

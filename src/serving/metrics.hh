@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Run reports: request-level latency distributions (Figure 10),
+ * throughput aggregates (Figures 8-9, 11) and optional per-iteration
+ * traces (Figure 12's latency-spike ablation).
+ */
+
+#ifndef VATTN_SERVING_METRICS_HH
+#define VATTN_SERVING_METRICS_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "serving/request.hh"
+
+namespace vattn::serving
+{
+
+/** One engine iteration, for ablation plots. */
+struct IterationRecord
+{
+    TimeNs start_ns = 0;
+    TimeNs duration_ns = 0;
+    bool is_prefill = false;
+    i64 batch = 0;
+    TimeNs mem_critical_ns = 0; ///< synchronous allocation latency
+    i64 groups_mapped = 0;
+};
+
+/** Result of one engine run. */
+struct RunReport
+{
+    i64 num_requests = 0;
+    TimeNs makespan_ns = 0;
+    i64 prompt_tokens = 0;
+    i64 decode_tokens = 0;
+    i64 decode_iterations = 0;
+    i64 prefill_iterations = 0;
+    u64 preemptions = 0;
+    i64 peak_batch = 0;
+
+    /** End-to-end request latency in seconds (arrival -> finish). */
+    Percentiles latency_s;
+    /** Time to first token in seconds. */
+    Percentiles ttft_s;
+
+    /** Only filled when EngineConfig::record_iterations is set. */
+    std::vector<IterationRecord> iterations;
+
+    double requestsPerMinute() const;
+    double decodeTokensPerSecond() const;
+    double prefillTokensPerSecond() const;
+
+    /** Accumulate a finished request's timestamps. */
+    void addRequest(const Request &request);
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_METRICS_HH

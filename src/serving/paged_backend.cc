@@ -1,0 +1,86 @@
+#include "serving/paged_backend.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::serving
+{
+
+PagedBackend::PagedBackend(const perf::ModelSpec &model, int tp,
+                           i64 block_size, u64 budget_bytes)
+    : bytes_per_block_(model.kvBytesPerTokenPerWorker(tp) *
+                       static_cast<u64>(block_size)),
+      budget_bytes_(budget_bytes),
+      manager_(static_cast<i64>(budget_bytes / bytes_per_block_),
+               block_size)
+{
+}
+
+bool
+PagedBackend::canAdmit(i64 prompt_tokens) const
+{
+    // Reserve one block of headroom per running request so the next
+    // decode iteration cannot immediately OOM (vLLM's watermark).
+    const i64 need = manager_.blocksFor(prompt_tokens) +
+                     static_cast<i64>(slots_.size());
+    return manager_.numFree() >= need;
+}
+
+Result<int>
+PagedBackend::allocSlot()
+{
+    const int slot = next_slot_++;
+    slots_.emplace(slot, paged::RequestBlocks(&manager_));
+    return slot;
+}
+
+void
+PagedBackend::freeSlot(int slot)
+{
+    auto it = slots_.find(slot);
+    panic_if(it == slots_.end(), "freeSlot on unknown slot ", slot);
+    slots_.erase(it); // RequestBlocks dtor releases the blocks
+}
+
+Result<TimeNs>
+PagedBackend::ensure(const ActiveLens &active)
+{
+    for (const auto &[slot, len] : active) {
+        auto it = slots_.find(slot);
+        panic_if(it == slots_.end(), "ensure on unknown slot ", slot);
+        auto status = it->second.ensureTokens(len);
+        if (!status.isOk()) {
+            return Result<TimeNs>(status);
+        }
+    }
+    // Block allocation is CPU-side list manipulation over memory that
+    // was committed at startup: no driver latency on this path.
+    return TimeNs{0};
+}
+
+void
+PagedBackend::computeWindow(TimeNs window_ns)
+{
+    (void)window_ns; // nothing to overlap
+}
+
+u64
+PagedBackend::bytesInUse() const
+{
+    return static_cast<u64>(manager_.numAllocated()) * bytes_per_block_;
+}
+
+u64
+PagedBackend::budgetBytes() const
+{
+    return budget_bytes_;
+}
+
+i64
+PagedBackend::blocksHeld(int slot) const
+{
+    auto it = slots_.find(slot);
+    panic_if(it == slots_.end(), "blocksHeld on unknown slot ", slot);
+    return static_cast<i64>(it->second.blocks().size());
+}
+
+} // namespace vattn::serving

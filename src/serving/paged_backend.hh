@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PagedAttention memory backend: block-granular user-space accounting
+ * over an up-front committed pool, as in vLLM. Block (de)allocation is
+ * pure CPU bookkeeping (its cost lives in perf::OverheadModel); the
+ * fragmentation behaviour — at most block_size-1 wasted tokens per
+ * request — is what Figure 15 compares against page-group rounding.
+ */
+
+#ifndef VATTN_SERVING_PAGED_BACKEND_HH
+#define VATTN_SERVING_PAGED_BACKEND_HH
+
+#include <unordered_map>
+
+#include "paged/block_manager.hh"
+#include "perf/model_spec.hh"
+#include "serving/memory_backend.hh"
+
+namespace vattn::serving
+{
+
+/** Block-managed KV backend (the baseline systems). */
+class PagedBackend : public MemoryBackend
+{
+  public:
+    /**
+     * @param model model architecture (for per-token KV bytes)
+     * @param tp tensor-parallel degree (capacity is per worker)
+     * @param block_size tokens per KV block
+     * @param budget_bytes per-worker KV pool bytes
+     */
+    PagedBackend(const perf::ModelSpec &model, int tp, i64 block_size,
+                 u64 budget_bytes);
+
+    bool canAdmit(i64 prompt_tokens) const override;
+    Result<int> allocSlot() override;
+    void freeSlot(int slot) override;
+    Result<TimeNs> ensure(const ActiveLens &active) override;
+    void computeWindow(TimeNs window_ns) override;
+    u64 bytesInUse() const override;
+    u64 budgetBytes() const override;
+
+    paged::BlockManager &blockManager() { return manager_; }
+    i64 blockSize() const { return manager_.blockSize(); }
+
+    /** Blocks held by one slot (overhead-model inputs). */
+    i64 blocksHeld(int slot) const;
+
+  private:
+    u64 bytes_per_block_;
+    u64 budget_bytes_;
+    paged::BlockManager manager_;
+    std::unordered_map<int, paged::RequestBlocks> slots_;
+    int next_slot_ = 0;
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_PAGED_BACKEND_HH

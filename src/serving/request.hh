@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Inference request lifecycle state shared by the scheduler, memory
+ * back-ends and metrics.
+ */
+
+#ifndef VATTN_SERVING_REQUEST_HH
+#define VATTN_SERVING_REQUEST_HH
+
+#include "common/types.hh"
+
+namespace vattn::serving
+{
+
+/** One inference request flowing through the engine. */
+struct Request
+{
+    enum class State : u8
+    {
+        kPending,  ///< not yet arrived (online traces)
+        kWaiting,  ///< queued, no KV allocated
+        kRunning,  ///< scheduled, holds a backend slot
+        kFinished,
+    };
+
+    u64 id = 0;
+    i64 prompt_tokens = 0;
+    i64 max_new_tokens = 1;
+    TimeNs arrival_ns = 0;
+
+    // Mutable runtime state.
+    State state = State::kPending;
+    i64 generated = 0;
+    int slot = -1;
+    u64 preemptions = 0;
+
+    // Timestamps for metrics.
+    TimeNs first_scheduled_ns = 0;
+    TimeNs prefill_done_ns = 0;
+    TimeNs finish_ns = 0;
+
+    /** Tokens currently in the KV cache. */
+    i64 contextLen() const { return prompt_tokens + generated; }
+    /** Final context length when the request completes. */
+    i64 totalLen() const { return prompt_tokens + max_new_tokens; }
+
+    bool
+    done() const
+    {
+        return generated >= max_new_tokens;
+    }
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_REQUEST_HH

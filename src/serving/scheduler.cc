@@ -1,0 +1,65 @@
+#include "serving/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::serving
+{
+
+Scheduler::Scheduler(Config config)
+    : config_(config)
+{
+    fatal_if(config_.max_num_seqs <= 0, "max_num_seqs must be positive");
+    fatal_if(config_.max_batched_tokens <= 0,
+             "max_batched_tokens must be positive");
+}
+
+void
+Scheduler::enqueue(Request *request)
+{
+    panic_if(!request, "enqueue null request");
+    request->state = Request::State::kWaiting;
+    waiting_.push_back(request);
+}
+
+void
+Scheduler::requeueFront(Request *request)
+{
+    panic_if(!request, "requeue null request");
+    request->state = Request::State::kWaiting;
+    waiting_.push_front(request);
+}
+
+std::vector<Request *>
+Scheduler::pickPrefillBatch(
+    int num_running,
+    const std::function<bool(const Request &)> &can_admit)
+{
+    std::vector<Request *> picked;
+    i64 batched_tokens = 0;
+    while (!waiting_.empty()) {
+        Request *request = waiting_.front();
+        const int total_running =
+            num_running + static_cast<int>(picked.size());
+        if (total_running >= config_.max_num_seqs) {
+            break;
+        }
+        // FCFS: if the head cannot be admitted, nothing behind it may
+        // jump the queue (no head-of-line bypass in vLLM v0.2.7).
+        if (!can_admit(*request)) {
+            break;
+        }
+        // Token budget: the first prompt always fits (alone if huge);
+        // further prompts must not push the batch over the budget.
+        if (!picked.empty() &&
+            batched_tokens + request->prompt_tokens >
+                config_.max_batched_tokens) {
+            break;
+        }
+        waiting_.pop_front();
+        batched_tokens += request->prompt_tokens;
+        picked.push_back(request);
+    }
+    return picked;
+}
+
+} // namespace vattn::serving

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * FCFS continuous-batching scheduler (the vLLM v0.2.7 policy used as
+ * the common harness in §7): prefills are prioritized whenever waiting
+ * requests fit in memory, multiple prompts share a prefill iteration
+ * up to a token budget, and decodes run the whole running set. On OOM
+ * the most recently admitted request is preempted with recomputation.
+ */
+
+#ifndef VATTN_SERVING_SCHEDULER_HH
+#define VATTN_SERVING_SCHEDULER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "serving/request.hh"
+
+namespace vattn::serving
+{
+
+/** Waiting-queue and admission policy. */
+class Scheduler
+{
+  public:
+    struct Config
+    {
+        /** Max concurrently running requests (vLLM max_num_seqs). */
+        int max_num_seqs = 256;
+        /** Prefill token budget per iteration
+         *  (vLLM max_num_batched_tokens; single prompts larger than
+         *  the budget still run alone). */
+        i64 max_batched_tokens = 32768;
+    };
+
+    explicit Scheduler(Config config);
+
+    /** Add an arrived request to the back of the FCFS queue. */
+    void enqueue(Request *request);
+
+    /** Put a preempted request back at the front. */
+    void requeueFront(Request *request);
+
+    bool hasWaiting() const { return !waiting_.empty(); }
+    std::size_t numWaiting() const { return waiting_.size(); }
+    /** Drop everything queued (microbenchmark teardown). */
+    void clearWaiting() { waiting_.clear(); }
+
+    /**
+     * Pick the prompts for the next prefill iteration: FCFS order,
+     * gated by @p can_admit (memory) and the token/seq budgets.
+     * Picked requests are removed from the queue.
+     */
+    std::vector<Request *>
+    pickPrefillBatch(int num_running,
+                     const std::function<bool(const Request &)> &can_admit);
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+    std::deque<Request *> waiting_;
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_SCHEDULER_HH

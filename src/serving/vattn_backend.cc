@@ -1,0 +1,99 @@
+#include "serving/vattn_backend.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::serving
+{
+
+VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
+                                     int tp, u64 budget_bytes)
+    : VAttentionBackend(model, tp, budget_bytes, Options{})
+{
+}
+
+VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
+                                     int tp, u64 budget_bytes,
+                                     Options options)
+{
+    gpu::GpuDevice::Config dev_config;
+    dev_config.name = "simGPU-worker0";
+    // The device needs room for the KV budget; weights/activations are
+    // modelled by the budget split in the engine, not materialized.
+    dev_config.mem_bytes = roundUp(budget_bytes + 64 * MiB, 2 * MiB);
+    device_ = std::make_unique<gpu::GpuDevice>(dev_config);
+    driver_ = std::make_unique<cuvmm::Driver>(*device_);
+
+    core::Config config;
+    config.num_layers = model.num_layers;
+    config.num_kv_heads = model.kvHeadsPerWorker(tp);
+    config.head_dim = model.head_dim;
+    config.bytes_per_elem = model.bytes_per_elem;
+    config.max_batch_size = options.max_batch_size;
+    config.max_context_len = model.max_context_len;
+    config.page_group = options.page_group;
+    config.use_driver_extension =
+        options.page_group != PageGroup::k2MB;
+    config.tensor_slicing = options.tensor_slicing;
+    config.deferred_reclamation = options.deferred_reclamation;
+    config.eager_allocation = options.eager_allocation;
+    config.overlap_allocation = options.overlap_allocation;
+    config.phys_budget_bytes = budget_bytes;
+    config.validate().expectOk("vAttention backend config");
+
+    runtime_ = std::make_unique<core::VAttention>(*driver_, config);
+    seq_lens_.assign(static_cast<std::size_t>(options.max_batch_size),
+                     0);
+}
+
+bool
+VAttentionBackend::canAdmit(i64 prompt_tokens) const
+{
+    return runtime_->canAllocate(prompt_tokens);
+}
+
+Result<int>
+VAttentionBackend::allocSlot()
+{
+    return runtime_->allocReqId();
+}
+
+void
+VAttentionBackend::freeSlot(int slot)
+{
+    seq_lens_[static_cast<std::size_t>(slot)] = 0;
+    runtime_->freeReqId(slot).expectOk("freeReqId");
+}
+
+Result<TimeNs>
+VAttentionBackend::ensure(const ActiveLens &active)
+{
+    std::fill(seq_lens_.begin(), seq_lens_.end(), 0);
+    for (const auto &[slot, len] : active) {
+        seq_lens_[static_cast<std::size_t>(slot)] = len;
+    }
+    last_step_ = runtime_->step(seq_lens_);
+    if (!last_step_.status.isOk()) {
+        return Result<TimeNs>(last_step_.status);
+    }
+    return last_step_.critical_ns;
+}
+
+void
+VAttentionBackend::computeWindow(TimeNs window_ns)
+{
+    runtime_->computePhase(window_ns);
+}
+
+u64
+VAttentionBackend::bytesInUse() const
+{
+    return runtime_->physBytesMapped();
+}
+
+u64
+VAttentionBackend::budgetBytes() const
+{
+    return runtime_->budgetBytes();
+}
+
+} // namespace vattn::serving

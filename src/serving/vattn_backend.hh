@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The vAttention memory backend: owns a simulated GPU device, a VMM
+ * driver instance and the core::VAttention runtime, and adapts them to
+ * the engine's MemoryBackend interface. ensure() forwards to the
+ * Table-4 step() API; computeWindow() drives the background-allocation
+ * model (§6.1.1).
+ */
+
+#ifndef VATTN_SERVING_VATTN_BACKEND_HH
+#define VATTN_SERVING_VATTN_BACKEND_HH
+
+#include <memory>
+
+#include "core/vattention.hh"
+#include "cuvmm/driver.hh"
+#include "gpu/device.hh"
+#include "perf/model_spec.hh"
+#include "serving/memory_backend.hh"
+
+namespace vattn::serving
+{
+
+/** vAttention-managed KV backend (the paper's system). */
+class VAttentionBackend : public MemoryBackend
+{
+  public:
+    struct Options
+    {
+        PageGroup page_group = PageGroup::k2MB;
+        bool tensor_slicing = false;
+        bool deferred_reclamation = true;
+        bool eager_allocation = true;
+        bool overlap_allocation = true;
+        int max_batch_size = 256;
+    };
+
+    /**
+     * @param model model architecture
+     * @param tp tensor-parallel degree (one worker is simulated; all
+     *        workers behave identically, §5.3)
+     * @param budget_bytes per-worker physical KV budget
+     */
+    VAttentionBackend(const perf::ModelSpec &model, int tp,
+                      u64 budget_bytes);
+    VAttentionBackend(const perf::ModelSpec &model, int tp,
+                      u64 budget_bytes, Options options);
+
+    bool canAdmit(i64 prompt_tokens) const override;
+    Result<int> allocSlot() override;
+    void freeSlot(int slot) override;
+    Result<TimeNs> ensure(const ActiveLens &active) override;
+    void computeWindow(TimeNs window_ns) override;
+    u64 bytesInUse() const override;
+    u64 budgetBytes() const override;
+
+    core::VAttention &runtime() { return *runtime_; }
+    const core::VAttention &runtime() const { return *runtime_; }
+    cuvmm::Driver &driver() { return *driver_; }
+    gpu::GpuDevice &device() { return *device_; }
+
+    /** Result of the most recent ensure() (for iteration traces). */
+    const core::StepStats &lastStep() const { return last_step_; }
+
+  private:
+    std::unique_ptr<gpu::GpuDevice> device_;
+    std::unique_ptr<cuvmm::Driver> driver_;
+    std::unique_ptr<core::VAttention> runtime_;
+    std::vector<i64> seq_lens_;
+    core::StepStats last_step_;
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_VATTN_BACKEND_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic workload traces matched to the published statistics of the
+ * paper's evaluation datasets (we do not have the original traces):
+ *
+ *  - arXiv-Summarization offline (§7.3): 427 requests, total context
+ *    64K-192K tokens, 17-5153 output tokens, mean P:D ratio 356.
+ *  - arXiv-Summarization online (§7.4): 512 requests, input 22K-45K
+ *    (mean 29K), 6-3250 decode tokens (mean 348), Poisson arrivals.
+ *  - OpenChat-like dynamic chat trace (§7.6.3): short mixed prompts at
+ *    7 queries per second, used for the max-batch-size study.
+ *
+ * All generators are deterministic given the seed.
+ */
+
+#ifndef VATTN_SERVING_WORKLOAD_HH
+#define VATTN_SERVING_WORKLOAD_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "serving/request.hh"
+
+namespace vattn::serving
+{
+
+/** Aggregate statistics of a trace (for tests and reports). */
+struct TraceStats
+{
+    i64 num_requests = 0;
+    i64 min_prompt = 0;
+    i64 max_prompt = 0;
+    double mean_prompt = 0;
+    i64 min_decode = 0;
+    i64 max_decode = 0;
+    double mean_decode = 0;
+    double mean_pd_ratio = 0; ///< prompt:decode token ratio
+};
+
+TraceStats computeStats(const std::vector<Request> &trace);
+
+/** §7.3 offline long-context summarization trace. */
+std::vector<Request> arxivOfflineTrace(int n = 427, u64 seed = 1);
+
+/** §7.4 online summarization trace (arrivals not yet assigned). */
+std::vector<Request> arxivOnlineTrace(int n = 512, u64 seed = 2);
+
+/** §7.6.3 chat-style short-context trace. */
+std::vector<Request> openChatTrace(int n = 2000, u64 seed = 3);
+
+/** Assign Poisson arrival times at @p qps queries/second. */
+void assignPoissonArrivals(std::vector<Request> &trace, double qps,
+                           u64 seed = 7);
+
+/** Mark every request as arriving at t=0 (offline scenario). */
+void assignOfflineArrivals(std::vector<Request> &trace);
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_WORKLOAD_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Element types supported by the tensor layer. The paper's evaluation
+ * uses FP16 KV caches (P = 2, Table 2); FP32 is provided for reference
+ * kernels and tests.
+ */
+
+#ifndef VATTN_TENSOR_DTYPE_HH
+#define VATTN_TENSOR_DTYPE_HH
+
+#include "common/types.hh"
+
+namespace vattn::tensor
+{
+
+enum class DType : u8
+{
+    kF16,
+    kF32,
+};
+
+constexpr u64
+dtypeBytes(DType dt)
+{
+    switch (dt) {
+      case DType::kF16: return 2;
+      case DType::kF32: return 4;
+    }
+    return 0;
+}
+
+constexpr const char *
+toString(DType dt)
+{
+    switch (dt) {
+      case DType::kF16: return "f16";
+      case DType::kF32: return "f32";
+    }
+    return "?";
+}
+
+} // namespace vattn::tensor
+
+#endif // VATTN_TENSOR_DTYPE_HH

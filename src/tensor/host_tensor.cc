@@ -1,0 +1,76 @@
+#include "tensor/host_tensor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vattn::tensor
+{
+
+HostTensor::HostTensor(const Shape &shape)
+    : shape_(shape), layout_(Layout::contiguous(shape)),
+      data_(static_cast<std::size_t>(shape.numel()), 0.0f)
+{
+}
+
+float &
+HostTensor::at(std::initializer_list<i64> idx)
+{
+    return data_[static_cast<std::size_t>(layout_.at(idx))];
+}
+
+float
+HostTensor::at(std::initializer_list<i64> idx) const
+{
+    return data_[static_cast<std::size_t>(layout_.at(idx))];
+}
+
+float *
+HostTensor::row(std::initializer_list<i64> idx)
+{
+    // Index a prefix of the dimensions; remaining dims give the row.
+    i64 off = 0;
+    int i = 0;
+    for (i64 v : idx) {
+        panic_if(i >= shape_.rank(), "row index rank too large");
+        panic_if(v < 0 || v >= shape_.dim(i), "row index out of bounds");
+        off += v * layout_.strides[static_cast<std::size_t>(i)];
+        ++i;
+    }
+    return data_.data() + off;
+}
+
+const float *
+HostTensor::row(std::initializer_list<i64> idx) const
+{
+    return const_cast<HostTensor *>(this)->row(idx);
+}
+
+void
+HostTensor::fill(float value)
+{
+    for (float &x : data_) {
+        x = value;
+    }
+}
+
+void
+HostTensor::fillRandom(Rng &rng, float lo, float hi)
+{
+    for (float &x : data_) {
+        x = static_cast<float>(rng.uniform(lo, hi));
+    }
+}
+
+float
+HostTensor::maxAbsDiff(const HostTensor &other) const
+{
+    panic_if(!(shape_ == other.shape_), "shape mismatch in maxAbsDiff");
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+    }
+    return worst;
+}
+
+} // namespace vattn::tensor

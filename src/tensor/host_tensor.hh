@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Owning host-side fp32 tensor for kernel inputs/outputs (queries,
+ * attention outputs, reference results).
+ */
+
+#ifndef VATTN_TENSOR_HOST_TENSOR_HH
+#define VATTN_TENSOR_HOST_TENSOR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/shape.hh"
+
+namespace vattn::tensor
+{
+
+/** Dense row-major fp32 tensor in host memory. */
+class HostTensor
+{
+  public:
+    HostTensor() = default;
+    explicit HostTensor(const Shape &shape);
+
+    const Shape &shape() const { return shape_; }
+    i64 numel() const { return shape_.numel(); }
+
+    float &at(std::initializer_list<i64> idx);
+    float at(std::initializer_list<i64> idx) const;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Pointer to the row at the given leading indices. */
+    float *row(std::initializer_list<i64> idx);
+    const float *row(std::initializer_list<i64> idx) const;
+
+    void fill(float value);
+    void fillRandom(Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+    /** Largest absolute difference against another tensor. */
+    float maxAbsDiff(const HostTensor &other) const;
+
+  private:
+    Shape shape_;
+    Layout layout_;
+    std::vector<float> data_;
+};
+
+} // namespace vattn::tensor
+
+#endif // VATTN_TENSOR_HOST_TENSOR_HH

@@ -1,0 +1,183 @@
+#include "tensor/shape.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vattn::tensor
+{
+
+Shape::Shape(std::initializer_list<i64> dims)
+{
+    panic_if(dims.size() > kMaxDims, "too many dimensions");
+    for (i64 d : dims) {
+        panic_if(d <= 0, "non-positive dimension ", d);
+        dims_[static_cast<std::size_t>(rank_++)] = d;
+    }
+}
+
+i64
+Shape::dim(int i) const
+{
+    panic_if(i < 0 || i >= rank_, "dim index ", i, " out of rank ", rank_);
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+i64
+Shape::numel() const
+{
+    i64 n = 1;
+    for (int i = 0; i < rank_; ++i) {
+        n *= dims_[static_cast<std::size_t>(i)];
+    }
+    return rank_ == 0 ? 0 : n;
+}
+
+std::array<i64, Shape::kMaxDims>
+Shape::contiguousStrides() const
+{
+    std::array<i64, kMaxDims> strides{};
+    i64 acc = 1;
+    for (int i = rank_ - 1; i >= 0; --i) {
+        strides[static_cast<std::size_t>(i)] = acc;
+        acc *= dims_[static_cast<std::size_t>(i)];
+    }
+    return strides;
+}
+
+bool
+Shape::operator==(const Shape &o) const
+{
+    if (rank_ != o.rank_) {
+        return false;
+    }
+    for (int i = 0; i < rank_; ++i) {
+        if (dim(i) != o.dim(i)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (int i = 0; i < rank_; ++i) {
+        oss << (i ? ", " : "") << dim(i);
+    }
+    oss << "]";
+    return oss.str();
+}
+
+Layout
+Layout::contiguous(const Shape &shape)
+{
+    Layout layout;
+    layout.shape = shape;
+    layout.strides = shape.contiguousStrides();
+    layout.offset = 0;
+    return layout;
+}
+
+i64
+Layout::at(const i64 *idx, int n) const
+{
+    panic_if(n != shape.rank(), "index rank ", n, " != tensor rank ",
+             shape.rank());
+    i64 off = offset;
+    for (int i = 0; i < n; ++i) {
+        panic_if(idx[i] < 0 || idx[i] >= shape.dim(i),
+                 "index ", idx[i], " out of bounds for dim ", i,
+                 " of size ", shape.dim(i));
+        off += idx[i] * strides[static_cast<std::size_t>(i)];
+    }
+    return off;
+}
+
+i64
+Layout::at(std::initializer_list<i64> idx) const
+{
+    return at(idx.begin(), static_cast<int>(idx.size()));
+}
+
+bool
+Layout::isContiguous() const
+{
+    if (offset != 0) {
+        return false;
+    }
+    const auto expect = shape.contiguousStrides();
+    for (int i = 0; i < shape.rank(); ++i) {
+        if (strides[static_cast<std::size_t>(i)] !=
+            expect[static_cast<std::size_t>(i)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Layout
+Layout::slice(int dim, i64 start, i64 len) const
+{
+    panic_if(dim < 0 || dim >= shape.rank(), "slice dim out of range");
+    panic_if(start < 0 || len <= 0 || start + len > shape.dim(dim),
+             "slice [", start, ", ", start + len, ") out of dim size ",
+             shape.dim(dim));
+    Layout out = *this;
+    out.offset += start * strides[static_cast<std::size_t>(dim)];
+    // Rebuild the shape with the new dim size.
+    std::array<i64, Shape::kMaxDims> dims{};
+    for (int i = 0; i < shape.rank(); ++i) {
+        dims[static_cast<std::size_t>(i)] = shape.dim(i);
+    }
+    dims[static_cast<std::size_t>(dim)] = len;
+    Shape new_shape;
+    switch (shape.rank()) {
+      case 1: new_shape = Shape{dims[0]}; break;
+      case 2: new_shape = Shape{dims[0], dims[1]}; break;
+      case 3: new_shape = Shape{dims[0], dims[1], dims[2]}; break;
+      case 4:
+        new_shape = Shape{dims[0], dims[1], dims[2], dims[3]};
+        break;
+      case 5:
+        new_shape = Shape{dims[0], dims[1], dims[2], dims[3], dims[4]};
+        break;
+      default: panic("unsupported rank");
+    }
+    out.shape = new_shape;
+    return out;
+}
+
+Layout
+Layout::squeeze(int dim) const
+{
+    panic_if(dim < 0 || dim >= shape.rank(), "squeeze dim out of range");
+    panic_if(shape.dim(dim) != 1, "squeeze on non-unit dim");
+    Layout out;
+    out.offset = offset;
+    std::array<i64, Shape::kMaxDims> dims{};
+    int r = 0;
+    for (int i = 0; i < shape.rank(); ++i) {
+        if (i == dim) {
+            continue;
+        }
+        dims[static_cast<std::size_t>(r)] = shape.dim(i);
+        out.strides[static_cast<std::size_t>(r)] =
+            strides[static_cast<std::size_t>(i)];
+        ++r;
+    }
+    switch (r) {
+      case 1: out.shape = Shape{dims[0]}; break;
+      case 2: out.shape = Shape{dims[0], dims[1]}; break;
+      case 3: out.shape = Shape{dims[0], dims[1], dims[2]}; break;
+      case 4:
+        out.shape = Shape{dims[0], dims[1], dims[2], dims[3]};
+        break;
+      default: panic("unsupported rank after squeeze");
+    }
+    return out;
+}
+
+} // namespace vattn::tensor

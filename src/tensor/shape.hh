@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tensor shapes and strides (row-major by default) for up to 5
+ * dimensions — enough for the paper's KV layouts: [B, L, H, D] per-layer
+ * tensors (§5.1.3) and the [B, L, N, H, D] tensor-slicing layout (§8.2).
+ */
+
+#ifndef VATTN_TENSOR_SHAPE_HH
+#define VATTN_TENSOR_SHAPE_HH
+
+#include <array>
+#include <initializer_list>
+#include <string>
+
+#include "common/types.hh"
+
+namespace vattn::tensor
+{
+
+/** Fixed-capacity dimension list. */
+class Shape
+{
+  public:
+    static constexpr int kMaxDims = 5;
+
+    Shape() = default;
+    Shape(std::initializer_list<i64> dims);
+
+    int rank() const { return rank_; }
+    i64 dim(int i) const;
+    i64 operator[](int i) const { return dim(i); }
+
+    /** Total element count. */
+    i64 numel() const;
+
+    /** Row-major (C-contiguous) strides in elements. */
+    std::array<i64, kMaxDims> contiguousStrides() const;
+
+    bool operator==(const Shape &o) const;
+
+    std::string toString() const;
+
+  private:
+    int rank_ = 0;
+    std::array<i64, kMaxDims> dims_{};
+};
+
+/**
+ * Strided index calculator: maps an index tuple to a linear element
+ * offset given explicit strides. Views (slices) share storage with the
+ * parent tensor and only change shape/strides/base offset.
+ */
+struct Layout
+{
+    Shape shape;
+    std::array<i64, Shape::kMaxDims> strides{};
+    i64 offset = 0; ///< base offset in elements
+
+    static Layout contiguous(const Shape &shape);
+
+    /** Element offset for an index tuple (rank-checked). */
+    i64 at(std::initializer_list<i64> idx) const;
+    i64 at(const i64 *idx, int n) const;
+
+    /** True iff the layout is dense row-major with offset 0. */
+    bool isContiguous() const;
+
+    /**
+     * Slice dimension @p dim to [start, start+len): same rank,
+     * adjusted offset and dim size.
+     */
+    Layout slice(int dim, i64 start, i64 len) const;
+
+    /** Drop a size-1 dimension. */
+    Layout squeeze(int dim) const;
+};
+
+} // namespace vattn::tensor
+
+#endif // VATTN_TENSOR_SHAPE_HH

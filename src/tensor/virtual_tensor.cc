@@ -1,0 +1,114 @@
+#include "tensor/virtual_tensor.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vattn::tensor
+{
+
+VirtualTensor::VirtualTensor(gpu::GpuDevice *device, Addr base,
+                             Layout layout, DType dtype)
+    : device_(device), base_(base), layout_(layout), dtype_(dtype)
+{
+    panic_if(!device_, "VirtualTensor with null device");
+}
+
+Addr
+VirtualTensor::elemVa(const i64 *idx, int n) const
+{
+    const i64 off = layout_.at(idx, n);
+    return base_ + static_cast<u64>(off) * dtypeBytes(dtype_);
+}
+
+Addr
+VirtualTensor::elemVa(std::initializer_list<i64> idx) const
+{
+    return elemVa(idx.begin(), static_cast<int>(idx.size()));
+}
+
+float
+VirtualTensor::readElem(std::initializer_list<i64> idx) const
+{
+    const Addr va = elemVa(idx);
+    if (dtype_ == DType::kF16) {
+        u16 bits = 0;
+        device_->readVa(va, &bits, sizeof(bits));
+        return fp16BitsToFp32(bits);
+    }
+    float v = 0;
+    device_->readVa(va, &v, sizeof(v));
+    return v;
+}
+
+void
+VirtualTensor::writeElem(std::initializer_list<i64> idx, float value)
+{
+    const Addr va = elemVa(idx);
+    if (dtype_ == DType::kF16) {
+        const u16 bits = fp32ToFp16Bits(value);
+        device_->writeVa(va, &bits, sizeof(bits));
+        return;
+    }
+    device_->writeVa(va, &value, sizeof(value));
+}
+
+void
+VirtualTensor::readRow(const i64 *idx, int n, float *out, i64 count) const
+{
+    const Addr va = elemVa(idx, n);
+    if (dtype_ == DType::kF32) {
+        device_->readVa(va, out, static_cast<u64>(count) * sizeof(float));
+        return;
+    }
+    std::vector<u16> bits(static_cast<std::size_t>(count));
+    device_->readVa(va, bits.data(),
+                    static_cast<u64>(count) * sizeof(u16));
+    for (i64 i = 0; i < count; ++i) {
+        out[i] = fp16BitsToFp32(bits[static_cast<std::size_t>(i)]);
+    }
+}
+
+void
+VirtualTensor::writeRow(const i64 *idx, int n, const float *in, i64 count)
+{
+    const Addr va = elemVa(idx, n);
+    if (dtype_ == DType::kF32) {
+        device_->writeVa(va, in, static_cast<u64>(count) * sizeof(float));
+        return;
+    }
+    std::vector<u16> bits(static_cast<std::size_t>(count));
+    for (i64 i = 0; i < count; ++i) {
+        bits[static_cast<std::size_t>(i)] =
+            fp32ToFp16Bits(in[static_cast<std::size_t>(i)]);
+    }
+    device_->writeVa(va, bits.data(),
+                     static_cast<u64>(count) * sizeof(u16));
+}
+
+VirtualTensor
+VirtualTensor::slice(int dim, i64 start, i64 len) const
+{
+    return VirtualTensor(device_, base_, layout_.slice(dim, start, len),
+                         dtype_);
+}
+
+VirtualTensor
+VirtualTensor::squeeze(int dim) const
+{
+    return VirtualTensor(device_, base_, layout_.squeeze(dim), dtype_);
+}
+
+u64
+VirtualTensor::denseBytes() const
+{
+    return static_cast<u64>(layout_.shape.numel()) * dtypeBytes(dtype_);
+}
+
+bool
+VirtualTensor::fullyBacked() const
+{
+    return device_->pageTable().isAccessible(base_, denseBytes());
+}
+
+} // namespace vattn::tensor

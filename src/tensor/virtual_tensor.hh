@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Virtual tensors (§5.2.2): tensors whose storage is a device *virtual*
+ * address range that may be only partially backed by physical memory.
+ * This is the paper's extension of the framework tensor abstraction —
+ * torch.empty gives you committed memory, a virtual tensor gives you a
+ * reservation that the vAttention runtime backs page-group by
+ * page-group as the KV cache grows.
+ *
+ * Element reads/writes go through the simulated MMU: touching an
+ * unbacked region faults (panics), exactly like a GPU kernel would.
+ */
+
+#ifndef VATTN_TENSOR_VIRTUAL_TENSOR_HH
+#define VATTN_TENSOR_VIRTUAL_TENSOR_HH
+
+#include "common/fp16.hh"
+#include "gpu/device.hh"
+#include "tensor/dtype.hh"
+#include "tensor/shape.hh"
+
+namespace vattn::tensor
+{
+
+/** A (possibly strided) view over a device virtual address range. */
+class VirtualTensor
+{
+  public:
+    VirtualTensor() = default;
+
+    /**
+     * @param device device whose VA space backs the tensor
+     * @param base   starting virtual address (element 0 before offset)
+     * @param layout shape/strides/offset of the view
+     * @param dtype  element type
+     */
+    VirtualTensor(gpu::GpuDevice *device, Addr base, Layout layout,
+                  DType dtype);
+
+    bool valid() const { return device_ != nullptr; }
+    const Shape &shape() const { return layout_.shape; }
+    const Layout &layout() const { return layout_; }
+    DType dtype() const { return dtype_; }
+    Addr baseVa() const { return base_; }
+    gpu::GpuDevice *device() const { return device_; }
+
+    /** Virtual address of the element at the given indices. */
+    Addr elemVa(std::initializer_list<i64> idx) const;
+    Addr elemVa(const i64 *idx, int n) const;
+
+    /** Read one element as fp32 (converting from storage type). */
+    float readElem(std::initializer_list<i64> idx) const;
+    /** Write one element from fp32 (converting to storage type). */
+    void writeElem(std::initializer_list<i64> idx, float value);
+
+    /**
+     * Bulk read of @p count contiguous elements starting at the given
+     * indices (last dimension must be stride-1 across the span).
+     */
+    void readRow(const i64 *idx, int n, float *out, i64 count) const;
+    void writeRow(const i64 *idx, int n, const float *in, i64 count);
+
+    /** Strided slice view (shares the same storage). */
+    VirtualTensor slice(int dim, i64 start, i64 len) const;
+    VirtualTensor squeeze(int dim) const;
+
+    /** Storage footprint of the *dense* shape in bytes. */
+    u64 denseBytes() const;
+
+    /** Is every byte of the dense range physically backed + RW? */
+    bool fullyBacked() const;
+
+  private:
+    gpu::GpuDevice *device_ = nullptr;
+    Addr base_ = 0;
+    Layout layout_;
+    DType dtype_ = DType::kF16;
+};
+
+} // namespace vattn::tensor
+
+#endif // VATTN_TENSOR_VIRTUAL_TENSOR_HH

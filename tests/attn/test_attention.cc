@@ -1,0 +1,219 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "attn/kernels.hh"
+#include "attn/reference.hh"
+#include "common/rng.hh"
+#include "cuvmm/driver.hh"
+#include "test_util.hh"
+
+namespace vattn::attn
+{
+namespace
+{
+
+using tensor::HostTensor;
+using tensor::Shape;
+
+/** Fill host KV + queries with deterministic random data. */
+struct Problem
+{
+    AttnConfig config;
+    i64 kv_len;
+    i64 q_len;
+    HostTensor q;      // [Lq, Hq, D]
+    HostTensor k;      // [L, Hkv, D]
+    HostTensor v;      // [L, Hkv, D]
+
+    Problem(int hq, int hkv, int d, i64 kv_len_in, i64 q_len_in,
+            u64 seed)
+        : config{hq, hkv, d, true, 0.0f}, kv_len(kv_len_in),
+          q_len(q_len_in), q(Shape{q_len_in, hq, d}),
+          k(Shape{kv_len_in, hkv, d}), v(Shape{kv_len_in, hkv, d})
+    {
+        Rng rng(seed);
+        q.fillRandom(rng);
+        k.fillRandom(rng);
+        v.fillRandom(rng);
+    }
+};
+
+TEST(AttnConfig, GqaMapping)
+{
+    AttnConfig config{32, 4, 128, true, 0.0f};
+    EXPECT_EQ(config.kvHeadFor(0), 0);
+    EXPECT_EQ(config.kvHeadFor(7), 0);
+    EXPECT_EQ(config.kvHeadFor(8), 1);
+    EXPECT_EQ(config.kvHeadFor(31), 3);
+    EXPECT_NEAR(config.effectiveScale(), 1.0 / std::sqrt(128.0), 1e-7);
+}
+
+TEST(AttnConfig, ValidationRejectsBadGqa)
+{
+    test::ScopedThrowErrors guard;
+    AttnConfig config{30, 4, 64, true, 0.0f};
+    EXPECT_THROW(config.validate(), SimError);
+}
+
+TEST(Reference, SingleTokenIsIdentityOverV)
+{
+    // With one KV token, attention output must equal that token's V.
+    Problem p(2, 2, 8, 1, 1, 42);
+    HostTensor out(p.q.shape());
+    HostKvView kv(&p.k, &p.v);
+    referencePrefill(p.config, p.q, kv, 1, out);
+    for (int h = 0; h < 2; ++h) {
+        for (int c = 0; c < 8; ++c) {
+            EXPECT_FLOAT_EQ(out.at({0, h, c}), p.v.at({0, h, c}));
+        }
+    }
+}
+
+TEST(Reference, UniformScoresAverageV)
+{
+    // Identical keys => uniform weights => output = mean of V rows.
+    const int d = 4;
+    const i64 len = 6;
+    AttnConfig config{1, 1, d, false, 0.0f};
+    HostTensor q(Shape{1, 1, d});
+    HostTensor k(Shape{len, 1, d});
+    HostTensor v(Shape{len, 1, d});
+    q.fill(0.3f);
+    k.fill(1.0f);
+    for (i64 t = 0; t < len; ++t) {
+        for (int c = 0; c < d; ++c) {
+            v.at({t, 0, c}) = static_cast<float>(t);
+        }
+    }
+    HostTensor out(q.shape());
+    HostKvView kv(&k, &v);
+    referencePrefill(config, q, kv, len, out);
+    for (int c = 0; c < d; ++c) {
+        EXPECT_NEAR(out.at({0, 0, c}), 2.5f, 1e-5f);
+    }
+}
+
+TEST(Reference, CausalMaskLimitsVisibility)
+{
+    // Query at position 0 of a 4-token prefill sees only token 0.
+    Problem p(1, 1, 8, 4, 4, 7);
+    HostTensor out(p.q.shape());
+    HostKvView kv(&p.k, &p.v);
+    referencePrefill(p.config, p.q, kv, 4, out);
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_FLOAT_EQ(out.at({0, 0, c}), p.v.at({0, 0, c}));
+    }
+}
+
+TEST(FlashKernels, MatchesReferencePrefill)
+{
+    Problem p(4, 2, 16, 100, 100, 1234);
+    HostKvView kv(&p.k, &p.v);
+    HostTensor expect(p.q.shape());
+    HostTensor got(p.q.shape());
+    referencePrefill(p.config, p.q, kv, p.kv_len, expect);
+    flashPrefill(p.config, p.q, kv, p.kv_len, got);
+    EXPECT_LT(expect.maxAbsDiff(got), 2e-5f);
+}
+
+TEST(FlashKernels, MatchesReferenceDecode)
+{
+    Problem p(8, 2, 32, 200, 1, 99);
+    HostKvView kv(&p.k, &p.v);
+    HostTensor q(Shape{8, 32});
+    Rng rng(5);
+    q.fillRandom(rng);
+    HostTensor expect(q.shape());
+    HostTensor got(q.shape());
+    referenceDecode(p.config, q, kv, p.kv_len, expect);
+    flashDecode(p.config, q, kv, p.kv_len, got);
+    EXPECT_LT(expect.maxAbsDiff(got), 2e-5f);
+}
+
+TEST(FlashKernels, DecodeEqualsLastPrefillRow)
+{
+    Problem p(4, 4, 16, 75, 75, 31);
+    HostKvView kv(&p.k, &p.v);
+    HostTensor prefill_out(p.q.shape());
+    flashPrefill(p.config, p.q, kv, p.kv_len, prefill_out);
+
+    HostTensor q_last(Shape{4, 16});
+    for (int h = 0; h < 4; ++h) {
+        for (int c = 0; c < 16; ++c) {
+            q_last.at({h, c}) = p.q.at({74, h, c});
+        }
+    }
+    HostTensor decode_out(q_last.shape());
+    flashDecode(p.config, q_last, kv, p.kv_len, decode_out);
+    for (int h = 0; h < 4; ++h) {
+        for (int c = 0; c < 16; ++c) {
+            EXPECT_NEAR(decode_out.at({h, c}),
+                        prefill_out.at({74, h, c}), 2e-5f);
+        }
+    }
+}
+
+TEST(FlashKernels, ChunkedPrefillWithHistory)
+{
+    // Queries occupying the last 10 of 50 positions must match the
+    // corresponding rows of a full 50-token prefill.
+    Problem full(2, 2, 8, 50, 50, 77);
+    HostKvView kv(&full.k, &full.v);
+    HostTensor full_out(full.q.shape());
+    flashPrefill(full.config, full.q, kv, 50, full_out);
+
+    HostTensor tail_q(Shape{10, 2, 8});
+    for (i64 i = 0; i < 10; ++i) {
+        for (int h = 0; h < 2; ++h) {
+            for (int c = 0; c < 8; ++c) {
+                tail_q.at({i, h, c}) = full.q.at({40 + i, h, c});
+            }
+        }
+    }
+    HostTensor tail_out(tail_q.shape());
+    flashPrefill(full.config, tail_q, kv, 50, tail_out);
+    for (i64 i = 0; i < 10; ++i) {
+        for (int h = 0; h < 2; ++h) {
+            for (int c = 0; c < 8; ++c) {
+                EXPECT_NEAR(tail_out.at({i, h, c}),
+                            full_out.at({40 + i, h, c}), 2e-5f);
+            }
+        }
+    }
+}
+
+/**
+ * Property sweep: flash == reference over (Hq, Hkv, D, L) shapes,
+ * including GQA ratios and lengths straddling the tile size.
+ */
+class KernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int, i64>>
+{
+};
+
+TEST_P(KernelEquivalence, FlashMatchesReference)
+{
+    const auto [hq, hkv, d, len] = GetParam();
+    Problem p(hq, hkv, d, len, len, 1000 + static_cast<u64>(len));
+    HostKvView kv(&p.k, &p.v);
+    HostTensor expect(p.q.shape());
+    HostTensor got(p.q.shape());
+    referencePrefill(p.config, p.q, kv, len, expect);
+    flashPrefill(p.config, p.q, kv, len, got);
+    EXPECT_LT(expect.maxAbsDiff(got), 3e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelEquivalence,
+    ::testing::Values(
+        std::make_tuple(1, 1, 8, 5),
+        std::make_tuple(2, 1, 16, 63),   // just under the KV tile
+        std::make_tuple(2, 2, 16, 64),   // exactly one tile
+        std::make_tuple(4, 2, 16, 65),   // straddles tiles
+        std::make_tuple(8, 2, 32, 130),
+        std::make_tuple(8, 1, 8, 200),   // max GQA ratio
+        std::make_tuple(3, 3, 24, 97))); // non-pow2 heads/dim
+
+} // namespace
+} // namespace vattn::attn

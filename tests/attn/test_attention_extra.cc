@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Additional attention-kernel properties: non-causal mode, custom
+ * softmax scale, degenerate lengths, and the prefill/decode
+ * consistency across tile boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attn/kernels.hh"
+#include "attn/reference.hh"
+#include "common/rng.hh"
+
+namespace vattn::attn
+{
+namespace
+{
+
+using tensor::HostTensor;
+using tensor::Shape;
+
+struct Fixture
+{
+    AttnConfig config;
+    HostTensor k;
+    HostTensor v;
+
+    Fixture(int hq, int hkv, int d, i64 len, u64 seed, bool causal,
+            float scale = 0.0f)
+        : config{hq, hkv, d, causal, scale}, k(Shape{len, hkv, d}),
+          v(Shape{len, hkv, d})
+    {
+        Rng rng(seed);
+        k.fillRandom(rng);
+        v.fillRandom(rng);
+    }
+};
+
+TEST(AttnExtra, NonCausalFlashMatchesReference)
+{
+    Fixture f(4, 2, 16, 90, 11, /*causal=*/false);
+    HostKvView kv(&f.k, &f.v);
+    Rng rng(12);
+    HostTensor q(Shape{90, 4, 16});
+    q.fillRandom(rng);
+    HostTensor expect(q.shape());
+    HostTensor got(q.shape());
+    referencePrefill(f.config, q, kv, 90, expect);
+    flashPrefill(f.config, q, kv, 90, got);
+    EXPECT_LT(expect.maxAbsDiff(got), 3e-5f);
+}
+
+TEST(AttnExtra, NonCausalEveryRowSeesEverything)
+{
+    // Without masking, every query attends over the full KV, so a
+    // constant query yields identical rows.
+    Fixture f(1, 1, 8, 40, 21, /*causal=*/false);
+    HostKvView kv(&f.k, &f.v);
+    HostTensor q(Shape{5, 1, 8});
+    q.fill(0.37f);
+    HostTensor out(q.shape());
+    flashPrefill(f.config, q, kv, 40, out);
+    for (i64 i = 1; i < 5; ++i) {
+        for (int c = 0; c < 8; ++c) {
+            EXPECT_FLOAT_EQ(out.at({i, 0, c}), out.at({0, 0, c}));
+        }
+    }
+}
+
+TEST(AttnExtra, CustomScaleChangesResultConsistently)
+{
+    Fixture def(2, 2, 16, 50, 31, true);
+    Fixture sharp(2, 2, 16, 50, 31, true, /*scale=*/2.0f);
+    HostKvView kv_def(&def.k, &def.v);
+    HostKvView kv_sharp(&sharp.k, &sharp.v);
+    Rng rng(32);
+    HostTensor q(Shape{16, 16});
+    q.fillRandom(rng);
+    HostTensor out_def(q.shape());
+    HostTensor out_sharp(q.shape());
+
+    AttnConfig dc = def.config;
+    dc.num_q_heads = 16;
+    dc.num_kv_heads = 2;
+    // Use decode for a single-row comparison.
+    HostTensor q1(Shape{2, 16});
+    q1.fillRandom(rng);
+    HostTensor o1(q1.shape());
+    HostTensor o2(q1.shape());
+    AttnConfig c1{2, 2, 16, true, 0.0f};
+    AttnConfig c2{2, 2, 16, true, 2.0f};
+    flashDecode(c1, q1, kv_def, 50, o1);
+    flashDecode(c2, q1, kv_def, 50, o2);
+    // A sharper scale changes the distribution => different output.
+    EXPECT_GT(o1.maxAbsDiff(o2), 1e-4f);
+    // And flash agrees with reference under the custom scale.
+    HostTensor o3(q1.shape());
+    referenceDecode(c2, q1, kv_def, 50, o3);
+    EXPECT_LT(o2.maxAbsDiff(o3), 3e-5f);
+    (void)out_def;
+    (void)out_sharp;
+    (void)kv_sharp;
+}
+
+TEST(AttnExtra, SingleQueryPrefillEqualsDecode)
+{
+    // A one-token prefill chunk over an existing KV history is
+    // exactly a decode step.
+    Fixture f(4, 2, 16, 77, 41, true);
+    HostKvView kv(&f.k, &f.v);
+    Rng rng(42);
+    HostTensor q3(Shape{1, 4, 16});
+    q3.fillRandom(rng);
+    HostTensor prefill_out(q3.shape());
+    flashPrefill(f.config, q3, kv, 77, prefill_out);
+
+    HostTensor q2(Shape{4, 16});
+    for (int h = 0; h < 4; ++h) {
+        for (int c = 0; c < 16; ++c) {
+            q2.at({h, c}) = q3.at({0, h, c});
+        }
+    }
+    HostTensor decode_out(q2.shape());
+    flashDecode(f.config, q2, kv, 77, decode_out);
+    for (int h = 0; h < 4; ++h) {
+        for (int c = 0; c < 16; ++c) {
+            EXPECT_NEAR(decode_out.at({h, c}),
+                        prefill_out.at({0, h, c}), 2e-5f);
+        }
+    }
+}
+
+/** Decode across KV lengths straddling the tile size. */
+class TileBoundary : public ::testing::TestWithParam<i64>
+{
+};
+
+TEST_P(TileBoundary, FlashDecodeMatchesReference)
+{
+    const i64 len = GetParam();
+    Fixture f(2, 1, 8, len, 1000 + static_cast<u64>(len), true);
+    HostKvView kv(&f.k, &f.v);
+    Rng rng(51);
+    HostTensor q(Shape{2, 8});
+    q.fillRandom(rng);
+    HostTensor expect(q.shape());
+    HostTensor got(q.shape());
+    referenceDecode(f.config, q, kv, len, expect);
+    flashDecode(f.config, q, kv, len, got);
+    EXPECT_LT(expect.maxAbsDiff(got), 3e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundTiles, TileBoundary,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128,
+                                           129, 255, 256, 257));
+
+TEST(AttnExtra, AttentionOutputIsConvexCombination)
+{
+    // Softmax weights are positive and sum to 1, so each output
+    // coordinate lies within [min, max] of the V column.
+    Fixture f(1, 1, 4, 30, 61, false);
+    HostKvView kv(&f.k, &f.v);
+    Rng rng(62);
+    HostTensor q(Shape{1, 4});
+    q.fillRandom(rng);
+    HostTensor out(q.shape());
+    flashDecode(f.config, q, kv, 30, out);
+    for (int c = 0; c < 4; ++c) {
+        float lo = 1e9f;
+        float hi = -1e9f;
+        for (i64 t = 0; t < 30; ++t) {
+            lo = std::min(lo, f.v.at({t, 0, c}));
+            hi = std::max(hi, f.v.at({t, 0, c}));
+        }
+        EXPECT_GE(out.at({0, c}), lo - 1e-5f);
+        EXPECT_LE(out.at({0, c}), hi + 1e-5f);
+    }
+}
+
+} // namespace
+} // namespace vattn::attn

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "attn/kernels.hh"
+#include "attn/reference.hh"
+#include "common/rng.hh"
+#include "cuvmm/driver.hh"
+#include "paged/paged_kv_cache.hh"
+#include "test_util.hh"
+
+namespace vattn::attn
+{
+namespace
+{
+
+using tensor::HostTensor;
+using tensor::Shape;
+
+/** Device + driver fixture with committed KV storage helpers. */
+class KvViewTest : public ::testing::Test
+{
+  protected:
+    KvViewTest() : device_(makeConfig()), driver_(device_) {}
+
+    static gpu::GpuDevice::Config
+    makeConfig()
+    {
+        gpu::GpuDevice::Config config;
+        config.mem_bytes = 128 * MiB;
+        return config;
+    }
+
+    tensor::VirtualTensor
+    committedTensor(const Shape &shape)
+    {
+        Addr ptr = 0;
+        const u64 size = static_cast<u64>(shape.numel()) * 2;
+        const auto r = driver_.cudaMalloc(&ptr, size);
+        panic_if(r != cuvmm::CuResult::kSuccess, "cudaMalloc failed");
+        return tensor::VirtualTensor(&device_, ptr,
+                                     tensor::Layout::contiguous(shape),
+                                     tensor::DType::kF16);
+    }
+
+    gpu::GpuDevice device_;
+    cuvmm::Driver driver_;
+};
+
+/** Copy fp32 host KV into any KvWriter (quantizing to fp16). */
+void
+copyInto(KvWriter &writer, const HostTensor &k, const HostTensor &v)
+{
+    const i64 len = k.shape()[0];
+    const int heads = static_cast<int>(k.shape()[1]);
+    const int dim = static_cast<int>(k.shape()[2]);
+    for (i64 t = 0; t < len; ++t) {
+        for (int h = 0; h < heads; ++h) {
+            writer.storeK(t, h, k.row({t, h}));
+            writer.storeV(t, h, v.row({t, h}));
+        }
+    }
+    (void)dim;
+}
+
+/**
+ * THE portability property of the paper: the same non-paged kernel
+ * over (a) host arrays, (b) a contiguous virtual tensor, and (c) a
+ * strided tensor-slicing view produces identical results, and the
+ * rewritten paged kernel over a block-table layout agrees too.
+ */
+class LayoutEquivalence
+    : public KvViewTest,
+      public ::testing::WithParamInterface<std::tuple<int, int, i64, i64>>
+{
+};
+
+TEST_P(LayoutEquivalence, AllLayoutsAgree)
+{
+    const auto [hkv, d, len, block_size] = GetParam();
+    const int hq = hkv * 2;
+    AttnConfig config{hq, hkv, d, true, 0.0f};
+
+    Rng rng(0x5eed + static_cast<u64>(len));
+    HostTensor host_k(Shape{len, hkv, d});
+    HostTensor host_v(Shape{len, hkv, d});
+    HostTensor q(Shape{len, hq, d});
+    host_k.fillRandom(rng);
+    host_v.fillRandom(rng);
+    q.fillRandom(rng);
+
+    // Quantize host KV to fp16 so every layout sees identical data.
+    for (i64 t = 0; t < len; ++t) {
+        for (int h = 0; h < hkv; ++h) {
+            for (int c = 0; c < d; ++c) {
+                host_k.at({t, h, c}) = fp16BitsToFp32(
+                    fp32ToFp16Bits(host_k.at({t, h, c})));
+                host_v.at({t, h, c}) = fp16BitsToFp32(
+                    fp32ToFp16Bits(host_v.at({t, h, c})));
+            }
+        }
+    }
+
+    // (a) host reference.
+    HostKvView host_view(&host_k, &host_v);
+    HostTensor expect(q.shape());
+    flashPrefill(config, q, host_view, len, expect);
+
+    // (b) contiguous virtual tensor (vAttention view).
+    auto k_tensor = committedTensor(Shape{len, hkv, d});
+    auto v_tensor = committedTensor(Shape{len, hkv, d});
+    TensorKvView contiguous(k_tensor, v_tensor);
+    copyInto(contiguous, host_k, host_v);
+    HostTensor got_contiguous(q.shape());
+    flashPrefill(config, q, contiguous, len, got_contiguous);
+    EXPECT_FLOAT_EQ(expect.maxAbsDiff(got_contiguous), 0.0f);
+
+    // (c) strided tensor-slicing layout (§8.2): [L, N=3, H, D] with
+    // our layer in the middle.
+    const int fake_layers = 3;
+    auto big_k = committedTensor(Shape{len, fake_layers, hkv, d});
+    auto big_v = committedTensor(Shape{len, fake_layers, hkv, d});
+    TensorKvView strided(big_k.slice(1, 1, 1).squeeze(1),
+                         big_v.slice(1, 1, 1).squeeze(1));
+    copyInto(strided, host_k, host_v);
+    HostTensor got_strided(q.shape());
+    flashPrefill(config, q, strided, len, got_strided);
+    EXPECT_FLOAT_EQ(expect.maxAbsDiff(got_strided), 0.0f);
+
+    // (d) paged layout with a shuffled block table.
+    const i64 num_blocks = (len + block_size - 1) / block_size + 2;
+    auto k_pool = committedTensor(Shape{num_blocks, block_size, hkv, d});
+    auto v_pool = committedTensor(Shape{num_blocks, block_size, hkv, d});
+    std::vector<i32> table(
+        static_cast<std::size_t>((len + block_size - 1) / block_size));
+    std::vector<i32> ids(static_cast<std::size_t>(num_blocks));
+    for (i64 i = 0; i < num_blocks; ++i) {
+        ids[static_cast<std::size_t>(i)] = static_cast<i32>(i);
+    }
+    rng.shuffle(ids); // physical blocks deliberately scrambled
+    std::copy(ids.begin(), ids.begin() + static_cast<long>(table.size()),
+              table.begin());
+    PagedKvView paged(k_pool, v_pool, table, block_size);
+    copyInto(paged, host_k, host_v);
+    HostTensor got_paged(q.shape());
+    flashPrefill(config, q, paged, len, got_paged);
+    EXPECT_FLOAT_EQ(expect.maxAbsDiff(got_paged), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, LayoutEquivalence,
+    ::testing::Values(std::make_tuple(2, 16, 40, 16),
+                      std::make_tuple(2, 16, 64, 16),
+                      std::make_tuple(4, 32, 100, 32),
+                      std::make_tuple(1, 8, 33, 8),
+                      std::make_tuple(2, 8, 129, 64)));
+
+TEST_F(KvViewTest, PagedViewRejectsUnallocatedBlocks)
+{
+    test::ScopedThrowErrors guard;
+    auto k_pool = committedTensor(Shape{4, 16, 2, 8});
+    auto v_pool = committedTensor(Shape{4, 16, 2, 8});
+    PagedKvView view(k_pool, v_pool, {0, -1}, 16);
+    float buf[8];
+    EXPECT_NO_THROW(view.loadK(5, 0, buf));
+    EXPECT_THROW(view.loadK(20, 0, buf), SimError); // block -1
+    EXPECT_THROW(view.loadK(40, 0, buf), SimError); // past the table
+}
+
+TEST_F(KvViewTest, AppendKvWritesSequentially)
+{
+    auto k_tensor = committedTensor(Shape{32, 2, 4});
+    auto v_tensor = committedTensor(Shape{32, 2, 4});
+    TensorKvView view(k_tensor, v_tensor);
+
+    // Two appends: tokens [0, 3) then [3, 5).
+    std::vector<float> kdata(3 * 2 * 4);
+    std::vector<float> vdata(3 * 2 * 4);
+    for (std::size_t i = 0; i < kdata.size(); ++i) {
+        kdata[i] = static_cast<float>(i);
+        vdata[i] = static_cast<float>(i) + 0.5f;
+    }
+    appendKv(view, 0, 3, 2, 4, kdata.data(), vdata.data());
+    appendKv(view, 3, 2, 2, 4, kdata.data(), vdata.data());
+
+    float out[4];
+    view.loadK(1, 1, out); // token 1, head 1 -> kdata[(1*2+1)*4 ...]
+    EXPECT_FLOAT_EQ(out[0], 12.0f);
+    view.loadV(4, 0, out); // second append, token index 1, head 0
+    EXPECT_FLOAT_EQ(out[0], 8.5f);
+}
+
+TEST_F(KvViewTest, CacheBatchIdxRemapsRows)
+{
+    // Three KV slots; Q batch of two uses slots {2, 0} — the hole at
+    // slot 1 mimics a completed request (§5.3.4).
+    const int hq = 2;
+    const int d = 8;
+    AttnConfig config{hq, 1, d, true, 0.0f};
+    Rng rng(404);
+
+    std::vector<HostTensor> ks;
+    std::vector<HostTensor> vs;
+    std::vector<i64> lens = {12, 20, 30};
+    for (i64 len : lens) {
+        ks.emplace_back(Shape{len, 1, d});
+        vs.emplace_back(Shape{len, 1, d});
+        ks.back().fillRandom(rng);
+        vs.back().fillRandom(rng);
+    }
+    HostKvView view0(&ks[0], &vs[0]);
+    HostKvView view1(&ks[1], &vs[1]);
+    HostKvView view2(&ks[2], &vs[2]);
+    std::vector<const KvView *> views = {&view0, &view1, &view2};
+
+    HostTensor q(Shape{2, hq, d});
+    q.fillRandom(rng);
+    HostTensor out(q.shape());
+    flashDecodeBatch(config, q, views, lens, {2, 0}, out);
+
+    // Row 0 must equal a direct decode over slot 2.
+    HostTensor q0(Shape{hq, d});
+    std::copy(q.row({0}), q.row({0}) + hq * d, q0.data());
+    HostTensor expect0(q0.shape());
+    flashDecode(config, q0, view2, lens[2], expect0);
+    for (int h = 0; h < hq; ++h) {
+        for (int c = 0; c < d; ++c) {
+            EXPECT_FLOAT_EQ(out.at({0, h, c}), expect0.at({h, c}));
+        }
+    }
+    // Row 1 over slot 0.
+    HostTensor q1(Shape{hq, d});
+    std::copy(q.row({1}), q.row({1}) + hq * d, q1.data());
+    HostTensor expect1(q1.shape());
+    flashDecode(config, q1, view0, lens[0], expect1);
+    for (int h = 0; h < hq; ++h) {
+        for (int c = 0; c < d; ++c) {
+            EXPECT_FLOAT_EQ(out.at({1, h, c}), expect1.at({h, c}));
+        }
+    }
+}
+
+TEST_F(KvViewTest, TlbTouchRecording)
+{
+    auto k_tensor = committedTensor(Shape{64, 2, 8});
+    auto v_tensor = committedTensor(Shape{64, 2, 8});
+    TensorKvView view(k_tensor, v_tensor, /*touch_tlb=*/true);
+    float buf[8];
+    for (i64 t = 0; t < 64; ++t) {
+        view.loadK(t, 0, buf);
+    }
+    EXPECT_EQ(device_.tlb().l1Stats(PageSize::k2MB).accesses(),
+              64u);
+}
+
+} // namespace
+} // namespace vattn::attn

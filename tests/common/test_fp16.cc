@@ -1,0 +1,121 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/fp16.hh"
+
+namespace vattn
+{
+namespace
+{
+
+TEST(Fp16, ExactSmallValues)
+{
+    // Values exactly representable in binary16 must roundtrip exactly.
+    const float exact[] = {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f,
+                           -0.25f, 0.125f, 65504.0f /* max normal */};
+    for (float f : exact) {
+        EXPECT_EQ(fp16BitsToFp32(fp32ToFp16Bits(f)), f) << f;
+    }
+}
+
+TEST(Fp16, SignedZero)
+{
+    EXPECT_EQ(fp32ToFp16Bits(0.0f), 0x0000);
+    EXPECT_EQ(fp32ToFp16Bits(-0.0f), 0x8000);
+    EXPECT_EQ(fp16BitsToFp32(0x8000), -0.0f);
+    EXPECT_TRUE(std::signbit(fp16BitsToFp32(0x8000)));
+}
+
+TEST(Fp16, Infinities)
+{
+    EXPECT_EQ(fp32ToFp16Bits(INFINITY), 0x7c00);
+    EXPECT_EQ(fp32ToFp16Bits(-INFINITY), 0xfc00);
+    EXPECT_TRUE(std::isinf(fp16BitsToFp32(0x7c00)));
+    // Overflow saturates to infinity.
+    EXPECT_EQ(fp32ToFp16Bits(70000.0f), 0x7c00);
+    EXPECT_EQ(fp32ToFp16Bits(-70000.0f), 0xfc00);
+}
+
+TEST(Fp16, NaN)
+{
+    const u16 bits = fp32ToFp16Bits(NAN);
+    EXPECT_TRUE(std::isnan(fp16BitsToFp32(bits)));
+}
+
+TEST(Fp16, KnownEncodings)
+{
+    EXPECT_EQ(fp32ToFp16Bits(1.0f), 0x3c00);
+    EXPECT_EQ(fp32ToFp16Bits(-2.0f), 0xc000);
+    EXPECT_EQ(fp32ToFp16Bits(0.5f), 0x3800);
+    EXPECT_EQ(fp32ToFp16Bits(65504.0f), 0x7bff);
+}
+
+TEST(Fp16, Subnormals)
+{
+    // Smallest positive subnormal: 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(fp32ToFp16Bits(tiny), 0x0001);
+    EXPECT_FLOAT_EQ(fp16BitsToFp32(0x0001), tiny);
+    // Largest subnormal: (1023/1024) * 2^-14.
+    const float big_sub = std::ldexp(1023.0f / 1024.0f, -14);
+    EXPECT_EQ(fp32ToFp16Bits(big_sub), 0x03ff);
+    EXPECT_FLOAT_EQ(fp16BitsToFp32(0x03ff), big_sub);
+    // Below half the smallest subnormal flushes to zero.
+    EXPECT_EQ(fp32ToFp16Bits(std::ldexp(1.0f, -26)), 0x0000);
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+    // ties go to even mantissa, i.e. 1.0.
+    const float tie = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(fp32ToFp16Bits(tie), 0x3c00);
+    // Just above the tie rounds up.
+    const float above = 1.0f + std::ldexp(1.5f, -11);
+    EXPECT_EQ(fp32ToFp16Bits(above), 0x3c01);
+    // 1 + 3*2^-11 ties between 0x3c01 and 0x3c02 -> even 0x3c02.
+    const float tie2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(fp32ToFp16Bits(tie2), 0x3c02);
+}
+
+TEST(Fp16, RoundtripErrorBounded)
+{
+    // Relative roundtrip error for normal values <= 2^-11.
+    for (int i = 0; i < 2000; ++i) {
+        const float f =
+            -8.0f + 0.008f * static_cast<float>(i); // [-8, 8)
+        const float back = fp16BitsToFp32(fp32ToFp16Bits(f));
+        const float tolerance =
+            std::max(std::fabs(f) * 0x1.0p-10f, 1e-6f);
+        EXPECT_NEAR(back, f, tolerance) << f;
+    }
+}
+
+TEST(Fp16, AllBitPatternsRoundtripThroughFloat)
+{
+    // Any finite half value converted to float and back must be
+    // bit-identical (float superset of half).
+    for (u32 bits = 0; bits <= 0xffff; ++bits) {
+        const u16 h = static_cast<u16>(bits);
+        const u32 exp = (h >> 10) & 0x1f;
+        const float f = fp16BitsToFp32(h);
+        if (exp == 31 && (h & 0x3ff)) {
+            EXPECT_TRUE(std::isnan(f));
+            continue; // NaN payloads normalize; skip bit compare
+        }
+        EXPECT_EQ(fp32ToFp16Bits(f), h) << std::hex << bits;
+    }
+}
+
+TEST(Fp16, StructWrapper)
+{
+    Fp16 a(1.5f);
+    EXPECT_EQ(sizeof(a), 2u);
+    EXPECT_FLOAT_EQ(a.toFloat(), 1.5f);
+    EXPECT_FLOAT_EQ(static_cast<float>(Fp16(-3.25f)), -3.25f);
+    EXPECT_TRUE(Fp16(2.0f) == Fp16(2.0f));
+}
+
+} // namespace
+} // namespace vattn

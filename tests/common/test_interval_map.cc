@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/interval_map.hh"
+#include "common/rng.hh"
+
+namespace vattn
+{
+namespace
+{
+
+TEST(IntervalMap, InsertAndFind)
+{
+    IntervalMap<int> map;
+    ASSERT_TRUE(map.insert(100, 200, 1).isOk());
+    ASSERT_TRUE(map.insert(300, 400, 2).isOk());
+
+    auto entry = map.find(150);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->start, 100u);
+    EXPECT_EQ(entry->end, 200u);
+    EXPECT_EQ(entry->value, 1);
+
+    EXPECT_FALSE(map.find(99).has_value());
+    EXPECT_FALSE(map.find(200).has_value()); // end exclusive
+    EXPECT_TRUE(map.find(399).has_value());
+    EXPECT_FALSE(map.find(400).has_value());
+}
+
+TEST(IntervalMap, RejectsEmptyAndOverlapping)
+{
+    IntervalMap<int> map;
+    EXPECT_EQ(map.insert(10, 10, 0).code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(map.insert(20, 10, 0).code(), ErrorCode::kInvalidArgument);
+    ASSERT_TRUE(map.insert(100, 200, 1).isOk());
+    // All overlap shapes rejected.
+    EXPECT_EQ(map.insert(50, 101, 2).code(), ErrorCode::kAlreadyExists);
+    EXPECT_EQ(map.insert(150, 160, 2).code(), ErrorCode::kAlreadyExists);
+    EXPECT_EQ(map.insert(199, 300, 2).code(), ErrorCode::kAlreadyExists);
+    EXPECT_EQ(map.insert(100, 200, 2).code(), ErrorCode::kAlreadyExists);
+    EXPECT_EQ(map.insert(50, 300, 2).code(), ErrorCode::kAlreadyExists);
+    // Touching is fine (half-open).
+    EXPECT_TRUE(map.insert(200, 250, 3).isOk());
+    EXPECT_TRUE(map.insert(50, 100, 4).isOk());
+}
+
+TEST(IntervalMap, EraseAt)
+{
+    IntervalMap<int> map;
+    ASSERT_TRUE(map.insert(0, 10, 1).isOk());
+    EXPECT_EQ(map.eraseAt(5).code(), ErrorCode::kNotFound);
+    EXPECT_TRUE(map.eraseAt(0).isOk());
+    EXPECT_FALSE(map.find(5).has_value());
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(IntervalMap, FindValueMutable)
+{
+    IntervalMap<int> map;
+    ASSERT_TRUE(map.insert(0, 10, 1).isOk());
+    int *value = map.findValue(3);
+    ASSERT_NE(value, nullptr);
+    *value = 99;
+    EXPECT_EQ(map.find(3)->value, 99);
+    EXPECT_EQ(map.findValue(10), nullptr);
+}
+
+TEST(IntervalMap, OverlapsQuery)
+{
+    IntervalMap<int> map;
+    ASSERT_TRUE(map.insert(100, 200, 1).isOk());
+    EXPECT_TRUE(map.overlaps(150, 160));
+    EXPECT_TRUE(map.overlaps(0, 101));
+    EXPECT_TRUE(map.overlaps(199, 500));
+    EXPECT_FALSE(map.overlaps(0, 100));
+    EXPECT_FALSE(map.overlaps(200, 300));
+    EXPECT_FALSE(map.overlaps(150, 150)); // empty range
+}
+
+TEST(IntervalMap, ForEachInVisitsIntersecting)
+{
+    IntervalMap<int> map;
+    ASSERT_TRUE(map.insert(0, 10, 1).isOk());
+    ASSERT_TRUE(map.insert(10, 20, 2).isOk());
+    ASSERT_TRUE(map.insert(30, 40, 3).isOk());
+
+    std::vector<int> seen;
+    map.forEachIn(5, 35, [&](const auto &e) { seen.push_back(e.value); });
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+
+    seen.clear();
+    map.forEachIn(10, 30, [&](const auto &e) { seen.push_back(e.value); });
+    EXPECT_EQ(seen, (std::vector<int>{2}));
+}
+
+TEST(IntervalMap, CoveredBytes)
+{
+    IntervalMap<int> map;
+    ASSERT_TRUE(map.insert(0, 10, 1).isOk());
+    ASSERT_TRUE(map.insert(100, 150, 2).isOk());
+    EXPECT_EQ(map.coveredBytes(), 60u);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(IntervalMap, RandomizedNoOverlapInvariant)
+{
+    // Property: after any sequence of inserts/erases, stored intervals
+    // never overlap and covered bytes match the accepted inserts.
+    IntervalMap<int> map;
+    Rng rng(31);
+    struct Live
+    {
+        Addr start;
+        Addr end;
+    };
+    std::vector<Live> live;
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || rng.uniform() < 0.6) {
+            const Addr start =
+                static_cast<Addr>(rng.uniformInt(0, 10000));
+            const Addr end =
+                start + static_cast<Addr>(rng.uniformInt(1, 50));
+            const bool expect_overlap = map.overlaps(start, end);
+            const auto status = map.insert(start, end, step);
+            EXPECT_EQ(status.isOk(), !expect_overlap);
+            if (status.isOk()) {
+                live.push_back(Live{start, end});
+            }
+        } else {
+            const auto pick = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<i64>(live.size()) - 1));
+            EXPECT_TRUE(map.eraseAt(live[pick].start).isOk());
+            live.erase(live.begin() + static_cast<long>(pick));
+        }
+    }
+    u64 expect_bytes = 0;
+    for (const auto &interval : live) {
+        expect_bytes += interval.end - interval.start;
+    }
+    EXPECT_EQ(map.coveredBytes(), expect_bytes);
+    EXPECT_EQ(map.size(), live.size());
+}
+
+} // namespace
+} // namespace vattn

@@ -1,0 +1,208 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "test_util.hh"
+
+namespace vattn
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += a.next() == b.next();
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const i64 v = rng.uniformInt(3, 8);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 8);
+        saw_lo |= v == 3;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    const double rate = 4.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(rate);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        stat.add(rng.normal());
+    }
+    EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(17);
+    Percentiles p;
+    for (int i = 0; i < 20000; ++i) {
+        p.add(rng.logNormal(std::log(100.0), 0.5));
+    }
+    EXPECT_NEAR(p.median(), 100.0, 5.0);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(19);
+    std::vector<double> weights = {1.0, 3.0};
+    int count1 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        count1 += rng.categorical(weights) == 1;
+    }
+    EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(23);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, copy);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stat.add(x);
+    }
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_NEAR(stat.stddev(), 2.138, 1e-3); // sample stddev
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(Percentiles, QuantilesInterpolate)
+{
+    Percentiles p;
+    for (int i = 1; i <= 100; ++i) {
+        p.add(i);
+    }
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+    EXPECT_NEAR(p.median(), 50.5, 1e-9);
+    EXPECT_NEAR(p.quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(Percentiles, CdfAt)
+{
+    Percentiles p;
+    for (int i = 1; i <= 10; ++i) {
+        p.add(i);
+    }
+    EXPECT_DOUBLE_EQ(p.cdfAt(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(p.cdfAt(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(p.cdfAt(10.0), 1.0);
+}
+
+TEST(Percentiles, CdfPointsMonotonic)
+{
+    Percentiles p;
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i) {
+        p.add(rng.uniform(0, 50));
+    }
+    const auto pts = p.cdfPoints(21);
+    ASSERT_EQ(pts.size(), 21u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i].first, pts[i - 1].first);
+        EXPECT_GE(pts[i].second, pts[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Percentiles, QuantilePanicsWhenEmpty)
+{
+    test::ScopedThrowErrors guard;
+    Percentiles p;
+    EXPECT_THROW(p.quantile(0.5), SimError);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) {
+        h.add(i + 0.5);
+    }
+    h.add(-1.0);
+    h.add(42.0);
+    EXPECT_EQ(h.count(), 12u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    for (int b = 0; b < 10; ++b) {
+        EXPECT_EQ(h.bucketCount(b), 1u) << b;
+        EXPECT_DOUBLE_EQ(h.bucketLo(b), b);
+        EXPECT_DOUBLE_EQ(h.bucketHi(b), b + 1);
+    }
+    EXPECT_FALSE(h.toString().empty());
+}
+
+} // namespace
+} // namespace vattn

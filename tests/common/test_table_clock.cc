@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.hh"
+#include "common/table.hh"
+#include "test_util.hh"
+
+namespace vattn
+{
+namespace
+{
+
+TEST(Table, AlignedRendering)
+{
+    Table table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22222"});
+    const std::string out = table.toString();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, CsvRendering)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    EXPECT_EQ(table.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityEnforced)
+{
+    test::ScopedThrowErrors guard;
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), SimError);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::integer(42), "42");
+}
+
+TEST(SimClock, AdvanceAndConvert)
+{
+    SimClock clock;
+    EXPECT_EQ(clock.now(), 0u);
+    clock.advance(1500);
+    EXPECT_EQ(clock.now(), 1500u);
+    clock.advanceTo(2 * kSec);
+    EXPECT_EQ(clock.now(), 2 * kSec);
+    EXPECT_DOUBLE_EQ(SimClock::toSeconds(clock.now()), 2.0);
+    EXPECT_DOUBLE_EQ(SimClock::toMillis(kMsec), 1.0);
+    EXPECT_DOUBLE_EQ(SimClock::toMicros(kUsec), 1.0);
+}
+
+TEST(SimClock, CannotGoBackwards)
+{
+    test::ScopedThrowErrors guard;
+    SimClock clock;
+    clock.advance(100);
+    EXPECT_THROW(clock.advanceTo(50), SimError);
+}
+
+TEST(SimClock, Reset)
+{
+    SimClock clock;
+    clock.advance(100);
+    clock.reset();
+    EXPECT_EQ(clock.now(), 0u);
+}
+
+} // namespace
+} // namespace vattn

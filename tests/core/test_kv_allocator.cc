@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "core/kv_allocator.hh"
+#include "test_util.hh"
+
+namespace vattn::core
+{
+namespace
+{
+
+/** Small model so tests run fast: 2 layers, 2 heads, dim 8, fp16.
+ *  Token bytes per buffer = 2*8*2 = 32B; 64KB group = 2048 tokens. */
+Config
+smallConfig(PageGroup group = PageGroup::k64KB, bool slicing = false)
+{
+    Config config;
+    config.num_layers = 2;
+    config.num_kv_heads = 2;
+    config.head_dim = 8;
+    config.bytes_per_elem = 2;
+    config.max_batch_size = 4;
+    config.max_context_len = 8192; // 4 groups per buffer at 64KB
+    config.page_group = group;
+    config.use_driver_extension = group != PageGroup::k2MB;
+    config.tensor_slicing = slicing;
+    config.eager_allocation = false;
+    config.overlap_allocation = false;
+    return config;
+}
+
+class KvAllocatorTest : public ::testing::Test
+{
+  protected:
+    KvAllocatorTest() : device_(makeConfig()), driver_(device_) {}
+
+    static gpu::GpuDevice::Config
+    makeConfig()
+    {
+        gpu::GpuDevice::Config config;
+        config.mem_bytes = 64 * MiB;
+        return config;
+    }
+
+    gpu::GpuDevice device_;
+    cuvmm::Driver driver_;
+};
+
+TEST_F(KvAllocatorTest, ReservesVirtualBuffersUpFront)
+{
+    auto config = smallConfig();
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+
+    // 2N = 4 buffers; each B * S_aligned.
+    const auto &geom = allocator.geometry();
+    EXPECT_EQ(geom.numBuffers(), 4);
+    EXPECT_EQ(device_.vaSpace().numReservations(), 4u);
+    EXPECT_EQ(device_.vaSpace().reservedBytes(),
+              4 * geom.bufferBytes());
+    // No physical memory mapped into the KV tensors yet.
+    EXPECT_EQ(allocator.totalHandlesMapped(), 0);
+    EXPECT_EQ(allocator.layerTensors().size(), 2u);
+}
+
+TEST_F(KvAllocatorTest, GrowMapsLockstepAcrossBuffers)
+{
+    auto config = smallConfig();
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+
+    ASSERT_TRUE(allocator.growTo(0, 2).isOk());
+    EXPECT_EQ(allocator.groupsMapped(0), 2);
+    // 2 groups x 4 buffers = 8 handles.
+    EXPECT_EQ(allocator.totalHandlesMapped(), 8);
+    EXPECT_EQ(pool.groupsInUse(), 8);
+    EXPECT_EQ(allocator.physBytesMapped(), 8 * 64 * KiB);
+    EXPECT_TRUE(allocator.checkInvariants());
+
+    // Growing to a smaller target is a no-op.
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk());
+    EXPECT_EQ(allocator.groupsMapped(0), 2);
+}
+
+TEST_F(KvAllocatorTest, MappedRegionIsReadableWritable)
+{
+    auto config = smallConfig();
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+    ASSERT_TRUE(allocator.growTo(1, 1).isOk());
+
+    // Token 100 of slot 1 at layer 0 is inside the first group.
+    auto k = allocator.kView(0, 1);
+    k.writeElem({100, 1, 3}, 2.5f);
+    EXPECT_FLOAT_EQ(k.readElem({100, 1, 3}), 2.5f);
+    // The same cell through the full-batch tensor.
+    EXPECT_FLOAT_EQ(
+        allocator.layerTensors()[0].k.readElem({1, 100, 1, 3}), 2.5f);
+}
+
+TEST_F(KvAllocatorTest, UnbackedRegionStillFaults)
+{
+    test::ScopedThrowErrors guard;
+    auto config = smallConfig();
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk()); // 2048 tokens backed
+
+    auto k = allocator.kView(0, 0);
+    EXPECT_NO_THROW(k.writeElem({2047, 0, 0}, 1.0f));
+    EXPECT_THROW(k.writeElem({2048, 0, 0}, 1.0f), SimError);
+    // Slot 1 has nothing mapped at all.
+    auto other = allocator.kView(0, 1);
+    EXPECT_THROW(other.readElem({0, 0, 0}), SimError);
+}
+
+TEST_F(KvAllocatorTest, ShrinkTailReturnsGroups)
+{
+    auto config = smallConfig();
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+    ASSERT_TRUE(allocator.growTo(0, 3).isOk());
+    ASSERT_TRUE(allocator.shrinkTail(0).isOk());
+    EXPECT_EQ(allocator.groupsMapped(0), 2);
+    EXPECT_EQ(pool.groupsInUse(), 8);
+    EXPECT_TRUE(allocator.checkInvariants());
+    ASSERT_TRUE(allocator.shrinkTail(0).isOk());
+    ASSERT_TRUE(allocator.shrinkTail(0).isOk());
+    EXPECT_EQ(allocator.groupsMapped(0), 0);
+    EXPECT_FALSE(allocator.shrinkTail(0).isOk()); // nothing left
+    EXPECT_EQ(pool.groupsInUse(), 0);
+}
+
+TEST_F(KvAllocatorTest, OomRollsBackPartialGroup)
+{
+    auto config = smallConfig();
+    // Budget of 6 groups; a full group row needs 4 (one per buffer).
+    PagePool pool(driver_, config.page_group, 6 * 64 * KiB);
+    KvAllocator allocator(driver_, config, pool);
+
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk()); // uses 4
+    const auto status = allocator.growTo(0, 2); // needs 4, only 2 left
+    EXPECT_EQ(status.code(), ErrorCode::kOutOfMemory);
+    // The failed group must be fully rolled back: group counts stay
+    // consistent across buffers and the 2 remaining handles returned.
+    EXPECT_EQ(allocator.groupsMapped(0), 1);
+    EXPECT_EQ(pool.groupsInUse(), 4);
+    EXPECT_EQ(pool.availableGroups(), 2);
+    EXPECT_TRUE(allocator.checkInvariants());
+}
+
+TEST_F(KvAllocatorTest, SlotsAreIsolated)
+{
+    auto config = smallConfig();
+    PagePool pool(driver_, config.page_group, 16 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk());
+    ASSERT_TRUE(allocator.growTo(2, 2).isOk());
+
+    auto k0 = allocator.kView(0, 0);
+    auto k2 = allocator.kView(0, 2);
+    k0.writeElem({0, 0, 0}, 1.0f);
+    k2.writeElem({0, 0, 0}, 2.0f);
+    EXPECT_FLOAT_EQ(k0.readElem({0, 0, 0}), 1.0f);
+    EXPECT_FLOAT_EQ(k2.readElem({0, 0, 0}), 2.0f);
+    allocator.releaseAll(0);
+    // Slot 2 untouched by slot 0's release.
+    EXPECT_FLOAT_EQ(k2.readElem({0, 0, 0}), 2.0f);
+    EXPECT_EQ(allocator.groupsMapped(2), 2);
+}
+
+TEST_F(KvAllocatorTest, CuPathUsesMapPlusSetAccess)
+{
+    auto config = smallConfig(PageGroup::k2MB);
+    config.max_context_len = 128 * 1024; // 2 groups of 64K tokens
+    PagePool pool(driver_, config.page_group, 32 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+
+    const u64 maps_before = driver_.counters().map;
+    const u64 access_before = driver_.counters().set_access;
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk());
+    // Stock CUDA path: one cuMemMap + one cuMemSetAccess per buffer.
+    EXPECT_EQ(driver_.counters().map - maps_before, 4u);
+    EXPECT_EQ(driver_.counters().set_access - access_before, 4u);
+
+    // And unmap path: cuMemUnmap, handle kept pooled (no release).
+    const u64 unmap_before = driver_.counters().unmap;
+    const i64 available_before = pool.availableGroups();
+    ASSERT_TRUE(allocator.shrinkTail(0).isOk());
+    EXPECT_EQ(driver_.counters().unmap - unmap_before, 4u);
+    EXPECT_EQ(pool.availableGroups(), available_before + 4);
+}
+
+TEST_F(KvAllocatorTest, ExtensionPathUsesFusedCalls)
+{
+    auto config = smallConfig(PageGroup::k64KB);
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+
+    const u64 access_before = driver_.counters().set_access;
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk());
+    // vMemMap fuses the access grant: no cuMemSetAccess calls.
+    EXPECT_EQ(driver_.counters().set_access, access_before);
+    EXPECT_TRUE(device_.pageTable().isAccessible(
+        allocator.kView(0, 0).baseVa(), 64 * KiB));
+}
+
+TEST_F(KvAllocatorTest, TensorSlicingLayout)
+{
+    auto config = smallConfig(PageGroup::k64KB, /*slicing=*/true);
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+
+    const auto &geom = allocator.geometry();
+    EXPECT_EQ(geom.numBuffers(), 2); // one K + one V tensor
+    // Token bytes per buffer now include all layers: 2*2*8*2 = 64B.
+    EXPECT_EQ(geom.tokenBytesPerBuffer(), 64u);
+    EXPECT_EQ(geom.tokensPerGroup(), 1024);
+
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk());
+    // One group backs the first 1024 tokens of BOTH layers.
+    auto k_layer0 = allocator.kView(0, 0);
+    auto k_layer1 = allocator.kView(1, 0);
+    k_layer0.writeElem({5, 1, 2}, 1.5f);
+    k_layer1.writeElem({5, 1, 2}, -1.5f);
+    EXPECT_FLOAT_EQ(k_layer0.readElem({5, 1, 2}), 1.5f);
+    EXPECT_FLOAT_EQ(k_layer1.readElem({5, 1, 2}), -1.5f);
+    EXPECT_EQ(allocator.totalHandlesMapped(), 2); // K + V only
+    EXPECT_TRUE(allocator.checkInvariants());
+}
+
+TEST_F(KvAllocatorTest, SlicedLayerViewsInterleaveInMemory)
+{
+    auto config = smallConfig(PageGroup::k64KB, /*slicing=*/true);
+    PagePool pool(driver_, config.page_group, 8 * MiB);
+    KvAllocator allocator(driver_, config, pool);
+    ASSERT_TRUE(allocator.growTo(0, 1).isOk());
+
+    // [B, L, N, H, D]: consecutive layers of one token are adjacent;
+    // the distance between token t and t+1 of one layer is N*H*D.
+    auto k_layer0 = allocator.kView(0, 0);
+    const Addr t0 = k_layer0.elemVa({0, 0, 0});
+    const Addr t1 = k_layer0.elemVa({1, 0, 0});
+    EXPECT_EQ(t1 - t0, 2u * 2 * 8 * 2); // N*H*D*P bytes
+    auto k_layer1 = allocator.kView(1, 0);
+    EXPECT_EQ(k_layer1.elemVa({0, 0, 0}) - t0, 2u * 8 * 2); // H*D*P
+}
+
+} // namespace
+} // namespace vattn::core

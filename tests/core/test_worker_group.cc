@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/worker_group.hh"
+#include "test_util.hh"
+
+namespace vattn::core
+{
+namespace
+{
+
+Config
+tpConfig()
+{
+    // Per-worker shape for a 2-way split of a 4-KV-head model.
+    Config config;
+    config.num_layers = 2;
+    config.num_kv_heads = 2; // 4 heads / TP-2
+    config.head_dim = 8;
+    config.max_batch_size = 4;
+    config.max_context_len = 8192;
+    config.page_group = PageGroup::k64KB;
+    config.use_driver_extension = true;
+    config.phys_budget_bytes = 8 * MiB;
+    return config;
+}
+
+TEST(WorkerGroup, LockstepThroughBasicLifecycle)
+{
+    WorkerGroup group(2, tpConfig(), 64 * MiB);
+    ASSERT_EQ(group.numWorkers(), 2);
+    EXPECT_TRUE(group.inLockstep());
+
+    auto req = group.allocReqId();
+    ASSERT_TRUE(req.isOk());
+    std::vector<i64> lens(4, 0);
+    lens[static_cast<std::size_t>(req.value())] = 3000;
+    auto stats = group.step(lens);
+    ASSERT_TRUE(stats.status.isOk());
+    EXPECT_EQ(stats.handles_mapped, 8); // per worker: 2 groups x 4 buf
+    EXPECT_TRUE(group.inLockstep());
+
+    // Aggregate physical bytes = workers x per-worker bytes.
+    EXPECT_EQ(group.physBytesMappedTotal(),
+              2 * group.worker(0).physBytesMapped());
+
+    group.computePhase(20 * kMsec);
+    EXPECT_TRUE(group.inLockstep());
+    ASSERT_TRUE(group.freeReqId(req.value()).isOk());
+    EXPECT_TRUE(group.checkInvariants());
+}
+
+TEST(WorkerGroup, LockstepUnderRandomTraffic)
+{
+    WorkerGroup group(4, tpConfig(), 64 * MiB);
+    Rng rng(808);
+    std::vector<i64> lens(4, 0);
+    std::vector<int> active;
+
+    for (int step = 0; step < 300; ++step) {
+        const double dice = rng.uniform();
+        if (dice < 0.3 && active.size() < 3) {
+            auto req = group.allocReqId();
+            if (req.isOk()) {
+                active.push_back(req.value());
+                lens[static_cast<std::size_t>(req.value())] =
+                    rng.uniformInt(1, 4000);
+            }
+        } else if (dice < 0.45 && !active.empty()) {
+            const auto pick = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<i64>(active.size()) - 1));
+            lens[static_cast<std::size_t>(active[pick])] = 0;
+            ASSERT_TRUE(group.freeReqId(active[pick]).isOk());
+            active.erase(active.begin() + static_cast<long>(pick));
+        } else if (dice < 0.7) {
+            group.computePhase(
+                static_cast<TimeNs>(rng.uniformInt(0, 15)) * kMsec);
+        } else {
+            for (int id : active) {
+                lens[static_cast<std::size_t>(id)] = std::min<i64>(
+                    8192, lens[static_cast<std::size_t>(id)] +
+                              rng.uniformInt(0, 100));
+            }
+            auto stats = group.step(lens);
+            if (!stats.status.isOk() && !active.empty()) {
+                lens[static_cast<std::size_t>(active.back())] = 0;
+                group.freeReqId(active.back()).expectOk("preempt");
+                active.pop_back();
+            }
+        }
+        ASSERT_TRUE(group.checkInvariants()) << "step " << step;
+    }
+}
+
+TEST(WorkerGroup, AggregateAllocationBandwidthScalesWithTp)
+{
+    // Table 9's TP scaling, measured rather than asserted: each
+    // worker pays the same critical-path latency but the group maps
+    // TP x the bytes in that window.
+    auto measure = [&](int tp) {
+        WorkerGroup group(tp, tpConfig(), 64 * MiB);
+        auto req = group.allocReqId();
+        std::vector<i64> lens(4, 0);
+        lens[static_cast<std::size_t>(req.value())] = 8000;
+        const auto stats = group.step(lens);
+        stats.status.expectOk("bandwidth step");
+        return static_cast<double>(group.physBytesMappedTotal()) /
+               (static_cast<double>(stats.critical_ns) / 1e9);
+    };
+    const double bw1 = measure(1);
+    const double bw2 = measure(2);
+    EXPECT_NEAR(bw2 / bw1, 2.0, 0.01);
+}
+
+TEST(WorkerGroup, PerWorkerDevicesAreIsolated)
+{
+    WorkerGroup group(2, tpConfig(), 64 * MiB);
+    auto req = group.allocReqId();
+    std::vector<i64> lens(4, 0);
+    lens[static_cast<std::size_t>(req.value())] = 100;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+
+    // Each worker holds its own shard: writing K on worker 0 must not
+    // appear on worker 1 (different GPUs).
+    auto view0 = group.worker(0).requestView(0, req.value());
+    auto view1 = group.worker(1).requestView(0, req.value());
+    float row[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    view0.storeK(0, 0, row);
+    float out[8] = {};
+    view1.loadK(0, 0, out);
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_FLOAT_EQ(out[c], 0.0f);
+    }
+    view0.loadK(0, 0, out);
+    EXPECT_FLOAT_EQ(out[3], 4.0f);
+}
+
+TEST(WorkerGroup, InvalidConfigRejected)
+{
+    test::ScopedThrowErrors guard;
+    auto config = tpConfig();
+    config.num_layers = 0;
+    EXPECT_THROW(WorkerGroup(2, config, 64 * MiB), SimError);
+    EXPECT_THROW(WorkerGroup(0, tpConfig(), 64 * MiB), SimError);
+}
+
+} // namespace
+} // namespace vattn::core

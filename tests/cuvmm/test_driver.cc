@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "cuvmm/driver.hh"
+#include "test_util.hh"
+
+namespace vattn::cuvmm
+{
+namespace
+{
+
+class DriverTest : public ::testing::Test
+{
+  protected:
+    DriverTest()
+        : device_(makeConfig()), driver_(device_)
+    {
+    }
+
+    static gpu::GpuDevice::Config
+    makeConfig()
+    {
+        gpu::GpuDevice::Config config;
+        config.mem_bytes = 64 * MiB;
+        return config;
+    }
+
+    gpu::GpuDevice device_;
+    Driver driver_;
+};
+
+TEST_F(DriverTest, ReserveCreateMapAccessLifecycle)
+{
+    Addr va = 0;
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va, 4 * MiB),
+              CuResult::kSuccess);
+    ASSERT_NE(va, 0u);
+
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&handle, 2 * MiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.handleSize(handle), 2 * MiB);
+    EXPECT_FALSE(driver_.isMapped(handle));
+
+    ASSERT_EQ(driver_.cuMemMap(va, 2 * MiB, 0, handle),
+              CuResult::kSuccess);
+    EXPECT_TRUE(driver_.isMapped(handle));
+    // Mapped but not accessible until cuMemSetAccess.
+    EXPECT_FALSE(device_.pageTable().isAccessible(va, 2 * MiB));
+    ASSERT_EQ(driver_.cuMemSetAccess(va, 2 * MiB), CuResult::kSuccess);
+    EXPECT_TRUE(device_.pageTable().isAccessible(va, 2 * MiB));
+
+    ASSERT_EQ(driver_.cuMemUnmap(va, 2 * MiB), CuResult::kSuccess);
+    EXPECT_FALSE(driver_.isMapped(handle));
+    ASSERT_EQ(driver_.cuMemRelease(handle), CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemAddressFree(va, 4 * MiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.physBytesInUse(), 0u);
+    EXPECT_EQ(driver_.numLiveHandles(), 0u);
+}
+
+TEST_F(DriverTest, CuApisRequire2MbMultiples)
+{
+    Addr va = 0;
+    EXPECT_EQ(driver_.cuMemAddressReserve(&va, 64 * KiB),
+              CuResult::kErrorInvalidValue);
+    MemHandle handle = kInvalidHandle;
+    EXPECT_EQ(driver_.cuMemCreate(&handle, 64 * KiB),
+              CuResult::kErrorInvalidValue);
+    EXPECT_EQ(driver_.cuMemCreate(&handle, 0),
+              CuResult::kErrorInvalidValue);
+}
+
+TEST_F(DriverTest, MapOutsideReservationRejected)
+{
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&handle, 2 * MiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.cuMemMap(0x700000000000ULL, 2 * MiB, 0, handle),
+              CuResult::kErrorNotReserved);
+}
+
+TEST_F(DriverTest, MapSizeMustMatchHandle)
+{
+    Addr va = 0;
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va, 8 * MiB),
+              CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&handle, 4 * MiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.cuMemMap(va, 2 * MiB, 0, handle),
+              CuResult::kErrorInvalidValue);
+    EXPECT_EQ(driver_.cuMemMap(va, 4 * MiB, 2 * MiB, handle),
+              CuResult::kErrorInvalidValue); // nonzero offset
+}
+
+TEST_F(DriverTest, AliasingBadHandlesAndReleaseRules)
+{
+    Addr va = 0;
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va, 8 * MiB),
+              CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&handle, 2 * MiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemMap(va, 2 * MiB, 0, handle),
+              CuResult::kSuccess);
+    // Mapping the same handle at a second VA is ALLOWED — physical
+    // aliasing is how KV prefix sharing works (§8.1).
+    EXPECT_EQ(driver_.cuMemMap(va + 2 * MiB, 2 * MiB, 0, handle),
+              CuResult::kSuccess);
+    EXPECT_EQ(driver_.numMappings(handle), 2u);
+    // Mapping over an already-mapped VA is still rejected.
+    EXPECT_EQ(driver_.cuMemMap(va, 2 * MiB, 0, handle),
+              CuResult::kErrorAlreadyMapped);
+    EXPECT_EQ(driver_.cuMemMap(va + 4 * MiB, 2 * MiB, 0, 9999),
+              CuResult::kErrorInvalidHandle);
+    EXPECT_EQ(driver_.cuMemRelease(9999), CuResult::kErrorInvalidHandle);
+    // Releasing while any mapping is live is refused.
+    EXPECT_EQ(driver_.cuMemRelease(handle),
+              CuResult::kErrorAlreadyMapped);
+    EXPECT_EQ(driver_.cuMemUnmap(va, 2 * MiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.cuMemRelease(handle),
+              CuResult::kErrorAlreadyMapped);
+    EXPECT_EQ(driver_.cuMemUnmap(va + 2 * MiB, 2 * MiB),
+              CuResult::kSuccess);
+    EXPECT_EQ(driver_.cuMemRelease(handle), CuResult::kSuccess);
+}
+
+TEST_F(DriverTest, AliasedMappingsShareData)
+{
+    // KV de-duplication at driver level: two virtual views of one
+    // physical page-group observe each other's writes.
+    Addr va1 = 0;
+    Addr va2 = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va1, 64 * KiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemReserve(&va2, 64 * KiB), CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k64KB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va1, handle), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va2, handle), CuResult::kSuccess);
+    EXPECT_EQ(driver_.numMappings(handle), 2u);
+    // Only one page-group of physical memory backs both.
+    EXPECT_EQ(driver_.physBytesInUse(), 64 * KiB);
+
+    const u64 value = 0xfeedface12345678ULL;
+    device_.writeVa(va1 + 100, &value, sizeof(value));
+    u64 out = 0;
+    device_.readVa(va2 + 100, &out, sizeof(out));
+    EXPECT_EQ(out, value);
+
+    // vMemRelease tears down every alias.
+    ASSERT_EQ(driver_.vMemRelease(handle), CuResult::kSuccess);
+    EXPECT_FALSE(device_.pageTable().isAccessible(va1, 64 * KiB));
+    EXPECT_FALSE(device_.pageTable().isAccessible(va2, 64 * KiB));
+    EXPECT_EQ(driver_.physBytesInUse(), 0u);
+}
+
+TEST_F(DriverTest, AddressFreeRequiresUnmapped)
+{
+    Addr va = 0;
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va, 2 * MiB),
+              CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&handle, 2 * MiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemMap(va, 2 * MiB, 0, handle),
+              CuResult::kSuccess);
+    EXPECT_EQ(driver_.cuMemAddressFree(va, 2 * MiB),
+              CuResult::kErrorAlreadyMapped);
+    ASSERT_EQ(driver_.cuMemUnmap(va, 2 * MiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.cuMemAddressFree(va, 2 * MiB), CuResult::kSuccess);
+    driver_.cuMemRelease(handle);
+}
+
+TEST_F(DriverTest, PhysicalExhaustionReturnsOom)
+{
+    // Device has 64MB; create handles until it refuses.
+    std::vector<MemHandle> handles;
+    while (true) {
+        MemHandle handle = kInvalidHandle;
+        const auto r = driver_.cuMemCreate(&handle, 2 * MiB);
+        if (r != CuResult::kSuccess) {
+            EXPECT_EQ(r, CuResult::kErrorOutOfMemory);
+            break;
+        }
+        handles.push_back(handle);
+    }
+    EXPECT_EQ(handles.size(), 32u);
+    for (MemHandle handle : handles) {
+        EXPECT_EQ(driver_.cuMemRelease(handle), CuResult::kSuccess);
+    }
+    EXPECT_EQ(driver_.physBytesInUse(), 0u);
+}
+
+TEST_F(DriverTest, VMemExtensionLifecycle)
+{
+    Addr va = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va, 1 * MiB), CuResult::kSuccess);
+
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k64KB),
+              CuResult::kSuccess);
+    EXPECT_EQ(driver_.handleSize(handle), 64 * KiB);
+
+    // vMemMap fuses map + access grant.
+    ASSERT_EQ(driver_.vMemMap(va, handle), CuResult::kSuccess);
+    EXPECT_TRUE(device_.pageTable().isAccessible(va, 64 * KiB));
+
+    // vMemRelease fuses unmap + free.
+    ASSERT_EQ(driver_.vMemRelease(handle), CuResult::kSuccess);
+    EXPECT_FALSE(device_.pageTable().isAccessible(va, 64 * KiB));
+    EXPECT_EQ(driver_.physBytesInUse(), 0u);
+    EXPECT_EQ(driver_.vMemFree(va, 1 * MiB), CuResult::kSuccess);
+}
+
+TEST_F(DriverTest, VMemSupportsAllPageGroups)
+{
+    Addr va = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va, 16 * MiB, 2 * MiB),
+              CuResult::kSuccess);
+    Addr cursor = va;
+    for (PageGroup group : kAllPageGroups) {
+        // Hardware pages must be mapped at naturally aligned VAs.
+        cursor = roundUp(cursor, bytes(group));
+        MemHandle handle = kInvalidHandle;
+        ASSERT_EQ(driver_.vMemCreate(&handle, group), CuResult::kSuccess)
+            << toString(group);
+        ASSERT_EQ(driver_.vMemMap(cursor, handle), CuResult::kSuccess);
+        EXPECT_TRUE(
+            device_.pageTable().isAccessible(cursor, bytes(group)));
+        cursor += bytes(group);
+        ASSERT_EQ(driver_.vMemRelease(handle), CuResult::kSuccess);
+    }
+}
+
+TEST_F(DriverTest, SmallGroupsBackedBy64KbPages)
+{
+    Addr va = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va, 1 * MiB), CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k256KB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va, handle), CuResult::kSuccess);
+    auto t = device_.pageTable().translate(va);
+    ASSERT_TRUE(t.isOk());
+    EXPECT_EQ(t.value().page, PageSize::k64KB);
+    driver_.vMemRelease(handle);
+}
+
+TEST_F(DriverTest, CudaMallocCommitsEverything)
+{
+    Addr ptr = 0;
+    ASSERT_EQ(driver_.cudaMalloc(&ptr, 3 * MiB), CuResult::kSuccess);
+    // Rounded to 2MB multiple, fully accessible immediately: the
+    // reservation-based model the paper contrasts against.
+    EXPECT_TRUE(device_.pageTable().isAccessible(ptr, 3 * MiB));
+    EXPECT_EQ(driver_.physBytesInUse(), 4 * MiB);
+    ASSERT_EQ(driver_.cudaFree(ptr), CuResult::kSuccess);
+    EXPECT_EQ(driver_.physBytesInUse(), 0u);
+    EXPECT_EQ(driver_.cudaFree(ptr), CuResult::kErrorInvalidValue);
+}
+
+TEST_F(DriverTest, LatencyLedgerChargesTable3Costs)
+{
+    driver_.consumeElapsedNs();
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k64KB),
+              CuResult::kSuccess);
+    // Table 3: vMemCreate(64KB) = 1.7us.
+    EXPECT_EQ(driver_.consumeElapsedNs(), 1700u);
+
+    Addr va = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va, 64 * KiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.consumeElapsedNs(), 18000u); // 18us
+
+    ASSERT_EQ(driver_.vMemMap(va, handle), CuResult::kSuccess);
+    EXPECT_EQ(driver_.consumeElapsedNs(), 8000u); // 8us
+
+    ASSERT_EQ(driver_.vMemRelease(handle), CuResult::kSuccess);
+    EXPECT_EQ(driver_.consumeElapsedNs(), 2000u); // 2us
+
+    // The ledger drains: nothing pending now.
+    EXPECT_EQ(driver_.consumeElapsedNs(), 0u);
+    EXPECT_GT(driver_.totalNs(), 0u);
+}
+
+TEST_F(DriverTest, CountersTrackCalls)
+{
+    Addr va = 0;
+    driver_.cuMemAddressReserve(&va, 2 * MiB);
+    MemHandle handle = kInvalidHandle;
+    driver_.cuMemCreate(&handle, 2 * MiB);
+    driver_.cuMemMap(va, 2 * MiB, 0, handle);
+    driver_.cuMemSetAccess(va, 2 * MiB);
+    driver_.cuMemUnmap(va, 2 * MiB);
+    driver_.cuMemRelease(handle);
+    driver_.cuMemAddressFree(va, 2 * MiB);
+    const auto &counters = driver_.counters();
+    EXPECT_EQ(counters.reserve, 1u);
+    EXPECT_EQ(counters.create, 1u);
+    EXPECT_EQ(counters.map, 1u);
+    EXPECT_EQ(counters.set_access, 1u);
+    EXPECT_EQ(counters.unmap, 1u);
+    EXPECT_EQ(counters.release, 1u);
+    EXPECT_EQ(counters.address_free, 1u);
+    EXPECT_EQ(counters.total(), 7u);
+}
+
+TEST_F(DriverTest, FunctionalDataThroughVmmMapping)
+{
+    // End to end: reserve, create, map, write through VA, remap
+    // elsewhere, confirm the data lives in physical memory.
+    Addr va1 = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va1, 128 * KiB), CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k64KB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va1, handle), CuResult::kSuccess);
+
+    const u32 value = 0xcafef00d;
+    device_.writeVa(va1 + 500, &value, sizeof(value));
+
+    // Unmap (keeping physical) is only possible via the cu path; use
+    // a second mapping address to show handle identity instead:
+    // release destroys content, so re-create and check zeros.
+    ASSERT_EQ(driver_.vMemRelease(handle), CuResult::kSuccess);
+    MemHandle handle2 = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle2, PageGroup::k64KB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va1, handle2), CuResult::kSuccess);
+    u32 out = 0xffffffff;
+    device_.readVa(va1 + 500, &out, sizeof(out));
+    // Physical frame may be recycled; the mapping itself must work.
+    device_.writeVa(va1 + 500, &value, sizeof(value));
+    device_.readVa(va1 + 500, &out, sizeof(out));
+    EXPECT_EQ(out, value);
+    driver_.vMemRelease(handle2);
+}
+
+} // namespace
+} // namespace vattn::cuvmm

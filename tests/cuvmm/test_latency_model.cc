@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "cuvmm/latency_model.hh"
+#include "test_util.hh"
+
+namespace vattn::cuvmm
+{
+namespace
+{
+
+TEST(LatencyModel, Table3Values)
+{
+    LatencyModel model;
+    // Reserve: 18/17/16/2 us.
+    EXPECT_EQ(model.cost(Api::kAddressReserve, PageGroup::k64KB), 18000u);
+    EXPECT_EQ(model.cost(Api::kAddressReserve, PageGroup::k128KB), 17000u);
+    EXPECT_EQ(model.cost(Api::kAddressReserve, PageGroup::k256KB), 16000u);
+    EXPECT_EQ(model.cost(Api::kAddressReserve, PageGroup::k2MB), 2000u);
+    // Create: 1.7/2/2.1/29 us.
+    EXPECT_EQ(model.cost(Api::kCreate, PageGroup::k64KB), 1700u);
+    EXPECT_EQ(model.cost(Api::kCreate, PageGroup::k2MB), 29000u);
+    // Map: 8/8.5/9/2 us.
+    EXPECT_EQ(model.cost(Api::kMap, PageGroup::k128KB), 8500u);
+    EXPECT_EQ(model.cost(Api::kMap, PageGroup::k2MB), 2000u);
+    // SetAccess/Unmap only exist on the 2MB (stock CUDA) path.
+    EXPECT_EQ(model.cost(Api::kSetAccess, PageGroup::k2MB), 38000u);
+    EXPECT_EQ(model.cost(Api::kUnmap, PageGroup::k2MB), 34000u);
+    // Release: 2/3/4/23 us.
+    EXPECT_EQ(model.cost(Api::kRelease, PageGroup::k256KB), 4000u);
+    EXPECT_EQ(model.cost(Api::kRelease, PageGroup::k2MB), 23000u);
+    // AddressFree: 35/35/35/1 us.
+    EXPECT_EQ(model.cost(Api::kAddressFree, PageGroup::k64KB), 35000u);
+    EXPECT_EQ(model.cost(Api::kAddressFree, PageGroup::k2MB), 1000u);
+}
+
+TEST(LatencyModel, FusedApisHaveNoSmallPageCost)
+{
+    test::ScopedThrowErrors guard;
+    LatencyModel model;
+    EXPECT_THROW(model.cost(Api::kSetAccess, PageGroup::k64KB),
+                 SimError);
+    EXPECT_THROW(model.cost(Api::kUnmap, PageGroup::k128KB), SimError);
+}
+
+TEST(LatencyModel, MapGroupCostFusesAccessOn2Mb)
+{
+    LatencyModel model;
+    // Stock path: cuMemMap (2us) + cuMemSetAccess (38us) = 40us —
+    // this is the §6.1 example: 120 calls * 40us ~= 5ms per request.
+    EXPECT_EQ(model.mapGroupCost(PageGroup::k2MB), 40000u);
+    // Extension path: one fused vMemMap call.
+    EXPECT_EQ(model.mapGroupCost(PageGroup::k64KB), 8000u);
+    EXPECT_EQ(model.mapGroupCost(PageGroup::k256KB), 9000u);
+}
+
+TEST(LatencyModel, UnmapGroupCost)
+{
+    LatencyModel model;
+    EXPECT_EQ(model.unmapGroupCost(PageGroup::k2MB), 57000u); // 34+23
+    EXPECT_EQ(model.unmapGroupCost(PageGroup::k64KB), 2000u);
+}
+
+TEST(LatencyModel, GrowRequestExampleFromPaper)
+{
+    // §6.1: extending one request of Yi-34B (60 layers, 120 buffers)
+    // by one 2MB page-group each costs ~5ms of API latency.
+    LatencyModel model;
+    const TimeNs per_group = model.mapGroupCost(PageGroup::k2MB);
+    const TimeNs total = per_group * 120;
+    EXPECT_NEAR(static_cast<double>(total) / 1e6, 5.0, 0.3); // ~5ms
+}
+
+TEST(LatencyModel, ScaleMultipliesCosts)
+{
+    LatencyModel model;
+    model.setScale(2.0);
+    EXPECT_EQ(model.cost(Api::kMap, PageGroup::k64KB), 16000u);
+    model.setScale(1.0);
+    EXPECT_EQ(model.cost(Api::kMap, PageGroup::k64KB), 8000u);
+}
+
+TEST(LatencyModel, ApiNames)
+{
+    EXPECT_STREQ(toString(Api::kMap), "MemMap");
+    EXPECT_STREQ(toString(Api::kSetAccess), "MemSetAccess");
+}
+
+} // namespace
+} // namespace vattn::cuvmm

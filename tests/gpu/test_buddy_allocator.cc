@@ -1,0 +1,172 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gpu/buddy_allocator.hh"
+
+namespace vattn::gpu
+{
+namespace
+{
+
+TEST(Buddy, AllocationsAreAlignedAndDisjoint)
+{
+    BuddyAllocator buddy(1 * MiB, 4 * KiB, 256 * KiB);
+    std::map<PhysAddr, u64> live;
+    for (u64 size : {4 * KiB, 64 * KiB, 8 * KiB, 128 * KiB, 4 * KiB}) {
+        auto r = buddy.alloc(size);
+        ASSERT_TRUE(r.isOk()) << size;
+        EXPECT_EQ(r.value() % size, 0u) << "natural alignment";
+        for (const auto &[addr, len] : live) {
+            const bool disjoint =
+                r.value() + size <= addr || addr + len <= r.value();
+            EXPECT_TRUE(disjoint);
+        }
+        live[r.value()] = size;
+    }
+    EXPECT_TRUE(buddy.checkInvariants());
+}
+
+TEST(Buddy, RoundsUpToPow2)
+{
+    BuddyAllocator buddy(1 * MiB);
+    auto r = buddy.alloc(5 * KiB); // -> 8KB block
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(buddy.allocatedBytes(), 8 * KiB);
+    EXPECT_TRUE(buddy.free(r.value(), 5 * KiB).isOk());
+    EXPECT_EQ(buddy.allocatedBytes(), 0u);
+}
+
+TEST(Buddy, ExhaustionAndRecovery)
+{
+    BuddyAllocator buddy(256 * KiB, 4 * KiB, 256 * KiB);
+    std::vector<PhysAddr> blocks;
+    for (int i = 0; i < 64; ++i) {
+        auto r = buddy.alloc(4 * KiB);
+        ASSERT_TRUE(r.isOk());
+        blocks.push_back(r.value());
+    }
+    EXPECT_EQ(buddy.freeBytes(), 0u);
+    EXPECT_EQ(buddy.alloc(4 * KiB).code(), ErrorCode::kOutOfMemory);
+    for (PhysAddr addr : blocks) {
+        EXPECT_TRUE(buddy.free(addr, 4 * KiB).isOk());
+    }
+    EXPECT_EQ(buddy.freeBytes(), 256 * KiB);
+    // Full coalescing: the whole pool is one max-order block again.
+    EXPECT_EQ(buddy.largestFreeBlock(), 256 * KiB);
+}
+
+TEST(Buddy, CoalescingMergesBuddies)
+{
+    BuddyAllocator buddy(128 * KiB, 4 * KiB, 128 * KiB);
+    auto a = buddy.alloc(64 * KiB);
+    auto b = buddy.alloc(64 * KiB);
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(buddy.largestFreeBlock(), 0u);
+    EXPECT_TRUE(buddy.free(a.value(), 64 * KiB).isOk());
+    EXPECT_EQ(buddy.largestFreeBlock(), 64 * KiB);
+    EXPECT_TRUE(buddy.free(b.value(), 64 * KiB).isOk());
+    EXPECT_EQ(buddy.largestFreeBlock(), 128 * KiB);
+}
+
+TEST(Buddy, DoubleFreeRejected)
+{
+    BuddyAllocator buddy(64 * KiB, 4 * KiB, 64 * KiB);
+    auto r = buddy.alloc(4 * KiB);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(buddy.free(r.value(), 4 * KiB).isOk());
+    // Detected even after the freed block coalesced with buddies.
+    EXPECT_EQ(buddy.free(r.value(), 4 * KiB).code(),
+              ErrorCode::kAlreadyExists);
+}
+
+TEST(Buddy, WrongSizeFreeRejected)
+{
+    BuddyAllocator buddy(1 * MiB);
+    auto r = buddy.alloc(64 * KiB);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(buddy.free(r.value(), 8 * KiB).code(),
+              ErrorCode::kInvalidArgument);
+    EXPECT_EQ(buddy.allocatedBytes(), 64 * KiB); // untouched
+    EXPECT_TRUE(buddy.free(r.value(), 64 * KiB).isOk());
+}
+
+TEST(Buddy, BadFreeRejected)
+{
+    BuddyAllocator buddy(64 * KiB, 4 * KiB, 64 * KiB);
+    EXPECT_FALSE(buddy.free(12345, 4 * KiB).isOk()); // unaligned
+    EXPECT_FALSE(buddy.free(0, 0).isOk());
+    EXPECT_FALSE(buddy.free(0, 128 * KiB).isOk()); // beyond max block
+}
+
+TEST(Buddy, OversizedRequestRejected)
+{
+    BuddyAllocator buddy(1 * MiB, 4 * KiB, 64 * KiB);
+    EXPECT_EQ(buddy.alloc(128 * KiB).code(),
+              ErrorCode::kInvalidArgument);
+    EXPECT_EQ(buddy.alloc(0).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Buddy, NonPow2CapacitySeeded)
+{
+    // 320KB = 256 + 64: seeded as two top blocks.
+    BuddyAllocator buddy(320 * KiB, 4 * KiB, 256 * KiB);
+    EXPECT_EQ(buddy.freeBytes(), 320 * KiB);
+    auto a = buddy.alloc(256 * KiB);
+    ASSERT_TRUE(a.isOk());
+    auto b = buddy.alloc(64 * KiB);
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(buddy.freeBytes(), 0u);
+    EXPECT_TRUE(buddy.checkInvariants());
+}
+
+/** Property sweep: random alloc/free traffic conserves bytes and keeps
+ *  the free lists consistent, for several page-group sizes. */
+class BuddyPropertyTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(BuddyPropertyTest, RandomTrafficConservesMemory)
+{
+    const u64 block = GetParam();
+    BuddyAllocator buddy(64 * MiB, 4 * KiB, 32 * MiB);
+    Rng rng(0xfeed + block);
+    std::vector<std::pair<PhysAddr, u64>> live;
+    u64 live_bytes = 0;
+
+    for (int step = 0; step < 3000; ++step) {
+        const bool do_alloc = live.empty() || rng.uniform() < 0.55;
+        if (do_alloc) {
+            auto r = buddy.alloc(block);
+            if (r.isOk()) {
+                live.emplace_back(r.value(), block);
+                live_bytes += block;
+            } else {
+                EXPECT_EQ(r.code(), ErrorCode::kOutOfMemory);
+            }
+        } else {
+            const auto pick = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<i64>(live.size()) - 1));
+            EXPECT_TRUE(
+                buddy.free(live[pick].first, live[pick].second).isOk());
+            live_bytes -= live[pick].second;
+            live.erase(live.begin() + static_cast<long>(pick));
+        }
+        ASSERT_EQ(buddy.allocatedBytes(), live_bytes);
+    }
+    EXPECT_TRUE(buddy.checkInvariants());
+    for (const auto &[addr, size] : live) {
+        EXPECT_TRUE(buddy.free(addr, size).isOk());
+    }
+    EXPECT_EQ(buddy.allocatedBytes(), 0u);
+    EXPECT_EQ(buddy.largestFreeBlock(), 32 * MiB);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageGroupSizes, BuddyPropertyTest,
+                         ::testing::Values(64 * KiB, 128 * KiB,
+                                           256 * KiB, 2 * MiB));
+
+} // namespace
+} // namespace vattn::gpu

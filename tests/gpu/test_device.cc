@@ -1,0 +1,126 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "test_util.hh"
+
+namespace vattn::gpu
+{
+namespace
+{
+
+GpuDevice::Config
+smallConfig()
+{
+    GpuDevice::Config config;
+    config.name = "testGPU";
+    config.mem_bytes = 64 * MiB;
+    return config;
+}
+
+TEST(GpuDevice, ReadWriteThroughMappedVa)
+{
+    GpuDevice device(smallConfig());
+    auto va = device.vaSpace().reserve(2 * MiB, 2 * MiB);
+    ASSERT_TRUE(va.isOk());
+    auto pa = device.physAllocator().alloc(2 * MiB);
+    ASSERT_TRUE(pa.isOk());
+    ASSERT_TRUE(device.pageTable()
+                    .map(va.value(), pa.value(), 2 * MiB,
+                         PageSize::k2MB, Access::kReadWrite)
+                    .isOk());
+
+    const u64 value = 0x1122334455667788ULL;
+    device.writeVa(va.value() + 1000, &value, sizeof(value));
+    u64 out = 0;
+    device.readVa(va.value() + 1000, &out, sizeof(out));
+    EXPECT_EQ(out, value);
+}
+
+TEST(GpuDevice, AccessCrossesExtentBoundary)
+{
+    GpuDevice device(smallConfig());
+    auto va = device.vaSpace().reserve(128 * KiB, 64 * KiB);
+    ASSERT_TRUE(va.isOk());
+    // Two separate 64KB extents with non-adjacent physical backing.
+    auto pa1 = device.physAllocator().alloc(64 * KiB);
+    auto pa2 = device.physAllocator().alloc(64 * KiB);
+    ASSERT_TRUE(pa1.isOk());
+    ASSERT_TRUE(pa2.isOk());
+    ASSERT_TRUE(device.pageTable()
+                    .map(va.value(), pa1.value(), 64 * KiB,
+                         PageSize::k64KB, Access::kReadWrite)
+                    .isOk());
+    ASSERT_TRUE(device.pageTable()
+                    .map(va.value() + 64 * KiB, pa2.value(), 64 * KiB,
+                         PageSize::k64KB, Access::kReadWrite)
+                    .isOk());
+
+    // A write spanning the extent boundary must land in both frames
+    // and read back seamlessly: this is virtual contiguity over
+    // discontiguous physical memory, the heart of the paper.
+    std::vector<u8> data(4096);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<u8>(i * 7);
+    }
+    const Addr start = va.value() + 64 * KiB - 2048;
+    device.writeVa(start, data.data(), data.size());
+    std::vector<u8> out(4096, 0);
+    device.readVa(start, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(GpuDevice, UnmappedAccessFaults)
+{
+    test::ScopedThrowErrors guard;
+    GpuDevice device(smallConfig());
+    u8 byte = 0;
+    EXPECT_THROW(device.readVa(0x10'0000'0000ULL, &byte, 1), SimError);
+}
+
+TEST(GpuDevice, MappedWithoutAccessFaults)
+{
+    test::ScopedThrowErrors guard;
+    GpuDevice device(smallConfig());
+    auto va = device.vaSpace().reserve(2 * MiB, 2 * MiB);
+    auto pa = device.physAllocator().alloc(2 * MiB);
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(pa.isOk());
+    // cuMemMap without cuMemSetAccess.
+    ASSERT_TRUE(device.pageTable()
+                    .map(va.value(), pa.value(), 2 * MiB,
+                         PageSize::k2MB, Access::kNone)
+                    .isOk());
+    u8 byte = 0;
+    EXPECT_THROW(device.readVa(va.value(), &byte, 1), SimError);
+}
+
+TEST(GpuDevice, TranslateTouchedFeedsTlb)
+{
+    GpuDevice device(smallConfig());
+    auto va = device.vaSpace().reserve(64 * KiB, 64 * KiB);
+    auto pa = device.physAllocator().alloc(64 * KiB);
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(pa.isOk());
+    ASSERT_TRUE(device.pageTable()
+                    .map(va.value(), pa.value(), 64 * KiB,
+                         PageSize::k64KB, Access::kReadWrite)
+                    .isOk());
+    EXPECT_EQ(device.translateTouched(va.value() + 128), pa.value() + 128);
+    device.translateTouched(va.value() + 256);
+    EXPECT_EQ(device.tlb().l1Stats(PageSize::k64KB).accesses(), 2u);
+    EXPECT_EQ(device.tlb().l1Stats(PageSize::k64KB).hits, 1u);
+}
+
+TEST(GpuDevice, FreePhysBytesTracksAllocator)
+{
+    GpuDevice device(smallConfig());
+    EXPECT_EQ(device.freePhysBytes(), 64 * MiB);
+    auto pa = device.physAllocator().alloc(2 * MiB);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(device.freePhysBytes(), 62 * MiB);
+}
+
+} // namespace
+} // namespace vattn::gpu

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "gpu/page_table.hh"
+
+namespace vattn::gpu
+{
+namespace
+{
+
+constexpr Addr kVa = 0x10'0000'0000ULL;
+
+TEST(PageTable, MapTranslateUnmap)
+{
+    PageTable table;
+    ASSERT_TRUE(table
+                    .map(kVa, 0x10000, 64 * KiB, PageSize::k64KB,
+                         Access::kReadWrite)
+                    .isOk());
+    auto t = table.translate(kVa + 100);
+    ASSERT_TRUE(t.isOk());
+    EXPECT_EQ(t.value().phys, 0x10000u + 100);
+    EXPECT_EQ(t.value().page, PageSize::k64KB);
+    EXPECT_EQ(t.value().access, Access::kReadWrite);
+    EXPECT_EQ(t.value().extent_start, kVa);
+    EXPECT_EQ(t.value().extent_end, kVa + 64 * KiB);
+
+    ASSERT_TRUE(table.unmap(kVa, 64 * KiB).isOk());
+    EXPECT_FALSE(table.translate(kVa).isOk());
+}
+
+TEST(PageTable, AlignmentEnforced)
+{
+    PageTable table;
+    EXPECT_FALSE(table
+                     .map(kVa + 1, 0, 64 * KiB, PageSize::k64KB,
+                          Access::kReadWrite)
+                     .isOk());
+    EXPECT_FALSE(table
+                     .map(kVa, 4096, 64 * KiB, PageSize::k64KB,
+                          Access::kReadWrite)
+                     .isOk()); // phys unaligned
+    EXPECT_FALSE(table
+                     .map(kVa, 0, 60 * KiB, PageSize::k64KB,
+                          Access::kReadWrite)
+                     .isOk()); // size not multiple
+}
+
+TEST(PageTable, DoubleMapRejected)
+{
+    PageTable table;
+    ASSERT_TRUE(table
+                    .map(kVa, 0, 2 * MiB, PageSize::k2MB,
+                         Access::kReadWrite)
+                    .isOk());
+    EXPECT_EQ(table
+                  .map(kVa + 64 * KiB, 0, 64 * KiB, PageSize::k64KB,
+                       Access::kReadWrite)
+                  .code(),
+              ErrorCode::kAlreadyExists);
+}
+
+TEST(PageTable, CudaMapThenSetAccessSemantics)
+{
+    // cuMemMap leaves the range inaccessible until cuMemSetAccess.
+    PageTable table;
+    ASSERT_TRUE(
+        table.map(kVa, 0, 2 * MiB, PageSize::k2MB, Access::kNone)
+            .isOk());
+    EXPECT_FALSE(table.isAccessible(kVa, 2 * MiB));
+    auto t = table.translate(kVa);
+    ASSERT_TRUE(t.isOk());
+    EXPECT_EQ(t.value().access, Access::kNone);
+
+    ASSERT_TRUE(
+        table.setAccess(kVa, 2 * MiB, Access::kReadWrite).isOk());
+    EXPECT_TRUE(table.isAccessible(kVa, 2 * MiB));
+}
+
+TEST(PageTable, SetAccessRequiresWholeExtents)
+{
+    PageTable table;
+    ASSERT_TRUE(
+        table.map(kVa, 0, 2 * MiB, PageSize::k2MB, Access::kNone)
+            .isOk());
+    // Partial extent.
+    EXPECT_FALSE(
+        table.setAccess(kVa, 1 * MiB, Access::kReadWrite).isOk());
+    // Range with a gap.
+    EXPECT_FALSE(
+        table.setAccess(kVa, 4 * MiB, Access::kReadWrite).isOk());
+}
+
+TEST(PageTable, UnmapRequiresExactExtentDecomposition)
+{
+    PageTable table;
+    ASSERT_TRUE(table
+                    .map(kVa, 0, 64 * KiB, PageSize::k64KB,
+                         Access::kReadWrite)
+                    .isOk());
+    ASSERT_TRUE(table
+                    .map(kVa + 64 * KiB, 64 * KiB, 64 * KiB,
+                         PageSize::k64KB, Access::kReadWrite)
+                    .isOk());
+    // Partial unmap of one extent: rejected.
+    EXPECT_FALSE(table.unmap(kVa, 32 * KiB).isOk());
+    // Unmap spanning both extents exactly: fine.
+    EXPECT_TRUE(table.unmap(kVa, 128 * KiB).isOk());
+    EXPECT_EQ(table.numExtents(), 0u);
+}
+
+TEST(PageTable, UnmapWithGapRejectedAtomically)
+{
+    PageTable table;
+    ASSERT_TRUE(table
+                    .map(kVa, 0, 64 * KiB, PageSize::k64KB,
+                         Access::kReadWrite)
+                    .isOk());
+    ASSERT_TRUE(table
+                    .map(kVa + 128 * KiB, 64 * KiB, 64 * KiB,
+                         PageSize::k64KB, Access::kReadWrite)
+                    .isOk());
+    EXPECT_FALSE(table.unmap(kVa, 192 * KiB).isOk());
+    // Nothing was removed.
+    EXPECT_EQ(table.numExtents(), 2u);
+    EXPECT_TRUE(table.translate(kVa).isOk());
+    EXPECT_TRUE(table.translate(kVa + 128 * KiB).isOk());
+}
+
+TEST(PageTable, MixedPageSizes)
+{
+    PageTable table;
+    ASSERT_TRUE(table
+                    .map(kVa, 0, 2 * MiB, PageSize::k2MB,
+                         Access::kReadWrite)
+                    .isOk());
+    ASSERT_TRUE(table
+                    .map(kVa + 2 * MiB, 2 * MiB, 64 * KiB,
+                         PageSize::k64KB, Access::kReadWrite)
+                    .isOk());
+    EXPECT_EQ(table.translate(kVa).value().page, PageSize::k2MB);
+    EXPECT_EQ(table.translate(kVa + 2 * MiB).value().page,
+              PageSize::k64KB);
+    EXPECT_EQ(table.mappedBytes(), 2 * MiB + 64 * KiB);
+}
+
+TEST(PageTable, TranslationOffsetsWithinExtent)
+{
+    PageTable table;
+    ASSERT_TRUE(table
+                    .map(kVa, 0x100000, 256 * KiB, PageSize::k64KB,
+                         Access::kReadWrite)
+                    .isOk());
+    const u64 offsets[] = {0, 1, 64 * KiB + 5, 256 * KiB - 1};
+    for (u64 off : offsets) {
+        auto t = table.translate(kVa + off);
+        ASSERT_TRUE(t.isOk()) << off;
+        EXPECT_EQ(t.value().phys, 0x100000 + off);
+    }
+    EXPECT_FALSE(table.translate(kVa + 256 * KiB).isOk());
+}
+
+TEST(PageTable, IsAccessibleAcrossExtents)
+{
+    PageTable table;
+    ASSERT_TRUE(table
+                    .map(kVa, 0, 64 * KiB, PageSize::k64KB,
+                         Access::kReadWrite)
+                    .isOk());
+    ASSERT_TRUE(table
+                    .map(kVa + 64 * KiB, 64 * KiB, 64 * KiB,
+                         PageSize::k64KB, Access::kNone)
+                    .isOk());
+    EXPECT_TRUE(table.isAccessible(kVa, 64 * KiB));
+    EXPECT_FALSE(table.isAccessible(kVa, 128 * KiB)); // second is kNone
+    EXPECT_FALSE(table.isAccessible(kVa + 200 * KiB, 1)); // unmapped
+}
+
+} // namespace
+} // namespace vattn::gpu

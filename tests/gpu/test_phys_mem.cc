@@ -1,0 +1,87 @@
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/phys_mem.hh"
+#include "test_util.hh"
+
+namespace vattn::gpu
+{
+namespace
+{
+
+TEST(PhysicalMemory, UntouchedReadsZero)
+{
+    PhysicalMemory mem(1 * MiB);
+    std::vector<u8> buf(256, 0xff);
+    mem.read(4096, buf.data(), buf.size());
+    for (u8 b : buf) {
+        EXPECT_EQ(b, 0);
+    }
+    EXPECT_EQ(mem.touchedBytes(), 0u);
+}
+
+TEST(PhysicalMemory, WriteReadRoundtrip)
+{
+    PhysicalMemory mem(1 * MiB);
+    const char msg[] = "hello kv cache";
+    mem.write(1000, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    mem.read(1000, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(PhysicalMemory, CrossesChunkBoundaries)
+{
+    PhysicalMemory mem(1 * MiB);
+    const u64 boundary = PhysicalMemory::kChunkBytes;
+    std::vector<u8> data(512);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<u8>(i & 0xff);
+    }
+    mem.write(boundary - 256, data.data(), data.size());
+    std::vector<u8> out(512, 0);
+    mem.read(boundary - 256, out.data(), out.size());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(mem.touchedBytes(), 2 * PhysicalMemory::kChunkBytes);
+}
+
+TEST(PhysicalMemory, SparseBackingIsLazy)
+{
+    PhysicalMemory mem(64 * GiB); // way more than host RAM
+    const u64 far = 48 * GiB;
+    const u32 value = 0xdeadbeef;
+    mem.write(far, &value, sizeof(value));
+    u32 out = 0;
+    mem.read(far, &out, sizeof(out));
+    EXPECT_EQ(out, value);
+    // Only one chunk committed despite the 64GB capacity.
+    EXPECT_EQ(mem.touchedBytes(), PhysicalMemory::kChunkBytes);
+}
+
+TEST(PhysicalMemory, Fill)
+{
+    PhysicalMemory mem(1 * MiB);
+    mem.fill(100, 0xab, 300);
+    std::vector<u8> out(302, 0);
+    mem.read(99, out.data(), out.size());
+    EXPECT_EQ(out[0], 0);
+    for (int i = 1; i <= 300; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], 0xab);
+    }
+    EXPECT_EQ(out[301], 0);
+}
+
+TEST(PhysicalMemory, OutOfRangeAccessPanics)
+{
+    test::ScopedThrowErrors guard;
+    PhysicalMemory mem(4096);
+    u8 byte = 0;
+    EXPECT_THROW(mem.read(4096, &byte, 1), SimError);
+    EXPECT_THROW(mem.write(4000, &byte, 200), SimError);
+    EXPECT_NO_THROW(mem.read(4095, &byte, 1));
+}
+
+} // namespace
+} // namespace vattn::gpu

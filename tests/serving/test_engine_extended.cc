@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "serving/engine.hh"
+#include "test_util.hh"
+
+namespace vattn::serving
+{
+namespace
+{
+
+EngineConfig
+baseConfig(perf::BackendKind kind)
+{
+    EngineConfig config;
+    config.model = perf::ModelSpec::yi6B();
+    config.gpu = perf::GpuSpec::a100();
+    config.tp = 1;
+    config.backend = kind;
+    config.kv_budget_override = 2 * GiB;
+    config.scheduler.max_num_seqs = 8;
+    config.scheduler.max_batched_tokens = 8192;
+    config.vattn.max_batch_size = 8;
+    return config;
+}
+
+std::vector<Request>
+uniformTrace(int n, i64 prompt, i64 decode)
+{
+    std::vector<Request> trace(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        trace[static_cast<std::size_t>(i)].id = static_cast<u64>(i);
+        trace[static_cast<std::size_t>(i)].prompt_tokens = prompt;
+        trace[static_cast<std::size_t>(i)].max_new_tokens = decode;
+    }
+    assignOfflineArrivals(trace);
+    return trace;
+}
+
+TEST(EngineExtended, DeterministicAcrossRuns)
+{
+    // Identical config + trace => bit-identical virtual-time results.
+    RunReport reports[2];
+    for (auto &report : reports) {
+        auto config = baseConfig(perf::BackendKind::kFa2VAttention);
+        config.kv_budget_override = 0; // long prompts need real budget
+        Engine engine(config);
+        auto trace = arxivOnlineTrace(40, 3);
+        assignPoissonArrivals(trace, 0.5, 99);
+        report = engine.run(std::move(trace));
+    }
+    EXPECT_EQ(reports[0].makespan_ns, reports[1].makespan_ns);
+    EXPECT_EQ(reports[0].decode_iterations,
+              reports[1].decode_iterations);
+    EXPECT_EQ(reports[0].preemptions, reports[1].preemptions);
+    EXPECT_DOUBLE_EQ(reports[0].latency_s.median(),
+                     reports[1].latency_s.median());
+}
+
+TEST(EngineExtended, TensorSlicingBackendServes)
+{
+    auto config = baseConfig(perf::BackendKind::kFa2VAttention);
+    config.vattn.tensor_slicing = true;
+    config.vattn.page_group = PageGroup::k2MB;
+    Engine engine(config);
+    auto report = engine.run(uniformTrace(8, 1500, 40));
+    EXPECT_EQ(report.num_requests, 8);
+    EXPECT_EQ(report.decode_tokens, 8 * 40);
+}
+
+TEST(EngineExtended, SmallPageGroupBackendsServe)
+{
+    for (PageGroup group : kAllPageGroups) {
+        auto config = baseConfig(perf::BackendKind::kFa2VAttention);
+        config.vattn.page_group = group;
+        Engine engine(config);
+        auto report = engine.run(uniformTrace(6, 1000, 25));
+        EXPECT_EQ(report.num_requests, 6) << toString(group);
+    }
+}
+
+TEST(EngineExtended, Fa3OnHopper)
+{
+    auto config = baseConfig(perf::BackendKind::kFa3VAttention);
+    config.gpu = perf::GpuSpec::h100();
+    Engine fa3(config);
+    auto report_fa3 = fa3.run(uniformTrace(6, 20000, 20));
+
+    auto config_fa2 = baseConfig(perf::BackendKind::kFa2VAttention);
+    config_fa2.gpu = perf::GpuSpec::h100();
+    Engine fa2(config_fa2);
+    auto report_fa2 = fa2.run(uniformTrace(6, 20000, 20));
+
+    EXPECT_EQ(report_fa3.num_requests, 6);
+    // FA3's Hopper-tuned kernels win end to end (§7.5).
+    EXPECT_LT(report_fa3.makespan_ns, report_fa2.makespan_ns);
+}
+
+TEST(EngineExtended, Fa3OnAmpereRefused)
+{
+    test::ScopedThrowErrors guard;
+    auto config = baseConfig(perf::BackendKind::kFa3VAttention);
+    config.gpu = perf::GpuSpec::a100();
+    Engine engine(config);
+    EXPECT_THROW(engine.run(uniformTrace(1, 1000, 5)), SimError);
+}
+
+TEST(EngineExtended, DecodeOnlyPreemptsWhenOversubscribed)
+{
+    auto config = baseConfig(perf::BackendKind::kFa2VAttention);
+    config.kv_budget_override = 700 * MiB; // ~11K tokens of KV
+    Engine engine(config);
+    // 8 requests x 2048 tokens = 16K tokens: does not fit; the run
+    // must shed requests instead of crashing.
+    auto run = engine.decodeOnly(8, 2048, 20);
+    EXPECT_GT(run.preemptions, 0u);
+    EXPECT_LT(run.effective_batch, 8);
+    EXPECT_GT(run.effective_batch, 0);
+    EXPECT_GT(run.tokens_per_second, 0.0);
+}
+
+TEST(EngineExtended, ThroughputOrderingAcrossBackends)
+{
+    // At a decode-heavy operating point the kernel-quality ordering
+    // of Figure 8 must hold end to end: FA2 back-ends > FI_Paged >
+    // vLLM.
+    auto tput = [&](perf::BackendKind kind) {
+        auto config = baseConfig(kind);
+        config.kv_budget_override = 0; // 8 x 16K tokens must fit
+        Engine engine(config);
+        return engine.decodeOnly(8, 16 * 1024, 100).tokens_per_second;
+    };
+    const double vllm = tput(perf::BackendKind::kVllmPaged);
+    const double fi = tput(perf::BackendKind::kFiPaged);
+    const double fa2_paged = tput(perf::BackendKind::kFa2Paged);
+    const double fa2_vattn = tput(perf::BackendKind::kFa2VAttention);
+    EXPECT_GT(fi, vllm);
+    EXPECT_GT(fa2_paged, fi);
+    EXPECT_GT(fa2_vattn, fi);
+    // FA2_vAttention ~= FA2_Paged (the overlapping lines of Fig. 8).
+    EXPECT_NEAR(fa2_vattn / fa2_paged, 1.0, 0.05);
+}
+
+TEST(EngineExtended, ReportAccountingConsistent)
+{
+    auto config = baseConfig(perf::BackendKind::kFa2VAttention);
+    config.record_iterations = true;
+    Engine engine(config);
+    auto trace = uniformTrace(10, 800, 30);
+    i64 expect_prompt = 0;
+    for (const auto &request : trace) {
+        expect_prompt += request.prompt_tokens;
+    }
+    auto report = engine.run(std::move(trace));
+    EXPECT_EQ(report.prompt_tokens, expect_prompt);
+    EXPECT_EQ(report.decode_tokens, 10 * 30);
+    // Iteration duration sum accounts for the whole makespan (offline
+    // run: no idle gaps).
+    TimeNs sum = 0;
+    for (const auto &iteration : report.iterations) {
+        sum += iteration.duration_ns;
+    }
+    EXPECT_EQ(sum, report.makespan_ns);
+    // Latency stats cover every request.
+    EXPECT_EQ(report.latency_s.count(), 10u);
+    EXPECT_GE(report.latency_s.min(), 0.0);
+}
+
+TEST(EngineExtended, VattnStatsExposedThroughBackend)
+{
+    auto config = baseConfig(perf::BackendKind::kFa2VAttention);
+    Engine engine(config);
+    ASSERT_NE(engine.vattnBackend(), nullptr);
+    engine.run(uniformTrace(4, 3000, 10));
+    const auto &stats = engine.vattnBackend()->runtime().stats();
+    EXPECT_GT(stats.steps, 0u);
+    EXPECT_GT(stats.sync_handles + stats.background_handles, 0);
+    // Paged engines expose no vattn backend.
+    Engine paged(baseConfig(perf::BackendKind::kFa2Paged));
+    EXPECT_EQ(paged.vattnBackend(), nullptr);
+}
+
+} // namespace
+} // namespace vattn::serving

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "serving/scheduler.hh"
+#include "serving/workload.hh"
+
+namespace vattn::serving
+{
+namespace
+{
+
+TEST(Workload, ArxivOfflineMatchesPaperStats)
+{
+    auto trace = arxivOfflineTrace();
+    const auto stats = computeStats(trace);
+    // §7.3: 427 requests, total context 64K-192K, decodes 17-5153,
+    // mean P:D ratio 356.
+    EXPECT_EQ(stats.num_requests, 427);
+    EXPECT_GE(stats.min_prompt + stats.min_decode, 64 * 1024 - 5153);
+    for (const auto &request : trace) {
+        const i64 total = request.prompt_tokens + request.max_new_tokens;
+        EXPECT_GE(total, 64 * 1024);
+        EXPECT_LE(total, 192 * 1024);
+        EXPECT_GE(request.max_new_tokens, 17);
+        EXPECT_LE(request.max_new_tokens, 5153);
+    }
+    EXPECT_NEAR(stats.mean_pd_ratio, 356, 150);
+}
+
+TEST(Workload, ArxivOnlineMatchesPaperStats)
+{
+    auto trace = arxivOnlineTrace();
+    const auto stats = computeStats(trace);
+    // §7.4: 512 requests, input 22K-45K (mean 29K), decodes 6-3250
+    // (mean 348).
+    EXPECT_EQ(stats.num_requests, 512);
+    EXPECT_GE(stats.min_prompt, 22 * 1024);
+    EXPECT_LE(stats.max_prompt, 45 * 1024);
+    EXPECT_NEAR(stats.mean_prompt, 29e3, 2e3);
+    EXPECT_GE(stats.min_decode, 6);
+    EXPECT_LE(stats.max_decode, 3250);
+    EXPECT_NEAR(stats.mean_decode, 348, 120);
+}
+
+TEST(Workload, OpenChatIsShortContext)
+{
+    auto trace = openChatTrace(1000);
+    const auto stats = computeStats(trace);
+    // Chat-scale contexts: mean total ~3-4K tokens, nothing huge.
+    EXPECT_LT(stats.mean_prompt + stats.mean_decode, 4500);
+    EXPECT_GT(stats.mean_prompt + stats.mean_decode, 2500);
+    EXPECT_LE(stats.max_prompt, 16 * 1024);
+    EXPECT_GE(stats.min_prompt, 64);
+}
+
+TEST(Workload, DeterministicForSeed)
+{
+    auto a = arxivOfflineTrace(50, 9);
+    auto b = arxivOfflineTrace(50, 9);
+    auto c = arxivOfflineTrace(50, 10);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(a[static_cast<std::size_t>(i)].prompt_tokens,
+                  b[static_cast<std::size_t>(i)].prompt_tokens);
+    }
+    bool differs = false;
+    for (int i = 0; i < 50; ++i) {
+        differs |= a[static_cast<std::size_t>(i)].prompt_tokens !=
+                   c[static_cast<std::size_t>(i)].prompt_tokens;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, PoissonArrivalsMonotonicWithCorrectRate)
+{
+    auto trace = arxivOnlineTrace(500);
+    assignPoissonArrivals(trace, 2.0, 77);
+    TimeNs prev = 0;
+    for (const auto &request : trace) {
+        EXPECT_GE(request.arrival_ns, prev);
+        prev = request.arrival_ns;
+    }
+    // 500 arrivals at 2 QPS -> ~250s span.
+    const double span_s = static_cast<double>(prev) / 1e9;
+    EXPECT_NEAR(span_s, 250.0, 40.0);
+}
+
+TEST(Workload, OfflineArrivalsAllZero)
+{
+    auto trace = arxivOfflineTrace(10);
+    assignOfflineArrivals(trace);
+    for (const auto &request : trace) {
+        EXPECT_EQ(request.arrival_ns, 0u);
+    }
+}
+
+TEST(Scheduler, FcfsOrder)
+{
+    Scheduler scheduler(Scheduler::Config{8, 100000});
+    Request a;
+    a.id = 1;
+    a.prompt_tokens = 10;
+    Request b;
+    b.id = 2;
+    b.prompt_tokens = 10;
+    scheduler.enqueue(&a);
+    scheduler.enqueue(&b);
+    auto batch = scheduler.pickPrefillBatch(
+        0, [](const Request &) { return true; });
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0]->id, 1u);
+    EXPECT_EQ(batch[1]->id, 2u);
+    EXPECT_FALSE(scheduler.hasWaiting());
+}
+
+TEST(Scheduler, TokenBudgetLimitsBatch)
+{
+    Scheduler scheduler(Scheduler::Config{8, 100});
+    Request a;
+    a.prompt_tokens = 60;
+    Request b;
+    b.prompt_tokens = 60;
+    scheduler.enqueue(&a);
+    scheduler.enqueue(&b);
+    auto batch = scheduler.pickPrefillBatch(
+        0, [](const Request &) { return true; });
+    EXPECT_EQ(batch.size(), 1u); // second would exceed 100 tokens
+    EXPECT_TRUE(scheduler.hasWaiting());
+}
+
+TEST(Scheduler, OversizedPromptStillRunsAlone)
+{
+    Scheduler scheduler(Scheduler::Config{8, 100});
+    Request huge;
+    huge.prompt_tokens = 5000;
+    scheduler.enqueue(&huge);
+    auto batch = scheduler.pickPrefillBatch(
+        0, [](const Request &) { return true; });
+    EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(Scheduler, NoHeadOfLineBypass)
+{
+    Scheduler scheduler(Scheduler::Config{8, 100000});
+    Request big;
+    big.id = 1;
+    big.prompt_tokens = 1000;
+    Request small;
+    small.id = 2;
+    small.prompt_tokens = 1;
+    scheduler.enqueue(&big);
+    scheduler.enqueue(&small);
+    // Memory admits only the small request, but FCFS refuses to let
+    // it jump the queue.
+    auto batch = scheduler.pickPrefillBatch(0, [](const Request &r) {
+        return r.prompt_tokens < 100;
+    });
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(scheduler.numWaiting(), 2u);
+}
+
+TEST(Scheduler, MaxSeqsCap)
+{
+    Scheduler scheduler(Scheduler::Config{3, 100000});
+    Request reqs[4];
+    for (auto &r : reqs) {
+        r.prompt_tokens = 1;
+        scheduler.enqueue(&r);
+    }
+    auto batch = scheduler.pickPrefillBatch(
+        2, [](const Request &) { return true; });
+    EXPECT_EQ(batch.size(), 1u); // 2 running + 1 = cap
+}
+
+TEST(Scheduler, RequeueFrontForPreemption)
+{
+    Scheduler scheduler(Scheduler::Config{8, 100000});
+    Request a;
+    a.id = 1;
+    Request b;
+    b.id = 2;
+    scheduler.enqueue(&a);
+    scheduler.requeueFront(&b); // preempted request goes first
+    auto batch = scheduler.pickPrefillBatch(
+        0, [](const Request &) { return true; });
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0]->id, 2u);
+}
+
+} // namespace
+} // namespace vattn::serving

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "cuvmm/driver.hh"
+#include "tensor/host_tensor.hh"
+#include "tensor/virtual_tensor.hh"
+#include "test_util.hh"
+
+namespace vattn::tensor
+{
+namespace
+{
+
+TEST(Shape, BasicProperties)
+{
+    Shape shape{2, 3, 4};
+    EXPECT_EQ(shape.rank(), 3);
+    EXPECT_EQ(shape.numel(), 24);
+    EXPECT_EQ(shape[0], 2);
+    EXPECT_EQ(shape[2], 4);
+    EXPECT_EQ(shape.toString(), "[2, 3, 4]");
+    EXPECT_TRUE(shape == (Shape{2, 3, 4}));
+    EXPECT_FALSE(shape == (Shape{2, 3}));
+    EXPECT_EQ(Shape{}.numel(), 0);
+}
+
+TEST(Shape, ContiguousStrides)
+{
+    Shape shape{2, 3, 4};
+    const auto strides = shape.contiguousStrides();
+    EXPECT_EQ(strides[0], 12);
+    EXPECT_EQ(strides[1], 4);
+    EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, InvalidDimsPanic)
+{
+    test::ScopedThrowErrors guard;
+    EXPECT_THROW(Shape({0, 2}), SimError);
+    EXPECT_THROW(Shape({-1}), SimError);
+}
+
+TEST(Layout, IndexingAndBounds)
+{
+    test::ScopedThrowErrors guard;
+    auto layout = Layout::contiguous(Shape{2, 3});
+    EXPECT_EQ(layout.at({0, 0}), 0);
+    EXPECT_EQ(layout.at({1, 2}), 5);
+    EXPECT_TRUE(layout.isContiguous());
+    EXPECT_THROW(layout.at({2, 0}), SimError);
+    EXPECT_THROW(layout.at({0}), SimError); // rank mismatch
+}
+
+TEST(Layout, SliceAndSqueeze)
+{
+    auto layout = Layout::contiguous(Shape{4, 5, 6});
+    auto sliced = layout.slice(1, 2, 2); // [4, 2, 6] starting at row 2
+    EXPECT_EQ(sliced.shape[1], 2);
+    EXPECT_EQ(sliced.offset, 2 * 6);
+    EXPECT_EQ(sliced.at({0, 0, 0}), 12);
+    EXPECT_EQ(sliced.at({1, 1, 3}), 12 + 30 + 6 + 3);
+    EXPECT_FALSE(sliced.isContiguous());
+
+    auto single = layout.slice(0, 3, 1); // [1, 5, 6]
+    auto squeezed = single.squeeze(0);   // [5, 6]
+    EXPECT_EQ(squeezed.shape.rank(), 2);
+    EXPECT_EQ(squeezed.at({0, 0}), 3 * 30);
+    EXPECT_EQ(squeezed.at({4, 5}), 3 * 30 + 4 * 6 + 5);
+}
+
+TEST(Layout, SliceValidation)
+{
+    test::ScopedThrowErrors guard;
+    auto layout = Layout::contiguous(Shape{4, 4});
+    EXPECT_THROW(layout.slice(0, 3, 2), SimError);
+    EXPECT_THROW(layout.slice(2, 0, 1), SimError);
+    EXPECT_THROW(layout.squeeze(0), SimError); // dim size 4 != 1
+}
+
+TEST(HostTensor, FillAndAt)
+{
+    HostTensor t(Shape{2, 3});
+    t.fill(1.5f);
+    EXPECT_FLOAT_EQ(t.at({1, 2}), 1.5f);
+    t.at({0, 1}) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at({0, 1}), 7.0f);
+    EXPECT_FLOAT_EQ(t.row({0})[1], 7.0f);
+}
+
+TEST(HostTensor, MaxAbsDiff)
+{
+    HostTensor a(Shape{4});
+    HostTensor b(Shape{4});
+    a.fill(1.0f);
+    b.fill(1.0f);
+    b.at({2}) = 1.5f;
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.5f);
+}
+
+class VirtualTensorTest : public ::testing::Test
+{
+  protected:
+    VirtualTensorTest()
+        : device_(makeConfig()), driver_(device_)
+    {
+    }
+
+    static gpu::GpuDevice::Config
+    makeConfig()
+    {
+        gpu::GpuDevice::Config config;
+        config.mem_bytes = 64 * MiB;
+        return config;
+    }
+
+    Addr
+    committed(u64 size)
+    {
+        Addr ptr = 0;
+        const auto r = driver_.cudaMalloc(&ptr, size);
+        panic_if(r != cuvmm::CuResult::kSuccess, "cudaMalloc failed");
+        return ptr;
+    }
+
+    gpu::GpuDevice device_;
+    cuvmm::Driver driver_;
+};
+
+TEST_F(VirtualTensorTest, ElementRoundtripF16)
+{
+    const Addr base = committed(1 * MiB);
+    VirtualTensor t(&device_, base,
+                    Layout::contiguous(Shape{8, 4, 16}), DType::kF16);
+    t.writeElem({3, 2, 5}, 1.25f);
+    EXPECT_FLOAT_EQ(t.readElem({3, 2, 5}), 1.25f);
+    EXPECT_FLOAT_EQ(t.readElem({3, 2, 6}), 0.0f);
+    EXPECT_EQ(t.denseBytes(), 8u * 4 * 16 * 2);
+}
+
+TEST_F(VirtualTensorTest, ElementRoundtripF32)
+{
+    const Addr base = committed(1 * MiB);
+    VirtualTensor t(&device_, base,
+                    Layout::contiguous(Shape{4, 4}), DType::kF32);
+    t.writeElem({1, 3}, 3.14159f);
+    EXPECT_FLOAT_EQ(t.readElem({1, 3}), 3.14159f);
+}
+
+TEST_F(VirtualTensorTest, RowIo)
+{
+    const Addr base = committed(1 * MiB);
+    VirtualTensor t(&device_, base,
+                    Layout::contiguous(Shape{4, 8}), DType::kF16);
+    float in[8];
+    for (int i = 0; i < 8; ++i) {
+        in[i] = static_cast<float>(i) * 0.5f;
+    }
+    const i64 idx[2] = {2, 0};
+    t.writeRow(idx, 2, in, 8);
+    float out[8] = {};
+    t.readRow(idx, 2, out, 8);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_FLOAT_EQ(out[i], in[i]);
+    }
+}
+
+TEST_F(VirtualTensorTest, SliceSharesStorage)
+{
+    const Addr base = committed(1 * MiB);
+    VirtualTensor t(&device_, base,
+                    Layout::contiguous(Shape{4, 4, 8}), DType::kF16);
+    auto view = t.slice(0, 2, 1).squeeze(0); // [4, 8] of batch row 2
+    view.writeElem({1, 3}, 9.0f);
+    EXPECT_FLOAT_EQ(t.readElem({2, 1, 3}), 9.0f);
+    EXPECT_EQ(view.elemVa({1, 3}), t.elemVa({2, 1, 3}));
+}
+
+TEST_F(VirtualTensorTest, FullyBackedReflectsMappings)
+{
+    // Reserve 4MB but back only the first 2MB.
+    Addr va = 0;
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va, 4 * MiB),
+              cuvmm::CuResult::kSuccess);
+    cuvmm::MemHandle handle = cuvmm::kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&handle, 2 * MiB),
+              cuvmm::CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemMap(va, 2 * MiB, 0, handle),
+              cuvmm::CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemSetAccess(va, 2 * MiB),
+              cuvmm::CuResult::kSuccess);
+
+    VirtualTensor small(&device_, va,
+                        Layout::contiguous(Shape{1024, 512}),
+                        DType::kF16); // 1MB
+    EXPECT_TRUE(small.fullyBacked());
+    VirtualTensor big(&device_, va,
+                      Layout::contiguous(Shape{4096, 512}),
+                      DType::kF16); // 4MB
+    EXPECT_FALSE(big.fullyBacked());
+}
+
+TEST_F(VirtualTensorTest, TouchingUnbackedRegionFaults)
+{
+    test::ScopedThrowErrors guard;
+    Addr va = 0;
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va, 4 * MiB),
+              cuvmm::CuResult::kSuccess);
+    VirtualTensor t(&device_, va, Layout::contiguous(Shape{16, 16}),
+                    DType::kF16);
+    EXPECT_THROW(t.writeElem({0, 0}, 1.0f), SimError);
+    EXPECT_THROW(t.readElem({0, 0}), SimError);
+}
+
+} // namespace
+} // namespace vattn::tensor

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared helpers for the vattn test suite.
+ */
+
+#ifndef VATTN_TESTS_TEST_UTIL_HH
+#define VATTN_TESTS_TEST_UTIL_HH
+
+#include "common/logging.hh"
+
+namespace vattn::test
+{
+
+/** Make panic()/fatal() throw SimError within a scope. */
+class ScopedThrowErrors
+{
+  public:
+    ScopedThrowErrors() { log_detail::setThrowOnError(true); }
+    ~ScopedThrowErrors() { log_detail::setThrowOnError(false); }
+};
+
+} // namespace vattn::test
+
+#endif // VATTN_TESTS_TEST_UTIL_HH
