@@ -79,9 +79,6 @@ TEST(AttnExtra, CustomScaleChangesResultConsistently)
     HostTensor out_def(q.shape());
     HostTensor out_sharp(q.shape());
 
-    AttnConfig dc = def.config;
-    dc.num_q_heads = 16;
-    dc.num_kv_heads = 2;
     // Use decode for a single-row comparison.
     HostTensor q1(Shape{2, 16});
     q1.fillRandom(rng);

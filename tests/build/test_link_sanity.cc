@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Build-contract smoke test: instantiates one public type from each
+ * library layer so that a source file dropped from src/CMakeLists.txt
+ * (or a broken inter-layer dependency) fails at link time in CI rather
+ * than surfacing as a mystery in a downstream PR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attn/kv_view.hh"
+#include "core/vattention.hh"
+#include "cuvmm/driver.hh"
+#include "gpu/device.hh"
+#include "paged/block_manager.hh"
+#include "serving/engine.hh"
+#include "tensor/virtual_tensor.hh"
+
+namespace vattn
+{
+namespace
+{
+
+TEST(LinkSanity, EveryLayerLinks)
+{
+    // gpu + cuvmm: simulated device and VMM driver.
+    gpu::GpuDevice::Config device_config;
+    device_config.mem_bytes = 1 * GiB;
+    gpu::GpuDevice device(device_config);
+    cuvmm::Driver driver(device);
+    EXPECT_EQ(device.memBytes(), 1 * GiB);
+
+    // tensor + attn: a KV view over two virtual tensors. Allocate
+    // before the runtime below grabs its physical page-group pool.
+    Addr k_ptr = 0;
+    Addr v_ptr = 0;
+    const u64 bytes = 64 * 4 * 32 * 2;
+    ASSERT_EQ(driver.cudaMalloc(&k_ptr, bytes), cuvmm::CuResult::kSuccess);
+    ASSERT_EQ(driver.cudaMalloc(&v_ptr, bytes), cuvmm::CuResult::kSuccess);
+    tensor::Shape shape{64, 4, 32};
+    attn::TensorKvView view(
+        tensor::VirtualTensor(&device, k_ptr, tensor::Layout::contiguous(shape),
+                              tensor::DType::kF16),
+        tensor::VirtualTensor(&device, v_ptr, tensor::Layout::contiguous(shape),
+                              tensor::DType::kF16));
+    EXPECT_EQ(view.numKvHeads(), 4);
+    EXPECT_EQ(view.headDim(), 32);
+
+    // core: the vAttention runtime.
+    core::Config config;
+    config.num_layers = 2;
+    config.num_kv_heads = 2;
+    config.head_dim = 8;
+    config.bytes_per_elem = 2;
+    config.max_batch_size = 2;
+    config.max_context_len = 4096;
+    config.page_group = PageGroup::k64KB;
+    core::VAttention vattention(driver, config);
+    EXPECT_EQ(vattention.config().num_layers, 2);
+
+    // paged: the PagedAttention-style baseline.
+    paged::BlockManager blocks(/*num_blocks=*/16, /*block_size=*/16);
+    EXPECT_EQ(blocks.numFree(), 16);
+
+    // serving (+ perf via ModelSpec/GpuSpec defaults): the engine.
+    serving::EngineConfig engine_config;
+    engine_config.tp = 1;
+    serving::Engine engine(engine_config);
+    EXPECT_GT(engine_config.kvBudgetPerWorker(), 0u);
+}
+
+} // namespace
+} // namespace vattn
