@@ -69,13 +69,32 @@ class Rng
         return lo + (hi - lo) * uniform();
     }
 
-    /** Uniform integer in [lo, hi] inclusive. */
+    /**
+     * Uniform integer in [lo, hi] inclusive, with no modulo bias:
+     * Lemire's multiply-shift rejection method maps next() through a
+     * 128-bit product and rejects the (at most span-1 out of 2^64)
+     * raw values that would over-represent the low residues.
+     */
     i64
     uniformInt(i64 lo, i64 hi)
     {
         panic_if(hi < lo, "uniformInt: hi < lo");
-        const u64 span = static_cast<u64>(hi - lo) + 1;
-        return lo + static_cast<i64>(next() % span);
+        const u64 span = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+        if (span == 0) { // full 64-bit range: every value is fair
+            return static_cast<i64>(next());
+        }
+        using u128 = unsigned __int128;
+        u128 product = static_cast<u128>(next()) * span;
+        if (static_cast<u64>(product) < span) {
+            const u64 threshold = (0 - span) % span; // 2^64 mod span
+            while (static_cast<u64>(product) < threshold) {
+                product = static_cast<u128>(next()) * span;
+            }
+        }
+        // Unsigned add: offsets >= 2^63 (spans above 2^63) would be
+        // signed overflow if added as i64.
+        return static_cast<i64>(static_cast<u64>(lo) +
+                                static_cast<u64>(product >> 64));
     }
 
     /** Exponential with given rate (mean = 1/rate). */

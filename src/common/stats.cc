@@ -112,7 +112,15 @@ Percentiles::cdfPoints(int num_points) const
     for (int i = 0; i < num_points; ++i) {
         const double q = static_cast<double>(i) /
                          static_cast<double>(num_points - 1);
-        pts.emplace_back(quantile(q), q);
+        const double x = quantile(q);
+        // More points than distinct sample values repeats the same x
+        // (vertical stutters in a CDF plot); a CDF has one cumulative
+        // fraction per x, so keep only the highest q for each x.
+        if (!pts.empty() && pts.back().first == x) {
+            pts.back().second = q;
+        } else {
+            pts.emplace_back(x, q);
+        }
     }
     return pts;
 }

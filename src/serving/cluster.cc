@@ -1,0 +1,228 @@
+#include "serving/cluster.hh"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace vattn::serving
+{
+
+namespace
+{
+
+/** max/mean of a non-negative series; 0 when the series is all-zero. */
+double
+maxOverMean(const std::vector<double> &xs)
+{
+    double sum = 0;
+    double max = 0;
+    for (double x : xs) {
+        sum += x;
+        max = std::max(max, x);
+    }
+    if (sum <= 0) {
+        return 0.0;
+    }
+    return max / (sum / static_cast<double>(xs.size()));
+}
+
+/** Jain's fairness index: (sum x)^2 / (n * sum x^2), 1 when even. */
+double
+jainIndex(const std::vector<double> &xs)
+{
+    double sum = 0;
+    double sum_sq = 0;
+    for (double x : xs) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq <= 0) {
+        return 1.0;
+    }
+    return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+} // namespace
+
+ServingCluster::Config
+ServingCluster::uniform(const EngineConfig &engine, int n,
+                        RoutingPolicy policy)
+{
+    fatal_if(n <= 0, "cluster needs at least one replica");
+    Config config;
+    config.replicas.assign(static_cast<std::size_t>(n), engine);
+    config.policy = policy;
+    return config;
+}
+
+ServingCluster::ServingCluster(Config config)
+    : config_(std::move(config))
+{
+    fatal_if(config_.replicas.empty(),
+             "cluster needs at least one replica");
+    engines_.reserve(config_.replicas.size());
+    for (const EngineConfig &engine_config : config_.replicas) {
+        engines_.push_back(std::make_unique<Engine>(engine_config));
+    }
+}
+
+Router::Estimate
+ServingCluster::estimateFor(const Request &request, int replica) const
+{
+    const Engine &engine = *engines_[static_cast<std::size_t>(replica)];
+    const perf::KernelModel &kernel = engine.kernelModel();
+    const EngineConfig &config = engine.config();
+    // Occupancy estimate: prefill plus one batch-1 iteration per
+    // output token at mid-generation context. Crude (ignores batching
+    // and queueing) but deterministic and monotone in the request's
+    // size, which is all the load model needs.
+    TimeNs service =
+        kernel.prefillAttention(config.backend, request.prompt_tokens) +
+        kernel.prefillLinear(request.prompt_tokens) +
+        kernel.commTime(request.prompt_tokens);
+    const i64 mid_ctx =
+        request.prompt_tokens + request.max_new_tokens / 2;
+    service += static_cast<TimeNs>(request.max_new_tokens) *
+               (kernel.decodeLinear(1) +
+                kernel.decodeAttention(config.backend, mid_ctx) +
+                kernel.commTime(1));
+    const u64 kv_bytes =
+        config.model.kvBytesPerTokenPerWorker(config.tp) *
+        static_cast<u64>(request.totalLen());
+    return Router::Estimate{service, kv_bytes};
+}
+
+std::vector<int>
+ServingCluster::routeTrace(const std::vector<Request> &trace) const
+{
+    std::vector<Router::Replica> replicas;
+    replicas.reserve(engines_.size());
+    for (const auto &engine : engines_) {
+        replicas.push_back(
+            Router::Replica{engine->backend().budgetBytes()});
+    }
+    Router router(config_.policy, std::move(replicas));
+
+    // Route on the shared arrival timeline: time order, ties in trace
+    // order (the same tie-break Engine::run uses for admission).
+    std::vector<std::size_t> order(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&trace](std::size_t a, std::size_t b) {
+                         return trace[a].arrival_ns < trace[b].arrival_ns;
+                     });
+
+    std::vector<int> assignment(trace.size(), 0);
+    for (std::size_t i : order) {
+        assignment[i] = router.route(
+            trace[i].arrival_ns, [this, &trace, i](int replica) {
+                return estimateFor(trace[i], replica);
+            });
+    }
+    return assignment;
+}
+
+ClusterReport
+ServingCluster::run(std::vector<Request> trace)
+{
+    const std::size_t n = engines_.size();
+    // Engine virtual clocks carry across runs, which would shift every
+    // arrival into the past on a second trace: one cluster, one run.
+    for (const auto &engine : engines_) {
+        panic_if(engine->clock().now() != 0,
+                 "ServingCluster::run is single-shot; construct a "
+                 "fresh cluster per trace");
+    }
+    ClusterReport report;
+    report.replicas.resize(n);
+    report.assigned.assign(n, 0);
+
+    const std::vector<int> assignment = routeTrace(trace);
+    std::vector<std::vector<Request>> shares(n);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        shares[static_cast<std::size_t>(assignment[i])].push_back(
+            trace[i]);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        report.assigned[r] = static_cast<i64>(shares[r].size());
+    }
+
+    // Replicas are independent once routed: simulate each on its own
+    // worker thread. Failures are rethrown in replica order so the
+    // outcome does not depend on thread scheduling.
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        workers.emplace_back([this, r, &shares, &report, &errors] {
+            try {
+                report.replicas[r] =
+                    engines_[r]->run(std::move(shares[r]));
+            } catch (...) {
+                errors[r] = std::current_exception();
+            }
+        });
+    }
+    for (std::thread &worker : workers) {
+        worker.join();
+    }
+    for (const std::exception_ptr &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+
+    // ---- Merge, in replica order (deterministic) ---------------------
+    RunReport &merged = report.merged;
+    for (const RunReport &replica : report.replicas) {
+        merged.num_requests += replica.num_requests;
+        merged.prompt_tokens += replica.prompt_tokens;
+        merged.decode_tokens += replica.decode_tokens;
+        merged.decode_iterations += replica.decode_iterations;
+        merged.prefill_iterations += replica.prefill_iterations;
+        merged.preemptions += replica.preemptions;
+        merged.peak_batch =
+            std::max(merged.peak_batch, replica.peak_batch);
+        merged.makespan_ns =
+            std::max(merged.makespan_ns, replica.makespan_ns);
+        merged.busy_ns += replica.busy_ns;
+        for (double x : replica.latency_s.sorted()) {
+            merged.latency_s.add(x);
+        }
+        for (double x : replica.ttft_s.sorted()) {
+            merged.ttft_s.add(x);
+        }
+        merged.iterations.insert(merged.iterations.end(),
+                                 replica.iterations.begin(),
+                                 replica.iterations.end());
+    }
+    std::stable_sort(merged.iterations.begin(), merged.iterations.end(),
+                     [](const IterationRecord &a,
+                        const IterationRecord &b) {
+                         return a.start_ns < b.start_ns;
+                     });
+
+    // ---- Cross-replica imbalance -------------------------------------
+    std::vector<double> requests(n);
+    std::vector<double> tokens(n);
+    std::vector<double> busy(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const RunReport &replica = report.replicas[r];
+        requests[r] = static_cast<double>(replica.num_requests);
+        tokens[r] = static_cast<double>(replica.prompt_tokens +
+                                        replica.decode_tokens);
+        busy[r] = static_cast<double>(replica.busy_ns);
+    }
+    report.request_imbalance = maxOverMean(requests);
+    report.token_imbalance = maxOverMean(tokens);
+    report.busy_imbalance = maxOverMean(busy);
+    report.jain_fairness = jainIndex(requests);
+    return report;
+}
+
+} // namespace vattn::serving

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multi-replica serving: a ServingCluster owns N independently
+ * configured Engine replicas behind a Router. Requests are routed up
+ * front on the shared virtual arrival timeline (see router.hh), then
+ * every replica simulates its share on its own std::thread worker, and
+ * the per-replica RunReports merge — iteration records by timestamp,
+ * latency samples in replica order — into one ClusterReport. The whole
+ * pipeline is deterministic: the same configuration and trace produce
+ * an identical merged report no matter how the threads interleave.
+ */
+
+#ifndef VATTN_SERVING_CLUSTER_HH
+#define VATTN_SERVING_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "serving/engine.hh"
+#include "serving/metrics.hh"
+#include "serving/router.hh"
+
+namespace vattn::serving
+{
+
+/** Merged result of one cluster run. */
+struct ClusterReport
+{
+    /** Cross-replica aggregate (counts summed, makespan = max,
+     *  percentiles over every request, iterations timestamp-merged). */
+    RunReport merged;
+    /** Per-replica breakdowns, indexed like the config. */
+    std::vector<RunReport> replicas;
+    /** Requests routed to each replica (= replicas[i].num_requests). */
+    std::vector<i64> assigned;
+
+    // ---- Cross-replica load-imbalance stats -------------------------
+    // max/mean ratios: 1.0 is perfectly even, higher is more skewed.
+
+    double request_imbalance = 0; ///< over routed request counts
+    double token_imbalance = 0;   ///< over prompt+decode tokens served
+    double busy_imbalance = 0;    ///< over per-replica busy (non-idle) time
+    /** Jain's fairness index over routed request counts, (0, 1]. */
+    double jain_fairness = 1.0;
+};
+
+/** N Engine replicas behind a load-balancing router. */
+class ServingCluster
+{
+  public:
+    struct Config
+    {
+        /** One entry per replica; replicas may differ (GPU, TP,
+         *  backend, KV budget — "replica skew" scenarios). */
+        std::vector<EngineConfig> replicas;
+        RoutingPolicy policy = RoutingPolicy::kJoinShortestQueue;
+    };
+
+    /** Convenience: @p n identical replicas of @p engine. */
+    static Config uniform(const EngineConfig &engine, int n,
+                          RoutingPolicy policy);
+
+    explicit ServingCluster(Config config);
+
+    /** Route @p trace across the replicas and serve it, one thread
+     *  per replica. Single-shot: the replicas' virtual clocks are
+     *  consumed, so construct a fresh cluster per trace (a second
+     *  call panics). */
+    ClusterReport run(std::vector<Request> trace);
+
+    /**
+     * The deterministic routing pre-pass used by run(): the replica
+     * index chosen for each request of @p trace, in trace order.
+     * Exposed so tests and tools can inspect decisions without
+     * simulating.
+     */
+    std::vector<int> routeTrace(const std::vector<Request> &trace) const;
+
+    int numReplicas() const { return static_cast<int>(engines_.size()); }
+    Engine &replica(int i) { return *engines_[static_cast<std::size_t>(i)]; }
+    const Config &config() const { return config_; }
+
+  private:
+    /** This request's footprint on @p replica's load model. */
+    Router::Estimate estimateFor(const Request &request,
+                                 int replica) const;
+
+    Config config_;
+    std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_CLUSTER_HH

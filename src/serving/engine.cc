@@ -187,6 +187,7 @@ Engine::runPrefillIteration(std::vector<Request *> prompts,
 
     const TimeNs start = clock_.now();
     clock_.advance(mem_ns + gpu_ns + cpu_ns);
+    report.busy_ns += mem_ns + gpu_ns + cpu_ns;
     ++report.prefill_iterations;
     report.peak_batch =
         std::max(report.peak_batch, static_cast<i64>(running_.size()));
@@ -237,6 +238,7 @@ Engine::runDecodeIteration(RunReport &report)
 
     const TimeNs start = clock_.now();
     clock_.advance(mem_ns + gpu_ns + cpu_ns);
+    report.busy_ns += mem_ns + gpu_ns + cpu_ns;
     ++report.decode_iterations;
     report.peak_batch = std::max(report.peak_batch, batch);
     if (config_.record_iterations) {
@@ -367,13 +369,15 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
         }
     }
     const double elapsed_s = SimClock::toSeconds(clock_.now() - t0);
+    // Zero iterations leave the clock untouched; report 0, not 0/0.
     result.tokens_per_second =
-        static_cast<double>(tokens) / elapsed_s;
+        elapsed_s > 0 ? static_cast<double>(tokens) / elapsed_s : 0.0;
     const u64 bytes1 = backend_->bytesInUse();
     result.alloc_bytes_per_second =
-        bytes1 > bytes0 ? static_cast<double>(bytes1 - bytes0) *
-                              config_.tp / elapsed_s
-                        : 0.0;
+        bytes1 > bytes0 && elapsed_s > 0
+            ? static_cast<double>(bytes1 - bytes0) * config_.tp /
+                  elapsed_s
+            : 0.0;
     result.mean_iter_ms = result.iter_ms.mean();
     result.effective_batch = static_cast<i64>(running_.size());
     result.preemptions = scratch.preemptions;

@@ -5,34 +5,38 @@
 namespace vattn::serving
 {
 
+namespace
+{
+
+/** Rate helper guarding the empty-run case: a report with no elapsed
+ *  virtual time (e.g. Engine::run({})) must report 0, not inf/NaN. */
+double
+perSecond(i64 count, TimeNs makespan_ns)
+{
+    if (makespan_ns == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(count) / SimClock::toSeconds(makespan_ns);
+}
+
+} // namespace
+
 double
 RunReport::requestsPerMinute() const
 {
-    if (makespan_ns == 0) {
-        return 0;
-    }
-    return static_cast<double>(num_requests) /
-           (SimClock::toSeconds(makespan_ns) / 60.0);
+    return perSecond(num_requests, makespan_ns) * 60.0;
 }
 
 double
 RunReport::decodeTokensPerSecond() const
 {
-    if (makespan_ns == 0) {
-        return 0;
-    }
-    return static_cast<double>(decode_tokens) /
-           SimClock::toSeconds(makespan_ns);
+    return perSecond(decode_tokens, makespan_ns);
 }
 
 double
 RunReport::prefillTokensPerSecond() const
 {
-    if (makespan_ns == 0) {
-        return 0;
-    }
-    return static_cast<double>(prompt_tokens) /
-           SimClock::toSeconds(makespan_ns);
+    return perSecond(prompt_tokens, makespan_ns);
 }
 
 void

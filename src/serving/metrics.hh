@@ -33,6 +33,9 @@ struct RunReport
 {
     i64 num_requests = 0;
     TimeNs makespan_ns = 0;
+    /** Virtual time spent inside iterations (makespan minus idle
+     *  gaps waiting for arrivals). */
+    TimeNs busy_ns = 0;
     i64 prompt_tokens = 0;
     i64 decode_tokens = 0;
     i64 decode_iterations = 0;

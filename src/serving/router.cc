@@ -1,0 +1,118 @@
+#include "serving/router.hh"
+
+#include "common/logging.hh"
+
+namespace vattn::serving
+{
+
+const char *
+toString(RoutingPolicy policy)
+{
+    switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+        return "round_robin";
+    case RoutingPolicy::kJoinShortestQueue:
+        return "join_shortest_queue";
+    case RoutingPolicy::kLeastKvPressure:
+        return "least_kv_pressure";
+    }
+    return "unknown";
+}
+
+Router::Router(RoutingPolicy policy, std::vector<Replica> replicas)
+    : policy_(policy)
+{
+    fatal_if(replicas.empty(), "Router needs at least one replica");
+    states_.reserve(replicas.size());
+    for (const Replica &replica : replicas) {
+        fatal_if(replica.kv_budget_bytes == 0,
+                 "Router replica with zero KV budget");
+        State state;
+        state.info = replica;
+        states_.push_back(std::move(state));
+    }
+}
+
+void
+Router::drainFinished(TimeNs now)
+{
+    for (State &state : states_) {
+        while (!state.in_flight.empty() &&
+               state.in_flight.top().est_finish_ns <= now) {
+            state.kv_bytes -= state.in_flight.top().est_kv_bytes;
+            state.in_flight.pop();
+        }
+    }
+}
+
+int
+Router::pick() const
+{
+    // Ties break toward the lowest replica index so decisions are a
+    // pure function of the arrival history.
+    int best = 0;
+    switch (policy_) {
+    case RoutingPolicy::kRoundRobin:
+        best = next_round_robin_;
+        break;
+    case RoutingPolicy::kJoinShortestQueue:
+        for (int i = 1; i < numReplicas(); ++i) {
+            if (outstanding(i) < outstanding(best)) {
+                best = i;
+            }
+        }
+        break;
+    case RoutingPolicy::kLeastKvPressure:
+        for (int i = 1; i < numReplicas(); ++i) {
+            if (kvPressure(i) < kvPressure(best)) {
+                best = i;
+            }
+        }
+        break;
+    }
+    return best;
+}
+
+int
+Router::route(TimeNs arrival_ns,
+              const std::function<Estimate(int)> &estimate)
+{
+    panic_if(!estimate, "route: null estimator");
+    panic_if(arrival_ns < last_arrival_ns_,
+             "route: arrivals must be time-ordered");
+    last_arrival_ns_ = arrival_ns;
+    drainFinished(arrival_ns);
+
+    const int chosen = pick();
+    next_round_robin_ = (chosen + 1) % numReplicas();
+
+    const Estimate footprint = estimate(chosen);
+    State &state = states_[static_cast<std::size_t>(chosen)];
+    state.in_flight.push(InFlight{arrival_ns + footprint.service_ns,
+                                  footprint.kv_bytes});
+    state.kv_bytes += footprint.kv_bytes;
+    return chosen;
+}
+
+i64
+Router::outstanding(int replica) const
+{
+    return static_cast<i64>(
+        states_[static_cast<std::size_t>(replica)].in_flight.size());
+}
+
+u64
+Router::kvBytes(int replica) const
+{
+    return states_[static_cast<std::size_t>(replica)].kv_bytes;
+}
+
+double
+Router::kvPressure(int replica) const
+{
+    const State &state = states_[static_cast<std::size_t>(replica)];
+    return static_cast<double>(state.kv_bytes) /
+           static_cast<double>(state.info.kv_budget_bytes);
+}
+
+} // namespace vattn::serving

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cluster-level request router. Arrivals are routed to replicas on the
+ * shared virtual arrival timeline *before* any replica simulates, so
+ * routing is deterministic regardless of how the replica worker
+ * threads interleave. The router keeps its own load model per replica:
+ * every routed request occupies its replica until an estimated finish
+ * time and holds an estimated KV commitment, both supplied by the
+ * caller (the cluster derives them from each replica's kernel model
+ * and MemoryBackend budget).
+ */
+
+#ifndef VATTN_SERVING_ROUTER_HH
+#define VATTN_SERVING_ROUTER_HH
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vattn::serving
+{
+
+/** How the cluster spreads arrivals across replicas. */
+enum class RoutingPolicy
+{
+    kRoundRobin,        ///< cycle through replicas in index order
+    kJoinShortestQueue, ///< fewest in-flight requests wins
+    kLeastKvPressure,   ///< lowest KV commitment / budget ratio wins
+};
+
+const char *toString(RoutingPolicy policy);
+
+/** All policies, in a stable sweep order (handy for benches/tests). */
+constexpr RoutingPolicy kAllRoutingPolicies[] = {
+    RoutingPolicy::kRoundRobin,
+    RoutingPolicy::kJoinShortestQueue,
+    RoutingPolicy::kLeastKvPressure,
+};
+
+/** Per-replica load-balancing decision maker. */
+class Router
+{
+  public:
+    /** Static description of one replica as the router sees it. */
+    struct Replica
+    {
+        /** Per-worker physical KV budget (MemoryBackend::budgetBytes). */
+        u64 kv_budget_bytes = 0;
+    };
+
+    /** One arrival's footprint on a specific replica; heterogeneous
+     *  replicas give the same request different estimates. */
+    struct Estimate
+    {
+        TimeNs service_ns = 0; ///< queue occupancy until est. finish
+        u64 kv_bytes = 0;      ///< est. per-worker KV commitment
+    };
+
+    Router(RoutingPolicy policy, std::vector<Replica> replicas);
+
+    /**
+     * Route one arrival at @p arrival_ns. The pick uses only the live
+     * load model; @p estimate is then invoked once, for the chosen
+     * replica, and the returned footprint is absorbed so later
+     * decisions observe this request (heterogeneous replicas give the
+     * same request different estimates, so the callback takes the
+     * replica index). Arrivals must be routed in non-decreasing time
+     * order.
+     */
+    int route(TimeNs arrival_ns,
+              const std::function<Estimate(int replica)> &estimate);
+
+    // ---- Introspection (load model as of the last routed arrival) ----
+
+    int numReplicas() const { return static_cast<int>(states_.size()); }
+    RoutingPolicy policy() const { return policy_; }
+    /** In-flight (estimated unfinished) requests on @p replica. */
+    i64 outstanding(int replica) const;
+    /** Estimated committed KV bytes on @p replica. */
+    u64 kvBytes(int replica) const;
+    /** kvBytes / budget for @p replica, in [0, inf). */
+    double kvPressure(int replica) const;
+
+  private:
+    struct InFlight
+    {
+        TimeNs est_finish_ns = 0;
+        u64 est_kv_bytes = 0;
+    };
+    struct ByFinish
+    {
+        bool
+        operator()(const InFlight &a, const InFlight &b) const
+        {
+            return a.est_finish_ns > b.est_finish_ns; // min-heap
+        }
+    };
+    struct State
+    {
+        Replica info;
+        std::priority_queue<InFlight, std::vector<InFlight>, ByFinish>
+            in_flight;
+        u64 kv_bytes = 0;
+    };
+
+    /** Retire every request whose estimated finish is <= @p now. */
+    void drainFinished(TimeNs now);
+    int pick() const;
+
+    RoutingPolicy policy_;
+    std::vector<State> states_;
+    int next_round_robin_ = 0;
+    TimeNs last_arrival_ns_ = 0;
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_ROUTER_HH

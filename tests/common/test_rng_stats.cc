@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -58,6 +59,63 @@ TEST(Rng, UniformIntInclusiveBounds)
     }
     EXPECT_TRUE(saw_lo);
     EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntUnbiasedChiSquare)
+{
+    // Pins the Lemire rejection sampling fix: a plain next() % span
+    // over-represents low residues; the rejection sampler must pass a
+    // chi-square goodness-of-fit test against the flat distribution.
+    Rng rng(33);
+    constexpr i64 kSpan = 6;
+    constexpr int kDraws = 60000;
+    u64 counts[kSpan] = {};
+    for (int i = 0; i < kDraws; ++i) {
+        ++counts[rng.uniformInt(0, kSpan - 1)];
+    }
+    const double expected = static_cast<double>(kDraws) / kSpan;
+    double chi_square = 0;
+    for (u64 c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi_square += d * d / expected;
+    }
+    // 5 degrees of freedom: critical value 20.5 at p = 0.001.
+    EXPECT_LT(chi_square, 20.5);
+}
+
+TEST(Rng, UniformIntExtremeSpans)
+{
+    Rng rng(37);
+    // Degenerate span.
+    EXPECT_EQ(rng.uniformInt(42, 42), 42);
+    // Spans so large that rejection thresholds actually matter; the
+    // sampler must stay in bounds and terminate.
+    for (int i = 0; i < 1000; ++i) {
+        const i64 v = rng.uniformInt(-3, (i64{1} << 62) + 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, (i64{1} << 62) + 5);
+    }
+    // Spans above 2^63: the result offset no longer fits in i64, so
+    // the lo + offset add must happen in unsigned arithmetic.
+    const i64 lo = std::numeric_limits<i64>::min();
+    const i64 hi = std::numeric_limits<i64>::max() - 1;
+    for (int i = 0; i < 1000; ++i) {
+        const i64 v = rng.uniformInt(lo, hi);
+        EXPECT_GE(v, lo);
+        EXPECT_LE(v, hi);
+    }
+    // Full 64-bit range: every raw draw is fair, nothing to reject.
+    bool saw_negative = false;
+    bool saw_positive = false;
+    for (int i = 0; i < 64; ++i) {
+        const i64 v = rng.uniformInt(
+            std::numeric_limits<i64>::min(),
+            std::numeric_limits<i64>::max());
+        saw_negative |= v < 0;
+        saw_positive |= v > 0;
+    }
+    EXPECT_TRUE(saw_negative);
+    EXPECT_TRUE(saw_positive);
 }
 
 TEST(Rng, ExponentialMean)
@@ -175,6 +233,58 @@ TEST(Percentiles, CdfPointsMonotonic)
         EXPECT_GE(pts[i].second, pts[i - 1].second);
     }
     EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Percentiles, CdfPointsDedupeRepeatedQuantiles)
+{
+    // More points than distinct samples used to repeat the same x,
+    // drawing vertical stutters; duplicates must collapse into one
+    // point carrying the highest cumulative fraction.
+    Percentiles p;
+    p.add(5.0);
+    p.add(5.0);
+    const auto pts = p.cdfPoints(11);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_DOUBLE_EQ(pts[0].first, 5.0);
+    EXPECT_DOUBLE_EQ(pts[0].second, 1.0);
+}
+
+TEST(Percentiles, CdfPointsTwoSampleDistribution)
+{
+    // Two distinct samples: quantiles interpolate, x values are all
+    // distinct, so nothing is dropped and x is strictly increasing.
+    Percentiles p;
+    p.add(1.0);
+    p.add(2.0);
+    const auto pts = p.cdfPoints(5);
+    ASSERT_EQ(pts.size(), 5u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GT(pts[i].first, pts[i - 1].first);
+    }
+    EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+    EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+    EXPECT_DOUBLE_EQ(pts.back().first, 2.0);
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Percentiles, CdfPointsMixedDuplicateRuns)
+{
+    // {1, 1, 1, 9}: the low plateau produces duplicate x values at
+    // fine resolution, the tail stays interpolated and monotone.
+    Percentiles p;
+    for (double x : {1.0, 1.0, 1.0, 9.0}) {
+        p.add(x);
+    }
+    const auto pts = p.cdfPoints(13);
+    ASSERT_GE(pts.size(), 2u);
+    ASSERT_LT(pts.size(), 13u); // the plateau collapsed
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GT(pts[i].first, pts[i - 1].first);
+        EXPECT_GT(pts[i].second, pts[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+    EXPECT_DOUBLE_EQ(pts.back().first, 9.0);
     EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
 }
 

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/background.hh"
+
+namespace vattn::core
+{
+namespace
+{
+
+TEST(BackgroundWorker, ConsumesWithinWindow)
+{
+    BackgroundWorker worker;
+    worker.beginWindow(1000);
+    EXPECT_TRUE(worker.tryConsume(400));
+    EXPECT_TRUE(worker.tryConsume(600));
+    EXPECT_EQ(worker.windowRemaining(), 0u);
+    EXPECT_EQ(worker.itemsCompleted(), 2u);
+    EXPECT_EQ(worker.totalHiddenNs(), 1000u);
+    EXPECT_EQ(worker.numWindows(), 1u);
+}
+
+TEST(BackgroundWorker, OverflowSpillsAndClosesWindow)
+{
+    BackgroundWorker worker;
+    worker.beginWindow(500);
+    EXPECT_FALSE(worker.tryConsume(501));
+    // An item that does not fit gives up the rest of the window (the
+    // queue is in-order; later items may not bypass it).
+    EXPECT_EQ(worker.windowRemaining(), 0u);
+    EXPECT_EQ(worker.itemsCompleted(), 0u);
+    EXPECT_EQ(worker.totalHiddenNs(), 0u);
+}
+
+TEST(BackgroundWorker, ZeroCostItemDoesNotTouchWindowAccounting)
+{
+    // A zero-cost item (e.g. an already-mapped page-group) completes
+    // without consuming budget or hidden time — including on a fully
+    // exhausted or never-opened window.
+    BackgroundWorker worker;
+    EXPECT_TRUE(worker.tryConsume(0)); // no window opened yet
+    EXPECT_EQ(worker.windowRemaining(), 0u);
+    EXPECT_EQ(worker.itemsCompleted(), 1u);
+    EXPECT_EQ(worker.totalHiddenNs(), 0u);
+
+    worker.beginWindow(250);
+    EXPECT_TRUE(worker.tryConsume(0));
+    EXPECT_EQ(worker.windowRemaining(), 250u); // budget untouched
+    EXPECT_TRUE(worker.tryConsume(250));
+    EXPECT_EQ(worker.windowRemaining(), 0u);
+    EXPECT_TRUE(worker.tryConsume(0)); // still fits: costs nothing
+    EXPECT_EQ(worker.itemsCompleted(), 4u);
+    EXPECT_EQ(worker.totalHiddenNs(), 250u);
+}
+
+TEST(BackgroundWorker, NewWindowResetsBudgetNotLifetimeStats)
+{
+    BackgroundWorker worker;
+    worker.beginWindow(100);
+    EXPECT_TRUE(worker.tryConsume(100));
+    worker.beginWindow(100);
+    EXPECT_EQ(worker.windowRemaining(), 100u);
+    EXPECT_TRUE(worker.tryConsume(30));
+    EXPECT_EQ(worker.numWindows(), 2u);
+    EXPECT_EQ(worker.itemsCompleted(), 2u);
+    EXPECT_EQ(worker.totalHiddenNs(), 130u);
+}
+
+} // namespace
+} // namespace vattn::core

@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "serving/engine.hh"
@@ -160,9 +162,38 @@ TEST(EngineExtended, ReportAccountingConsistent)
         sum += iteration.duration_ns;
     }
     EXPECT_EQ(sum, report.makespan_ns);
+    EXPECT_EQ(report.busy_ns, report.makespan_ns);
     // Latency stats cover every request.
     EXPECT_EQ(report.latency_s.count(), 10u);
     EXPECT_GE(report.latency_s.min(), 0.0);
+}
+
+TEST(EngineExtended, EmptyTraceYieldsZeroedFiniteReport)
+{
+    // Regression: an empty run has no elapsed virtual time and the
+    // rate aggregates must come back as 0, never inf/NaN.
+    Engine engine(baseConfig(perf::BackendKind::kFa2VAttention));
+    const auto report = engine.run({});
+    EXPECT_EQ(report.num_requests, 0);
+    EXPECT_EQ(report.makespan_ns, 0u);
+    EXPECT_EQ(report.requestsPerMinute(), 0.0);
+    EXPECT_EQ(report.decodeTokensPerSecond(), 0.0);
+    EXPECT_EQ(report.prefillTokensPerSecond(), 0.0);
+    EXPECT_TRUE(std::isfinite(report.requestsPerMinute()));
+    EXPECT_TRUE(std::isfinite(report.decodeTokensPerSecond()));
+    EXPECT_TRUE(std::isfinite(report.prefillTokensPerSecond()));
+}
+
+TEST(EngineExtended, ZeroIterationDecodeRunIsFinite)
+{
+    // decodeOnly with zero timed iterations must not divide by a zero
+    // elapsed time either.
+    Engine engine(baseConfig(perf::BackendKind::kFa2VAttention));
+    const auto run = engine.decodeOnly(2, 512, 0);
+    EXPECT_EQ(run.tokens_per_second, 0.0);
+    EXPECT_EQ(run.alloc_bytes_per_second, 0.0);
+    EXPECT_TRUE(std::isfinite(run.tokens_per_second));
+    EXPECT_TRUE(std::isfinite(run.alloc_bytes_per_second));
 }
 
 TEST(EngineExtended, VattnStatsExposedThroughBackend)

@@ -185,5 +185,45 @@ TEST(Scheduler, RequeueFrontForPreemption)
     EXPECT_EQ(batch[0]->id, 2u);
 }
 
+TEST(Scheduler, RepeatedPreemptionKeepsVictimAheadOfYoungerWaiters)
+{
+    // A preempted request must run again before every younger waiter,
+    // even when it is preempted repeatedly (vLLM recompute semantics:
+    // its arrival seniority is preserved).
+    Scheduler scheduler(Scheduler::Config{3, 100000});
+    Request victim;
+    victim.id = 1;
+    victim.prompt_tokens = 10;
+    Request younger;
+    younger.id = 2;
+    younger.prompt_tokens = 10;
+    Request youngest;
+    youngest.id = 3;
+    youngest.prompt_tokens = 10;
+    scheduler.enqueue(&victim);
+    scheduler.enqueue(&younger);
+
+    auto admit_all = [](const Request &) { return true; };
+    for (int round = 0; round < 3; ++round) {
+        // 2 of 3 seats taken: only the queue head gets scheduled.
+        auto batch = scheduler.pickPrefillBatch(2, admit_all);
+        ASSERT_EQ(batch.size(), 1u) << "round " << round;
+        EXPECT_EQ(batch[0]->id, 1u) << "round " << round;
+        // OOM: the engine preempts it back to the queue head; new
+        // traffic keeps arriving behind it.
+        scheduler.requeueFront(&victim);
+        if (round == 1) {
+            scheduler.enqueue(&youngest);
+        }
+        EXPECT_EQ(victim.state, Request::State::kWaiting);
+    }
+    // Once memory clears, drain order is victim, then FCFS arrivals.
+    auto batch = scheduler.pickPrefillBatch(0, admit_all);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0]->id, 1u);
+    EXPECT_EQ(batch[1]->id, 2u);
+    EXPECT_EQ(batch[2]->id, 3u);
+}
+
 } // namespace
 } // namespace vattn::serving
