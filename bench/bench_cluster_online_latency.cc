@@ -28,8 +28,8 @@ main()
 
     for (int replicas : {1, 2, 4, 8}) {
         Table table({"policy", "TTFT p50", "TTFT p99", "latency p50",
-                     "latency p99", "req/min", "req imbalance",
-                     "jain"});
+                     "latency p99", "TBT p99", "norm p50", "req/min",
+                     "req imbalance", "jain"});
         for (serving::RoutingPolicy policy :
              serving::kAllRoutingPolicies) {
             auto config = serving::ServingCluster::uniform(
@@ -50,6 +50,9 @@ main()
                 Table::num(report.merged.ttft_s.p99(), 1),
                 Table::num(report.merged.latency_s.median(), 1),
                 Table::num(report.merged.latency_s.p99(), 1),
+                Table::num(report.merged.tbt_s.p99(), 2),
+                Table::num(
+                    report.merged.normalized_latency_s.median(), 3),
                 Table::num(report.merged.requestsPerMinute(), 1),
                 Table::num(report.request_imbalance, 2),
                 Table::num(report.jain_fairness, 3),

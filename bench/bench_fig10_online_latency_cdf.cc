@@ -53,7 +53,7 @@ main()
         const auto points = qpsFor(setup.model.name);
         for (double qps : {points.low, points.high}) {
             Table table({"backend", "p25", "median", "p75", "p90",
-                         "p99", "mean"});
+                         "p99", "mean", "TBT p99", "norm p50"});
             double medians[3] = {0, 0, 0};
             for (int i = 0; i < 3; ++i) {
                 auto trace = serving::arxivOnlineTrace();
@@ -70,6 +70,9 @@ main()
                     Table::num(report.latency_s.quantile(0.90), 1),
                     Table::num(report.latency_s.p99(), 1),
                     Table::num(report.latency_s.mean(), 1),
+                    Table::num(report.tbt_s.p99(), 2),
+                    Table::num(report.normalized_latency_s.median(),
+                               3),
                 });
             }
             table.print("Figure 10: " + setupLabel(setup) + ", QPS=" +

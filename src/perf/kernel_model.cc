@@ -150,24 +150,37 @@ KernelModel::decodeBackendFactor(BackendKind kind) const
 TimeNs
 KernelModel::prefillAttention(BackendKind kind, i64 ctx) const
 {
-    panic_if(ctx <= 0, "prefillAttention with no tokens");
+    return chunkedPrefillAttention(kind, ctx, ctx);
+}
+
+TimeNs
+KernelModel::chunkedPrefillAttention(BackendKind kind, i64 q_len,
+                                     i64 kv_len) const
+{
+    panic_if(q_len <= 0, "chunkedPrefillAttention with no query tokens");
+    panic_if(kv_len < q_len,
+             "chunk KV context shorter than the query chunk");
     const double q_heads = model_.qHeadsPerWorker(tp_);
-    // QK^T and PV matmuls, 2 FLOPs per MAC, halved by causal masking:
-    // 4 * ctx^2 * Hq * D / 2 per layer.
-    const double flops = 2.0 * static_cast<double>(ctx) *
-                         static_cast<double>(ctx) * q_heads *
+    // QK^T and PV matmuls, 2 FLOPs per MAC, under the causal mask: the
+    // q_len query rows attend to the kv_len - q_len committed tokens
+    // plus the lower triangle of the chunk itself, (4*kv - 2*q) * q
+    // FLOPs per head-dim unit per layer. q_len == kv_len == ctx is
+    // the monolithic prefill's 4 * ctx^2 / 2.
+    const double flops = (4.0 * static_cast<double>(kv_len) -
+                          2.0 * static_cast<double>(q_len)) *
+                         static_cast<double>(q_len) * q_heads *
                          model_.head_dim * model_.num_layers;
     const KernelFamily family = kernelFamily(kind);
     const double eff = prefillEfficiency(family);
     double seconds = flops / (gpu_.fp16_flops * eff);
 
-    // Short prompts cannot fill the GPU; ramp efficiency down.
-    const double ramp = static_cast<double>(ctx) /
-                        (static_cast<double>(ctx) + 1024.0);
+    // Short query chunks cannot fill the GPU; ramp efficiency down.
+    const double ramp = static_cast<double>(q_len) /
+                        (static_cast<double>(q_len) + 1024.0);
     seconds /= ramp;
 
     if (isPaged(kind)) {
-        seconds *= prefillPagedOverhead(family, ctx);
+        seconds *= prefillPagedOverhead(family, kv_len);
     }
     return static_cast<TimeNs>(seconds * 1e9) +
            kLaunchNsPerLayer * static_cast<u64>(model_.num_layers);

@@ -37,9 +37,21 @@ class KernelModel
     /**
      * Attention time of prefilling one @p ctx-token request across all
      * layers of one worker (includes the paged-kernel overhead for
-     * paged back-ends).
+     * paged back-ends). Equivalent to
+     * chunkedPrefillAttention(kind, ctx, ctx).
      */
     TimeNs prefillAttention(BackendKind kind, i64 ctx) const;
+
+    /**
+     * Chunked-prefill attention: a @p q_len-token query chunk
+     * attending causally over a @p kv_len-token context (the chunk
+     * itself plus everything prefilled before it, so
+     * q_len <= kv_len). FLOPs are the causal-mask trapezoid
+     * 4*q*kv - 2*q^2 per head-dim unit; q_len == kv_len degenerates
+     * to the monolithic prefill above, bit-for-bit.
+     */
+    TimeNs chunkedPrefillAttention(BackendKind kind, i64 q_len,
+                                   i64 kv_len) const;
 
     /**
      * Decode attention for one iteration over a batch whose KV lengths

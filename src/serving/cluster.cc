@@ -185,6 +185,7 @@ ServingCluster::run(std::vector<Request> trace)
         merged.decode_tokens += replica.decode_tokens;
         merged.decode_iterations += replica.decode_iterations;
         merged.prefill_iterations += replica.prefill_iterations;
+        merged.mixed_iterations += replica.mixed_iterations;
         merged.preemptions += replica.preemptions;
         merged.peak_batch =
             std::max(merged.peak_batch, replica.peak_batch);
@@ -196,6 +197,12 @@ ServingCluster::run(std::vector<Request> trace)
         }
         for (double x : replica.ttft_s.sorted()) {
             merged.ttft_s.add(x);
+        }
+        for (double x : replica.tbt_s.sorted()) {
+            merged.tbt_s.add(x);
+        }
+        for (double x : replica.normalized_latency_s.sorted()) {
+            merged.normalized_latency_s.add(x);
         }
         merged.iterations.insert(merged.iterations.end(),
                                  replica.iterations.begin(),

@@ -8,6 +8,22 @@
 namespace vattn::serving
 {
 
+namespace
+{
+
+/** KV blocks consumed by a context of @p tokens. */
+i64
+blocksFor(i64 tokens, i64 block_size)
+{
+    if (block_size <= 0 || tokens <= 0) {
+        return 0;
+    }
+    return static_cast<i64>(ceilDiv(static_cast<u64>(tokens),
+                                    static_cast<u64>(block_size)));
+}
+
+} // namespace
+
 u64
 EngineConfig::kvBudgetPerWorker() const
 {
@@ -30,6 +46,7 @@ Engine::Engine(EngineConfig config)
       kernel_(config.gpu, config.model, config.tp),
       overhead_(),
       scheduler_(config.scheduler),
+      composer_(config.scheduler),
       block_size_(perf::defaultBlockSize(config.backend))
 {
     const u64 budget = config_.kvBudgetPerWorker();
@@ -60,12 +77,20 @@ Engine::admitArrivals(const std::vector<Request *> &by_arrival,
 }
 
 ActiveLens
-Engine::activeLens() const
+Engine::activeLens(const IterationPlan &plan) const
 {
     ActiveLens active;
     active.reserve(running_.size());
     for (const Request *request : running_) {
-        active.emplace_back(request->slot, request->contextLen());
+        i64 target = request->contextLen();
+        // A prefill chunk's KV is written this iteration: reserve it.
+        for (const PrefillChunk &chunk : plan.prefills) {
+            if (chunk.request == request) {
+                target = request->prefilled_tokens + chunk.tokens;
+                break;
+            }
+        }
+        active.emplace_back(request->slot, target);
     }
     return active;
 }
@@ -75,21 +100,22 @@ Engine::preemptOne()
 {
     panic_if(running_.empty(), "preemption with nothing running");
     // vLLM preempts the most recently admitted request and recomputes
-    // it from scratch later.
+    // it from scratch later (a half-prefilled victim also restarts
+    // from prompt token 0).
     Request *victim = running_.back();
     running_.pop_back();
     backend_->freeSlot(victim->slot);
-    victim->slot = -1;
-    victim->generated = 0;
+    victim->resetComputedState();
     ++victim->preemptions;
     scheduler_.requeueFront(victim);
 }
 
 TimeNs
-Engine::ensureWithPreemption(RunReport &report)
+Engine::ensureWithPreemption(const IterationPlan &plan,
+                             RunReport &report)
 {
     while (true) {
-        auto result = backend_->ensure(activeLens());
+        auto result = backend_->ensure(activeLens(plan));
         if (result.isOk()) {
             return result.value();
         }
@@ -113,42 +139,61 @@ Engine::finishRequest(Request *request, RunReport &report)
     running_.erase(std::find(running_.begin(), running_.end(), request));
 }
 
-i64
-Engine::maxBlocksInBatch() const
+void
+Engine::recordToken(Request *request, RunReport &report)
 {
-    if (block_size_ == 0) {
-        return 0;
+    const TimeNs now = clock_.now();
+    if (request->last_token_ns != 0) {
+        report.tbt_s.add(SimClock::toSeconds(now -
+                                             request->last_token_ns));
     }
+    request->last_token_ns = now;
+}
+
+i64
+Engine::maxBlocksIn(const std::vector<Request *> &requests,
+                    i64 block_size)
+{
     i64 max_blocks = 0;
-    for (const Request *request : running_) {
+    for (const Request *request : requests) {
         max_blocks = std::max(
-            max_blocks, static_cast<i64>(ceilDiv(
-                            static_cast<u64>(request->contextLen()),
-                            static_cast<u64>(block_size_))));
+            max_blocks, blocksFor(request->contextLen(), block_size));
     }
     return max_blocks;
 }
 
 i64
-Engine::totalBlocksInBatch() const
+Engine::totalBlocksIn(const std::vector<Request *> &requests,
+                      i64 block_size)
 {
-    if (block_size_ == 0) {
-        return 0;
-    }
     i64 total = 0;
-    for (const Request *request : running_) {
-        total += static_cast<i64>(
-            ceilDiv(static_cast<u64>(request->contextLen()),
-                    static_cast<u64>(block_size_)));
+    for (const Request *request : requests) {
+        total += blocksFor(request->contextLen(), block_size);
     }
     return total;
 }
 
-void
-Engine::runPrefillIteration(std::vector<Request *> prompts,
-                            RunReport &report)
+IterationPlan
+Engine::decodePlan() const
 {
-    for (Request *request : prompts) {
+    IterationPlan plan;
+    plan.decodes = running_;
+    return plan;
+}
+
+void
+Engine::runIteration(const IterationPlan &plan, RunReport &report)
+{
+    if (plan.empty()) {
+        return; // nothing to run (drained decodeOnly batch)
+    }
+
+    // ---- Admission: first chunks lease a backend slot --------------
+    for (const PrefillChunk &chunk : plan.prefills) {
+        if (!chunk.first_chunk) {
+            continue;
+        }
+        Request *request = chunk.request;
         auto slot = backend_->allocSlot();
         panic_if(!slot.isOk(), "allocSlot failed after canAdmit");
         request->slot = slot.value();
@@ -159,101 +204,127 @@ Engine::runPrefillIteration(std::vector<Request *> prompts,
         running_.push_back(request);
     }
 
-    const TimeNs mem_ns = ensureWithPreemption(report);
+    const TimeNs mem_ns = ensureWithPreemption(plan, report);
 
+    // ---- Survivors (ensure may have preempted plan members) --------
+    std::vector<const PrefillChunk *> prefills;
+    prefills.reserve(plan.prefills.size());
+    for (const PrefillChunk &chunk : plan.prefills) {
+        if (chunk.request->state == Request::State::kRunning) {
+            prefills.push_back(&chunk);
+        }
+    }
+    std::vector<Request *> decodes;
+    decodes.reserve(plan.decodes.size());
+    for (Request *request : plan.decodes) {
+        if (request->state == Request::State::kRunning) {
+            decodes.push_back(request);
+        }
+    }
+    const i64 decode_batch = static_cast<i64>(decodes.size());
+    if (plan.prefills.empty() && decode_batch == 0) {
+        return; // everything got preempted (pathological budget)
+    }
+
+    // ---- GPU time --------------------------------------------------
     i64 prefill_tokens = 0;
     TimeNs attn_ns = 0;
     i64 new_blocks = 0;
-    for (const Request *request : prompts) {
-        if (request->state != Request::State::kRunning) {
-            continue; // preempted while ensuring memory
-        }
-        prefill_tokens += request->prompt_tokens;
-        attn_ns += kernel_.prefillAttention(config_.backend,
-                                            request->prompt_tokens);
-        if (block_size_ > 0) {
-            new_blocks += static_cast<i64>(
-                ceilDiv(static_cast<u64>(request->prompt_tokens),
-                        static_cast<u64>(block_size_)));
-        }
+    for (const PrefillChunk *chunk : prefills) {
+        const Request *request = chunk->request;
+        const i64 kv_len = request->prefilled_tokens + chunk->tokens;
+        prefill_tokens += chunk->tokens;
+        attn_ns += kernel_.chunkedPrefillAttention(config_.backend,
+                                                   chunk->tokens, kv_len);
+        new_blocks += blocksFor(kv_len, block_size_) -
+                      blocksFor(request->prefilled_tokens, block_size_);
     }
-    const TimeNs linear_ns = kernel_.prefillLinear(prefill_tokens);
-    const TimeNs comm_ns = kernel_.commTime(prefill_tokens);
+    i64 total_kv = 0;
+    for (const Request *request : decodes) {
+        total_kv += request->contextLen();
+    }
+    attn_ns += kernel_.decodeAttention(config_.backend, total_kv);
+
+    // The linear operators and the all-reduce see one flat token
+    // batch: chunk tokens plus one token per decode.
+    const i64 token_units = prefill_tokens + decode_batch;
+    const TimeNs linear_ns = prefill_tokens > 0
+                                 ? kernel_.prefillLinear(token_units)
+                                 : kernel_.decodeLinear(decode_batch);
+    const TimeNs comm_ns = kernel_.commTime(token_units);
     const TimeNs gpu_ns = attn_ns + linear_ns + comm_ns;
-    const TimeNs cpu_ns = overhead_.prefillCpu(
-        config_.backend, static_cast<i64>(prompts.size()), new_blocks);
+
+    // ---- CPU time --------------------------------------------------
+    TimeNs cpu_ns = 0;
+    if (plan.decodes.empty()) {
+        cpu_ns = overhead_.prefillCpu(
+            config_.backend, static_cast<i64>(plan.prefills.size()),
+            new_blocks);
+    } else if (plan.prefills.empty()) {
+        cpu_ns = overhead_.decodeCpu(config_.backend, decode_batch,
+                                     maxBlocksIn(decodes, block_size_),
+                                     totalBlocksIn(decodes, block_size_));
+    } else {
+        cpu_ns = overhead_.hybridCpu(
+            config_.backend, static_cast<i64>(plan.prefills.size()),
+            new_blocks, decode_batch,
+            maxBlocksIn(decodes, block_size_),
+            totalBlocksIn(decodes, block_size_));
+    }
 
     backend_->computeWindow(gpu_ns);
 
+    // ---- Advance the clock and account the iteration ---------------
     const TimeNs start = clock_.now();
     clock_.advance(mem_ns + gpu_ns + cpu_ns);
     report.busy_ns += mem_ns + gpu_ns + cpu_ns;
-    ++report.prefill_iterations;
+    const bool pure_prefill = plan.decodes.empty();
+    if (pure_prefill) {
+        ++report.prefill_iterations;
+    } else if (plan.prefills.empty()) {
+        ++report.decode_iterations;
+    } else {
+        ++report.mixed_iterations;
+    }
     report.peak_batch =
         std::max(report.peak_batch, static_cast<i64>(running_.size()));
     if (config_.record_iterations) {
+        i64 groups = 0;
+        if (vattn_backend_ && !pure_prefill) {
+            groups = vattn_backend_->lastStep().handles_mapped;
+        }
+        const i64 batch =
+            pure_prefill ? static_cast<i64>(plan.prefills.size())
+                         : decode_batch +
+                               static_cast<i64>(prefills.size());
         report.iterations.push_back(IterationRecord{
-            start, clock_.now() - start, true,
-            static_cast<i64>(prompts.size()), mem_ns, 0});
+            start, clock_.now() - start, pure_prefill, batch, mem_ns,
+            groups, prefill_tokens, static_cast<i64>(prefills.size()),
+            decode_batch});
     }
 
-    // The prefill emits each prompt's first output token.
-    for (Request *request : prompts) {
-        // The request may have been preempted during ensure; skip it.
-        if (request->state != Request::State::kRunning) {
+    // ---- Token emission --------------------------------------------
+    // A chunk advances prefill progress; the chunk that completes the
+    // prompt emits the request's first output token.
+    for (const PrefillChunk *chunk : prefills) {
+        Request *request = chunk->request;
+        request->prefilled_tokens += chunk->tokens;
+        if (!request->prefillComplete()) {
             continue;
         }
         request->prefill_done_ns = clock_.now();
         request->generated = 1;
+        recordToken(request, report);
         if (request->done() ||
             request->contextLen() >= config_.model.max_context_len) {
             finishRequest(request, report);
         }
     }
-}
-
-void
-Engine::runDecodeIteration(RunReport &report)
-{
-    const TimeNs mem_ns = ensureWithPreemption(report);
-    const i64 batch = static_cast<i64>(running_.size());
-    if (batch == 0) {
-        return; // everything got preempted (pathological budget)
-    }
-
-    i64 total_kv = 0;
-    for (const Request *request : running_) {
-        total_kv += request->contextLen();
-    }
-
-    const TimeNs gpu_ns = kernel_.decodeLinear(batch) +
-                          kernel_.decodeAttention(config_.backend,
-                                                  total_kv) +
-                          kernel_.commTime(batch);
-    const TimeNs cpu_ns = overhead_.decodeCpu(
-        config_.backend, batch, maxBlocksInBatch(),
-        totalBlocksInBatch());
-
-    backend_->computeWindow(gpu_ns);
-
-    const TimeNs start = clock_.now();
-    clock_.advance(mem_ns + gpu_ns + cpu_ns);
-    report.busy_ns += mem_ns + gpu_ns + cpu_ns;
-    ++report.decode_iterations;
-    report.peak_batch = std::max(report.peak_batch, batch);
-    if (config_.record_iterations) {
-        i64 groups = 0;
-        if (vattn_backend_) {
-            groups = vattn_backend_->lastStep().handles_mapped;
-        }
-        report.iterations.push_back(IterationRecord{
-            start, clock_.now() - start, false, batch, mem_ns, groups});
-    }
-
-    // Each running request produced one token.
+    // Each decode request produced one token.
     std::vector<Request *> finished;
-    for (Request *request : running_) {
+    for (Request *request : decodes) {
         ++request->generated;
+        recordToken(request, report);
         if (request->done() ||
             request->contextLen() >= config_.model.max_context_len) {
             finished.push_back(request);
@@ -282,6 +353,10 @@ Engine::run(std::vector<Request> trace)
                          return a->arrival_ns < b->arrival_ns;
                      });
 
+    const auto can_admit = [this](const Request &request) {
+        return backend_->canAdmit(request.prompt_tokens);
+    };
+
     std::size_t next_arrival = 0;
     std::size_t finished = 0;
     while (finished < trace.size()) {
@@ -294,23 +369,17 @@ Engine::run(std::vector<Request> trace)
             continue;
         }
 
-        auto prompts = scheduler_.pickPrefillBatch(
-            static_cast<int>(running_.size()),
-            [&](const Request &request) {
-                return backend_->canAdmit(request.prompt_tokens);
-            });
-
-        const i64 finished_before = report.num_requests;
-        if (!prompts.empty()) {
-            runPrefillIteration(std::move(prompts), report);
-        } else if (!running_.empty()) {
-            runDecodeIteration(report);
-        } else {
+        const IterationPlan plan =
+            composer_.compose(scheduler_, running_, can_admit);
+        if (plan.empty()) {
             fatal("head-of-queue request (",
                   scheduler_.numWaiting(),
                   " waiting) can never be admitted: prompt exceeds "
                   "the KV budget");
         }
+
+        const i64 finished_before = report.num_requests;
+        runIteration(plan, report);
         finished += static_cast<std::size_t>(report.num_requests -
                                              finished_before);
     }
@@ -339,6 +408,7 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
         auto &request = requests[static_cast<std::size_t>(i)];
         request.id = static_cast<u64>(i);
         request.prompt_tokens = initial_ctx[static_cast<std::size_t>(i)];
+        request.prefilled_tokens = request.prompt_tokens;
         request.max_new_tokens = iterations + 2;
         auto slot = backend_->allocSlot();
         panic_if(!slot.isOk(), "decodeOnly: batch does not fit: ",
@@ -350,7 +420,7 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
     }
     // Untimed prefill backing; preempts (drops) tail requests if the
     // whole batch cannot fit, exactly like the serving loop would.
-    ensureWithPreemption(scratch);
+    ensureWithPreemption(decodePlan(), scratch);
 
     DecodeRun result;
     const TimeNs t0 = clock_.now();
@@ -359,7 +429,7 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
     i64 tokens = 0;
     for (int i = 0; i < iterations; ++i) {
         const TimeNs iter_start = clock_.now();
-        runDecodeIteration(scratch);
+        runIteration(decodePlan(), scratch);
         tokens += static_cast<i64>(running_.size());
         const double ms =
             SimClock::toMillis(clock_.now() - iter_start);
@@ -407,11 +477,7 @@ Engine::prefillOnce(i64 ctx)
     result.attention_ns = kernel_.prefillAttention(config_.backend, ctx);
     result.linear_ns = kernel_.prefillLinear(ctx);
     result.comm_ns = kernel_.commTime(ctx);
-    i64 new_blocks = 0;
-    if (block_size_ > 0) {
-        new_blocks = static_cast<i64>(ceilDiv(
-            static_cast<u64>(ctx), static_cast<u64>(block_size_)));
-    }
+    const i64 new_blocks = blocksFor(ctx, block_size_);
     result.cpu_ns = overhead_.prefillCpu(config_.backend, 1, new_blocks);
     result.total_ns = result.mem_ns + result.attention_ns +
                       result.linear_ns + result.comm_ns + result.cpu_ns;

@@ -6,6 +6,14 @@
  * one model replica (TP workers behave identically and advance in
  * lockstep, so a single simulated worker carries the per-worker state
  * while kernel times account for the TP split).
+ *
+ * Iteration composition lives outside the engine: every loop step
+ * asks the scheduler layer's BatchComposer for an IterationPlan (a
+ * set of decode requests plus prefill chunks) and executes it with
+ * runIteration(). The composer's SchedulingMode decides whether
+ * prefills run as monolithic prioritized iterations (vLLM v0.2.7) or
+ * as stall-free chunks riding along with decodes (Sarathi-style
+ * hybrid batching, the paper's §7 serving harness).
  */
 
 #ifndef VATTN_SERVING_ENGINE_HH
@@ -112,23 +120,27 @@ class Engine
     SimClock &clock() { return clock_; }
 
   private:
-    struct Running
-    {
-        Request *request;
-    };
-
     void admitArrivals(const std::vector<Request *> &by_arrival,
                        std::size_t &next_arrival);
-    ActiveLens activeLens() const;
+    /** Per-request KV target lengths for this iteration: contextLen()
+     *  for everything running, except prefill-chunk members whose
+     *  target includes the chunk being computed. */
+    ActiveLens activeLens(const IterationPlan &plan) const;
     /** ensure() with preemption-on-OOM; returns critical ns. */
-    TimeNs ensureWithPreemption(RunReport &report);
+    TimeNs ensureWithPreemption(const IterationPlan &plan,
+                                RunReport &report);
     void preemptOne();
     void finishRequest(Request *request, RunReport &report);
-    void runPrefillIteration(std::vector<Request *> prompts,
-                             RunReport &report);
-    void runDecodeIteration(RunReport &report);
-    i64 maxBlocksInBatch() const;
-    i64 totalBlocksInBatch() const;
+    /** TBT bookkeeping at every token emission. */
+    void recordToken(Request *request, RunReport &report);
+    /** Execute one composed iteration (decodes + prefill chunks). */
+    void runIteration(const IterationPlan &plan, RunReport &report);
+    /** Decode-only plan over the whole running set (microbenches). */
+    IterationPlan decodePlan() const;
+    static i64 maxBlocksIn(const std::vector<Request *> &requests,
+                           i64 block_size);
+    static i64 totalBlocksIn(const std::vector<Request *> &requests,
+                             i64 block_size);
 
     EngineConfig config_;
     perf::KernelModel kernel_;
@@ -136,6 +148,7 @@ class Engine
     std::unique_ptr<MemoryBackend> backend_;
     VAttentionBackend *vattn_backend_ = nullptr; ///< owned by backend_
     Scheduler scheduler_;
+    BatchComposer composer_;
     SimClock clock_;
     std::vector<Request *> running_; ///< admission order
     i64 block_size_ = 0;             ///< paged back-ends only

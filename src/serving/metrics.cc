@@ -45,11 +45,16 @@ RunReport::addRequest(const Request &request)
     ++num_requests;
     prompt_tokens += request.prompt_tokens;
     decode_tokens += request.generated;
-    preemptions += request.preemptions;
     latency_s.add(SimClock::toSeconds(request.finish_ns -
                                       request.arrival_ns));
     ttft_s.add(SimClock::toSeconds(request.prefill_done_ns -
                                    request.arrival_ns));
+    if (request.generated > 0) {
+        normalized_latency_s.add(
+            SimClock::toSeconds(request.finish_ns -
+                                request.arrival_ns) /
+            static_cast<double>(request.generated));
+    }
 }
 
 } // namespace vattn::serving

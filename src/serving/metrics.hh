@@ -17,15 +17,21 @@
 namespace vattn::serving
 {
 
-/** One engine iteration, for ablation plots. */
+/** One engine iteration, for ablation plots. Under hybrid batching an
+ *  iteration may mix decode requests with prefill chunks; the
+ *  prefill/decode split fields tell the composition apart. */
 struct IterationRecord
 {
     TimeNs start_ns = 0;
     TimeNs duration_ns = 0;
+    /** Pure prefill iteration (no decodes rode along). */
     bool is_prefill = false;
     i64 batch = 0;
     TimeNs mem_critical_ns = 0; ///< synchronous allocation latency
     i64 groups_mapped = 0;
+    i64 prefill_chunk_tokens = 0; ///< query tokens across prefill chunks
+    i64 num_prefill_chunks = 0;
+    i64 decode_batch = 0; ///< decode requests that emitted a token
 };
 
 /** Result of one engine run. */
@@ -40,6 +46,12 @@ struct RunReport
     i64 decode_tokens = 0;
     i64 decode_iterations = 0;
     i64 prefill_iterations = 0;
+    /** Hybrid iterations carrying both decodes and prefill chunks
+     *  (kStallFreeChunked only). */
+    i64 mixed_iterations = 0;
+    /** Preemption events during the run, counted when they happen
+     *  (not via per-request totals: that would double-count, and
+     *  would miss requests that never finish). */
     u64 preemptions = 0;
     i64 peak_batch = 0;
 
@@ -47,6 +59,13 @@ struct RunReport
     Percentiles latency_s;
     /** Time to first token in seconds. */
     Percentiles ttft_s;
+    /** Time between consecutive output tokens in seconds, sampled at
+     *  every token emission after a request's first (within one
+     *  computation epoch: preemption restarts the chain). */
+    Percentiles tbt_s;
+    /** Per-request end-to-end latency divided by its decode tokens,
+     *  in seconds per token (the paper's normalized latency). */
+    Percentiles normalized_latency_s;
 
     /** Only filled when EngineConfig::record_iterations is set. */
     std::vector<IterationRecord> iterations;

@@ -30,6 +30,9 @@ struct Request
 
     // Mutable runtime state.
     State state = State::kPending;
+    /** Prompt tokens whose KV has been computed (chunked prefill may
+     *  spread the prompt over several iterations). */
+    i64 prefilled_tokens = 0;
     i64 generated = 0;
     int slot = -1;
     u64 preemptions = 0;
@@ -37,17 +40,37 @@ struct Request
     // Timestamps for metrics.
     TimeNs first_scheduled_ns = 0;
     TimeNs prefill_done_ns = 0;
+    /** Emission time of the newest output token (TBT bookkeeping);
+     *  0 until the first token of the current computation epoch. */
+    TimeNs last_token_ns = 0;
     TimeNs finish_ns = 0;
 
     /** Tokens currently in the KV cache. */
-    i64 contextLen() const { return prompt_tokens + generated; }
+    i64 contextLen() const { return prefilled_tokens + generated; }
     /** Final context length when the request completes. */
     i64 totalLen() const { return prompt_tokens + max_new_tokens; }
+
+    /** The whole prompt is in the KV cache; decoding may proceed. */
+    bool prefillComplete() const
+    {
+        return prefilled_tokens >= prompt_tokens;
+    }
 
     bool
     done() const
     {
         return generated >= max_new_tokens;
+    }
+
+    /** Drop all computed state (preemption with recomputation, or a
+     *  queue drop): the request restarts from prompt token 0. */
+    void
+    resetComputedState()
+    {
+        prefilled_tokens = 0;
+        generated = 0;
+        slot = -1;
+        last_token_ns = 0;
     }
 };
 

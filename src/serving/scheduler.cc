@@ -1,9 +1,42 @@
 #include "serving/scheduler.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vattn::serving
 {
+
+const char *
+toString(SchedulingMode mode)
+{
+    switch (mode) {
+      case SchedulingMode::kPrefillPrioritized:
+        return "prefill_prioritized";
+      case SchedulingMode::kStallFreeChunked:
+        return "stall_free_chunked";
+    }
+    return "?";
+}
+
+i64
+IterationPlan::prefillTokens() const
+{
+    i64 tokens = 0;
+    for (const PrefillChunk &chunk : prefills) {
+        tokens += chunk.tokens;
+    }
+    return tokens;
+}
+
+i64
+Scheduler::Config::iterationTokenBudget() const
+{
+    if (mode == SchedulingMode::kStallFreeChunked && chunk_tokens > 0) {
+        return chunk_tokens;
+    }
+    return max_batched_tokens;
+}
 
 Scheduler::Scheduler(Config config)
     : config_(config)
@@ -11,6 +44,8 @@ Scheduler::Scheduler(Config config)
     fatal_if(config_.max_num_seqs <= 0, "max_num_seqs must be positive");
     fatal_if(config_.max_batched_tokens <= 0,
              "max_batched_tokens must be positive");
+    fatal_if(config_.chunk_tokens < 0,
+             "chunk_tokens must be non-negative");
 }
 
 void
@@ -27,6 +62,33 @@ Scheduler::requeueFront(Request *request)
     panic_if(!request, "requeue null request");
     request->state = Request::State::kWaiting;
     waiting_.push_front(request);
+}
+
+Request *
+Scheduler::frontWaiting() const
+{
+    return waiting_.empty() ? nullptr : waiting_.front();
+}
+
+void
+Scheduler::popFrontWaiting()
+{
+    panic_if(waiting_.empty(), "popFrontWaiting on an empty queue");
+    waiting_.pop_front();
+}
+
+void
+Scheduler::clearWaiting()
+{
+    // Dropped requests must not keep kWaiting state or stale
+    // slot/progress fields: a later enqueue (or inspection by the
+    // caller) would see a request that claims to be queued and
+    // half-computed when it is neither.
+    for (Request *request : waiting_) {
+        request->resetComputedState();
+        request->state = Request::State::kPending;
+    }
+    waiting_.clear();
 }
 
 std::vector<Request *>
@@ -60,6 +122,90 @@ Scheduler::pickPrefillBatch(
         picked.push_back(request);
     }
     return picked;
+}
+
+BatchComposer::BatchComposer(Scheduler::Config config)
+    : config_(config)
+{
+}
+
+IterationPlan
+BatchComposer::compose(
+    Scheduler &scheduler, const std::vector<Request *> &running,
+    const std::function<bool(const Request &)> &can_admit) const
+{
+    if (config_.mode == SchedulingMode::kStallFreeChunked) {
+        return composeStallFreeChunked(scheduler, running, can_admit);
+    }
+    return composePrefillPrioritized(scheduler, running, can_admit);
+}
+
+IterationPlan
+BatchComposer::composePrefillPrioritized(
+    Scheduler &scheduler, const std::vector<Request *> &running,
+    const std::function<bool(const Request &)> &can_admit) const
+{
+    IterationPlan plan;
+    auto prompts = scheduler.pickPrefillBatch(
+        static_cast<int>(running.size()), can_admit);
+    if (!prompts.empty()) {
+        plan.prefills.reserve(prompts.size());
+        for (Request *request : prompts) {
+            plan.prefills.push_back(
+                PrefillChunk{request, request->prompt_tokens, true});
+        }
+        return plan;
+    }
+    plan.decodes = running;
+    return plan;
+}
+
+IterationPlan
+BatchComposer::composeStallFreeChunked(
+    Scheduler &scheduler, const std::vector<Request *> &running,
+    const std::function<bool(const Request &)> &can_admit) const
+{
+    IterationPlan plan;
+    i64 budget = config_.iterationTokenBudget();
+
+    // Decodes always ride along: one token of budget each.
+    for (Request *request : running) {
+        if (request->prefillComplete()) {
+            plan.decodes.push_back(request);
+            budget -= 1;
+        }
+    }
+
+    // Ongoing (already admitted) prompts continue first, in admission
+    // order: finishing started prefills frees their first token
+    // soonest and keeps the running set small.
+    for (Request *request : running) {
+        if (request->prefillComplete() || budget <= 0) {
+            continue;
+        }
+        const i64 chunk =
+            std::min(budget,
+                     request->prompt_tokens - request->prefilled_tokens);
+        plan.prefills.push_back(PrefillChunk{request, chunk, false});
+        budget -= chunk;
+    }
+
+    // Waiting prompts fill the leftover budget in FCFS chunk order.
+    // The queue head gates admission (no head-of-line bypass), and a
+    // new prompt is only admitted when it gets at least one token.
+    int num_running = static_cast<int>(running.size());
+    while (budget > 0 && num_running < config_.max_num_seqs) {
+        Request *head = scheduler.frontWaiting();
+        if (!head || !can_admit(*head)) {
+            break;
+        }
+        scheduler.popFrontWaiting();
+        const i64 chunk = std::min(budget, head->prompt_tokens);
+        plan.prefills.push_back(PrefillChunk{head, chunk, true});
+        budget -= chunk;
+        ++num_running;
+    }
+    return plan;
 }
 
 } // namespace vattn::serving

@@ -1,10 +1,23 @@
 /**
  * @file
- * FCFS continuous-batching scheduler (the vLLM v0.2.7 policy used as
- * the common harness in §7): prefills are prioritized whenever waiting
- * requests fit in memory, multiple prompts share a prefill iteration
- * up to a token budget, and decodes run the whole running set. On OOM
- * the most recently admitted request is preempted with recomputation.
+ * Scheduling layer: the FCFS waiting queue (Scheduler) plus the
+ * BatchComposer that turns queue + running set into an IterationPlan
+ * for the engine. Two composition policies reproduce the paper's
+ * serving harnesses:
+ *
+ *  - kPrefillPrioritized: the vLLM v0.2.7 policy (§7): prefills are
+ *    prioritized whenever waiting requests fit in memory, multiple
+ *    prompts share a monolithic prefill iteration up to a token
+ *    budget, and decode iterations run the whole running set. Ongoing
+ *    decodes therefore stall for entire prefill iterations.
+ *  - kStallFreeChunked: Sarathi-style chunked-prefill hybrid batching
+ *    (the harness of the paper's §7 serving evaluation): every
+ *    iteration carries all ongoing decodes, and prompts are split
+ *    into chunks that fill the leftover per-iteration token budget in
+ *    FCFS order, so a long prompt never stalls running decodes.
+ *
+ * On OOM the engine preempts the most recently admitted request with
+ * recomputation (both modes).
  */
 
 #ifndef VATTN_SERVING_SCHEDULER_HH
@@ -19,7 +32,47 @@
 namespace vattn::serving
 {
 
-/** Waiting-queue and admission policy. */
+/** Iteration-composition policy of the BatchComposer. */
+enum class SchedulingMode : u8
+{
+    /** Monolithic prefill-only or decode-only iterations (vLLM
+     *  v0.2.7); bit-for-bit the engine's historical behaviour. */
+    kPrefillPrioritized,
+    /** Chunked-prefill hybrid batching: decodes always ride along,
+     *  prompts fill the leftover token budget in FCFS chunk order. */
+    kStallFreeChunked,
+};
+
+const char *toString(SchedulingMode mode);
+
+/** One prompt's share of an iteration's prefill work. */
+struct PrefillChunk
+{
+    Request *request = nullptr;
+    /** Query tokens this iteration (the chunk length). */
+    i64 tokens = 0;
+    /** First chunk of the prompt: the engine must allocate a slot. */
+    bool first_chunk = false;
+};
+
+/**
+ * What one engine iteration computes: a set of decode requests (one
+ * token each) plus a set of prefill chunks, composed under the token
+ * budget. Either side may be empty; kPrefillPrioritized never fills
+ * both.
+ */
+struct IterationPlan
+{
+    std::vector<PrefillChunk> prefills;
+    std::vector<Request *> decodes;
+
+    bool empty() const { return prefills.empty() && decodes.empty(); }
+    bool mixed() const { return !prefills.empty() && !decodes.empty(); }
+    /** Total prefill query tokens across all chunks. */
+    i64 prefillTokens() const;
+};
+
+/** FCFS waiting-queue and admission policy. */
 class Scheduler
 {
   public:
@@ -31,6 +84,15 @@ class Scheduler
          *  (vLLM max_num_batched_tokens; single prompts larger than
          *  the budget still run alone). */
         i64 max_batched_tokens = 32768;
+        /** Iteration-composition policy (see SchedulingMode). */
+        SchedulingMode mode = SchedulingMode::kPrefillPrioritized;
+        /** kStallFreeChunked per-iteration token budget shared by
+         *  decodes (one token each) and prefill chunks — the Sarathi
+         *  chunk budget. 0 falls back to max_batched_tokens. */
+        i64 chunk_tokens = 2048;
+
+        /** The token budget one iteration may compose under. */
+        i64 iterationTokenBudget() const;
     };
 
     explicit Scheduler(Config config);
@@ -43,8 +105,14 @@ class Scheduler
 
     bool hasWaiting() const { return !waiting_.empty(); }
     std::size_t numWaiting() const { return waiting_.size(); }
-    /** Drop everything queued (microbenchmark teardown). */
-    void clearWaiting() { waiting_.clear(); }
+    /** Oldest waiting request (nullptr when the queue is empty). */
+    Request *frontWaiting() const;
+    /** Remove the head of the queue (the composer admitted it). */
+    void popFrontWaiting();
+    /** Drop everything queued (microbenchmark teardown); dropped
+     *  requests are reset to kPending with no computed state so they
+     *  can be re-enqueued later without stale slot/progress fields. */
+    void clearWaiting();
 
     /**
      * Pick the prompts for the next prefill iteration: FCFS order,
@@ -60,6 +128,43 @@ class Scheduler
   private:
     Config config_;
     std::deque<Request *> waiting_;
+};
+
+/**
+ * Composes the next IterationPlan from the waiting queue and the
+ * running set. Owns no state beyond the config: all queue mutation
+ * happens through the Scheduler it is given, so the engine's view of
+ * the queue stays authoritative.
+ */
+class BatchComposer
+{
+  public:
+    explicit BatchComposer(Scheduler::Config config);
+
+    /**
+     * Build the next iteration's plan. @p running is the engine's
+     * running set in admission order (possibly mid-prefill requests
+     * included); @p can_admit gates new admissions on memory. Picked
+     * waiting requests are popped from @p scheduler. An empty plan
+     * means nothing can run (idle, or head-of-line blocked).
+     */
+    IterationPlan
+    compose(Scheduler &scheduler, const std::vector<Request *> &running,
+            const std::function<bool(const Request &)> &can_admit) const;
+
+    const Scheduler::Config &config() const { return config_; }
+
+  private:
+    IterationPlan
+    composePrefillPrioritized(
+        Scheduler &scheduler, const std::vector<Request *> &running,
+        const std::function<bool(const Request &)> &can_admit) const;
+    IterationPlan
+    composeStallFreeChunked(
+        Scheduler &scheduler, const std::vector<Request *> &running,
+        const std::function<bool(const Request &)> &can_admit) const;
+
+    Scheduler::Config config_;
 };
 
 } // namespace vattn::serving

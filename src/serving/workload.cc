@@ -115,6 +115,27 @@ openChatTrace(int n, u64 seed)
     return trace;
 }
 
+std::vector<Request>
+shareGptTrace(int n, u64 seed)
+{
+    Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 0x9a9aULL);
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        Request r;
+        r.id = static_cast<u64>(i);
+        // ShareGPT conversations: median prompt ~160 tokens with a
+        // heavy paste tail, decodes are chat answers that frequently
+        // outrun the prompt (mean ~340 tokens).
+        r.prompt_tokens = clampTokens(
+            rng.logNormal(std::log(165.0), 0.95), 8, 8 * 1024);
+        r.max_new_tokens = clampTokens(
+            rng.logNormal(std::log(290.0), 0.75), 16, 2048);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
 void
 assignPoissonArrivals(std::vector<Request> &trace, double qps, u64 seed)
 {

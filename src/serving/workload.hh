@@ -9,6 +9,8 @@
  *    (mean 29K), 6-3250 decode tokens (mean 348), Poisson arrivals.
  *  - OpenChat-like dynamic chat trace (§7.6.3): short mixed prompts at
  *    7 queries per second, used for the max-batch-size study.
+ *  - ShareGPT-style conversational trace: short prompts, long-form
+ *    decodes; the TBT-dominated regime of the hybrid-batching bench.
  *
  * All generators are deterministic given the seed.
  */
@@ -47,6 +49,15 @@ std::vector<Request> arxivOnlineTrace(int n = 512, u64 seed = 2);
 
 /** §7.6.3 chat-style short-context trace. */
 std::vector<Request> openChatTrace(int n = 2000, u64 seed = 3);
+
+/**
+ * ShareGPT-style conversational trace: mostly short prompts (a few
+ * hundred tokens, occasionally a pasted document) with long-form
+ * decodes that often exceed the prompt (mean P:D ratio below ~1.5).
+ * The regime where time-between-tokens dominates user experience,
+ * used by the hybrid-batching TBT bench for scenario diversity.
+ */
+std::vector<Request> shareGptTrace(int n = 1000, u64 seed = 4);
 
 /** Assign Poisson arrival times at @p qps queries/second. */
 void assignPoissonArrivals(std::vector<Request> &trace, double qps,

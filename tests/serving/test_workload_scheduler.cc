@@ -52,6 +52,38 @@ TEST(Workload, OpenChatIsShortContext)
     EXPECT_GE(stats.min_prompt, 64);
 }
 
+TEST(Workload, ShareGptIsShortPromptLongDecode)
+{
+    auto trace = shareGptTrace(1000);
+    const auto stats = computeStats(trace);
+    EXPECT_EQ(stats.num_requests, 1000);
+    // Conversational regime: short prompts (median a few hundred
+    // tokens), answers that often outrun them.
+    EXPECT_GT(stats.mean_prompt, 150);
+    EXPECT_LT(stats.mean_prompt, 450);
+    EXPECT_GT(stats.mean_decode, 250);
+    EXPECT_LT(stats.mean_decode, 550);
+    EXPECT_LT(stats.mean_pd_ratio, 1.5);
+    EXPECT_GE(stats.min_prompt, 8);
+    EXPECT_LE(stats.max_prompt, 8 * 1024);
+    EXPECT_GE(stats.min_decode, 16);
+    EXPECT_LE(stats.max_decode, 2048);
+}
+
+TEST(Workload, ShareGptDeterministicForSeed)
+{
+    auto a = shareGptTrace(64, 11);
+    auto b = shareGptTrace(64, 11);
+    auto c = shareGptTrace(64, 12);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].max_new_tokens, b[i].max_new_tokens);
+        differs |= a[i].prompt_tokens != c[i].prompt_tokens;
+    }
+    EXPECT_TRUE(differs);
+}
+
 TEST(Workload, DeterministicForSeed)
 {
     auto a = arxivOfflineTrace(50, 9);
