@@ -33,6 +33,9 @@ main()
             serving::Engine engine(makeEngineConfig(setup, kinds[i]));
             const auto report = engine.run(std::move(trace));
             rpm[i] = report.requestsPerMinute();
+            // No-op on this token-id-less trace unless prefix caching
+            // is turned on (output stays byte-identical by default).
+            maybePrintPrefixStats(report, toString(kinds[i]));
         }
         table.addRow({
             setupLabel(setup),

@@ -74,6 +74,9 @@ main()
                     Table::num(report.normalized_latency_s.median(),
                                3),
                 });
+                // Prints only when the prefix cache was exercised, so
+                // the default output stays byte-identical.
+                maybePrintPrefixStats(report, toString(kinds[i]));
             }
             table.print("Figure 10: " + setupLabel(setup) + ", QPS=" +
                         Table::num(qps, 3));

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared-prefix KV cache reuse (§8.1): multi-tenant serving where
+ * every request starts with its tenant's fixed system prompt. With
+ * prefix caching on, the paged backend shares refcounted hash-blocks
+ * and the vAttention backend aliases physical page-groups into each
+ * new request's virtual tensors, so only the unique user suffix is
+ * prefilled. Reported: prefill tokens saved, hit rate, TTFT/latency
+ * percentiles, and the physically shared (aliased) bytes.
+ */
+
+#include "bench_util.hh"
+
+using namespace vattn;
+using namespace vattn::bench;
+
+namespace
+{
+
+struct Variant
+{
+    perf::BackendKind kind;
+    bool caching;
+};
+
+serving::RunReport
+runVariant(const Variant &variant)
+{
+    serving::EngineConfig config =
+        makeEngineConfig(Setup{perf::ModelSpec::yi6B(), 1},
+                         variant.kind);
+    config.enable_prefix_caching = variant.caching;
+    serving::Engine engine(config);
+    auto trace = serving::sharedSystemPromptTrace(
+        /*n=*/256, /*tenants=*/8, /*system_tokens=*/8192,
+        /*user_mean=*/512, /*seed=*/9);
+    serving::assignOfflineArrivals(trace);
+    return engine.run(std::move(trace));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Prefix caching: multi-tenant shared system prompts",
+           "256 requests, 8 tenants x 8K-token system prompt + ~512 "
+           "unique user tokens; Yi-6B on 1x A100");
+
+    const Variant variants[] = {
+        {perf::BackendKind::kFa2Paged, false},
+        {perf::BackendKind::kFa2Paged, true},
+        {perf::BackendKind::kFa2VAttention, false},
+        {perf::BackendKind::kFa2VAttention, true},
+    };
+
+    Table table({"backend", "prefix cache", "req/min", "TTFT p50 s",
+                 "TTFT p99 s", "latency p50 s", "hit rate",
+                 "prefill saved", "shared GB (cum)"});
+    double ttft_off[2] = {0, 0};
+    for (const Variant &variant : variants) {
+        const auto report = runVariant(variant);
+        const int idx = perf::isPaged(variant.kind) ? 0 : 1;
+        if (!variant.caching) {
+            ttft_off[idx] = report.ttft_s.median();
+        }
+        table.addRow({
+            toString(variant.kind),
+            variant.caching ? "on" : "off",
+            Table::num(report.requestsPerMinute(), 1),
+            Table::num(report.ttft_s.median(), 2),
+            Table::num(report.ttft_s.p99(), 2),
+            Table::num(report.latency_s.median(), 2),
+            variant.caching
+                ? Table::num(100.0 * report.prefixHitRate(), 1) + "%"
+                : "-",
+            variant.caching
+                ? Table::num(100.0 * report.prefillSavedFraction(), 1) +
+                      "%"
+                : "-",
+            Table::num(
+                static_cast<double>(report.prefix_aliased_bytes) / 1e9,
+                1),
+        });
+        if (variant.caching) {
+            maybePrintPrefixStats(report,
+                                  std::string(toString(variant.kind)));
+            std::printf("%s TTFT p50 improvement vs caching off: "
+                        "%.0f%%\n",
+                        toString(variant.kind),
+                        100.0 * (1.0 - report.ttft_s.median() /
+                                           ttft_off[idx]));
+        }
+    }
+    table.print("shared-system-prompt trace, offline arrivals");
+    std::printf("\nReading: both backends skip the shared system "
+                "prompt's prefill on a hit; vAttention additionally "
+                "maps one physical page-group into several requests' "
+                "virtual tensors (CUDA VMM aliasing, "
+                "Driver::numMappings > 1), which block-table systems "
+                "express through refcounted block ids.\n");
+    return 0;
+}

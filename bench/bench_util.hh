@@ -71,6 +71,31 @@ setupLabel(const Setup &setup)
     return setup.model.name + " (TP-" + std::to_string(setup.tp) + ")";
 }
 
+/**
+ * One-line prefix-cache summary. Prints nothing when the run never
+ * consulted the cache (caching disabled or a trace without token
+ * ids), so benches that default the feature off keep byte-identical
+ * output.
+ */
+inline void
+maybePrintPrefixStats(const serving::RunReport &report,
+                      const std::string &label)
+{
+    if (report.prefix_lookups == 0) {
+        return;
+    }
+    std::printf("%s prefix cache: hit rate %.1f%% (%lld/%lld), "
+                "prefill tokens saved %lld (%.1f%%), shared %.1f GB "
+                "cumulative, copied %.2f GB\n",
+                label.c_str(), 100.0 * report.prefixHitRate(),
+                static_cast<long long>(report.prefix_hits),
+                static_cast<long long>(report.prefix_lookups),
+                static_cast<long long>(report.prefill_tokens_saved),
+                100.0 * report.prefillSavedFraction(),
+                static_cast<double>(report.prefix_aliased_bytes) / 1e9,
+                static_cast<double>(report.prefix_copied_bytes) / 1e9);
+}
+
 } // namespace vattn::bench
 
 #endif // VATTN_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+#include "common/prefix_hash.hh"
+
+#include "common/logging.hh"
+
+namespace vattn
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: full-avalanche mixing of one 64-bit word. */
+constexpr u64
+mix64(u64 x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+u64
+chainTokenHash(u64 prev, const i32 *tokens, i64 n)
+{
+    u64 h = prev;
+    for (i64 i = 0; i < n; ++i) {
+        h = mix64(h ^ (static_cast<u64>(static_cast<u32>(tokens[i])) +
+                       0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+    }
+    // Mix the length in so a chunk of n tokens never collides with a
+    // chain over the same tokens split differently.
+    return mix64(h ^ static_cast<u64>(n));
+}
+
+std::vector<u64>
+PrefixKey::chunkHashes(i64 chunk_tokens) const
+{
+    panic_if(chunk_tokens <= 0, "chunkHashes needs a positive chunk");
+    if (empty()) {
+        return {};
+    }
+    if (cache && cache->chunk_tokens == chunk_tokens &&
+        !cache->hashes.empty()) {
+        return cache->hashes;
+    }
+    std::vector<u64> hashes;
+    const i64 full = size / chunk_tokens;
+    hashes.reserve(static_cast<std::size_t>(full));
+    u64 h = kPrefixHashSeed;
+    for (i64 i = 0; i < full; ++i) {
+        h = chainTokenHash(h, tokens + i * chunk_tokens, chunk_tokens);
+        hashes.push_back(h);
+    }
+    if (cache) {
+        cache->chunk_tokens = chunk_tokens;
+        cache->hashes = hashes;
+    }
+    return hashes;
+}
+
+u64
+PrefixKey::rangeHash(u64 prev, i64 start, i64 n) const
+{
+    panic_if(start < 0 || n < 0 || start + n > size,
+             "rangeHash out of bounds");
+    return chainTokenHash(prev, tokens + start, n);
+}
+
+} // namespace vattn

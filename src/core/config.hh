@@ -45,6 +45,14 @@ struct Config
     bool overlap_allocation = true;
     /** Page-groups eagerly mapped per tensor on the warm slot. */
     i64 eager_groups = 4;
+    /**
+     * §8.1 KV de-duplication: keep per-slot prefix hash chains and
+     * serve matching prompts by aliasing the prefix's physical
+     * page-groups into the new request's virtual range (or by reusing
+     * a matching cached slot in place). Also biases allocReqId toward
+     * free slots so cached prefix entries survive longer.
+     */
+    bool prefix_caching = false;
 
     // ---- Capacity -----------------------------------------------------
     /** Physical bytes this worker may commit for KV (0 = all device

@@ -180,7 +180,17 @@ KvAllocator::unmapOne(int buffer, int slot, i64 group)
     const cuvmm::MemHandle handle =
         list[static_cast<std::size_t>(group)];
     const Addr va = groupVa(buffer, slot, group);
-    if (use_cu_path_) {
+    if (pool_.refCount(handle) > 1) {
+        // The handle is aliased into another slot (prefix sharing):
+        // drop only this VA's mapping; the physical group lives on.
+        const auto r = use_cu_path_
+                           ? driver_.cuMemUnmap(va, geom_.groupBytes())
+                           : driver_.vMemUnmap(va);
+        panic_if(r != cuvmm::CuResult::kSuccess,
+                 "aliased unmap failed: ", cuvmm::toString(r));
+        pool_.dropShared(handle);
+        --aliased_mappings_;
+    } else if (use_cu_path_) {
         // Stock path: unmap but keep the physical handle pooled.
         const auto r = driver_.cuMemUnmap(va, geom_.groupBytes());
         panic_if(r != cuvmm::CuResult::kSuccess,
@@ -192,7 +202,7 @@ KvAllocator::unmapOne(int buffer, int slot, i64 group)
         const auto r = driver_.vMemRelease(handle);
         panic_if(r != cuvmm::CuResult::kSuccess,
                  "vMemRelease failed: ", cuvmm::toString(r));
-        pool_.releaseDestroyed();
+        pool_.releaseDestroyed(handle);
     }
     list[static_cast<std::size_t>(group)] = cuvmm::kInvalidHandle;
 }
@@ -239,6 +249,95 @@ KvAllocator::growTo(int slot, i64 target_groups)
 }
 
 Status
+KvAllocator::aliasFrom(int dst, int src, i64 groups)
+{
+    panic_if(dst < 0 || dst >= config_.max_batch_size ||
+                 src < 0 || src >= config_.max_batch_size,
+             "slot out of range");
+    if (dst == src) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "aliasFrom onto the source slot");
+    }
+    auto &dst_map = slots_[static_cast<std::size_t>(dst)];
+    const auto &src_map = slots_[static_cast<std::size_t>(src)];
+    if (dst_map.groups != 0) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "aliasFrom onto a slot with mappings");
+    }
+    if (groups <= 0 || groups > src_map.groups) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "aliasFrom beyond the source's groups");
+    }
+    const int nbuf = geom_.numBuffers();
+    for (i64 group = 0; group < groups; ++group) {
+        for (int b = 0; b < nbuf; ++b) {
+            const cuvmm::MemHandle handle =
+                src_map.handles[static_cast<std::size_t>(b)]
+                               [static_cast<std::size_t>(group)];
+            pool_.addRef(handle);
+            mapOne(b, dst, group, handle).expectOk("alias map");
+            dst_map.handles[static_cast<std::size_t>(b)].push_back(
+                handle);
+            ++aliased_mappings_;
+        }
+        ++dst_map.groups;
+    }
+    return Status::ok();
+}
+
+cuvmm::MemHandle
+KvAllocator::handleAt(int slot, int buffer, i64 group) const
+{
+    const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    return mappings.handles[static_cast<std::size_t>(buffer)]
+                           [static_cast<std::size_t>(group)];
+}
+
+void
+KvAllocator::privatizeFrom(int slot, i64 from_group)
+{
+    if (aliased_mappings_ == 0) {
+        return; // nothing anywhere is shared
+    }
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    const int nbuf = geom_.numBuffers();
+    for (i64 group = from_group; group < mappings.groups; ++group) {
+        for (int b = 0; b < nbuf; ++b) {
+            auto &list =
+                mappings.handles[static_cast<std::size_t>(b)];
+            const cuvmm::MemHandle handle =
+                list[static_cast<std::size_t>(group)];
+            if (pool_.refCount(handle) <= 1) {
+                continue;
+            }
+            auto fresh = pool_.acquire();
+            if (!fresh.isOk()) {
+                // No replacement available: drop the tail down to
+                // this group (losing retained capacity, never
+                // correctness). unmapOne handles the mixed
+                // private/shared rows.
+                while (mappings.groups > group) {
+                    shrinkTail(slot).expectOk("privatize shrink");
+                }
+                return;
+            }
+            const Addr va = groupVa(b, slot, group);
+            const auto r = use_cu_path_
+                               ? driver_.cuMemUnmap(va,
+                                                    geom_.groupBytes())
+                               : driver_.vMemUnmap(va);
+            panic_if(r != cuvmm::CuResult::kSuccess,
+                     "privatize unmap failed: ", cuvmm::toString(r));
+            pool_.dropShared(handle);
+            --aliased_mappings_;
+            mapOne(b, slot, group, fresh.value())
+                .expectOk("privatize map");
+            list[static_cast<std::size_t>(group)] = fresh.value();
+        }
+    }
+}
+
+Status
 KvAllocator::shrinkTail(int slot)
 {
     auto &mappings = slots_[static_cast<std::size_t>(slot)];
@@ -278,7 +377,9 @@ KvAllocator::totalHandlesMapped() const
 u64
 KvAllocator::physBytesMapped() const
 {
-    return static_cast<u64>(totalHandlesMapped()) * geom_.groupBytes();
+    // Aliased mappings share one physical group: count it once.
+    return static_cast<u64>(totalHandlesMapped() - aliased_mappings_) *
+           geom_.groupBytes();
 }
 
 bool

@@ -75,8 +75,40 @@ class KvAllocator
     /** Unmap everything mapped for the slot. */
     void releaseAll(int slot);
 
-    /** Sum of groupsMapped over all slots, times numBuffers. */
+    /**
+     * Prefix sharing (§8.1): map @p src's first @p groups page-groups
+     * into @p dst's virtual range as well — the same physical handle
+     * becomes visible at both requests' sub-tensors (vMemMap /
+     * cuMemMap multi-mapping; Driver::numMappings > 1). Handles are
+     * reference-counted in the pool, so either slot may release
+     * independently. @p dst must currently have no groups mapped; the
+     * shared groups must never be written through @p dst.
+     */
+    Status aliasFrom(int dst, int src, i64 groups);
+
+    /** The handle mapped at (slot, buffer, group) — introspection for
+     *  aliasing tests. */
+    cuvmm::MemHandle handleAt(int slot, int buffer, i64 group) const;
+
+    /**
+     * Make the slot's groups from @p from_group onward private: any
+     * group whose handle is shared with another slot is remapped onto
+     * a fresh pool handle (the other slot keeps the original and its
+     * content). Required before a slot with retained mappings is
+     * recycled for a new request — writing through a shared mapping
+     * would corrupt the sharer's KV. If the pool cannot supply a
+     * replacement the tail is shrunk instead, so on return no group
+     * at or beyond @p from_group is shared. No-op when nothing is
+     * aliased.
+     */
+    void privatizeFrom(int slot, i64 from_group);
+
+    /** Sum of groupsMapped over all slots, times numBuffers (counts
+     *  mappings; aliased groups count once per mapping). */
     i64 totalHandlesMapped() const;
+    /** Mappings that alias another slot's physical group. */
+    i64 aliasedMappings() const { return aliased_mappings_; }
+    /** Unique physical bytes mapped (aliases counted once). */
     u64 physBytesMapped() const;
 
     /** Every mapped group must be RW-accessible; per-slot counts must
@@ -110,6 +142,7 @@ class KvAllocator
     std::vector<Addr> buffer_base_;
     std::vector<LayerKv> layer_tensors_;
     std::vector<SlotMappings> slots_;
+    i64 aliased_mappings_ = 0; ///< current mappings beyond one per handle
 };
 
 } // namespace vattn::core

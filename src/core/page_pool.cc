@@ -46,6 +46,7 @@ PagePool::acquire()
         const cuvmm::MemHandle handle = free_.back();
         free_.pop_back();
         ++groups_in_use_;
+        refs_[handle] = 1;
         return handle;
     }
     if (created_ >= total_groups_) {
@@ -61,21 +62,56 @@ PagePool::acquire()
     }
     ++created_;
     ++groups_in_use_;
+    refs_[handle] = 1;
     return handle;
+}
+
+void
+PagePool::addRef(cuvmm::MemHandle handle)
+{
+    auto it = refs_.find(handle);
+    panic_if(it == refs_.end(), "addRef on a handle not handed out");
+    ++it->second;
+}
+
+int
+PagePool::refCount(cuvmm::MemHandle handle) const
+{
+    auto it = refs_.find(handle);
+    return it == refs_.end() ? 0 : it->second;
+}
+
+void
+PagePool::dropShared(cuvmm::MemHandle handle)
+{
+    auto it = refs_.find(handle);
+    panic_if(it == refs_.end() || it->second <= 1,
+             "dropShared needs a handle with other references");
+    --it->second;
 }
 
 void
 PagePool::release(cuvmm::MemHandle handle)
 {
-    panic_if(groups_in_use_ <= 0, "pool release without acquire");
+    auto it = refs_.find(handle);
+    panic_if(groups_in_use_ <= 0 || it == refs_.end(),
+             "pool release without acquire");
+    panic_if(it->second != 1,
+             "pool release of a handle still referenced elsewhere");
+    refs_.erase(it);
     --groups_in_use_;
     free_.push_back(handle);
 }
 
 void
-PagePool::releaseDestroyed()
+PagePool::releaseDestroyed(cuvmm::MemHandle handle)
 {
-    panic_if(groups_in_use_ <= 0, "pool release without acquire");
+    auto it = refs_.find(handle);
+    panic_if(groups_in_use_ <= 0 || it == refs_.end(),
+             "pool release without acquire");
+    panic_if(it->second != 1,
+             "destroying a handle still referenced elsewhere");
+    refs_.erase(it);
     --groups_in_use_;
     --created_;
 }

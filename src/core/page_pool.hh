@@ -11,6 +11,7 @@
 #ifndef VATTN_CORE_PAGE_POOL_HH
 #define VATTN_CORE_PAGE_POOL_HH
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hh"
@@ -38,20 +39,36 @@ class PagePool
     PagePool(const PagePool &) = delete;
     PagePool &operator=(const PagePool &) = delete;
 
-    /** Take a handle out of the pool. Fails when the budget is fully
-     *  handed out (the caller may then reclaim cached groups). */
+    /** Take a handle out of the pool (refcount 1). Fails when the
+     *  budget is fully handed out (the caller may then reclaim cached
+     *  groups). */
     Result<cuvmm::MemHandle> acquire();
 
-    /** Return a handle to the pool. */
+    /**
+     * Add a reference to a handed-out handle (prefix sharing maps the
+     * same physical group into several requests' virtual ranges). The
+     * handle stays in use until every reference is dropped.
+     */
+    void addRef(cuvmm::MemHandle handle);
+
+    /** References held on a handed-out handle (0 = not handed out). */
+    int refCount(cuvmm::MemHandle handle) const;
+
+    /** Drop one of several references (the handle remains mapped
+     *  elsewhere; panics when it is the last reference — use
+     *  release/releaseDestroyed for that). */
+    void dropShared(cuvmm::MemHandle handle);
+
+    /** Return a handle to the pool (last reference). */
     void release(cuvmm::MemHandle handle);
 
     /**
      * Account for a handed-out handle that was destroyed instead of
      * returned (the sub-2MB reclaim path uses vMemRelease, which fuses
      * unmap + free, so the handle ceases to exist; the budget slot it
-     * occupied becomes creatable again).
+     * occupied becomes creatable again). Last reference only.
      */
-    void releaseDestroyed();
+    void releaseDestroyed(cuvmm::MemHandle handle);
 
     /** Groups still obtainable: pooled handles + creatable budget. */
     i64
@@ -83,8 +100,10 @@ class PagePool
     u64 budget_bytes_;
     i64 total_groups_;
     i64 created_ = 0;
-    i64 groups_in_use_ = 0;
+    i64 groups_in_use_ = 0; ///< unique handles handed out
     std::vector<cuvmm::MemHandle> free_;
+    /** Reference counts of handed-out handles. */
+    std::unordered_map<cuvmm::MemHandle, int> refs_;
 };
 
 } // namespace vattn::core

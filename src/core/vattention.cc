@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/prefix_hash.hh"
 
 namespace vattn::core
 {
@@ -27,7 +28,8 @@ VAttention::VAttention(cuvmm::Driver &driver, const Config &config)
             /*precreate=*/true),
       allocator_(driver, config, pool_),
       slots_(config.max_batch_size),
-      last_seq_lens_(static_cast<std::size_t>(config.max_batch_size), 0)
+      last_seq_lens_(static_cast<std::size_t>(config.max_batch_size), 0),
+      chains_(static_cast<std::size_t>(config.max_batch_size))
 {
     // Reservation + pre-created handles happen before serving starts;
     // none of it is critical-path time.
@@ -58,11 +60,19 @@ VAttention::allocReqId()
 {
     // Prefer the cached slot with the most retained page-groups: a new
     // request can then reuse R1's physical memory without any driver
-    // calls (Figure 5 (d)-(e)).
+    // calls (Figure 5 (d)-(e)). Under prefix caching, cached slots
+    // carrying a hash chain are valuable store entries: prefer chain-
+    // less cached slots (warm slots), then free slots, and sacrifice
+    // the entry with the fewest registered tokens only as a last
+    // resort.
     int best = -1;
     i64 best_groups = -1;
     if (config_.deferred_reclamation || config_.eager_allocation) {
         for (int slot : slots_.cachedLruOrder()) {
+            if (config_.prefix_caching &&
+                !chains_[static_cast<std::size_t>(slot)].empty()) {
+                continue;
+            }
             const i64 groups = allocator_.groupsMapped(slot);
             if (groups > best_groups) {
                 best = slot;
@@ -73,15 +83,41 @@ VAttention::allocReqId()
     if (best >= 0) {
         slots_.activate(best).expectOk("activate cached slot");
         ++stats_.reused_cached_slots;
+        chains_[static_cast<std::size_t>(best)].clear();
+        // The new request overwrites every retained group: none may
+        // still be aliased by another slot.
+        allocator_.privatizeFrom(best, 0);
         return best;
     }
     const int free_slot = slots_.firstFree();
-    if (free_slot < 0) {
-        return Result<int>(ErrorCode::kOutOfMemory,
-                           "all reqIds active (batch full)");
+    if (free_slot >= 0) {
+        slots_.activate(free_slot).expectOk("activate free slot");
+        chains_[static_cast<std::size_t>(free_slot)].clear();
+        return free_slot;
     }
-    slots_.activate(free_slot).expectOk("activate free slot");
-    return free_slot;
+    if (config_.prefix_caching) {
+        // Every slot is active or a store entry: evict the entry with
+        // the fewest registered tokens.
+        int victim = -1;
+        i64 victim_tokens = 0;
+        for (int slot : slots_.cachedLruOrder()) {
+            const i64 tokens =
+                chains_[static_cast<std::size_t>(slot)].tokens;
+            if (victim < 0 || tokens < victim_tokens) {
+                victim = slot;
+                victim_tokens = tokens;
+            }
+        }
+        if (victim >= 0) {
+            slots_.activate(victim).expectOk("activate cached slot");
+            ++stats_.reused_cached_slots;
+            chains_[static_cast<std::size_t>(victim)].clear();
+            allocator_.privatizeFrom(victim, 0);
+            return victim;
+        }
+    }
+    return Result<int>(ErrorCode::kOutOfMemory,
+                       "all reqIds active (batch full)");
 }
 
 Status
@@ -97,10 +133,37 @@ VAttention::freeReqId(int req_id)
     last_seq_lens_[static_cast<std::size_t>(req_id)] = 0;
     if (config_.deferred_reclamation &&
         allocator_.groupsMapped(req_id) > 0) {
+        // The slot's hash chain (if any) survives with its mappings:
+        // cached slots ARE the prefix store.
         return slots_.moveToCached(req_id);
     }
     allocator_.releaseAll(req_id);
+    chains_[static_cast<std::size_t>(req_id)].clear();
     return slots_.moveToFree(req_id);
+}
+
+void
+VAttention::clampChainToMapped(int slot)
+{
+    auto &chain = chains_[static_cast<std::size_t>(slot)];
+    if (chain.empty()) {
+        return;
+    }
+    const i64 groups = allocator_.groupsMapped(slot);
+    const i64 tpg = allocator_.geometry().tokensPerGroup();
+    if (static_cast<i64>(chain.hashes.size()) > groups) {
+        chain.hashes.resize(static_cast<std::size_t>(groups));
+        chain.tail_hash = 0; // the tail group is gone too
+        chain.tokens = std::min(chain.tokens, groups * tpg);
+    } else if (chain.tokens > groups * tpg &&
+               static_cast<i64>(chain.hashes.size()) == groups) {
+        // Chain claimed a partial tail in group `groups`, now unmapped.
+        chain.tail_hash = 0;
+        chain.tokens = groups * tpg;
+    }
+    if (chain.tokens == 0) {
+        chain.clear();
+    }
 }
 
 bool
@@ -108,12 +171,18 @@ VAttention::stealOneCachedGroup()
 {
     for (int victim : slots_.cachedLruOrder()) {
         if (allocator_.groupsMapped(victim) == 0) {
+            chains_[static_cast<std::size_t>(victim)].clear();
             slots_.moveToFree(victim).expectOk("empty cached slot");
             continue;
         }
         allocator_.shrinkTail(victim).expectOk("reclaim cached group");
         stats_.reclaimed_handles += allocator_.geometry().numBuffers();
+        // A stolen group may still be pinned by a sharer (aliased
+        // prefix): the unmap then freed no physical memory, but the
+        // victim's chain must forget the now-unmapped tail either way.
+        clampChainToMapped(victim);
         if (allocator_.groupsMapped(victim) == 0) {
+            chains_[static_cast<std::size_t>(victim)].clear();
             slots_.moveToFree(victim).expectOk("drained cached slot");
         }
         return true;
@@ -138,6 +207,210 @@ VAttention::ensureGroups(int slot, i64 target, i64 *stolen)
         if (stolen) {
             *stolen += allocator_.geometry().numBuffers();
         }
+    }
+}
+
+PrefixHit
+VAttention::matchPrefix(const PrefixQuery &query) const
+{
+    PrefixHit best;
+    if (!config_.prefix_caching || query.empty()) {
+        return best;
+    }
+    const i64 tpg = allocator_.geometry().tokensPerGroup();
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        const auto &chain = chains_[static_cast<std::size_t>(slot)];
+        if (chain.empty()) {
+            continue;
+        }
+        // Aligned groups: longest common prefix of the hash chains,
+        // bounded by what the slot still has mapped.
+        const i64 limit = std::min<i64>(
+            {static_cast<i64>(chain.hashes.size()),
+             static_cast<i64>(query.group_hashes.size()),
+             allocator_.groupsMapped(slot)});
+        i64 groups = 0;
+        while (groups < limit &&
+               chain.hashes[static_cast<std::size_t>(groups)] ==
+                   query.group_hashes[static_cast<std::size_t>(groups)]) {
+            ++groups;
+        }
+        i64 tokens = groups * tpg;
+        // Partial tail: only when the whole aligned chain matched and
+        // the slot's tail group is still mapped; the tail is COPIED on
+        // a hit, never aliased (it will be appended to).
+        const i64 tail_tokens = chain.tokens -
+            static_cast<i64>(chain.hashes.size()) * tpg;
+        if (groups == static_cast<i64>(chain.hashes.size()) &&
+            tail_tokens > 0 && allocator_.groupsMapped(slot) > groups &&
+            query.total_tokens >= chain.tokens && query.tail_hash) {
+            const u64 prev =
+                groups > 0
+                    ? chain.hashes[static_cast<std::size_t>(groups - 1)]
+                    : kPrefixHashSeed;
+            if (query.tail_hash(prev, groups, tail_tokens) ==
+                chain.tail_hash) {
+                tokens = chain.tokens;
+            }
+        }
+        // Prefer the longest match; on ties prefer a cached source
+        // (reusable in place, zero driver calls).
+        const bool better =
+            tokens > best.tokens ||
+            (tokens == best.tokens && tokens > 0 && best.slot >= 0 &&
+             slots_.state(best.slot) != SlotState::kCached &&
+             slots_.state(slot) == SlotState::kCached);
+        if (better && tokens > 0) {
+            best.slot = slot;
+            best.groups = groups;
+            best.tokens = tokens;
+        }
+    }
+    return best;
+}
+
+Result<int>
+VAttention::allocReqIdWithPrefix(const PrefixQuery &query,
+                                 i64 max_cached, i64 *cached_tokens)
+{
+    if (cached_tokens) {
+        *cached_tokens = 0;
+    }
+    last_prefix_alloc_ns_ = 0;
+    PrefixHit hit = matchPrefix(query);
+    const i64 tpg = allocator_.geometry().tokensPerGroup();
+    if (hit.tokens > max_cached) {
+        // The engine caps reuse (e.g. at prompt_tokens - 1 so at least
+        // one token is computed): drop the tail, then whole groups.
+        hit.groups = std::min(hit.groups, max_cached / tpg);
+        hit.tokens = hit.groups * tpg;
+    }
+    if (hit.slot < 0 || hit.tokens <= 0) {
+        return allocReqId();
+    }
+
+    const bool has_tail = hit.tokens > hit.groups * tpg;
+    if (slots_.state(hit.slot) == SlotState::kCached) {
+        // In-place reuse: the prefix KV already sits at this slot's
+        // virtual addresses; groups beyond the match are stale and
+        // will be overwritten by the new request's prefill — any of
+        // them still aliased by another slot must be remapped onto
+        // private handles first (writes through a shared mapping
+        // would corrupt the sharer's KV). The matched tail group is
+        // never shared (only aligned groups are aliased), so
+        // privatizing from hit.groups keeps it.
+        slots_.activate(hit.slot).expectOk("activate prefix slot");
+        ++stats_.reused_cached_slots;
+        auto &chain = chains_[static_cast<std::size_t>(hit.slot)];
+        chain.hashes.resize(static_cast<std::size_t>(hit.groups));
+        chain.tokens = hit.tokens;
+        if (!has_tail) {
+            chain.tail_hash = 0;
+        }
+        allocator_.privatizeFrom(hit.slot, hit.groups);
+        // Privatization may have had to shrink the tail instead
+        // (pool exhausted): the reusable prefix shrinks with it.
+        clampChainToMapped(hit.slot);
+        const i64 reused = chain.tokens;
+        if (reused <= 0) {
+            chain.clear();
+            last_prefix_alloc_ns_ = driver_.consumeElapsedNs();
+            stats_.critical_ns += last_prefix_alloc_ns_;
+            return hit.slot; // degraded to a plain allocation
+        }
+        ++stats_.prefix_hits;
+        ++stats_.prefix_inplace_hits;
+        stats_.prefix_cached_tokens += reused;
+        if (cached_tokens) {
+            *cached_tokens = reused;
+        }
+        last_prefix_alloc_ns_ = driver_.consumeElapsedNs();
+        stats_.critical_ns += last_prefix_alloc_ns_;
+        return hit.slot;
+    }
+
+    // The source is active: alias its aligned groups into a free slot.
+    // (Activating a cached slot instead would first require unmapping
+    // its stale groups — churn that usually costs more than the hit
+    // saves — so without a free slot we fall back to a plain miss.)
+    const int target = slots_.firstFree();
+    if (target < 0) {
+        return allocReqId();
+    }
+    slots_.activate(target).expectOk("activate free slot");
+    auto &chain = chains_[static_cast<std::size_t>(target)];
+    chain.clear();
+    if (hit.groups > 0) {
+        allocator_.aliasFrom(target, hit.slot, hit.groups)
+            .expectOk("prefix alias");
+        stats_.prefix_aliased_handles +=
+            hit.groups * allocator_.geometry().numBuffers();
+    }
+    i64 tokens = hit.groups * tpg;
+    if (has_tail) {
+        // Copy the partial trailing group into a private group: the
+        // new request keeps appending into it, which must not be
+        // visible through the source's mapping.
+        if (allocator_.growTo(target, hit.groups + 1).isOk()) {
+            stats_.prefix_copied_handles +=
+                allocator_.geometry().numBuffers();
+            tokens = hit.tokens;
+        }
+    }
+    if (tokens > 0) {
+        chain.hashes.assign(
+            chains_[static_cast<std::size_t>(hit.slot)].hashes.begin(),
+            chains_[static_cast<std::size_t>(hit.slot)].hashes.begin() +
+                hit.groups);
+        chain.tokens = tokens;
+        chain.tail_hash =
+            tokens > hit.groups * tpg
+                ? chains_[static_cast<std::size_t>(hit.slot)].tail_hash
+                : 0;
+        ++stats_.prefix_hits;
+        stats_.prefix_cached_tokens += tokens;
+    }
+    if (cached_tokens) {
+        *cached_tokens = tokens;
+    }
+    // Alias/copy maps happened synchronously: charge them to the
+    // critical path (the serving backend folds this into ensure time).
+    last_prefix_alloc_ns_ = driver_.consumeElapsedNs();
+    stats_.critical_ns += last_prefix_alloc_ns_;
+    return target;
+}
+
+void
+VAttention::registerPrefix(int req_id, const PrefixQuery &query,
+                           i64 tokens)
+{
+    if (!config_.prefix_caching || query.empty() || tokens <= 0) {
+        return;
+    }
+    panic_if(req_id < 0 || req_id >= config_.max_batch_size,
+             "bad reqId");
+    panic_if(slots_.state(req_id) != SlotState::kActive,
+             "registerPrefix on an inactive reqId");
+    auto &chain = chains_[static_cast<std::size_t>(req_id)];
+    tokens = std::min(tokens, query.total_tokens);
+    const i64 tpg = allocator_.geometry().tokensPerGroup();
+    const i64 full = std::min<i64>(
+        tokens / tpg, static_cast<i64>(query.group_hashes.size()));
+    chain.hashes.assign(query.group_hashes.begin(),
+                        query.group_hashes.begin() + full);
+    chain.tokens = tokens;
+    const i64 tail = tokens - full * tpg;
+    if (tail > 0 && query.tail_hash) {
+        const u64 prev =
+            full > 0 ? chain.hashes[static_cast<std::size_t>(full - 1)]
+                     : kPrefixHashSeed;
+        chain.tail_hash = query.tail_hash(prev, full, tail);
+    } else {
+        chain.tail_hash = 0;
+        chain.tokens = full * tpg;
+    }
+    if (chain.tokens == 0) {
+        chain.clear();
     }
 }
 
@@ -369,15 +642,32 @@ VAttention::checkInvariants() const
     if (!allocator_.checkInvariants()) {
         return false;
     }
-    // Every handle handed out by the pool is mapped somewhere.
-    if (pool_.groupsInUse() != allocator_.totalHandlesMapped()) {
+    // Every handle handed out by the pool is mapped somewhere; aliased
+    // mappings reuse a handed-out handle rather than consuming one.
+    if (pool_.groupsInUse() !=
+        allocator_.totalHandlesMapped() - allocator_.aliasedMappings()) {
         return false;
     }
-    // Free slots hold no mappings (cached/active ones may).
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        // Free slots hold no mappings (cached/active ones may).
         if (slots_.state(slot) == SlotState::kFree &&
             allocator_.groupsMapped(slot) != 0) {
             return false;
+        }
+        // A prefix chain never describes more than the slot has mapped.
+        const auto &chain = chains_[static_cast<std::size_t>(slot)];
+        if (!chain.empty()) {
+            const i64 tpg = allocator_.geometry().tokensPerGroup();
+            const i64 covered = allocator_.geometry().groupsForTokens(
+                chain.tokens);
+            if (slots_.state(slot) == SlotState::kFree ||
+                static_cast<i64>(chain.hashes.size()) >
+                    allocator_.groupsMapped(slot) ||
+                covered > allocator_.groupsMapped(slot) ||
+                chain.tokens >
+                    (static_cast<i64>(chain.hashes.size()) + 1) * tpg) {
+                return false;
+            }
         }
     }
     return true;

@@ -24,6 +24,7 @@
 #ifndef VATTN_CORE_VATTENTION_HH
 #define VATTN_CORE_VATTENTION_HH
 
+#include <functional>
 #include <vector>
 
 #include "attn/kv_view.hh"
@@ -57,6 +58,44 @@ struct RuntimeStats
     TimeNs critical_ns = 0;
     TimeNs background_ns = 0;
     TimeNs init_ns = 0;
+
+    // ---- §8.1 prefix caching ---------------------------------------
+    i64 prefix_hits = 0;           ///< allocations that matched a prefix
+    i64 prefix_inplace_hits = 0;   ///< hits served by reusing the slot
+    i64 prefix_aliased_handles = 0;///< mappings created by aliasing
+    i64 prefix_copied_handles = 0; ///< partial tail groups copied
+    i64 prefix_cached_tokens = 0;  ///< prompt tokens served from cache
+};
+
+/**
+ * A prompt prefix described at page-group granularity for the §8.1
+ * prefix store: chained hashes of the full groups plus a callback that
+ * hashes a partial trailing chunk on demand (the store decides how
+ * many tail tokens to compare against).
+ */
+struct PrefixQuery
+{
+    /** Chained hash per full page-group of prompt tokens. */
+    std::vector<u64> group_hashes;
+    /** Total prompt tokens behind the query. */
+    i64 total_tokens = 0;
+    /**
+     * Chained hash of tokens [groups * tokensPerGroup, ... + n),
+     * chained onto @p prev. Must tolerate any n that keeps the range
+     * inside total_tokens.
+     */
+    std::function<u64(u64 prev, i64 groups, i64 n)> tail_hash;
+
+    bool empty() const { return total_tokens <= 0; }
+};
+
+/** Longest stored prefix matching a query. */
+struct PrefixHit
+{
+    int slot = -1;       ///< slot holding the prefix (-1 = miss)
+    i64 groups = 0;      ///< aligned page-groups matched
+    i64 tokens = 0;      ///< tokens matched (>= groups * tokensPerGroup
+                         ///  when the partial tail matched too)
 };
 
 /** The per-worker vAttention memory manager. */
@@ -83,6 +122,41 @@ class VAttention
 
     /** Lease a reqId. Fails when all B slots are active. */
     Result<int> allocReqId();
+
+    // ---- §8.1 prefix caching ----------------------------------------
+
+    /**
+     * Longest stored prefix matching @p query across every slot with a
+     * registered hash chain (active and cached alike — a fully written
+     * group is immutable, so live requests are valid sources).
+     */
+    PrefixHit matchPrefix(const PrefixQuery &query) const;
+
+    /**
+     * Prefix-aware allocReqId: on a match of at most @p max_cached
+     * tokens, either reuses the matching cached slot in place (its
+     * page-groups already hold the prefix KV — zero driver calls) or
+     * aliases the source's aligned groups into a free slot via
+     * multi-mapping, copying the partial trailing group when the match
+     * extends into one. @p cached_tokens receives the tokens whose KV
+     * the new request inherits. Falls back to plain allocReqId (0
+     * cached) on a miss or when no suitable target slot exists.
+     */
+    Result<int> allocReqIdWithPrefix(const PrefixQuery &query,
+                                     i64 max_cached,
+                                     i64 *cached_tokens);
+
+    /**
+     * Record that @p req_id's sub-tensors now hold the KV of the first
+     * @p tokens tokens of @p query (call as prefill chunks complete).
+     * Only fully written groups plus one partial tail enter the store.
+     */
+    void registerPrefix(int req_id, const PrefixQuery &query,
+                        i64 tokens);
+
+    /** Driver latency of the most recent allocReqIdWithPrefix (alias
+     *  and tail-copy maps run on the serving critical path). */
+    TimeNs lastPrefixAllocNs() const { return last_prefix_alloc_ns_; }
 
     /** Return a reqId (request completed or preempted). */
     Status freeReqId(int req_id);
@@ -125,8 +199,21 @@ class VAttention
     {
         return allocator_.groupsMapped(req_id);
     }
+    /** Handle mapped at (req_id, buffer, group) — aliasing tests. */
+    cuvmm::MemHandle
+    handleAt(int req_id, int buffer, i64 group) const
+    {
+        return allocator_.handleAt(req_id, buffer, group);
+    }
 
     bool checkInvariants() const;
+
+    /** Bytes currently mapped into more than one virtual range. */
+    u64 aliasedBytes() const
+    {
+        return static_cast<u64>(allocator_.aliasedMappings()) *
+               allocator_.geometry().groupBytes();
+    }
 
   private:
     /** Grow @p slot to @p target groups, stealing cached groups on
@@ -139,6 +226,27 @@ class VAttention
     /** Estimated driver cost of mapping one group on every buffer. */
     TimeNs mapAllBuffersCost() const;
 
+    /** Per-slot prefix store entry (content of the slot's groups). */
+    struct PrefixChain
+    {
+        std::vector<u64> hashes; ///< chained aligned-group hashes
+        i64 tokens = 0;          ///< registered token count
+        u64 tail_hash = 0;       ///< chained hash incl. the partial tail
+
+        bool empty() const { return tokens == 0; }
+        void
+        clear()
+        {
+            hashes.clear();
+            tokens = 0;
+            tail_hash = 0;
+        }
+    };
+
+    /** Truncate @p slot's chain to what its mapped groups still hold
+     *  (reclamation may have unmapped tail groups). */
+    void clampChainToMapped(int slot);
+
     cuvmm::Driver &driver_;
     Config config_;
     PagePool pool_;
@@ -146,7 +254,9 @@ class VAttention
     ReqSlots slots_;
     BackgroundWorker background_;
     std::vector<i64> last_seq_lens_;
+    std::vector<PrefixChain> chains_;
     RuntimeStats stats_;
+    TimeNs last_prefix_alloc_ns_ = 0;
 };
 
 } // namespace vattn::core

@@ -386,6 +386,21 @@ Driver::vMemMap(Addr ptr, MemHandle handle)
 }
 
 CuResult
+Driver::vMemUnmap(Addr ptr)
+{
+    auto it = mapped_.find(ptr);
+    if (it == mapped_.end()) {
+        charge(Api::kUnmap, PageGroup::k64KB);
+        return CuResult::kErrorNotMapped;
+    }
+    HandleInfo &info = handles_.at(it->second);
+    charge(Api::kUnmap, latencyBucket(info.size));
+    // Only this VA's mapping goes away; aliased mappings (and the
+    // physical memory) survive until vMemRelease.
+    return doUnmapOne(info, ptr);
+}
+
+CuResult
 Driver::vMemRelease(MemHandle handle)
 {
     auto it = handles_.find(handle);

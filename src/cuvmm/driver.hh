@@ -13,7 +13,18 @@
  *   - vMemReserve / vMemFree     : same as the cu* versions
  *   - vMemCreate                 : one page-group (64KB..2MB) per handle
  *   - vMemMap                    : map + grant access in one call
+ *   - vMemUnmap                  : unmap ONE VA, keep the handle live
  *   - vMemRelease                : unmap (if mapped) + free in one call
+ *
+ * Aliased-handle semantics (one handle mapped at several VAs — the KV
+ * de-duplication capability of §8.1):
+ *   - cuMemMap / vMemMap may map a live handle at any number of VAs.
+ *   - cuMemUnmap / vMemUnmap remove exactly one mapping; the handle
+ *     and its physical memory survive while other mappings (or the
+ *     handle itself) remain, so physBytesInUse() is unchanged until
+ *     cuMemRelease / vMemRelease destroys the handle.
+ *   - vMemRelease on an aliased handle unmaps EVERY remaining VA and
+ *     then frees the physical memory exactly once.
  *
  * Every call charges its Table-3 latency to an internal ledger which the
  * caller drains with consumeElapsedNs() and attributes to either the
@@ -97,6 +108,10 @@ class Driver
     CuResult vMemFree(Addr ptr, u64 size);
     CuResult vMemCreate(MemHandle *handle, PageGroup group);
     CuResult vMemMap(Addr ptr, MemHandle handle);
+    /** Remove the mapping at @p ptr only; the handle stays live (and
+     *  possibly mapped at other VAs). Needed by prefix sharing, where
+     *  one request's unmap must not free pages aliased by another. */
+    CuResult vMemUnmap(Addr ptr);
     CuResult vMemRelease(MemHandle handle);
 
     // --- Introspection ----------------------------------------------

@@ -40,12 +40,17 @@ column(PageGroup pg)
 // The 64-256KB columns are the vMem* extension APIs; the 2MB column is
 // the stock CUDA path. -1 marks combinations that have no distinct
 // call (fused into another API on that path).
+//
+// The sub-2MB kUnmap entries model the standalone vMemUnmap added for
+// prefix sharing (drop ONE alias of a multi-mapped handle without
+// freeing it): the same kernel crossing as vMemRelease minus the
+// physical free, so slightly under the release column.
 constexpr double kUsTable[][4] = {
     /* kAddressReserve */ {18.0, 17.0, 16.0, 2.0},
     /* kCreate         */ {1.7, 2.0, 2.1, 29.0},
     /* kMap            */ {8.0, 8.5, 9.0, 2.0},
     /* kSetAccess      */ {-1.0, -1.0, -1.0, 38.0},
-    /* kUnmap          */ {-1.0, -1.0, -1.0, 34.0},
+    /* kUnmap          */ {1.8, 2.7, 3.6, 34.0},
     /* kRelease        */ {2.0, 3.0, 4.0, 23.0},
     /* kAddressFree    */ {35.0, 35.0, 35.0, 1.0},
 };

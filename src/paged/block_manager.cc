@@ -7,15 +7,35 @@
 namespace vattn::paged
 {
 
-BlockManager::BlockManager(i64 num_blocks, i64 block_size)
+BlockManager::BlockManager(i64 num_blocks, i64 block_size,
+                           bool enable_prefix_cache)
     : num_blocks_(num_blocks), block_size_(block_size),
-      ref_counts_(static_cast<std::size_t>(num_blocks), 0)
+      prefix_cache_(enable_prefix_cache),
+      ref_counts_(static_cast<std::size_t>(num_blocks), 0),
+      block_hash_(static_cast<std::size_t>(num_blocks), 0),
+      has_hash_(static_cast<std::size_t>(num_blocks), false),
+      evictable_pos_(static_cast<std::size_t>(num_blocks)),
+      is_evictable_(static_cast<std::size_t>(num_blocks), false)
 {
     fatal_if(num_blocks <= 0, "BlockManager needs > 0 blocks");
     fatal_if(block_size <= 0, "BlockManager needs > 0 block size");
     free_list_.resize(static_cast<std::size_t>(num_blocks));
     // Hand out low block ids first (stable, test friendly).
     std::iota(free_list_.rbegin(), free_list_.rend(), 0);
+}
+
+void
+BlockManager::dropHash(i32 block)
+{
+    const auto idx = static_cast<std::size_t>(block);
+    if (!has_hash_[idx]) {
+        return;
+    }
+    auto it = hash_to_block_.find(block_hash_[idx]);
+    if (it != hash_to_block_.end() && it->second == block) {
+        hash_to_block_.erase(it);
+    }
+    has_hash_[idx] = false;
 }
 
 i64
@@ -28,13 +48,23 @@ BlockManager::blocksFor(i64 tokens) const
 Result<i32>
 BlockManager::allocBlock()
 {
-    if (free_list_.empty()) {
-        return Result<i32>(ErrorCode::kOutOfMemory, "block pool empty");
+    if (!free_list_.empty()) {
+        const i32 block = free_list_.back();
+        free_list_.pop_back();
+        ref_counts_[static_cast<std::size_t>(block)] = 1;
+        return block;
     }
-    const i32 block = free_list_.back();
-    free_list_.pop_back();
-    ref_counts_[static_cast<std::size_t>(block)] = 1;
-    return block;
+    if (!evictable_.empty()) {
+        // Evict the least recently parked cached block: its prefix
+        // entry is gone, its storage is reused.
+        const i32 block = evictable_.front();
+        evictable_.pop_front();
+        is_evictable_[static_cast<std::size_t>(block)] = false;
+        dropHash(block);
+        ref_counts_[static_cast<std::size_t>(block)] = 1;
+        return block;
+    }
+    return Result<i32>(ErrorCode::kOutOfMemory, "block pool empty");
 }
 
 Status
@@ -63,8 +93,77 @@ BlockManager::freeBlock(i32 block)
         return errorStatus(ErrorCode::kFailedPrecondition, "double free");
     }
     if (--count == 0) {
-        free_list_.push_back(block);
+        const auto idx = static_cast<std::size_t>(block);
+        // Park only when this block is still the hash map's holder of
+        // its hash (a newer block may have superseded it).
+        if (prefix_cache_ && has_hash_[idx] &&
+            lookupHash(block_hash_[idx]) == block) {
+            // Park for prefix reuse instead of freeing.
+            evictable_.push_back(block);
+            evictable_pos_[idx] = std::prev(evictable_.end());
+            is_evictable_[idx] = true;
+        } else {
+            dropHash(block);
+            free_list_.push_back(block);
+        }
     }
+    return Status::ok();
+}
+
+void
+BlockManager::setBlockHash(i32 block, u64 hash)
+{
+    if (!prefix_cache_) {
+        return;
+    }
+    panic_if(block < 0 || block >= num_blocks_, "bad block id");
+    const auto idx = static_cast<std::size_t>(block);
+    panic_if(ref_counts_[idx] == 0, "setBlockHash on a free block");
+    dropHash(block);
+    // Supersede any previous holder of this hash: a parked copy can
+    // never be found again (the map points here now), so free it; a
+    // live holder just loses its tag and will free normally.
+    auto it = hash_to_block_.find(hash);
+    if (it != hash_to_block_.end() && it->second != block) {
+        const i32 old = it->second;
+        const auto old_idx = static_cast<std::size_t>(old);
+        has_hash_[old_idx] = false;
+        if (is_evictable_[old_idx]) {
+            evictable_.erase(evictable_pos_[old_idx]);
+            is_evictable_[old_idx] = false;
+            free_list_.push_back(old);
+        }
+    }
+    block_hash_[idx] = hash;
+    has_hash_[idx] = true;
+    hash_to_block_[hash] = block; // latest block wins
+}
+
+i32
+BlockManager::lookupHash(u64 hash) const
+{
+    auto it = hash_to_block_.find(hash);
+    return it == hash_to_block_.end() ? -1 : it->second;
+}
+
+Status
+BlockManager::refSharedBlock(i32 block)
+{
+    if (block < 0 || block >= num_blocks_) {
+        return errorStatus(ErrorCode::kInvalidArgument, "bad block id");
+    }
+    const auto idx = static_cast<std::size_t>(block);
+    if (ref_counts_[idx] > 0) {
+        ++ref_counts_[idx];
+        return Status::ok();
+    }
+    if (!is_evictable_[idx]) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "refSharedBlock on a free block");
+    }
+    evictable_.erase(evictable_pos_[idx]);
+    is_evictable_[idx] = false;
+    ref_counts_[idx] = 1;
     return Status::ok();
 }
 
@@ -78,13 +177,24 @@ BlockManager::refCount(i32 block) const
 bool
 BlockManager::checkInvariants() const
 {
-    i64 free_refs = 0;
+    i64 zero_holders = 0;
     for (i32 block : free_list_) {
         if (block < 0 || block >= num_blocks_ ||
-            ref_counts_[static_cast<std::size_t>(block)] != 0) {
+            ref_counts_[static_cast<std::size_t>(block)] != 0 ||
+            is_evictable_[static_cast<std::size_t>(block)]) {
             return false;
         }
-        ++free_refs;
+        ++zero_holders;
+    }
+    for (i32 block : evictable_) {
+        // Evictable blocks keep their hash entry and refcount 0.
+        const auto idx = static_cast<std::size_t>(block);
+        if (ref_counts_[idx] != 0 || !is_evictable_[idx] ||
+            !has_hash_[idx] ||
+            lookupHash(block_hash_[idx]) != block) {
+            return false;
+        }
+        ++zero_holders;
     }
     i64 zero_refs = 0;
     for (int count : ref_counts_) {
@@ -92,7 +202,7 @@ BlockManager::checkInvariants() const
             ++zero_refs;
         }
     }
-    return free_refs == zero_refs;
+    return zero_holders == zero_refs;
 }
 
 RequestBlocks::RequestBlocks(BlockManager *manager)
@@ -182,6 +292,12 @@ RequestBlocks::replaceBlock(std::size_t index, i32 new_block)
     }
     blocks_[index] = new_block;
     return Status::ok();
+}
+
+void
+RequestBlocks::adoptBlock(i32 block)
+{
+    blocks_.push_back(block);
 }
 
 void

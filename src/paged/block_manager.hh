@@ -10,6 +10,8 @@
 #ifndef VATTN_PAGED_BLOCK_MANAGER_HH
 #define VATTN_PAGED_BLOCK_MANAGER_HH
 
+#include <list>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hh"
@@ -18,43 +20,93 @@
 namespace vattn::paged
 {
 
-/** Free-list allocator of KV-cache blocks with refcounts. */
+/**
+ * Free-list allocator of KV-cache blocks with refcounts, plus an
+ * optional hash-block prefix cache (the vLLM prefix-caching scheme):
+ * full blocks are tagged with the chained content hash of the tokens
+ * they hold, and a block whose refcount drops to zero is parked on an
+ * LRU "evictable" list instead of the free list, so a later request
+ * with the same prompt prefix can revive it with refSharedBlock().
+ * Eviction pops the least recently parked block when the free list
+ * runs dry. With caching disabled (the default) behaviour is
+ * bit-for-bit the historical free-list allocator.
+ */
 class BlockManager
 {
   public:
     /**
      * @param num_blocks pool capacity in blocks
      * @param block_size tokens per block
+     * @param enable_prefix_cache park refcount-0 hashed blocks on the
+     *        LRU evictable list instead of freeing them
      */
-    BlockManager(i64 num_blocks, i64 block_size);
+    BlockManager(i64 num_blocks, i64 block_size,
+                 bool enable_prefix_cache = false);
 
     i64 numBlocks() const { return num_blocks_; }
     i64 blockSize() const { return block_size_; }
+    bool prefixCacheEnabled() const { return prefix_cache_; }
     i64 numFree() const { return static_cast<i64>(free_list_.size()); }
     i64 numAllocated() const { return num_blocks_ - numFree(); }
+    /** Refcount-0 blocks parked for prefix reuse (allocatable). */
+    i64 numEvictable() const
+    {
+        return static_cast<i64>(evictable_.size());
+    }
+    /** Free + evictable: blocks obtainable without touching live ones. */
+    i64 numAllocatable() const { return numFree() + numEvictable(); }
+    /** Blocks referenced by live requests. */
+    i64 numLive() const { return numAllocated() - numEvictable(); }
 
     /** Blocks needed to store @p tokens tokens. */
     i64 blocksFor(i64 tokens) const;
 
-    /** Allocate one block (refcount = 1). */
+    /** Allocate one block (refcount = 1); evicts the LRU cached block
+     *  (dropping its hash) when the free list is empty. */
     Result<i32> allocBlock();
 
     /** Increase the refcount (prefix sharing / copy-on-write support). */
     Status addRef(i32 block);
 
-    /** Drop a reference; the block is freed when the count hits zero. */
+    /** Drop a reference; at zero the block goes to the free list, or
+     *  to the evictable LRU when it carries a prefix hash. */
     Status freeBlock(i32 block);
 
     int refCount(i32 block) const;
+
+    // ---- Prefix cache (no-ops unless enabled) -----------------------
+
+    /** Tag @p block with the chained content hash of the tokens it
+     *  holds; the hash map always points at the latest such block. */
+    void setBlockHash(i32 block, u64 hash);
+
+    /** Block currently holding @p hash (live or evictable), or -1. */
+    i32 lookupHash(u64 hash) const;
+
+    /** Take a reference on a block found via lookupHash: bumps a live
+     *  block's refcount, or revives an evictable one (refcount 1). */
+    Status refSharedBlock(i32 block);
 
     /** Conservation check for tests. */
     bool checkInvariants() const;
 
   private:
+    void dropHash(i32 block);
+
     i64 num_blocks_;
     i64 block_size_;
+    bool prefix_cache_;
     std::vector<i32> free_list_;
     std::vector<int> ref_counts_;
+    /** Content hash per block (valid iff has_hash_[block]). */
+    std::vector<u64> block_hash_;
+    std::vector<bool> has_hash_;
+    std::unordered_map<u64, i32> hash_to_block_;
+    /** Refcount-0 cached blocks, least recently parked first. */
+    std::list<i32> evictable_;
+    /** Iterator into evictable_ per block (valid when parked). */
+    std::vector<std::list<i32>::iterator> evictable_pos_;
+    std::vector<bool> is_evictable_;
 };
 
 /**
@@ -91,6 +143,10 @@ class RequestBlocks
      * old block. Used by the copy-on-write path.
      */
     Status replaceBlock(std::size_t index, i32 new_block);
+
+    /** Append a block whose reference the caller already took
+     *  (hash-based prefix sharing via refSharedBlock). */
+    void adoptBlock(i32 block);
 
     /** Release all blocks back to the manager. */
     void releaseAll();

@@ -187,6 +187,11 @@ ServingCluster::run(std::vector<Request> trace)
         merged.prefill_iterations += replica.prefill_iterations;
         merged.mixed_iterations += replica.mixed_iterations;
         merged.preemptions += replica.preemptions;
+        merged.prefix_lookups += replica.prefix_lookups;
+        merged.prefix_hits += replica.prefix_hits;
+        merged.prefill_tokens_saved += replica.prefill_tokens_saved;
+        merged.prefix_aliased_bytes += replica.prefix_aliased_bytes;
+        merged.prefix_copied_bytes += replica.prefix_copied_bytes;
         merged.peak_batch =
             std::max(merged.peak_batch, replica.peak_batch);
         merged.makespan_ns =

@@ -52,17 +52,40 @@ Engine::Engine(EngineConfig config)
     const u64 budget = config_.kvBudgetPerWorker();
     if (perf::isPaged(config_.backend)) {
         backend_ = std::make_unique<PagedBackend>(
-            config_.model, config_.tp, block_size_, budget);
+            config_.model, config_.tp, block_size_, budget,
+            config_.enable_prefix_caching);
     } else {
         auto options = config_.vattn;
         options.max_batch_size =
             std::max(options.max_batch_size,
                      config_.scheduler.max_num_seqs);
+        options.enable_prefix_caching |= config_.enable_prefix_caching;
         auto backend = std::make_unique<VAttentionBackend>(
             config_.model, config_.tp, budget, options);
         vattn_backend_ = backend.get();
         backend_ = std::move(backend);
     }
+}
+
+i64
+Engine::uncachedPromptTokens(Request &request) const
+{
+    request.prefix_hint = 0;
+    if (backend_->prefixCachingEnabled() && request.hasTokenIds()) {
+        // At least one prompt token is always computed: a full-prompt
+        // hit still needs a 1-token prefill to produce the first
+        // output token.
+        request.prefix_hint =
+            std::min(backend_->matchPrefix(request.prefixKey()),
+                     request.prompt_tokens - 1);
+    }
+    return request.prompt_tokens - request.prefix_hint;
+}
+
+bool
+Engine::canAdmitRequest(Request &request) const
+{
+    return backend_->canAdmit(uncachedPromptTokens(request));
 }
 
 void
@@ -189,14 +212,33 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
     }
 
     // ---- Admission: first chunks lease a backend slot --------------
+    // Prefix-aware: a cached prefix match starts the request's prefill
+    // at the matched offset (the backend aliased or shared the KV).
+    TimeNs prefix_alloc_ns = 0;
     for (const PrefillChunk &chunk : plan.prefills) {
         if (!chunk.first_chunk) {
             continue;
         }
         Request *request = chunk.request;
-        auto slot = backend_->allocSlot();
-        panic_if(!slot.isOk(), "allocSlot failed after canAdmit");
-        request->slot = slot.value();
+        auto lease = backend_->allocSlot(request->prefixKey(),
+                                         request->prefix_hint);
+        panic_if(!lease.isOk(), "allocSlot failed after canAdmit");
+        request->slot = lease.value().slot;
+        if (backend_->prefixCachingEnabled() &&
+            request->hasTokenIds()) {
+            ++report.prefix_lookups;
+            if (lease.value().cached_tokens > 0) {
+                ++report.prefix_hits;
+                report.prefill_tokens_saved +=
+                    lease.value().cached_tokens;
+                request->prefilled_tokens = lease.value().cached_tokens;
+            }
+            // The hint served its purpose; from here on actual prefill
+            // progress is the truth (the hit may have under-delivered
+            // if the matched entry was sacrificed meanwhile).
+            request->prefix_hint = lease.value().cached_tokens;
+        }
+        prefix_alloc_ns += lease.value().alloc_ns;
         request->state = Request::State::kRunning;
         if (request->first_scheduled_ns == 0) {
             request->first_scheduled_ns = clock_.now();
@@ -204,7 +246,8 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
         running_.push_back(request);
     }
 
-    const TimeNs mem_ns = ensureWithPreemption(plan, report);
+    const TimeNs mem_ns =
+        prefix_alloc_ns + ensureWithPreemption(plan, report);
 
     // ---- Survivors (ensure may have preempted plan members) --------
     std::vector<const PrefillChunk *> prefills;
@@ -308,7 +351,18 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
     // prompt emits the request's first output token.
     for (const PrefillChunk *chunk : prefills) {
         Request *request = chunk->request;
-        request->prefilled_tokens += chunk->tokens;
+        // min(): a prefix-cache hit at allocation may already have
+        // advanced prefilled_tokens past what the plan assumed.
+        request->prefilled_tokens +=
+            std::min(chunk->tokens,
+                     request->prompt_tokens - request->prefilled_tokens);
+        if (backend_->prefixCachingEnabled() &&
+            request->hasTokenIds()) {
+            backend_->registerPrefix(
+                request->slot, request->prefixKey(),
+                std::min(request->prefilled_tokens,
+                         request->prompt_tokens));
+        }
         if (!request->prefillComplete()) {
             continue;
         }
@@ -353,8 +407,10 @@ Engine::run(std::vector<Request> trace)
                          return a->arrival_ns < b->arrival_ns;
                      });
 
-    const auto can_admit = [this](const Request &request) {
-        return backend_->canAdmit(request.prompt_tokens);
+    // Single admission gate: the composer's budgets, the starvation
+    // check below and the backend all see prefix-discounted demand.
+    const auto can_admit = [this](Request &request) {
+        return canAdmitRequest(request);
     };
 
     std::size_t next_arrival = 0;
@@ -385,6 +441,9 @@ Engine::run(std::vector<Request> trace)
     }
 
     report.makespan_ns = clock_.now();
+    const auto prefix_stats = backend_->prefixStats();
+    report.prefix_aliased_bytes = prefix_stats.aliased_bytes;
+    report.prefix_copied_bytes = prefix_stats.copied_bytes;
     return report;
 }
 

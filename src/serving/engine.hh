@@ -55,6 +55,10 @@ struct EngineConfig
     VAttentionBackend::Options vattn = {};
     Scheduler::Config scheduler = {};
     bool record_iterations = false;
+    /** §8.1 shared-prefix KV reuse, on whichever backend is chosen
+     *  (hash-block caching for paged, page-group aliasing for
+     *  vAttention). Only effective for traces carrying token ids. */
+    bool enable_prefix_caching = false;
 
     /** Per-worker KV pool size implied by the settings above. */
     u64 kvBudgetPerWorker() const;
@@ -122,6 +126,16 @@ class Engine
   private:
     void admitArrivals(const std::vector<Request *> &by_arrival,
                        std::size_t &next_arrival);
+    /**
+     * Prompt tokens the backend would actually have to back fresh,
+     * refreshing the request's prefix-cache hint. The single source of
+     * truth for admission: canAdmitRequest, the composer's budgets and
+     * the starvation check all go through it, so they agree on
+     * prefix-discounted demand.
+     */
+    i64 uncachedPromptTokens(Request &request) const;
+    /** Memory admission gate (prefix-aware). */
+    bool canAdmitRequest(Request &request) const;
     /** Per-request KV target lengths for this iteration: contextLen()
      *  for everything running, except prefill-chunk members whose
      *  target includes the chunk being computed. */

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/prefix_hash.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 
@@ -26,17 +27,87 @@ namespace vattn::serving
 /** (slot, context length) pairs for the active batch. */
 using ActiveLens = std::vector<std::pair<int, i64>>;
 
+/** Result of a prefix-aware slot allocation. */
+struct SlotLease
+{
+    int slot = -1;
+    /** Prompt tokens whose KV the request inherits from the prefix
+     *  cache (prefill starts at this offset). */
+    i64 cached_tokens = 0;
+    /** Critical-path latency of establishing the reuse (aliasing
+     *  driver calls; 0 for CPU-side block sharing). */
+    TimeNs alloc_ns = 0;
+};
+
+/** Cumulative prefix-cache counters of one backend. */
+struct BackendPrefixStats
+{
+    /** Bytes mapped into more than one request's virtual range
+     *  (vAttention aliasing) or shared via block refcounts (paged). */
+    u64 aliased_bytes = 0;
+    /** Bytes of partial trailing groups copied on hits. */
+    u64 copied_bytes = 0;
+};
+
 /** KV memory manager abstraction used by the engine. */
 class MemoryBackend
 {
   public:
     virtual ~MemoryBackend() = default;
 
-    /** Could a request with this prompt be admitted right now? */
-    virtual bool canAdmit(i64 prompt_tokens) const = 0;
+    /** Could a request needing @p uncached_tokens fresh prompt tokens
+     *  of KV be admitted right now? (The engine discounts prefix-cache
+     *  matches before asking.) */
+    virtual bool canAdmit(i64 uncached_tokens) const = 0;
 
     /** Lease a slot for a new request. */
     virtual Result<int> allocSlot() = 0;
+
+    // ---- Prefix caching (optional capability, §8.1) -----------------
+
+    /** Does this backend run with prefix caching enabled? */
+    virtual bool prefixCachingEnabled() const { return false; }
+
+    /** Longest cached prefix (in tokens) matching @p key. */
+    virtual i64
+    matchPrefix(const PrefixKey &key) const
+    {
+        (void)key;
+        return 0;
+    }
+
+    /**
+     * Prefix-aware allocSlot: reuse up to @p max_cached tokens of a
+     * cached matching prefix. Backends without the capability fall
+     * back to a plain allocSlot with nothing cached.
+     */
+    virtual Result<SlotLease>
+    allocSlot(const PrefixKey &key, i64 max_cached)
+    {
+        (void)key;
+        (void)max_cached;
+        auto slot = allocSlot();
+        if (!slot.isOk()) {
+            return Result<SlotLease>(slot.status());
+        }
+        return SlotLease{slot.value(), 0, 0};
+    }
+
+    /**
+     * Record that @p slot now holds the KV of the first @p tokens
+     * tokens of @p key (called as prefill chunks complete, so
+     * concurrent requests can share as early as possible).
+     */
+    virtual void
+    registerPrefix(int slot, const PrefixKey &key, i64 tokens)
+    {
+        (void)slot;
+        (void)key;
+        (void)tokens;
+    }
+
+    /** Cumulative sharing counters (reports/benches). */
+    virtual BackendPrefixStats prefixStats() const { return {}; }
 
     /** Release a slot (completion or preemption). */
     virtual void freeSlot(int slot) = 0;

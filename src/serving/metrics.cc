@@ -39,6 +39,26 @@ RunReport::prefillTokensPerSecond() const
     return perSecond(prompt_tokens, makespan_ns);
 }
 
+double
+RunReport::prefixHitRate() const
+{
+    if (prefix_lookups == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(prefix_hits) /
+           static_cast<double>(prefix_lookups);
+}
+
+double
+RunReport::prefillSavedFraction() const
+{
+    if (prompt_tokens == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(prefill_tokens_saved) /
+           static_cast<double>(prompt_tokens);
+}
+
 void
 RunReport::addRequest(const Request &request)
 {

@@ -55,6 +55,19 @@ struct RunReport
     u64 preemptions = 0;
     i64 peak_batch = 0;
 
+    // ---- §8.1 prefix caching (all zero when disabled) --------------
+    /** Slot allocations that consulted the prefix cache. */
+    i64 prefix_lookups = 0;
+    /** Allocations that inherited at least one cached token. */
+    i64 prefix_hits = 0;
+    /** Prompt tokens served from the cache instead of prefilled. */
+    i64 prefill_tokens_saved = 0;
+    /** Cumulative bytes shared across requests (aliased page-groups /
+     *  refcounted blocks). */
+    u64 prefix_aliased_bytes = 0;
+    /** Cumulative bytes of partial trailing groups copied on hits. */
+    u64 prefix_copied_bytes = 0;
+
     /** End-to-end request latency in seconds (arrival -> finish). */
     Percentiles latency_s;
     /** Time to first token in seconds. */
@@ -73,6 +86,10 @@ struct RunReport
     double requestsPerMinute() const;
     double decodeTokensPerSecond() const;
     double prefillTokensPerSecond() const;
+    /** Prefix-cache hit rate over lookups (0 when caching is off). */
+    double prefixHitRate() const;
+    /** Fraction of prompt tokens served from the prefix cache. */
+    double prefillSavedFraction() const;
 
     /** Accumulate a finished request's timestamps. */
     void addRequest(const Request &request);

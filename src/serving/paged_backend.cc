@@ -1,36 +1,120 @@
 #include "serving/paged_backend.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vattn::serving
 {
 
 PagedBackend::PagedBackend(const perf::ModelSpec &model, int tp,
-                           i64 block_size, u64 budget_bytes)
+                           i64 block_size, u64 budget_bytes,
+                           bool enable_prefix_caching)
     : bytes_per_block_(model.kvBytesPerTokenPerWorker(tp) *
                        static_cast<u64>(block_size)),
       budget_bytes_(budget_bytes),
       manager_(static_cast<i64>(budget_bytes / bytes_per_block_),
-               block_size)
+               block_size, enable_prefix_caching)
 {
 }
 
 bool
-PagedBackend::canAdmit(i64 prompt_tokens) const
+PagedBackend::canAdmit(i64 uncached_tokens) const
 {
     // Reserve one block of headroom per running request so the next
     // decode iteration cannot immediately OOM (vLLM's watermark).
-    const i64 need = manager_.blocksFor(prompt_tokens) +
+    // Evictable cached blocks count as capacity: allocation reclaims
+    // them transparently.
+    const i64 need = manager_.blocksFor(uncached_tokens) +
                      static_cast<i64>(slots_.size());
-    return manager_.numFree() >= need;
+    return manager_.numAllocatable() >= need;
 }
 
 Result<int>
 PagedBackend::allocSlot()
 {
     const int slot = next_slot_++;
-    slots_.emplace(slot, paged::RequestBlocks(&manager_));
+    slots_.emplace(slot, Slot{paged::RequestBlocks(&manager_), {}, 0});
     return slot;
+}
+
+i64
+PagedBackend::matchPrefix(const PrefixKey &key) const
+{
+    if (!manager_.prefixCacheEnabled() || key.empty()) {
+        return 0;
+    }
+    const auto hashes = key.chunkHashes(manager_.blockSize());
+    i64 matched = 0;
+    for (u64 hash : hashes) {
+        if (manager_.lookupHash(hash) < 0) {
+            break;
+        }
+        ++matched;
+    }
+    return matched * manager_.blockSize();
+}
+
+Result<SlotLease>
+PagedBackend::allocSlot(const PrefixKey &key, i64 max_cached)
+{
+    auto slot = allocSlot();
+    if (!slot.isOk()) {
+        return Result<SlotLease>(slot.status());
+    }
+    SlotLease lease{slot.value(), 0, 0};
+    if (!manager_.prefixCacheEnabled() || key.empty()) {
+        return lease;
+    }
+    Slot &state = slots_.at(lease.slot);
+    const i64 bs = manager_.blockSize();
+    auto hashes = key.chunkHashes(bs);
+    const auto shareable = static_cast<std::size_t>(
+        std::min<i64>(static_cast<i64>(hashes.size()), max_cached / bs));
+    for (std::size_t i = 0; i < shareable; ++i) {
+        const i32 block = manager_.lookupHash(hashes[i]);
+        if (block < 0) {
+            break;
+        }
+        manager_.refSharedBlock(block).expectOk("prefix block ref");
+        state.blocks.adoptBlock(block);
+        state.hashes.push_back(hashes[i]);
+        state.chain = hashes[i];
+        lease.cached_tokens += bs;
+        prefix_.aliased_bytes += bytes_per_block_;
+    }
+    // Sharing is refcount bookkeeping over the up-front committed
+    // pool: no driver latency (the CPU cost rides the overhead model).
+    return lease;
+}
+
+void
+PagedBackend::registerPrefix(int slot, const PrefixKey &key, i64 tokens)
+{
+    if (!manager_.prefixCacheEnabled() || key.empty()) {
+        return;
+    }
+    auto it = slots_.find(slot);
+    panic_if(it == slots_.end(), "registerPrefix on unknown slot ",
+             slot);
+    Slot &state = it->second;
+    const i64 bs = manager_.blockSize();
+    const i64 full =
+        std::min(tokens, key.size) / bs;
+    while (static_cast<i64>(state.hashes.size()) < full) {
+        const i64 index = static_cast<i64>(state.hashes.size());
+        panic_if(index >=
+                     static_cast<i64>(state.blocks.blocks().size()),
+                 "registerPrefix beyond the slot's blocks");
+        const u64 prev =
+            state.hashes.empty() ? kPrefixHashSeed : state.chain;
+        const u64 hash = key.rangeHash(prev, index * bs, bs);
+        manager_.setBlockHash(state.blocks.blocks()[
+                                  static_cast<std::size_t>(index)],
+                              hash);
+        state.hashes.push_back(hash);
+        state.chain = hash;
+    }
 }
 
 void
@@ -38,7 +122,10 @@ PagedBackend::freeSlot(int slot)
 {
     auto it = slots_.find(slot);
     panic_if(it == slots_.end(), "freeSlot on unknown slot ", slot);
-    slots_.erase(it); // RequestBlocks dtor releases the blocks
+    // RequestBlocks dtor drops the references; hashed refcount-0
+    // blocks park on the evictable LRU (the prefix cache), the rest
+    // return to the free list.
+    slots_.erase(it);
 }
 
 Result<TimeNs>
@@ -47,7 +134,7 @@ PagedBackend::ensure(const ActiveLens &active)
     for (const auto &[slot, len] : active) {
         auto it = slots_.find(slot);
         panic_if(it == slots_.end(), "ensure on unknown slot ", slot);
-        auto status = it->second.ensureTokens(len);
+        auto status = it->second.blocks.ensureTokens(len);
         if (!status.isOk()) {
             return Result<TimeNs>(status);
         }
@@ -66,7 +153,8 @@ PagedBackend::computeWindow(TimeNs window_ns)
 u64
 PagedBackend::bytesInUse() const
 {
-    return static_cast<u64>(manager_.numAllocated()) * bytes_per_block_;
+    // Evictable cached blocks are reclaimable capacity, not live use.
+    return static_cast<u64>(manager_.numLive()) * bytes_per_block_;
 }
 
 u64
@@ -80,7 +168,7 @@ PagedBackend::blocksHeld(int slot) const
 {
     auto it = slots_.find(slot);
     panic_if(it == slots_.end(), "blocksHeld on unknown slot ", slot);
-    return static_cast<i64>(it->second.blocks().size());
+    return static_cast<i64>(it->second.blocks.blocks().size());
 }
 
 } // namespace vattn::serving

@@ -5,12 +5,20 @@
  * pure CPU bookkeeping (its cost lives in perf::OverheadModel); the
  * fragmentation behaviour — at most block_size-1 wasted tokens per
  * request — is what Figure 15 compares against page-group rounding.
+ *
+ * With prefix caching enabled the backend runs vLLM's hash-block
+ * scheme on top of paged::BlockManager: full blocks are tagged with
+ * chained content hashes as prefill completes them, refcount-0 blocks
+ * park on an LRU evictable list instead of freeing, and a new request
+ * whose prompt prefix matches a stored chain adopts the blocks by
+ * reference (sharing is CPU-side bookkeeping — no data moves).
  */
 
 #ifndef VATTN_SERVING_PAGED_BACKEND_HH
 #define VATTN_SERVING_PAGED_BACKEND_HH
 
 #include <unordered_map>
+#include <vector>
 
 #include "paged/block_manager.hh"
 #include "perf/model_spec.hh"
@@ -28,12 +36,23 @@ class PagedBackend : public MemoryBackend
      * @param tp tensor-parallel degree (capacity is per worker)
      * @param block_size tokens per KV block
      * @param budget_bytes per-worker KV pool bytes
+     * @param enable_prefix_caching hash-block prefix cache (§8.1)
      */
     PagedBackend(const perf::ModelSpec &model, int tp, i64 block_size,
-                 u64 budget_bytes);
+                 u64 budget_bytes, bool enable_prefix_caching = false);
 
-    bool canAdmit(i64 prompt_tokens) const override;
+    bool canAdmit(i64 uncached_tokens) const override;
     Result<int> allocSlot() override;
+    bool prefixCachingEnabled() const override
+    {
+        return manager_.prefixCacheEnabled();
+    }
+    i64 matchPrefix(const PrefixKey &key) const override;
+    Result<SlotLease> allocSlot(const PrefixKey &key,
+                                i64 max_cached) override;
+    void registerPrefix(int slot, const PrefixKey &key,
+                        i64 tokens) override;
+    BackendPrefixStats prefixStats() const override { return prefix_; }
     void freeSlot(int slot) override;
     Result<TimeNs> ensure(const ActiveLens &active) override;
     void computeWindow(TimeNs window_ns) override;
@@ -47,11 +66,21 @@ class PagedBackend : public MemoryBackend
     i64 blocksHeld(int slot) const;
 
   private:
+    struct Slot
+    {
+        paged::RequestBlocks blocks;
+        /** Chained hash per full prompt block already registered. */
+        std::vector<u64> hashes;
+        /** Running chain value after hashes.back(). */
+        u64 chain = 0;
+    };
+
     u64 bytes_per_block_;
     u64 budget_bytes_;
     paged::BlockManager manager_;
-    std::unordered_map<int, paged::RequestBlocks> slots_;
+    std::unordered_map<int, Slot> slots_;
     int next_slot_ = 0;
+    BackendPrefixStats prefix_;
 };
 
 } // namespace vattn::serving

@@ -7,6 +7,10 @@
 #ifndef VATTN_SERVING_REQUEST_HH
 #define VATTN_SERVING_REQUEST_HH
 
+#include <algorithm>
+#include <vector>
+
+#include "common/prefix_hash.hh"
 #include "common/types.hh"
 
 namespace vattn::serving
@@ -27,15 +31,27 @@ struct Request
     i64 prompt_tokens = 0;
     i64 max_new_tokens = 1;
     TimeNs arrival_ns = 0;
+    /**
+     * Prompt token ids (prefix caching needs real content; synthetic
+     * length-only traces leave this empty and never hit the cache).
+     * When non-empty, size() == prompt_tokens.
+     */
+    std::vector<i32> token_ids;
 
     // Mutable runtime state.
     State state = State::kPending;
     /** Prompt tokens whose KV has been computed (chunked prefill may
-     *  spread the prompt over several iterations). */
+     *  spread the prompt over several iterations). Prefix-cache hits
+     *  start this at the matched token count. */
     i64 prefilled_tokens = 0;
     i64 generated = 0;
     int slot = -1;
     u64 preemptions = 0;
+    /** Latest prefix-cache match estimate for a waiting request
+     *  (refreshed by the engine's admission check; 0 = no match or
+     *  caching disabled). The batch composer discounts it when sizing
+     *  prefill chunks; the real reuse is decided at slot allocation. */
+    i64 prefix_hint = 0;
 
     // Timestamps for metrics.
     TimeNs first_scheduled_ns = 0;
@@ -56,6 +72,34 @@ struct Request
         return prefilled_tokens >= prompt_tokens;
     }
 
+    bool hasTokenIds() const { return !token_ids.empty(); }
+
+    /** Non-owning hash key over the prompt token ids. The attached
+     *  memo makes repeated admission checks O(1) after the first
+     *  full hashing pass (token ids never change). */
+    PrefixKey
+    prefixKey() const
+    {
+        return PrefixKey{token_ids.data(),
+                         static_cast<i64>(token_ids.size()),
+                         &prefix_hash_cache};
+    }
+
+    /** chunkHashes memo (content derived from token_ids). */
+    mutable PrefixHashCache prefix_hash_cache;
+
+    /**
+     * Prompt tokens still to compute: actual prefill progress for
+     * running requests, the prefix-cache hint for waiting ones. This
+     * is what admission and chunk sizing budget against.
+     */
+    i64
+    remainingPromptTokens() const
+    {
+        const i64 done = std::max(prefilled_tokens, prefix_hint);
+        return std::max<i64>(0, prompt_tokens - done);
+    }
+
     bool
     done() const
     {
@@ -71,6 +115,7 @@ struct Request
         generated = 0;
         slot = -1;
         last_token_ns = 0;
+        prefix_hint = 0;
     }
 };
 

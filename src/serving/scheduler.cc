@@ -92,9 +92,7 @@ Scheduler::clearWaiting()
 }
 
 std::vector<Request *>
-Scheduler::pickPrefillBatch(
-    int num_running,
-    const std::function<bool(const Request &)> &can_admit)
+Scheduler::pickPrefillBatch(int num_running, const CanAdmit &can_admit)
 {
     std::vector<Request *> picked;
     i64 batched_tokens = 0;
@@ -107,18 +105,20 @@ Scheduler::pickPrefillBatch(
         }
         // FCFS: if the head cannot be admitted, nothing behind it may
         // jump the queue (no head-of-line bypass in vLLM v0.2.7).
+        // can_admit also refreshes the request's prefix-cache hint,
+        // which the token budget below discounts.
         if (!can_admit(*request)) {
             break;
         }
         // Token budget: the first prompt always fits (alone if huge);
         // further prompts must not push the batch over the budget.
         if (!picked.empty() &&
-            batched_tokens + request->prompt_tokens >
+            batched_tokens + request->remainingPromptTokens() >
                 config_.max_batched_tokens) {
             break;
         }
         waiting_.pop_front();
-        batched_tokens += request->prompt_tokens;
+        batched_tokens += request->remainingPromptTokens();
         picked.push_back(request);
     }
     return picked;
@@ -132,7 +132,7 @@ BatchComposer::BatchComposer(Scheduler::Config config)
 IterationPlan
 BatchComposer::compose(
     Scheduler &scheduler, const std::vector<Request *> &running,
-    const std::function<bool(const Request &)> &can_admit) const
+    const Scheduler::CanAdmit &can_admit) const
 {
     if (config_.mode == SchedulingMode::kStallFreeChunked) {
         return composeStallFreeChunked(scheduler, running, can_admit);
@@ -143,7 +143,7 @@ BatchComposer::compose(
 IterationPlan
 BatchComposer::composePrefillPrioritized(
     Scheduler &scheduler, const std::vector<Request *> &running,
-    const std::function<bool(const Request &)> &can_admit) const
+    const Scheduler::CanAdmit &can_admit) const
 {
     IterationPlan plan;
     auto prompts = scheduler.pickPrefillBatch(
@@ -151,9 +151,25 @@ BatchComposer::composePrefillPrioritized(
     if (!prompts.empty()) {
         plan.prefills.reserve(prompts.size());
         for (Request *request : prompts) {
-            plan.prefills.push_back(
-                PrefillChunk{request, request->prompt_tokens, true});
+            // Prefix-cache hits prefill only the uncached suffix.
+            plan.prefills.push_back(PrefillChunk{
+                request, request->remainingPromptTokens(), true});
         }
+        return plan;
+    }
+    // A running request can be mid-prefill only when a prefix-cache
+    // hit delivered fewer tokens than its admission hint promised (the
+    // matched entry was sacrificed in between): finish its prompt in a
+    // dedicated prefill iteration rather than miscounting it as a
+    // decode. Without prefix caching every running request is past
+    // prefill and this composes the historical decode iteration.
+    for (Request *request : running) {
+        if (!request->prefillComplete()) {
+            plan.prefills.push_back(PrefillChunk{
+                request, request->remainingPromptTokens(), false});
+        }
+    }
+    if (!plan.prefills.empty()) {
         return plan;
     }
     plan.decodes = running;
@@ -163,7 +179,7 @@ BatchComposer::composePrefillPrioritized(
 IterationPlan
 BatchComposer::composeStallFreeChunked(
     Scheduler &scheduler, const std::vector<Request *> &running,
-    const std::function<bool(const Request &)> &can_admit) const
+    const Scheduler::CanAdmit &can_admit) const
 {
     IterationPlan plan;
     i64 budget = config_.iterationTokenBudget();
@@ -193,6 +209,8 @@ BatchComposer::composeStallFreeChunked(
     // Waiting prompts fill the leftover budget in FCFS chunk order.
     // The queue head gates admission (no head-of-line bypass), and a
     // new prompt is only admitted when it gets at least one token.
+    // A prefix-cache hit (hint refreshed by can_admit) shrinks the
+    // prompt's chunk demand to its uncached suffix.
     int num_running = static_cast<int>(running.size());
     while (budget > 0 && num_running < config_.max_num_seqs) {
         Request *head = scheduler.frontWaiting();
@@ -200,7 +218,8 @@ BatchComposer::composeStallFreeChunked(
             break;
         }
         scheduler.popFrontWaiting();
-        const i64 chunk = std::min(budget, head->prompt_tokens);
+        const i64 chunk =
+            std::min(budget, head->remainingPromptTokens());
         plan.prefills.push_back(PrefillChunk{head, chunk, true});
         budget -= chunk;
         ++num_running;

@@ -115,13 +115,19 @@ class Scheduler
     void clearWaiting();
 
     /**
+     * Memory-admission gate. Non-const: the engine's implementation
+     * refreshes the request's prefix-cache hint as a side effect, so
+     * the budgets below see prefix-discounted demand.
+     */
+    using CanAdmit = std::function<bool(Request &)>;
+
+    /**
      * Pick the prompts for the next prefill iteration: FCFS order,
      * gated by @p can_admit (memory) and the token/seq budgets.
      * Picked requests are removed from the queue.
      */
     std::vector<Request *>
-    pickPrefillBatch(int num_running,
-                     const std::function<bool(const Request &)> &can_admit);
+    pickPrefillBatch(int num_running, const CanAdmit &can_admit);
 
     const Config &config() const { return config_; }
 
@@ -150,7 +156,7 @@ class BatchComposer
      */
     IterationPlan
     compose(Scheduler &scheduler, const std::vector<Request *> &running,
-            const std::function<bool(const Request &)> &can_admit) const;
+            const Scheduler::CanAdmit &can_admit) const;
 
     const Scheduler::Config &config() const { return config_; }
 
@@ -158,11 +164,11 @@ class BatchComposer
     IterationPlan
     composePrefillPrioritized(
         Scheduler &scheduler, const std::vector<Request *> &running,
-        const std::function<bool(const Request &)> &can_admit) const;
+        const Scheduler::CanAdmit &can_admit) const;
     IterationPlan
     composeStallFreeChunked(
         Scheduler &scheduler, const std::vector<Request *> &running,
-        const std::function<bool(const Request &)> &can_admit) const;
+        const Scheduler::CanAdmit &can_admit) const;
 
     Scheduler::Config config_;
 };

@@ -37,24 +37,89 @@ VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
     config.deferred_reclamation = options.deferred_reclamation;
     config.eager_allocation = options.eager_allocation;
     config.overlap_allocation = options.overlap_allocation;
+    config.prefix_caching = options.enable_prefix_caching;
     config.phys_budget_bytes = budget_bytes;
     config.validate().expectOk("vAttention backend config");
 
     runtime_ = std::make_unique<core::VAttention>(*driver_, config);
     seq_lens_.assign(static_cast<std::size_t>(options.max_batch_size),
                      0);
+    prefix_caching_ = options.enable_prefix_caching;
 }
 
 bool
-VAttentionBackend::canAdmit(i64 prompt_tokens) const
+VAttentionBackend::canAdmit(i64 uncached_tokens) const
 {
-    return runtime_->canAllocate(prompt_tokens);
+    return runtime_->canAllocate(uncached_tokens);
 }
 
 Result<int>
 VAttentionBackend::allocSlot()
 {
     return runtime_->allocReqId();
+}
+
+core::PrefixQuery
+VAttentionBackend::buildQuery(const PrefixKey &key) const
+{
+    core::PrefixQuery query;
+    query.total_tokens = key.size;
+    const i64 tpg = runtime_->geometry().tokensPerGroup();
+    query.group_hashes = key.chunkHashes(tpg);
+    query.tail_hash = [key, tpg](u64 prev, i64 groups, i64 n) {
+        return key.rangeHash(prev, groups * tpg, n);
+    };
+    return query;
+}
+
+i64
+VAttentionBackend::matchPrefix(const PrefixKey &key) const
+{
+    if (!prefix_caching_ || key.empty()) {
+        return 0;
+    }
+    return runtime_->matchPrefix(buildQuery(key)).tokens;
+}
+
+Result<SlotLease>
+VAttentionBackend::allocSlot(const PrefixKey &key, i64 max_cached)
+{
+    if (!prefix_caching_ || key.empty()) {
+        auto slot = runtime_->allocReqId();
+        if (!slot.isOk()) {
+            return Result<SlotLease>(slot.status());
+        }
+        return SlotLease{slot.value(), 0, 0};
+    }
+    i64 cached = 0;
+    auto slot = runtime_->allocReqIdWithPrefix(buildQuery(key),
+                                               max_cached, &cached);
+    if (!slot.isOk()) {
+        return Result<SlotLease>(slot.status());
+    }
+    return SlotLease{slot.value(), cached,
+                     runtime_->lastPrefixAllocNs()};
+}
+
+void
+VAttentionBackend::registerPrefix(int slot, const PrefixKey &key,
+                                  i64 tokens)
+{
+    if (!prefix_caching_ || key.empty()) {
+        return;
+    }
+    runtime_->registerPrefix(slot, buildQuery(key), tokens);
+}
+
+BackendPrefixStats
+VAttentionBackend::prefixStats() const
+{
+    const auto &stats = runtime_->stats();
+    const u64 group_bytes = runtime_->geometry().groupBytes();
+    return BackendPrefixStats{
+        static_cast<u64>(stats.prefix_aliased_handles) * group_bytes,
+        static_cast<u64>(stats.prefix_copied_handles) * group_bytes,
+    };
 }
 
 void

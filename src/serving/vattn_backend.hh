@@ -33,6 +33,12 @@ class VAttentionBackend : public MemoryBackend
         bool eager_allocation = true;
         bool overlap_allocation = true;
         int max_batch_size = 256;
+        /** §8.1 prefix caching: cached slots become a content-hashed
+         *  prefix store; hits alias physical page-groups into the new
+         *  request's virtual tensors. Requires deferred reclamation
+         *  for cross-lifetime reuse (live-to-live sharing works
+         *  regardless). */
+        bool enable_prefix_caching = false;
     };
 
     /**
@@ -46,8 +52,18 @@ class VAttentionBackend : public MemoryBackend
     VAttentionBackend(const perf::ModelSpec &model, int tp,
                       u64 budget_bytes, Options options);
 
-    bool canAdmit(i64 prompt_tokens) const override;
+    bool canAdmit(i64 uncached_tokens) const override;
     Result<int> allocSlot() override;
+    bool prefixCachingEnabled() const override
+    {
+        return prefix_caching_;
+    }
+    i64 matchPrefix(const PrefixKey &key) const override;
+    Result<SlotLease> allocSlot(const PrefixKey &key,
+                                i64 max_cached) override;
+    void registerPrefix(int slot, const PrefixKey &key,
+                        i64 tokens) override;
+    BackendPrefixStats prefixStats() const override;
     void freeSlot(int slot) override;
     Result<TimeNs> ensure(const ActiveLens &active) override;
     void computeWindow(TimeNs window_ns) override;
@@ -63,11 +79,15 @@ class VAttentionBackend : public MemoryBackend
     const core::StepStats &lastStep() const { return last_step_; }
 
   private:
+    /** Group-granularity hash query over a request's token ids. */
+    core::PrefixQuery buildQuery(const PrefixKey &key) const;
+
     std::unique_ptr<gpu::GpuDevice> device_;
     std::unique_ptr<cuvmm::Driver> driver_;
     std::unique_ptr<core::VAttention> runtime_;
     std::vector<i64> seq_lens_;
     core::StepStats last_step_;
+    bool prefix_caching_ = false;
 };
 
 } // namespace vattn::serving

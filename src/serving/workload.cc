@@ -136,6 +136,52 @@ shareGptTrace(int n, u64 seed)
     return trace;
 }
 
+std::vector<Request>
+sharedSystemPromptTrace(int n, int tenants, i64 system_tokens,
+                        i64 user_mean, u64 seed)
+{
+    fatal_if(tenants <= 0, "need at least one tenant");
+    fatal_if(system_tokens <= 0, "system prompt must be non-empty");
+    constexpr i32 kVocab = 32000;
+    Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 0x51c7ULL);
+
+    // Fixed per-tenant system prompts (identical across requests).
+    std::vector<std::vector<i32>> system_prompts(
+        static_cast<std::size_t>(tenants));
+    for (auto &prompt : system_prompts) {
+        prompt.reserve(static_cast<std::size_t>(system_tokens));
+        for (i64 t = 0; t < system_tokens; ++t) {
+            prompt.push_back(
+                static_cast<i32>(rng.uniformInt(0, kVocab - 1)));
+        }
+    }
+
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        Request r;
+        r.id = static_cast<u64>(i);
+        const auto tenant = static_cast<std::size_t>(
+            rng.uniformInt(0, tenants - 1));
+        const i64 user_tokens = clampTokens(
+            rng.logNormal(std::log(static_cast<double>(user_mean)),
+                          0.4),
+            16, 4 * user_mean);
+        r.token_ids = system_prompts[tenant];
+        r.token_ids.reserve(r.token_ids.size() +
+                            static_cast<std::size_t>(user_tokens));
+        for (i64 t = 0; t < user_tokens; ++t) {
+            r.token_ids.push_back(
+                static_cast<i32>(rng.uniformInt(0, kVocab - 1)));
+        }
+        r.prompt_tokens = static_cast<i64>(r.token_ids.size());
+        r.max_new_tokens = clampTokens(
+            rng.logNormal(std::log(160.0), 0.5), 16, 1024);
+        trace.push_back(std::move(r));
+    }
+    return trace;
+}
+
 void
 assignPoissonArrivals(std::vector<Request> &trace, double qps, u64 seed)
 {

@@ -59,6 +59,22 @@ std::vector<Request> openChatTrace(int n = 2000, u64 seed = 3);
  */
 std::vector<Request> shareGptTrace(int n = 1000, u64 seed = 4);
 
+/**
+ * Multi-tenant shared-system-prompt trace (the §8.1 KV de-duplication
+ * scenario): @p tenants tenants each own a fixed @p system_tokens-token
+ * system prompt (few-shot template / tool instructions); every request
+ * is one tenant's system prompt followed by a unique user suffix of
+ * ~@p user_mean tokens, with chat-sized decodes. Unlike the other
+ * generators this one emits REAL token ids (Request::token_ids), which
+ * is what prefix caching keys on — requests of the same tenant share a
+ * long common token prefix, requests of different tenants share none.
+ */
+std::vector<Request> sharedSystemPromptTrace(int n = 256,
+                                             int tenants = 8,
+                                             i64 system_tokens = 8192,
+                                             i64 user_mean = 512,
+                                             u64 seed = 9);
+
 /** Assign Poisson arrival times at @p qps queries/second. */
 void assignPoissonArrivals(std::vector<Request> &trace, double qps,
                            u64 seed = 7);

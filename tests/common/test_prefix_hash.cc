@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/prefix_hash.hh"
+#include "test_util.hh"
+
+namespace vattn
+{
+namespace
+{
+
+std::vector<i32>
+tokens(i64 n, i32 start = 0)
+{
+    std::vector<i32> ids(static_cast<std::size_t>(n));
+    std::iota(ids.begin(), ids.end(), start);
+    return ids;
+}
+
+TEST(PrefixHash, ChunkHashesAreDeterministicAndChunkCounted)
+{
+    const auto ids = tokens(100);
+    const PrefixKey key{ids.data(), 100};
+    const auto a = key.chunkHashes(16);
+    const auto b = key.chunkHashes(16);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 6u); // floor(100 / 16) full chunks
+    EXPECT_TRUE(key.chunkHashes(128).empty());
+}
+
+TEST(PrefixHash, EqualPrefixesShareHashChains)
+{
+    // Same first 64 tokens, different tails: chunk hashes agree
+    // exactly up to the shared prefix.
+    auto a_ids = tokens(96);
+    auto b_ids = tokens(96);
+    for (std::size_t i = 64; i < 96; ++i) {
+        b_ids[i] += 1000;
+    }
+    const PrefixKey a{a_ids.data(), 96};
+    const PrefixKey b{b_ids.data(), 96};
+    const auto ha = a.chunkHashes(16);
+    const auto hb = b.chunkHashes(16);
+    ASSERT_EQ(ha.size(), 6u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ha[i], hb[i]) << "chunk " << i;
+    }
+    EXPECT_NE(ha[4], hb[4]);
+    // Chaining: a diverging chunk poisons everything after it.
+    EXPECT_NE(ha[5], hb[5]);
+}
+
+TEST(PrefixHash, SingleTokenDifferenceFlipsTheChunkHash)
+{
+    auto a_ids = tokens(32);
+    auto b_ids = tokens(32);
+    b_ids[7] ^= 1;
+    const PrefixKey a{a_ids.data(), 32};
+    const PrefixKey b{b_ids.data(), 32};
+    EXPECT_NE(a.chunkHashes(32)[0], b.chunkHashes(32)[0]);
+}
+
+TEST(PrefixHash, RangeHashChainsOntoPreviousChunk)
+{
+    const auto ids = tokens(40);
+    const PrefixKey key{ids.data(), 40};
+    const auto chunks = key.chunkHashes(16);
+    ASSERT_EQ(chunks.size(), 2u);
+    // A partial tail hash chained after chunk 1 commits to the whole
+    // 40-token prefix: recomputing it from an equal key matches...
+    const u64 tail = key.rangeHash(chunks[1], 32, 8);
+    EXPECT_EQ(tail, key.rangeHash(chunks[1], 32, 8));
+    // ...and differs from the same tail chained onto a different
+    // history.
+    EXPECT_NE(tail, key.rangeHash(kPrefixHashSeed, 32, 8));
+}
+
+TEST(PrefixHash, ChunkSplitDoesNotCollideWithWholeRange)
+{
+    const auto ids = tokens(32);
+    // hash(all 32) != hash(hash(first 16), next 16): the length is
+    // mixed into each link.
+    const u64 whole = chainTokenHash(kPrefixHashSeed, ids.data(), 32);
+    const u64 split = chainTokenHash(
+        chainTokenHash(kPrefixHashSeed, ids.data(), 16), ids.data() + 16,
+        16);
+    EXPECT_NE(whole, split);
+}
+
+} // namespace
+} // namespace vattn

@@ -152,7 +152,7 @@ TEST_F(PagePoolTest, ReleaseDestroyedReopensBudget)
     // via vMemRelease elsewhere.
     ASSERT_EQ(driver_.vMemRelease(a.value()),
               cuvmm::CuResult::kSuccess);
-    pool.releaseDestroyed();
+    pool.releaseDestroyed(a.value());
     EXPECT_EQ(pool.groupsInUse(), 0);
     // The budget slot is creatable again.
     auto b = pool.acquire();

@@ -331,5 +331,117 @@ TEST_F(DriverTest, FunctionalDataThroughVmmMapping)
     driver_.vMemRelease(handle2);
 }
 
+// ---- Aliased handles (one handle mapped at several VAs, §8.1) -------
+
+TEST_F(DriverTest, CuAliasedUnmapOneVaKeepsPhysicalMemory)
+{
+    Addr va1 = 0;
+    Addr va2 = 0;
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va1, 2 * MiB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemAddressReserve(&va2, 2 * MiB),
+              CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&handle, 2 * MiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemMap(va1, 2 * MiB, 0, handle),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemMap(va2, 2 * MiB, 0, handle),
+              CuResult::kSuccess);
+    EXPECT_EQ(driver_.numMappings(handle), 2u);
+    EXPECT_EQ(driver_.physBytesInUse(), 2 * MiB);
+
+    // Unmapping one VA must not release the physical memory: the
+    // other request's mapping still resolves.
+    ASSERT_EQ(driver_.cuMemUnmap(va1, 2 * MiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.numMappings(handle), 1u);
+    EXPECT_TRUE(driver_.isMapped(handle));
+    EXPECT_EQ(driver_.physBytesInUse(), 2 * MiB);
+
+    // Release with a live mapping is refused (vAttention's protocol
+    // unmaps first); after the last unmap the release frees exactly
+    // once.
+    EXPECT_EQ(driver_.cuMemRelease(handle),
+              CuResult::kErrorAlreadyMapped);
+    ASSERT_EQ(driver_.cuMemUnmap(va2, 2 * MiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.cuMemRelease(handle), CuResult::kSuccess);
+    EXPECT_EQ(driver_.physBytesInUse(), 0u);
+}
+
+TEST_F(DriverTest, VMemUnmapRemovesOneMappingOnly)
+{
+    Addr va1 = 0;
+    Addr va2 = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va1, 64 * KiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemReserve(&va2, 64 * KiB), CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k64KB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va1, handle), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va2, handle), CuResult::kSuccess);
+    EXPECT_EQ(driver_.numMappings(handle), 2u);
+
+    ASSERT_EQ(driver_.vMemUnmap(va1), CuResult::kSuccess);
+    EXPECT_EQ(driver_.numMappings(handle), 1u);
+    EXPECT_EQ(driver_.physBytesInUse(), 64 * KiB);
+    // The surviving mapping is still accessible.
+    EXPECT_TRUE(device_.pageTable().isAccessible(va2, 64 * KiB));
+    // Unmapping an unmapped VA reports kErrorNotMapped.
+    EXPECT_EQ(driver_.vMemUnmap(va1), CuResult::kErrorNotMapped);
+
+    ASSERT_EQ(driver_.vMemRelease(handle), CuResult::kSuccess);
+    EXPECT_EQ(driver_.physBytesInUse(), 0u);
+}
+
+TEST_F(DriverTest, VMemReleaseOnAliasedHandleUnmapsAllAndFreesOnce)
+{
+    Addr va1 = 0;
+    Addr va2 = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va1, 64 * KiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemReserve(&va2, 64 * KiB), CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k64KB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va1, handle), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va2, handle), CuResult::kSuccess);
+    const u64 phys_before = driver_.physBytesInUse();
+
+    ASSERT_EQ(driver_.vMemRelease(handle), CuResult::kSuccess);
+    EXPECT_EQ(driver_.numMappings(handle), 0u);
+    EXPECT_EQ(driver_.physBytesInUse(), phys_before - 64 * KiB);
+    EXPECT_FALSE(device_.pageTable().isAccessible(va1, 64 * KiB));
+    EXPECT_FALSE(device_.pageTable().isAccessible(va2, 64 * KiB));
+    // Both reservations are mapping-free and can be returned.
+    EXPECT_EQ(driver_.vMemFree(va1, 64 * KiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.vMemFree(va2, 64 * KiB), CuResult::kSuccess);
+}
+
+TEST_F(DriverTest, AliasedVasTranslateToTheSamePhysAddr)
+{
+    Addr va1 = 0;
+    Addr va2 = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va1, 64 * KiB), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemReserve(&va2, 64 * KiB), CuResult::kSuccess);
+    MemHandle handle = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&handle, PageGroup::k64KB),
+              CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va1, handle), CuResult::kSuccess);
+    ASSERT_EQ(driver_.vMemMap(va2, handle), CuResult::kSuccess);
+
+    // Page-table + TLB path: both virtual addresses resolve to one
+    // physical page (the de-duplicated KV bytes exist once).
+    const PhysAddr p1 = device_.translateTouched(va1 + 4096);
+    const PhysAddr p2 = device_.translateTouched(va2 + 4096);
+    EXPECT_EQ(p1, p2);
+
+    // Writes through one alias are visible through the other.
+    const u32 value = 0x5eedf00d;
+    device_.writeVa(va1 + 128, &value, sizeof(value));
+    u32 out = 0;
+    device_.readVa(va2 + 128, &out, sizeof(out));
+    EXPECT_EQ(out, value);
+
+    driver_.vMemRelease(handle);
+}
+
 } // namespace
 } // namespace vattn::cuvmm

@@ -22,9 +22,13 @@ TEST(LatencyModel, Table3Values)
     // Map: 8/8.5/9/2 us.
     EXPECT_EQ(model.cost(Api::kMap, PageGroup::k128KB), 8500u);
     EXPECT_EQ(model.cost(Api::kMap, PageGroup::k2MB), 2000u);
-    // SetAccess/Unmap only exist on the 2MB (stock CUDA) path.
+    // SetAccess only exists on the 2MB (stock CUDA) path.
     EXPECT_EQ(model.cost(Api::kSetAccess, PageGroup::k2MB), 38000u);
     EXPECT_EQ(model.cost(Api::kUnmap, PageGroup::k2MB), 34000u);
+    // Sub-2MB unmap is the standalone vMemUnmap (prefix sharing):
+    // just under the fused release cost.
+    EXPECT_EQ(model.cost(Api::kUnmap, PageGroup::k64KB), 1800u);
+    EXPECT_EQ(model.cost(Api::kUnmap, PageGroup::k256KB), 3600u);
     // Release: 2/3/4/23 us.
     EXPECT_EQ(model.cost(Api::kRelease, PageGroup::k256KB), 4000u);
     EXPECT_EQ(model.cost(Api::kRelease, PageGroup::k2MB), 23000u);
@@ -37,9 +41,10 @@ TEST(LatencyModel, FusedApisHaveNoSmallPageCost)
 {
     test::ScopedThrowErrors guard;
     LatencyModel model;
+    // SetAccess stays fused into vMemMap on the extension path (Unmap
+    // gained a standalone sub-2MB cost with vMemUnmap).
     EXPECT_THROW(model.cost(Api::kSetAccess, PageGroup::k64KB),
                  SimError);
-    EXPECT_THROW(model.cost(Api::kUnmap, PageGroup::k128KB), SimError);
 }
 
 TEST(LatencyModel, MapGroupCostFusesAccessOn2Mb)
