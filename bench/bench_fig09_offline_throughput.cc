@@ -28,7 +28,7 @@ main()
     for (const auto &setup : evalSetups()) {
         double rpm[3];
         for (int i = 0; i < 3; ++i) {
-            auto trace = serving::arxivOfflineTrace();
+            auto trace = serving::arxivOfflineTrace(smokeN(427, 16));
             serving::assignOfflineArrivals(trace);
             serving::Engine engine(makeEngineConfig(setup, kinds[i]));
             const auto report = engine.run(std::move(trace));

@@ -56,7 +56,7 @@ main()
                          "p99", "mean", "TBT p99", "norm p50"});
             double medians[3] = {0, 0, 0};
             for (int i = 0; i < 3; ++i) {
-                auto trace = serving::arxivOnlineTrace();
+                auto trace = serving::arxivOnlineTrace(smokeN(512, 16));
                 serving::assignPoissonArrivals(trace, qps, 2024);
                 serving::Engine engine(
                     makeEngineConfig(setup, kinds[i]));

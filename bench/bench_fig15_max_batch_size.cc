@@ -41,7 +41,7 @@ main()
             config.gpu_mem_util = 0.80;
             serving::Engine engine(config);
 
-            auto trace = serving::openChatTrace(1200);
+            auto trace = serving::openChatTrace(smokeN(1200, 60));
             serving::assignPoissonArrivals(trace, 7.0, 99);
             const auto report = engine.run(std::move(trace));
             cells.push_back(Table::integer(report.peak_batch));

@@ -9,6 +9,7 @@
 #define VATTN_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -28,10 +29,34 @@ struct Setup
     int tp;
 };
 
-/** The three models on their paper hardware (Table 5). */
+/**
+ * CI smoke mode: VATTN_BENCH_SMOKE=1 shrinks every bench to a tiny
+ * configuration so the whole suite executes in seconds. This is a
+ * bitrot guard (does the binary still run end to end?), not a
+ * measurement — numbers printed under smoke are meaningless.
+ */
+inline bool
+smokeMode()
+{
+    const char *env = std::getenv("VATTN_BENCH_SMOKE");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/** @p full requests normally, @p tiny under VATTN_BENCH_SMOKE=1. */
+inline int
+smokeN(int full, int tiny)
+{
+    return smokeMode() ? tiny : full;
+}
+
+/** The three models on their paper hardware (Table 5); only Yi-6B
+ *  under smoke mode. */
 inline std::vector<Setup>
 evalSetups()
 {
+    if (smokeMode()) {
+        return {{perf::ModelSpec::yi6B(), 1}};
+    }
     return {
         {perf::ModelSpec::yi6B(), 1},
         {perf::ModelSpec::llama3_8B(), 2},

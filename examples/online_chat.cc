@@ -7,10 +7,16 @@
  * for the achievable batch size.
  *
  * Build & run:  ./build/examples/online_chat [qps] [--prefix-cache]
+ *                   [--preemption-mode=recompute|swap|auto]
  *
  * --prefix-cache switches to a multi-tenant shared-system-prompt
  * trace (real token ids) and enables §8.1 prefix caching on both
  * backends, printing hit-rate and prefill-savings stats.
+ *
+ * --preemption-mode picks what happens to preemption victims under
+ * memory pressure: vLLM-style recomputation (default), swapping KV to
+ * a host-memory tier, or the cost-model-driven auto policy. Raise qps
+ * to actually create pressure; swap traffic is reported per backend.
  */
 
 #include <cstdio>
@@ -24,6 +30,30 @@ using namespace vattn;
 
 namespace
 {
+
+serving::PreemptionPolicy g_policy =
+    serving::PreemptionPolicy::kRecompute;
+
+/** One-line swap summary; silent when the tier saw no traffic. */
+void
+maybePrintSwapStats(const serving::RunReport &report,
+                    const char *label)
+{
+    if (report.swap_outs == 0 && report.dropped_requests == 0) {
+        return;
+    }
+    std::printf("%s swap tier: %llu out / %llu in, %.2f GB moved, "
+                "%.1f ms stalled, %llu preemptions, %lld dropped\n",
+                label,
+                static_cast<unsigned long long>(report.swap_outs),
+                static_cast<unsigned long long>(report.swap_ins),
+                static_cast<double>(report.swap_out_bytes +
+                                    report.swap_in_bytes) /
+                    1e9,
+                static_cast<double>(report.swap_stall_ns) / 1e6,
+                static_cast<unsigned long long>(report.preemptions),
+                static_cast<long long>(report.dropped_requests));
+}
 
 int
 runPrefixCacheStudy(double qps)
@@ -48,6 +78,7 @@ runPrefixCacheStudy(double qps)
         config.scheduler.max_batched_tokens = 8192;
         config.vattn.max_batch_size = 256;
         config.enable_prefix_caching = true;
+        config.preemption_policy = g_policy;
         serving::Engine engine(config);
 
         auto trace = serving::sharedSystemPromptTrace(
@@ -55,6 +86,7 @@ runPrefixCacheStudy(double qps)
             /*user_mean=*/256, /*seed=*/5);
         serving::assignPoissonArrivals(trace, qps, 21);
         const auto report = engine.run(std::move(trace));
+        maybePrintSwapStats(report, toString(kind));
         table.addRow({
             toString(kind),
             Table::num(report.latency_s.median(), 2),
@@ -78,10 +110,27 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--prefix-cache") == 0) {
             prefix_cache = true;
+        } else if (std::strncmp(argv[i], "--preemption-mode=", 18) ==
+                   0) {
+            const char *mode = argv[i] + 18;
+            if (std::strcmp(mode, "recompute") == 0) {
+                g_policy = serving::PreemptionPolicy::kRecompute;
+            } else if (std::strcmp(mode, "swap") == 0) {
+                g_policy = serving::PreemptionPolicy::kSwap;
+            } else if (std::strcmp(mode, "auto") == 0) {
+                g_policy = serving::PreemptionPolicy::kAuto;
+            } else {
+                std::fprintf(stderr,
+                             "unknown --preemption-mode '%s' (want "
+                             "recompute|swap|auto)\n",
+                             mode);
+                return 1;
+            }
         } else {
             qps = std::atof(argv[i]);
         }
     }
+    std::printf("preemption mode: %s\n\n", toString(g_policy));
     if (prefix_cache) {
         return runPrefixCacheStudy(qps);
     }
@@ -105,11 +154,13 @@ main(int argc, char **argv)
         config.scheduler.max_num_seqs = 256;
         config.scheduler.max_batched_tokens = 8192;
         config.vattn.max_batch_size = 256;
+        config.preemption_policy = g_policy;
         serving::Engine engine(config);
 
         auto trace = serving::openChatTrace(400, 5);
         serving::assignPoissonArrivals(trace, qps, 21);
         const auto report = engine.run(std::move(trace));
+        maybePrintSwapStats(report, toString(kind));
         table.addRow({
             toString(kind),
             Table::num(report.latency_s.median(), 2),
@@ -131,6 +182,7 @@ main(int argc, char **argv)
         config.backend = perf::BackendKind::kFa2VAttention;
         config.vattn.page_group = group;
         config.scheduler.max_batched_tokens = 8192;
+        config.preemption_policy = g_policy;
         serving::Engine engine(config);
 
         auto trace = serving::openChatTrace(400, 5);

@@ -58,6 +58,12 @@ struct Config
     /** Physical bytes this worker may commit for KV (0 = all device
      *  memory still free when the runtime initializes). */
     u64 phys_budget_bytes = 0;
+    /**
+     * Pinned host bytes this worker may commit to the KV swap tier
+     * (swapOutReq/swapInReq). 0 disables swapping: the framework must
+     * preempt with recomputation, the paper's §5.3.3 baseline.
+     */
+    u64 host_swap_bytes = 0;
     /** Background reclamation refills the pool to this fraction of the
      *  budget (§6.1.2: "e.g. less than 10% of GPU memory"). */
     double reclaim_low_watermark = 0.10;

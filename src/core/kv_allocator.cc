@@ -293,6 +293,23 @@ KvAllocator::handleAt(int slot, int buffer, i64 group) const
                            [static_cast<std::size_t>(group)];
 }
 
+bool
+KvAllocator::hasSharedGroups(int slot) const
+{
+    if (aliased_mappings_ == 0) {
+        return false; // nothing anywhere is shared
+    }
+    const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    for (const auto &list : mappings.handles) {
+        for (const cuvmm::MemHandle handle : list) {
+            if (pool_.refCount(handle) > 1) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
 void
 KvAllocator::privatizeFrom(int slot, i64 from_group)
 {

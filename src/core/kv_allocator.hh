@@ -91,6 +91,14 @@ class KvAllocator
     cuvmm::MemHandle handleAt(int slot, int buffer, i64 group) const;
 
     /**
+     * Does any of the slot's mapped groups share its physical handle
+     * with another slot (pool refcount > 1)? Such a slot must not be
+     * swapped out: unmapping would not free the memory, and the
+     * sharer's KV must stay resident.
+     */
+    bool hasSharedGroups(int slot) const;
+
+    /**
      * Make the slot's groups from @p from_group onward private: any
      * group whose handle is shared with another slot is remapped onto
      * a fresh pool handle (the other slot keeps the original and its

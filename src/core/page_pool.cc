@@ -6,9 +6,13 @@ namespace vattn::core
 {
 
 PagePool::PagePool(cuvmm::Driver &driver, PageGroup group,
-                   u64 budget_bytes, bool precreate)
+                   u64 budget_bytes, bool precreate,
+                   u64 host_budget_bytes)
     : driver_(driver), group_(group), budget_bytes_(budget_bytes),
-      total_groups_(static_cast<i64>(budget_bytes / bytes(group)))
+      total_groups_(static_cast<i64>(budget_bytes / bytes(group))),
+      host_budget_bytes_(host_budget_bytes),
+      host_total_groups_(
+          static_cast<i64>(host_budget_bytes / bytes(group)))
 {
     fatal_if(total_groups_ <= 0,
              "page pool budget smaller than one page-group");
@@ -37,6 +41,41 @@ PagePool::~PagePool()
     for (cuvmm::MemHandle handle : free_) {
         driver_.vMemRelease(handle);
     }
+    for (cuvmm::MemHandle handle : host_free_) {
+        driver_.cuMemHostRelease(handle);
+    }
+}
+
+Result<cuvmm::MemHandle>
+PagePool::acquireHost()
+{
+    if (!host_free_.empty()) {
+        const cuvmm::MemHandle handle = host_free_.back();
+        host_free_.pop_back();
+        ++host_in_use_;
+        return handle;
+    }
+    if (host_created_ >= host_total_groups_) {
+        return Result<cuvmm::MemHandle>(
+            ErrorCode::kOutOfMemory,
+            host_total_groups_ == 0 ? "host swap tier disabled"
+                                    : "host swap budget exhausted");
+    }
+    cuvmm::MemHandle handle = cuvmm::kInvalidHandle;
+    const auto r = driver_.cuMemHostCreate(&handle, bytes(group_));
+    panic_if(r != cuvmm::CuResult::kSuccess,
+             "pinned host allocation failed: ", cuvmm::toString(r));
+    ++host_created_;
+    ++host_in_use_;
+    return handle;
+}
+
+void
+PagePool::releaseHost(cuvmm::MemHandle handle)
+{
+    panic_if(host_in_use_ <= 0, "host release without acquire");
+    --host_in_use_;
+    host_free_.push_back(handle);
 }
 
 Result<cuvmm::MemHandle>

@@ -31,9 +31,11 @@ class PagePool
      * @param budget_bytes maximum physical bytes the pool may own
      * @param precreate create all handles now (init-time, off the
      *        critical path) instead of lazily on first acquire
+     * @param host_budget_bytes pinned host memory the pool may commit
+     *        for the KV swap tier (0 disables the tier)
      */
     PagePool(cuvmm::Driver &driver, PageGroup group, u64 budget_bytes,
-             bool precreate = true);
+             bool precreate = true, u64 host_budget_bytes = 0);
     ~PagePool();
 
     PagePool(const PagePool &) = delete;
@@ -94,6 +96,30 @@ class PagePool
         return free_.empty() && created_ >= total_groups_;
     }
 
+    // ---- Host page tier (KV swap) -----------------------------------
+    //
+    // Group-sized pinned host pages that hold swapped-out KV. Pages
+    // are pooled after first use (page-locking is far more expensive
+    // than the PCIe copy itself), so steady-state swap traffic pays
+    // only copy time.
+
+    /** Take one pinned host page (fails when the host budget is fully
+     *  handed out, or the tier is disabled). */
+    Result<cuvmm::MemHandle> acquireHost();
+
+    /** Return a host page to the host free list. */
+    void releaseHost(cuvmm::MemHandle handle);
+
+    u64 hostBudgetBytes() const { return host_budget_bytes_; }
+    /** Host pages currently holding swapped KV. */
+    i64 hostGroupsInUse() const { return host_in_use_; }
+    /** Host pages still obtainable right now. */
+    i64
+    hostGroupsAvailable() const
+    {
+        return host_total_groups_ - host_in_use_;
+    }
+
   private:
     cuvmm::Driver &driver_;
     PageGroup group_;
@@ -104,6 +130,12 @@ class PagePool
     std::vector<cuvmm::MemHandle> free_;
     /** Reference counts of handed-out handles. */
     std::unordered_map<cuvmm::MemHandle, int> refs_;
+    // Host tier.
+    u64 host_budget_bytes_;
+    i64 host_total_groups_;
+    i64 host_created_ = 0;
+    i64 host_in_use_ = 0;
+    std::vector<cuvmm::MemHandle> host_free_;
 };
 
 } // namespace vattn::core

@@ -25,11 +25,12 @@ resolveBudget(const Config &config, cuvmm::Driver &driver)
 VAttention::VAttention(cuvmm::Driver &driver, const Config &config)
     : driver_(driver), config_(config),
       pool_(driver, config.page_group, resolveBudget(config, driver),
-            /*precreate=*/true),
+            /*precreate=*/true, config.host_swap_bytes),
       allocator_(driver, config, pool_),
       slots_(config.max_batch_size),
       last_seq_lens_(static_cast<std::size_t>(config.max_batch_size), 0),
-      chains_(static_cast<std::size_t>(config.max_batch_size))
+      chains_(static_cast<std::size_t>(config.max_batch_size)),
+      stashes_(static_cast<std::size_t>(config.max_batch_size))
 {
     // Reservation + pre-created handles happen before serving starts;
     // none of it is critical-path time.
@@ -131,6 +132,17 @@ VAttention::freeReqId(int req_id)
                            "reqId not active");
     }
     last_seq_lens_[static_cast<std::size_t>(req_id)] = 0;
+    // A request freed while swapped out (cancellation / teardown)
+    // abandons its stash: the host pages return to the pool.
+    auto &stash = stashes_[static_cast<std::size_t>(req_id)];
+    if (!stash.empty()) {
+        for (const auto &buffer_pages : stash.pages) {
+            for (cuvmm::MemHandle page : buffer_pages) {
+                pool_.releaseHost(page);
+            }
+        }
+        stash.clear();
+    }
     if (config_.deferred_reclamation &&
         allocator_.groupsMapped(req_id) > 0) {
         // The slot's hash chain (if any) survives with its mappings:
@@ -164,6 +176,195 @@ VAttention::clampChainToMapped(int slot)
     if (chain.tokens == 0) {
         chain.clear();
     }
+}
+
+bool
+VAttention::canSwapOut(int req_id) const
+{
+    if (req_id < 0 || req_id >= config_.max_batch_size ||
+        slots_.state(req_id) != SlotState::kActive) {
+        return false;
+    }
+    const i64 groups = allocator_.groupsMapped(req_id);
+    if (groups <= 0 ||
+        !stashes_[static_cast<std::size_t>(req_id)].empty()) {
+        return false;
+    }
+    if (allocator_.hasSharedGroups(req_id)) {
+        return false; // another slot maps these physical pages
+    }
+    return pool_.hostGroupsAvailable() >=
+           groups * allocator_.geometry().numBuffers();
+}
+
+bool
+VAttention::canSwapIn(int req_id) const
+{
+    if (req_id < 0 || req_id >= config_.max_batch_size ||
+        slots_.state(req_id) != SlotState::kActive) {
+        return false;
+    }
+    const auto &stash = stashes_[static_cast<std::size_t>(req_id)];
+    if (stash.empty()) {
+        return false;
+    }
+    const i64 nbuf = allocator_.geometry().numBuffers();
+    const i64 need =
+        (stash.groups - allocator_.groupsMapped(req_id)) * nbuf;
+    // Cached slots are stealable supply, exactly as in step() — minus
+    // alias-pinned mappings, whose steal frees no physical memory
+    // (the same discount canAllocate applies). Without it a doomed
+    // swap-in attempt would drain every cached prefix entry for zero
+    // progress before failing.
+    return pool_.availableGroups() + cachedHandles() -
+               allocator_.aliasedMappings() >=
+           need;
+}
+
+i64
+VAttention::swappedGroups(int req_id) const
+{
+    if (req_id < 0 || req_id >= config_.max_batch_size) {
+        return 0;
+    }
+    return stashes_[static_cast<std::size_t>(req_id)].groups;
+}
+
+SwapStats
+VAttention::swapOutReq(int req_id)
+{
+    SwapStats out;
+    if (req_id < 0 || req_id >= config_.max_batch_size) {
+        out.status = errorStatus(ErrorCode::kInvalidArgument,
+                                 "bad reqId");
+        return out;
+    }
+    if (slots_.state(req_id) != SlotState::kActive) {
+        out.status = errorStatus(ErrorCode::kFailedPrecondition,
+                                 "reqId not active");
+        return out;
+    }
+    auto &stash = stashes_[static_cast<std::size_t>(req_id)];
+    if (!stash.empty()) {
+        out.status = errorStatus(ErrorCode::kFailedPrecondition,
+                                 "reqId already swapped out");
+        return out;
+    }
+    const i64 groups = allocator_.groupsMapped(req_id);
+    if (groups <= 0) {
+        out.status = errorStatus(ErrorCode::kFailedPrecondition,
+                                 "no resident page-groups");
+        return out;
+    }
+    if (allocator_.hasSharedGroups(req_id)) {
+        // Prefix-aliased pages never leave the device while another
+        // slot maps them; the caller should recompute instead.
+        out.status = errorStatus(
+            ErrorCode::kFailedPrecondition,
+            "page-groups shared with another request");
+        return out;
+    }
+    const i64 nbuf = allocator_.geometry().numBuffers();
+    if (pool_.hostGroupsAvailable() < groups * nbuf) {
+        out.status = errorStatus(ErrorCode::kOutOfMemory,
+                                 "host swap tier full");
+        return out;
+    }
+
+    driver_.consumeElapsedNs(); // open a fresh accounting window
+    stash.pages.resize(static_cast<std::size_t>(nbuf));
+    for (int b = 0; b < nbuf; ++b) {
+        auto &buffer_pages =
+            stash.pages[static_cast<std::size_t>(b)];
+        buffer_pages.reserve(static_cast<std::size_t>(groups));
+        for (i64 g = 0; g < groups; ++g) {
+            auto page = pool_.acquireHost();
+            page.status().expectOk("host page acquire after check");
+            const auto r = driver_.cuMemcpyDtoH(
+                page.value(), allocator_.handleAt(req_id, b, g));
+            panic_if(r != cuvmm::CuResult::kSuccess,
+                     "swap-out copy failed: ", cuvmm::toString(r));
+            buffer_pages.push_back(page.value());
+        }
+    }
+    stash.groups = groups;
+    // Unmap the device groups; the slot's virtual layout is untouched,
+    // so swap-in needs no address-space work at all.
+    allocator_.releaseAll(req_id);
+    // The slot's KV left the device: it can no longer source prefix
+    // hits.
+    chains_[static_cast<std::size_t>(req_id)].clear();
+    last_seq_lens_[static_cast<std::size_t>(req_id)] = 0;
+
+    out.handles = groups * nbuf;
+    out.bytes = static_cast<u64>(out.handles) *
+                allocator_.geometry().groupBytes();
+    out.critical_ns = driver_.consumeElapsedNs();
+    ++stats_.swap_out_reqs;
+    stats_.swap_out_bytes += out.bytes;
+    stats_.swap_ns += out.critical_ns;
+    stats_.critical_ns += out.critical_ns;
+    return out;
+}
+
+SwapStats
+VAttention::swapInReq(int req_id)
+{
+    SwapStats in;
+    if (req_id < 0 || req_id >= config_.max_batch_size) {
+        in.status = errorStatus(ErrorCode::kInvalidArgument,
+                                "bad reqId");
+        return in;
+    }
+    if (slots_.state(req_id) != SlotState::kActive) {
+        in.status = errorStatus(ErrorCode::kFailedPrecondition,
+                                "reqId not active");
+        return in;
+    }
+    auto &stash = stashes_[static_cast<std::size_t>(req_id)];
+    if (stash.empty()) {
+        in.status = errorStatus(ErrorCode::kFailedPrecondition,
+                                "reqId not swapped out");
+        return in;
+    }
+
+    driver_.consumeElapsedNs(); // open a fresh accounting window
+    auto status = ensureGroups(req_id, stash.groups, nullptr);
+    if (!status.isOk()) {
+        // Roll the partial growth back: a swapped slot is outside the
+        // framework's preemption reach, so letting it hoard device
+        // groups it cannot yet use would deadlock capacity against
+        // the requests that could free it. The stash survives; a
+        // later attempt remaps from scratch.
+        allocator_.releaseAll(req_id);
+        in.status = status;
+        in.critical_ns = driver_.consumeElapsedNs();
+        stats_.critical_ns += in.critical_ns;
+        return in;
+    }
+    const i64 nbuf = allocator_.geometry().numBuffers();
+    for (int b = 0; b < nbuf; ++b) {
+        auto &buffer_pages =
+            stash.pages[static_cast<std::size_t>(b)];
+        for (i64 g = 0; g < stash.groups; ++g) {
+            const auto r = driver_.cuMemcpyHtoD(
+                allocator_.handleAt(req_id, b, g),
+                buffer_pages[static_cast<std::size_t>(g)]);
+            panic_if(r != cuvmm::CuResult::kSuccess,
+                     "swap-in copy failed: ", cuvmm::toString(r));
+            pool_.releaseHost(buffer_pages[static_cast<std::size_t>(g)]);
+        }
+    }
+    in.handles = stash.groups * nbuf;
+    in.bytes = static_cast<u64>(in.handles) *
+               allocator_.geometry().groupBytes();
+    stash.clear();
+    in.critical_ns = driver_.consumeElapsedNs();
+    ++stats_.swap_in_reqs;
+    stats_.swap_in_bytes += in.bytes;
+    stats_.swap_ns += in.critical_ns;
+    stats_.critical_ns += in.critical_ns;
+    return in;
 }
 
 bool
@@ -619,8 +820,16 @@ VAttention::canAllocate(i64 prompt_tokens) const
     }
     const i64 nbuf = geom.numBuffers();
     const i64 extra_needed = std::max<i64>(0, need - best_cached) * nbuf;
+    // Alias-pinned mappings are not real supply: stealing such a
+    // cached group unmaps it but frees no physical memory (the sharer
+    // keeps the handle), and privatizing a reused slot consumes pool
+    // handles. Discounting every aliased mapping is conservative
+    // (some belong to active slots) but keeps admission from
+    // promising memory that ensure() can never deliver — optimism
+    // here livelocks the admit/preempt cycle under pressure.
     const i64 supply = pool_.availableGroups() +
-                       (cached_total - best_cached) * nbuf;
+                       (cached_total - best_cached) * nbuf -
+                       allocator_.aliasedMappings();
     return extra_needed <= supply;
 }
 
@@ -648,11 +857,31 @@ VAttention::checkInvariants() const
         allocator_.totalHandlesMapped() - allocator_.aliasedMappings()) {
         return false;
     }
+    i64 stashed_pages = 0;
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         // Free slots hold no mappings (cached/active ones may).
         if (slots_.state(slot) == SlotState::kFree &&
             allocator_.groupsMapped(slot) != 0) {
             return false;
+        }
+        // A host stash belongs to a leased (Active) slot, covers the
+        // same group count in every buffer, and its slot cannot be a
+        // prefix source (the KV left the device).
+        const auto &stash = stashes_[static_cast<std::size_t>(slot)];
+        if (!stash.empty()) {
+            if (slots_.state(slot) != SlotState::kActive ||
+                !chains_[static_cast<std::size_t>(slot)].empty() ||
+                static_cast<i64>(stash.pages.size()) !=
+                    allocator_.geometry().numBuffers()) {
+                return false;
+            }
+            for (const auto &buffer_pages : stash.pages) {
+                if (static_cast<i64>(buffer_pages.size()) !=
+                    stash.groups) {
+                    return false;
+                }
+                stashed_pages += static_cast<i64>(buffer_pages.size());
+            }
         }
         // A prefix chain never describes more than the slot has mapped.
         const auto &chain = chains_[static_cast<std::size_t>(slot)];
@@ -669,6 +898,10 @@ VAttention::checkInvariants() const
                 return false;
             }
         }
+    }
+    // Every host page handed out by the pool is owned by some stash.
+    if (stashed_pages != pool_.hostGroupsInUse()) {
+        return false;
     }
     return true;
 }

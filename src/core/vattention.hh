@@ -47,6 +47,15 @@ struct StepStats
     TimeNs critical_ns = 0; ///< driver latency on the critical path
 };
 
+/** Outcome of one swapOutReq / swapInReq call. */
+struct SwapStats
+{
+    Status status;          ///< OK, or why the swap did not happen
+    i64 handles = 0;        ///< page-group copies performed (all buffers)
+    u64 bytes = 0;          ///< KV bytes moved over PCIe
+    TimeNs critical_ns = 0; ///< copy + map/unmap latency (synchronous)
+};
+
 /** Lifetime counters for the ablation studies. */
 struct RuntimeStats
 {
@@ -58,6 +67,13 @@ struct RuntimeStats
     TimeNs critical_ns = 0;
     TimeNs background_ns = 0;
     TimeNs init_ns = 0;
+
+    // ---- Host swap tier --------------------------------------------
+    i64 swap_out_reqs = 0;      ///< requests swapped to host
+    i64 swap_in_reqs = 0;       ///< requests swapped back in
+    u64 swap_out_bytes = 0;     ///< KV bytes copied DtoH
+    u64 swap_in_bytes = 0;      ///< KV bytes copied HtoD
+    TimeNs swap_ns = 0;         ///< critical-path swap latency
 
     // ---- §8.1 prefix caching ---------------------------------------
     i64 prefix_hits = 0;           ///< allocations that matched a prefix
@@ -161,6 +177,43 @@ class VAttention
     /** Return a reqId (request completed or preempted). */
     Status freeReqId(int req_id);
 
+    // ---- Host swap tier ---------------------------------------------
+    //
+    // The CUDA-VMM substrate makes swapping uniquely cheap here: the
+    // request's VIRTUAL KV layout (its sub-tensor addresses) stays
+    // intact while its physical page-groups are copied to pinned host
+    // pages and unmapped, so swap-in is remap + copy with no allocator
+    // churn and no framework-visible address changes. The reqId stays
+    // leased (Active) for the whole swap cycle.
+
+    /**
+     * Copy every resident page-group of @p req_id to host pages, then
+     * unmap the device groups (returning them to the pool). Refuses
+     * slots whose groups are prefix-aliased by another slot
+     * (kFailedPrecondition — the sharer's KV must stay resident), and
+     * fails with kOutOfMemory when the host tier cannot hold the slot.
+     */
+    SwapStats swapOutReq(int req_id);
+
+    /**
+     * Re-back a swapped-out request: remap page-groups at the slot's
+     * unchanged virtual addresses (stealing cached groups like step()
+     * would) and copy the stashed KV back. kOutOfMemory when device
+     * supply is insufficient — the slot keeps its stash and any
+     * partially remapped groups; retry later.
+     */
+    SwapStats swapInReq(int req_id);
+
+    /** Could swapOutReq succeed right now? */
+    bool canSwapOut(int req_id) const;
+    /** Could swapInReq succeed right now (device supply check)? */
+    bool canSwapIn(int req_id) const;
+    /** Page-groups (per buffer) stashed on host for the slot. */
+    i64 swappedGroups(int req_id) const;
+    /** Host pages currently holding swapped KV (all slots). */
+    i64 hostGroupsInUse() const { return pool_.hostGroupsInUse(); }
+    u64 hostSwapBudgetBytes() const { return pool_.hostBudgetBytes(); }
+
     /**
      * Ensure physical backing for the given context lengths
      * (seq_lens[reqId], 0 for inactive slots; size must be B).
@@ -247,6 +300,22 @@ class VAttention
      *  (reclamation may have unmapped tail groups). */
     void clampChainToMapped(int slot);
 
+    /** Host pages holding one swapped-out slot's KV. */
+    struct HostStash
+    {
+        /** pages[buffer][group], parallel to the device layout. */
+        std::vector<std::vector<cuvmm::MemHandle>> pages;
+        i64 groups = 0; ///< groups per buffer stashed
+
+        bool empty() const { return groups == 0; }
+        void
+        clear()
+        {
+            pages.clear();
+            groups = 0;
+        }
+    };
+
     cuvmm::Driver &driver_;
     Config config_;
     PagePool pool_;
@@ -255,6 +324,7 @@ class VAttention
     BackgroundWorker background_;
     std::vector<i64> last_seq_lens_;
     std::vector<PrefixChain> chains_;
+    std::vector<HostStash> stashes_;
     RuntimeStats stats_;
     TimeNs last_prefix_alloc_ns_ = 0;
 };

@@ -76,6 +76,34 @@ WorkerGroup::step(const std::vector<i64> &seq_lens)
     return first;
 }
 
+SwapStats
+WorkerGroup::swapOutReq(int req_id)
+{
+    SwapStats first = workers_[0].runtime->swapOutReq(req_id);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        SwapStats other = workers_[w].runtime->swapOutReq(req_id);
+        panic_if(other.handles != first.handles ||
+                     other.bytes != first.bytes ||
+                     !(other.status == first.status),
+                 "TP workers diverged in swapOutReq");
+    }
+    return first;
+}
+
+SwapStats
+WorkerGroup::swapInReq(int req_id)
+{
+    SwapStats first = workers_[0].runtime->swapInReq(req_id);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        SwapStats other = workers_[w].runtime->swapInReq(req_id);
+        panic_if(other.handles != first.handles ||
+                     other.bytes != first.bytes ||
+                     !(other.status == first.status),
+                 "TP workers diverged in swapInReq");
+    }
+    return first;
+}
+
 void
 WorkerGroup::computePhase(TimeNs window_ns)
 {

@@ -59,6 +59,16 @@ class WorkerGroup
     /** Run every worker's background window. */
     void computePhase(TimeNs window_ns);
 
+    /**
+     * Swap the reqId's KV to host on every worker (each worker stashes
+     * its own shard; copies run concurrently, so the group's swap
+     * latency is one worker's). The workers must agree on the outcome.
+     */
+    SwapStats swapOutReq(int req_id);
+
+    /** Swap the reqId back in on every worker, in lockstep. */
+    SwapStats swapInReq(int req_id);
+
     /** Physical KV bytes mapped across ALL workers. */
     u64 physBytesMappedTotal() const;
 

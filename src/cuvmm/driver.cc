@@ -80,6 +80,13 @@ Driver::charge(Api api, PageGroup pg)
     }
 }
 
+void
+Driver::chargeNs(TimeNs cost)
+{
+    pending_ns_ += cost;
+    total_ns_ += cost;
+}
+
 TimeNs
 Driver::consumeElapsedNs()
 {
@@ -309,6 +316,73 @@ Driver::cudaFree(Addr ptr)
         return r;
     }
     return cuMemAddressFree(ptr, info.size);
+}
+
+// --------------------------------------------------------------------
+// Host memory + PCIe copies (KV swap tier)
+// --------------------------------------------------------------------
+
+CuResult
+Driver::cuMemHostCreate(MemHandle *handle, u64 size)
+{
+    chargeNs(latency_.hostAllocCost(size));
+    ++counters_.host_create;
+    if (!handle || size == 0) {
+        return CuResult::kErrorInvalidValue;
+    }
+    const MemHandle h = next_handle_++;
+    host_handles_[h] = size;
+    host_in_use_ += size;
+    *handle = h;
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cuMemHostRelease(MemHandle handle)
+{
+    auto it = host_handles_.find(handle);
+    if (it == host_handles_.end()) {
+        chargeNs(latency_.hostFreeCost(0));
+        ++counters_.host_release;
+        return CuResult::kErrorInvalidHandle;
+    }
+    chargeNs(latency_.hostFreeCost(it->second));
+    ++counters_.host_release;
+    host_in_use_ -= it->second;
+    host_handles_.erase(it);
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cuMemcpyDtoH(MemHandle host, MemHandle device)
+{
+    ++counters_.copy_dtoh;
+    auto hit = host_handles_.find(host);
+    auto dit = handles_.find(device);
+    if (hit == host_handles_.end() || dit == handles_.end()) {
+        return CuResult::kErrorInvalidHandle;
+    }
+    if (hit->second != dit->second.size) {
+        return CuResult::kErrorInvalidValue;
+    }
+    chargeNs(latency_.copyDtoHCost(dit->second.size));
+    return CuResult::kSuccess;
+}
+
+CuResult
+Driver::cuMemcpyHtoD(MemHandle device, MemHandle host)
+{
+    ++counters_.copy_htod;
+    auto hit = host_handles_.find(host);
+    auto dit = handles_.find(device);
+    if (hit == host_handles_.end() || dit == handles_.end()) {
+        return CuResult::kErrorInvalidHandle;
+    }
+    if (hit->second != dit->second.size) {
+        return CuResult::kErrorInvalidValue;
+    }
+    chargeNs(latency_.copyHtoDCost(dit->second.size));
+    return CuResult::kSuccess;
 }
 
 // --------------------------------------------------------------------

@@ -71,12 +71,18 @@ struct DriverCounters
     u64 unmap = 0;
     u64 release = 0;
     u64 address_free = 0;
+    // Host tier (KV swap).
+    u64 host_create = 0;
+    u64 host_release = 0;
+    u64 copy_dtoh = 0;
+    u64 copy_htod = 0;
 
     u64
     total() const
     {
         return reserve + create + map + set_access + unmap + release +
-               address_free;
+               address_free + host_create + host_release + copy_dtoh +
+               copy_htod;
     }
 };
 
@@ -101,6 +107,25 @@ class Driver
 
     CuResult cudaMalloc(Addr *ptr, u64 size);
     CuResult cudaFree(Addr ptr);
+
+    // --- Host memory + PCIe copies (KV swap tier) -------------------
+    //
+    // Host handles live in their own namespace: they have no device
+    // physical memory and can never be mapped into the GPU VA space,
+    // only serve as copy endpoints. Copy latency follows the
+    // LatencyModel's CopyModel (a perf::PcieSpec installs the
+    // calibrated link) and lands on the same ledger as every other
+    // driver call, so callers attribute swap stalls like map latency.
+
+    /** Allocate @p size bytes of pinned host memory. */
+    CuResult cuMemHostCreate(MemHandle *handle, u64 size);
+    /** Free a pinned host allocation (must exist). */
+    CuResult cuMemHostRelease(MemHandle handle);
+    /** Copy a device handle's contents to a host handle (sizes must
+     *  match; the device handle may be mapped or not). */
+    CuResult cuMemcpyDtoH(MemHandle host, MemHandle device);
+    /** Copy a host handle's contents back to a device handle. */
+    CuResult cuMemcpyHtoD(MemHandle device, MemHandle host);
 
     // --- Paper's driver extension (§6.2): small page-groups --------
 
@@ -129,6 +154,13 @@ class Driver
     u64 physBytesInUse() const { return phys_in_use_; }
     /** Live (created, not released) handle count. */
     std::size_t numLiveHandles() const { return handles_.size(); }
+    /** Bytes of pinned host memory currently allocated. */
+    u64 hostBytesInUse() const { return host_in_use_; }
+    /** Live pinned host allocations. */
+    std::size_t numLiveHostHandles() const
+    {
+        return host_handles_.size();
+    }
 
     /** Page-group size of a live handle (tests). */
     u64 handleSize(MemHandle handle) const;
@@ -157,6 +189,8 @@ class Driver
     };
 
     void charge(Api api, PageGroup pg);
+    /** Charge a cost that is not a Table-3 API (host alloc, copies). */
+    void chargeNs(TimeNs cost);
 
     CuResult doMap(Addr ptr, MemHandle handle, gpu::Access access);
     CuResult doUnmapOne(HandleInfo &info, Addr ptr);
@@ -166,10 +200,13 @@ class Driver
     std::unordered_map<MemHandle, HandleInfo> handles_;
     std::unordered_map<Addr, MemHandle> mapped_; ///< map VA -> handle
     std::unordered_map<Addr, MallocInfo> mallocs_;
+    /** Pinned host allocations: handle -> size. */
+    std::unordered_map<MemHandle, u64> host_handles_;
     MemHandle next_handle_ = 1;
     TimeNs pending_ns_ = 0;
     TimeNs total_ns_ = 0;
     u64 phys_in_use_ = 0;
+    u64 host_in_use_ = 0;
     DriverCounters counters_;
 };
 

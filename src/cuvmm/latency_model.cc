@@ -76,6 +76,50 @@ LatencyModel::mapGroupCost(PageGroup pg) const
     return cost(Api::kMap, pg); // vMemMap fuses the access grant
 }
 
+namespace
+{
+
+TimeNs
+bandwidthNs(u64 bytes, double bytes_per_s, TimeNs launch_ns)
+{
+    return launch_ns +
+           static_cast<TimeNs>(static_cast<double>(bytes) /
+                               bytes_per_s * 1e9);
+}
+
+} // namespace
+
+TimeNs
+LatencyModel::copyDtoHCost(u64 bytes) const
+{
+    // PCIe time is physical, not a driver-call cost: the Table-3
+    // sensitivity scale does not apply.
+    return bandwidthNs(bytes, copy_.d2h_bytes_per_s, copy_.launch_ns);
+}
+
+TimeNs
+LatencyModel::copyHtoDCost(u64 bytes) const
+{
+    return bandwidthNs(bytes, copy_.h2d_bytes_per_s, copy_.launch_ns);
+}
+
+TimeNs
+LatencyModel::hostAllocCost(u64 bytes) const
+{
+    // ~0.35us per 4KB page locked plus a fixed syscall/driver cost.
+    const u64 pages = ceilDiv(bytes, 4 * KiB);
+    return static_cast<TimeNs>((30.0 + 0.35 * static_cast<double>(pages)) *
+                               1000.0 * scale_);
+}
+
+TimeNs
+LatencyModel::hostFreeCost(u64 bytes) const
+{
+    const u64 pages = ceilDiv(bytes, 4 * KiB);
+    return static_cast<TimeNs>((20.0 + 0.20 * static_cast<double>(pages)) *
+                               1000.0 * scale_);
+}
+
 TimeNs
 LatencyModel::unmapGroupCost(PageGroup pg) const
 {

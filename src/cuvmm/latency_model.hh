@@ -33,8 +33,42 @@ const char *toString(Api api);
 class LatencyModel
 {
   public:
+    /**
+     * Device<->host copy pricing for the KV swap tier. The defaults
+     * mirror perf::PcieSpec::gen4x16() (the A100 platform) so a bare
+     * driver prices copies sensibly; backends install the engine's
+     * configured link via setCopyModel(PcieSpec::toCopyModel()).
+     */
+    struct CopyModel
+    {
+        double d2h_bytes_per_s = 24e9;
+        double h2d_bytes_per_s = 26e9;
+        TimeNs launch_ns = 8 * kUsec;
+    };
+
     /** Latency of @p api when operating on @p pg sized page-groups. */
     TimeNs cost(Api api, PageGroup pg) const;
+
+    // ---- Host tier (swap) costs -------------------------------------
+
+    /** Device -> pinned-host copy of @p bytes (swap-out direction). */
+    TimeNs copyDtoHCost(u64 bytes) const;
+
+    /** Pinned-host -> device copy of @p bytes (swap-in direction). */
+    TimeNs copyHtoDCost(u64 bytes) const;
+
+    /**
+     * cuMemHostCreate: pinned host allocation. Dominated by
+     * page-locking, so roughly linear in size; callers are expected to
+     * pool host pages rather than pay this per swap.
+     */
+    TimeNs hostAllocCost(u64 bytes) const;
+
+    /** cuMemHostRelease: unpin + free. */
+    TimeNs hostFreeCost(u64 bytes) const;
+
+    void setCopyModel(const CopyModel &copy) { copy_ = copy; }
+    const CopyModel &copyModel() const { return copy_; }
 
     /**
      * Steady-state cost of growing a mapped region by one page-group
@@ -52,6 +86,7 @@ class LatencyModel
 
   private:
     double scale_ = 1.0;
+    CopyModel copy_;
 };
 
 } // namespace vattn::cuvmm

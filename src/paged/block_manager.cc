@@ -8,9 +8,11 @@ namespace vattn::paged
 {
 
 BlockManager::BlockManager(i64 num_blocks, i64 block_size,
-                           bool enable_prefix_cache)
+                           bool enable_prefix_cache, i64 num_cpu_blocks)
     : num_blocks_(num_blocks), block_size_(block_size),
       prefix_cache_(enable_prefix_cache),
+      num_cpu_blocks_(num_cpu_blocks),
+      cpu_in_use_(static_cast<std::size_t>(num_cpu_blocks), false),
       ref_counts_(static_cast<std::size_t>(num_blocks), 0),
       block_hash_(static_cast<std::size_t>(num_blocks), 0),
       has_hash_(static_cast<std::size_t>(num_blocks), false),
@@ -19,9 +21,12 @@ BlockManager::BlockManager(i64 num_blocks, i64 block_size,
 {
     fatal_if(num_blocks <= 0, "BlockManager needs > 0 blocks");
     fatal_if(block_size <= 0, "BlockManager needs > 0 block size");
+    fatal_if(num_cpu_blocks < 0, "negative CPU block pool");
     free_list_.resize(static_cast<std::size_t>(num_blocks));
     // Hand out low block ids first (stable, test friendly).
     std::iota(free_list_.rbegin(), free_list_.rend(), 0);
+    cpu_free_list_.resize(static_cast<std::size_t>(num_cpu_blocks));
+    std::iota(cpu_free_list_.rbegin(), cpu_free_list_.rend(), 0);
 }
 
 void
@@ -167,6 +172,67 @@ BlockManager::refSharedBlock(i32 block)
     return Status::ok();
 }
 
+Result<i32>
+BlockManager::swapOutBlock(i32 block)
+{
+    if (block < 0 || block >= num_blocks_) {
+        return Result<i32>(ErrorCode::kInvalidArgument, "bad block id");
+    }
+    const auto idx = static_cast<std::size_t>(block);
+    if (ref_counts_[idx] != 1) {
+        // Shared (prefix-aliased) blocks never leave the device while
+        // another request references them; free blocks cannot move.
+        return Result<i32>(ErrorCode::kFailedPrecondition,
+                           ref_counts_[idx] == 0
+                               ? "swapOutBlock on a free block"
+                               : "block shared with another request");
+    }
+    if (cpu_free_list_.empty()) {
+        return Result<i32>(ErrorCode::kOutOfMemory,
+                           num_cpu_blocks_ == 0 ? "CPU pool disabled"
+                                                : "CPU pool full");
+    }
+    const i32 cpu_block = cpu_free_list_.back();
+    cpu_free_list_.pop_back();
+    cpu_in_use_[static_cast<std::size_t>(cpu_block)] = true;
+    // The content leaves the device: the hash entry must go with it
+    // (a later prefix match may not adopt a block that is not there).
+    dropHash(block);
+    ref_counts_[idx] = 0;
+    free_list_.push_back(block);
+    return cpu_block;
+}
+
+Result<i32>
+BlockManager::swapInBlock(i32 cpu_block)
+{
+    if (cpu_block < 0 || cpu_block >= num_cpu_blocks_ ||
+        !cpu_in_use_[static_cast<std::size_t>(cpu_block)]) {
+        return Result<i32>(ErrorCode::kInvalidArgument,
+                           "bad CPU block id");
+    }
+    auto block = allocBlock();
+    if (!block.isOk()) {
+        return block; // device pool full: caller preempts/waits
+    }
+    cpu_in_use_[static_cast<std::size_t>(cpu_block)] = false;
+    cpu_free_list_.push_back(cpu_block);
+    return block;
+}
+
+Status
+BlockManager::freeCpuBlock(i32 cpu_block)
+{
+    if (cpu_block < 0 || cpu_block >= num_cpu_blocks_ ||
+        !cpu_in_use_[static_cast<std::size_t>(cpu_block)]) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "bad CPU block id");
+    }
+    cpu_in_use_[static_cast<std::size_t>(cpu_block)] = false;
+    cpu_free_list_.push_back(cpu_block);
+    return Status::ok();
+}
+
 int
 BlockManager::refCount(i32 block) const
 {
@@ -202,7 +268,21 @@ BlockManager::checkInvariants() const
             ++zero_refs;
         }
     }
-    return zero_holders == zero_refs;
+    if (zero_holders != zero_refs) {
+        return false;
+    }
+    // CPU pool conservation: every CPU block is either free or in use.
+    i64 cpu_used = 0;
+    for (i32 cpu_block : cpu_free_list_) {
+        if (cpu_block < 0 || cpu_block >= num_cpu_blocks_ ||
+            cpu_in_use_[static_cast<std::size_t>(cpu_block)]) {
+            return false;
+        }
+    }
+    for (bool used : cpu_in_use_) {
+        cpu_used += used ? 1 : 0;
+    }
+    return cpu_used + numCpuFree() == num_cpu_blocks_;
 }
 
 RequestBlocks::RequestBlocks(BlockManager *manager)
@@ -298,6 +378,14 @@ void
 RequestBlocks::adoptBlock(i32 block)
 {
     blocks_.push_back(block);
+}
+
+std::vector<i32>
+RequestBlocks::releaseForSwap()
+{
+    std::vector<i32> blocks = std::move(blocks_);
+    blocks_.clear();
+    return blocks;
 }
 
 void

@@ -39,9 +39,12 @@ class BlockManager
      * @param block_size tokens per block
      * @param enable_prefix_cache park refcount-0 hashed blocks on the
      *        LRU evictable list instead of freeing them
+     * @param num_cpu_blocks CPU (host) block pool for block-granular
+     *        swap, the vLLM --swap-space model (0 disables swapping)
      */
     BlockManager(i64 num_blocks, i64 block_size,
-                 bool enable_prefix_cache = false);
+                 bool enable_prefix_cache = false,
+                 i64 num_cpu_blocks = 0);
 
     i64 numBlocks() const { return num_blocks_; }
     i64 blockSize() const { return block_size_; }
@@ -87,6 +90,35 @@ class BlockManager
      *  block's refcount, or revives an evictable one (refcount 1). */
     Status refSharedBlock(i32 block);
 
+    // ---- CPU block pool: block-granular swap ------------------------
+    //
+    // The vLLM preempt-by-swap model: a victim's GPU blocks move to
+    // same-sized CPU blocks and back. Sharing never survives a swap —
+    // a block another request still references must stay resident, so
+    // swapOutBlock refuses refcount > 1.
+
+    i64 numCpuBlocks() const { return num_cpu_blocks_; }
+    i64 numCpuFree() const
+    {
+        return static_cast<i64>(cpu_free_list_.size());
+    }
+    i64 numCpuInUse() const { return num_cpu_blocks_ - numCpuFree(); }
+
+    /**
+     * Move one device block to a CPU block: drops the device block's
+     * hash (its content leaves the device) and frees it for reuse.
+     * kFailedPrecondition when the block is shared (refcount != 1),
+     * kOutOfMemory when the CPU pool is full.
+     */
+    Result<i32> swapOutBlock(i32 block);
+
+    /** Bring a CPU block back: allocates a device block (evicting the
+     *  LRU cached block if needed) and frees the CPU block. */
+    Result<i32> swapInBlock(i32 cpu_block);
+
+    /** Return a CPU block without swapping it in (request dropped). */
+    Status freeCpuBlock(i32 cpu_block);
+
     /** Conservation check for tests. */
     bool checkInvariants() const;
 
@@ -96,6 +128,9 @@ class BlockManager
     i64 num_blocks_;
     i64 block_size_;
     bool prefix_cache_;
+    i64 num_cpu_blocks_;
+    std::vector<i32> cpu_free_list_;
+    std::vector<bool> cpu_in_use_;
     std::vector<i32> free_list_;
     std::vector<int> ref_counts_;
     /** Content hash per block (valid iff has_hash_[block]). */
@@ -147,6 +182,13 @@ class RequestBlocks
     /** Append a block whose reference the caller already took
      *  (hash-based prefix sharing via refSharedBlock). */
     void adoptBlock(i32 block);
+
+    /**
+     * Relinquish the block list without touching refcounts: the caller
+     * has already moved every block's ownership elsewhere (swap-out
+     * transfers them to CPU blocks one by one). Returns the list.
+     */
+    std::vector<i32> releaseForSwap();
 
     /** Release all blocks back to the manager. */
     void releaseAll();

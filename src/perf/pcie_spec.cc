@@ -1,0 +1,66 @@
+#include "perf/pcie_spec.hh"
+
+namespace vattn::perf
+{
+
+PcieSpec
+PcieSpec::gen4x16()
+{
+    return PcieSpec{
+        "PCIe4.0-x16",
+        26e9, // pinned HtoD, ~82% of the 31.5 GB/s raw link
+        24e9, // DtoH runs slightly behind HtoD on A100 systems
+        8 * kUsec,
+    };
+}
+
+PcieSpec
+PcieSpec::gen5x16()
+{
+    return PcieSpec{
+        "PCIe5.0-x16",
+        52e9,
+        48e9,
+        8 * kUsec,
+    };
+}
+
+namespace
+{
+
+TimeNs
+copyNs(u64 bytes, double bytes_per_s, TimeNs launch_ns)
+{
+    return launch_ns +
+           static_cast<TimeNs>(static_cast<double>(bytes) /
+                               bytes_per_s * 1e9);
+}
+
+} // namespace
+
+TimeNs
+PcieSpec::dtohNs(u64 bytes) const
+{
+    return copyNs(bytes, d2h_bytes_per_s, launch_ns);
+}
+
+TimeNs
+PcieSpec::htodNs(u64 bytes) const
+{
+    return copyNs(bytes, h2d_bytes_per_s, launch_ns);
+}
+
+TimeNs
+PcieSpec::roundTripNs(u64 bytes) const
+{
+    return dtohNs(bytes) + htodNs(bytes);
+}
+
+cuvmm::LatencyModel::CopyModel
+PcieSpec::toCopyModel() const
+{
+    return cuvmm::LatencyModel::CopyModel{d2h_bytes_per_s,
+                                          h2d_bytes_per_s, launch_ns};
+}
+
+} // namespace vattn::perf

@@ -187,6 +187,12 @@ ServingCluster::run(std::vector<Request> trace)
         merged.prefill_iterations += replica.prefill_iterations;
         merged.mixed_iterations += replica.mixed_iterations;
         merged.preemptions += replica.preemptions;
+        merged.swap_outs += replica.swap_outs;
+        merged.swap_ins += replica.swap_ins;
+        merged.swap_out_bytes += replica.swap_out_bytes;
+        merged.swap_in_bytes += replica.swap_in_bytes;
+        merged.swap_stall_ns += replica.swap_stall_ns;
+        merged.dropped_requests += replica.dropped_requests;
         merged.prefix_lookups += replica.prefix_lookups;
         merged.prefix_hits += replica.prefix_hits;
         merged.prefill_tokens_saved += replica.prefill_tokens_saved;

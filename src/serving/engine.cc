@@ -24,6 +24,28 @@ blocksFor(i64 tokens, i64 block_size)
 
 } // namespace
 
+const char *
+toString(PreemptionPolicy policy)
+{
+    switch (policy) {
+      case PreemptionPolicy::kRecompute: return "recompute";
+      case PreemptionPolicy::kSwap: return "swap";
+      case PreemptionPolicy::kAuto: return "auto";
+    }
+    return "?";
+}
+
+const char *
+toString(PreemptionVictim policy)
+{
+    switch (policy) {
+      case PreemptionVictim::kLifo: return "lifo";
+      case PreemptionVictim::kSmallestRecompute:
+        return "smallest_recompute";
+    }
+    return "?";
+}
+
 u64
 EngineConfig::kvBudgetPerWorker() const
 {
@@ -50,19 +72,29 @@ Engine::Engine(EngineConfig config)
       block_size_(perf::defaultBlockSize(config.backend))
 {
     const u64 budget = config_.kvBudgetPerWorker();
+    // The host tier is only committed when the policy can swap, so the
+    // default (kRecompute) build is bit-for-bit the historical one.
+    const u64 host_bytes =
+        config_.preemption_policy == PreemptionPolicy::kRecompute
+            ? 0
+            : config_.host_swap_bytes;
     if (perf::isPaged(config_.backend)) {
         backend_ = std::make_unique<PagedBackend>(
             config_.model, config_.tp, block_size_, budget,
-            config_.enable_prefix_caching);
+            config_.enable_prefix_caching, host_bytes, config_.pcie);
     } else {
         auto options = config_.vattn;
         options.max_batch_size =
             std::max(options.max_batch_size,
                      config_.scheduler.max_num_seqs);
         options.enable_prefix_caching |= config_.enable_prefix_caching;
+        options.host_swap_bytes =
+            std::max(options.host_swap_bytes, host_bytes);
         auto backend = std::make_unique<VAttentionBackend>(
             config_.model, config_.tp, budget, options);
         vattn_backend_ = backend.get();
+        vattn_backend_->driver().latency().setCopyModel(
+            config_.pcie.toCopyModel());
         backend_ = std::move(backend);
     }
 }
@@ -118,36 +150,170 @@ Engine::activeLens(const IterationPlan &plan) const
     return active;
 }
 
-void
-Engine::preemptOne()
+TimeNs
+Engine::recomputeCostNs(const Request *request) const
+{
+    const i64 ctx = request->contextLen();
+    if (ctx <= 0) {
+        return 0;
+    }
+    // What evicting this request throws away: the prefill FLOPs of
+    // every token already in its KV cache (decoded tokens included —
+    // recomputation replays them as prompt).
+    return kernel_.prefillAttention(config_.backend, ctx) +
+           kernel_.prefillLinear(ctx) + kernel_.commTime(ctx);
+}
+
+Request *
+Engine::pickVictim()
 {
     panic_if(running_.empty(), "preemption with nothing running");
-    // vLLM preempts the most recently admitted request and recomputes
-    // it from scratch later (a half-prefilled victim also restarts
-    // from prompt token 0).
-    Request *victim = running_.back();
-    running_.pop_back();
+    if (config_.preemption_victim == PreemptionVictim::kLifo) {
+        // vLLM preempts the most recently admitted request.
+        return running_.back();
+    }
+    // Smallest recompute cost, scanning newest-first so ties keep the
+    // LIFO choice.
+    Request *best = running_.back();
+    TimeNs best_cost = recomputeCostNs(best);
+    for (auto it = std::next(running_.rbegin());
+         it != running_.rend(); ++it) {
+        const TimeNs cost = recomputeCostNs(*it);
+        if (cost < best_cost) {
+            best = *it;
+            best_cost = cost;
+        }
+    }
+    return best;
+}
+
+void
+Engine::preemptOne(RunReport &report, TimeNs *swap_stall_ns)
+{
+    Request *victim = pickVictim();
+    bool try_swap = false;
+    switch (config_.preemption_policy) {
+      case PreemptionPolicy::kRecompute:
+        break;
+      case PreemptionPolicy::kSwap:
+        try_swap = true;
+        break;
+      case PreemptionPolicy::kAuto: {
+        // Swap iff the PCIe round trip undercuts replaying the
+        // victim's prefill.
+        const u64 bytes = backend_->slotPhysBytes(victim->slot);
+        try_swap = bytes > 0 && config_.pcie.roundTripNs(bytes) <
+                                    recomputeCostNs(victim);
+        break;
+      }
+    }
+    // Only decode-phase victims swap. A mid-prefill victim would come
+    // back only to compose the same too-big prefill iteration and be
+    // preempted again (swap-in bypasses the memory-gated admission
+    // path that breaks that cycle for recomputation), so it restarts
+    // from token 0 through the waiting queue instead.
+    if (try_swap && victim->prefillComplete() &&
+        backend_->canSwapOut(victim->slot)) {
+        auto result = backend_->swapOut(victim->slot);
+        if (result.isOk()) {
+            running_.erase(
+                std::find(running_.begin(), running_.end(), victim));
+            ++victim->preemptions;
+            // Computed state survives: the victim resumes where it
+            // stopped, recomputing nothing. The TBT chain restarts
+            // like recompute preemption's does, so the parked wait is
+            // charged to swap_stall_ns/latency — not sampled as one
+            // giant inter-token gap that the recompute policy's
+            // resetComputedState would have hidden.
+            victim->last_token_ns = 0;
+            scheduler_.pushSwapped(victim);
+            ++report.swap_outs;
+            report.swap_out_bytes += result.value().bytes;
+            report.swap_stall_ns += result.value().stall_ns;
+            if (swap_stall_ns) {
+                *swap_stall_ns += result.value().stall_ns;
+            }
+            return;
+        }
+    }
+    // Recompute (also the fallback when the victim cannot be swapped:
+    // prefix-aliased pages, host tier full): free the KV and restart
+    // from prompt token 0 later (a half-prefilled victim included).
+    running_.erase(std::find(running_.begin(), running_.end(), victim));
     backend_->freeSlot(victim->slot);
     victim->resetComputedState();
     ++victim->preemptions;
     scheduler_.requeueFront(victim);
 }
 
+void
+Engine::dropRequest(Request *request, RunReport &report)
+{
+    auto it = std::find(running_.begin(), running_.end(), request);
+    if (it != running_.end()) {
+        running_.erase(it);
+    }
+    if (request->slot >= 0) {
+        backend_->freeSlot(request->slot);
+    }
+    request->resetComputedState();
+    request->state = Request::State::kDropped;
+    request->finish_ns = clock_.now();
+    ++report.dropped_requests;
+}
+
 TimeNs
 Engine::ensureWithPreemption(const IterationPlan &plan,
                              RunReport &report)
 {
+    TimeNs swap_ns = 0;
     while (true) {
         auto result = backend_->ensure(activeLens(plan));
         if (result.isOk()) {
-            return result.value();
+            return result.value() + swap_ns;
         }
         panic_if(result.code() != ErrorCode::kOutOfMemory,
                  "backend ensure failed: ", result.status().message());
-        panic_if(running_.empty(),
-                 "a single request exceeds the KV budget");
-        preemptOne();
+        panic_if(running_.empty(), "ensure OOM with nothing running");
+        if (running_.size() == 1) {
+            // Nothing left to preempt: this one request's demand
+            // exceeds the whole KV budget (even after reclaiming every
+            // cached group). Fail it gracefully and keep serving
+            // instead of panicking.
+            dropRequest(running_.back(), report);
+            continue;
+        }
+        preemptOne(report, &swap_ns);
         ++report.preemptions;
+    }
+}
+
+void
+Engine::swapInReady(RunReport &report)
+{
+    while (scheduler_.hasSwapped()) {
+        Request *request = scheduler_.frontSwapped();
+        // FCFS, gated on capacity headroom — except when nothing is
+        // running: the device is idle, so force the attempt (progress
+        // guarantee; a swapped request always fits an empty device).
+        if (!running_.empty() && !backend_->canSwapIn(request->slot)) {
+            break;
+        }
+        auto result = backend_->swapIn(request->slot);
+        if (!result.isOk()) {
+            panic_if(running_.empty(),
+                     "swap-in stuck with an idle device: ",
+                     result.status().message());
+            break;
+        }
+        scheduler_.popFrontSwapped();
+        request->state = Request::State::kRunning;
+        running_.push_back(request);
+        ++report.swap_ins;
+        report.swap_in_bytes += result.value().bytes;
+        report.swap_stall_ns += result.value().stall_ns;
+        report.busy_ns += result.value().stall_ns;
+        clock_.advance(result.value().stall_ns);
     }
 }
 
@@ -409,6 +575,8 @@ Engine::run(std::vector<Request> trace)
 
     // Single admission gate: the composer's budgets, the starvation
     // check below and the backend all see prefix-discounted demand.
+    // (The scheduler itself counts swapped-out requests against the
+    // sequence cap — they hold slots and will rejoin.)
     const auto can_admit = [this](Request &request) {
         return canAdmitRequest(request);
     };
@@ -417,27 +585,42 @@ Engine::run(std::vector<Request> trace)
     std::size_t finished = 0;
     while (finished < trace.size()) {
         admitArrivals(by_arrival, next_arrival);
+        // Swapped requests come back before new admissions (they hold
+        // slots and finished prefill work; serving them first frees
+        // capacity soonest and preserves FCFS fairness).
+        swapInReady(report);
 
         if (running_.empty() && !scheduler_.hasWaiting()) {
+            panic_if(scheduler_.hasSwapped(),
+                     "swapped requests stranded on an idle engine");
             panic_if(next_arrival >= by_arrival.size(),
                      "engine idle with unfinished requests");
             clock_.advanceTo(by_arrival[next_arrival]->arrival_ns);
             continue;
         }
 
+        const i64 finished_before = report.num_requests;
+        const i64 dropped_before = report.dropped_requests;
+
         const IterationPlan plan =
             composer_.compose(scheduler_, running_, can_admit);
         if (plan.empty()) {
-            fatal("head-of-queue request (",
-                  scheduler_.numWaiting(),
-                  " waiting) can never be admitted: prompt exceeds "
-                  "the KV budget");
+            // Nothing runs and the head of the queue cannot be
+            // admitted with the device otherwise empty: its prompt
+            // exceeds the KV budget and never will fit. Fail that one
+            // request and keep serving.
+            panic_if(!running_.empty(),
+                     "empty plan with requests running");
+            Request *head = scheduler_.frontWaiting();
+            panic_if(!head, "empty plan with nothing waiting");
+            scheduler_.popFrontWaiting();
+            dropRequest(head, report);
+        } else {
+            runIteration(plan, report);
         }
-
-        const i64 finished_before = report.num_requests;
-        runIteration(plan, report);
-        finished += static_cast<std::size_t>(report.num_requests -
-                                             finished_before);
+        finished += static_cast<std::size_t>(
+            (report.num_requests - finished_before) +
+            (report.dropped_requests - dropped_before));
     }
 
     report.makespan_ns = clock_.now();
@@ -512,10 +695,16 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
     result.preemptions = scratch.preemptions;
 
     // Tear the batch down; drop any requests preemption pushed back
-    // into the queue (they point into this frame's storage).
+    // into the queue or onto the host tier (they point into this
+    // frame's storage). freeSlot on a swapped slot discards its stash.
     while (!running_.empty()) {
         Request *request = running_.back();
         running_.pop_back();
+        backend_->freeSlot(request->slot);
+    }
+    while (scheduler_.hasSwapped()) {
+        Request *request = scheduler_.frontSwapped();
+        scheduler_.popFrontSwapped();
         backend_->freeSlot(request->slot);
     }
     scheduler_.clearWaiting();

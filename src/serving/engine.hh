@@ -28,6 +28,7 @@
 #include "perf/kernel_model.hh"
 #include "perf/model_spec.hh"
 #include "perf/overhead_model.hh"
+#include "perf/pcie_spec.hh"
 #include "serving/memory_backend.hh"
 #include "serving/metrics.hh"
 #include "serving/scheduler.hh"
@@ -36,6 +37,41 @@
 
 namespace vattn::serving
 {
+
+/**
+ * How the engine resolves out-of-memory during an iteration
+ * (which fate the preemption victim meets).
+ */
+enum class PreemptionPolicy : u8
+{
+    /** Free the victim's KV and recompute its prefill from token 0
+     *  later (vLLM's recomputation preemption; the historical
+     *  behaviour and the default). */
+    kRecompute,
+    /** Swap the victim's KV to host memory and copy it back when
+     *  capacity returns; no prefill FLOPs are repeated. Falls back to
+     *  recomputation when the victim cannot be swapped (prefix-aliased
+     *  pages, host tier full). */
+    kSwap,
+    /** Per victim, compare the modeled recompute time (roofline
+     *  prefill of its computed tokens) against the modeled PCIe round
+     *  trip of its KV bytes and pick the cheaper. */
+    kAuto,
+};
+
+const char *toString(PreemptionPolicy policy);
+
+/** Which running request a preemption selects as the victim. */
+enum class PreemptionVictim : u8
+{
+    /** Most recently admitted first (vLLM; the historical default). */
+    kLifo,
+    /** The request whose prefill is cheapest to redo (smallest modeled
+     *  recompute cost); ties break toward most recently admitted. */
+    kSmallestRecompute,
+};
+
+const char *toString(PreemptionVictim policy);
 
 /** Everything needed to stand up one serving deployment. */
 struct EngineConfig
@@ -59,6 +95,18 @@ struct EngineConfig
      *  (hash-block caching for paged, page-group aliasing for
      *  vAttention). Only effective for traces carrying token ids. */
     bool enable_prefix_caching = false;
+
+    // ---- Memory-pressure policy -------------------------------------
+    /** What happens to preemption victims (default: recompute, the
+     *  historical behaviour — runs are bit-for-bit unchanged). */
+    PreemptionPolicy preemption_policy = PreemptionPolicy::kRecompute;
+    /** Victim selection (default: LIFO, the historical behaviour). */
+    PreemptionVictim preemption_victim = PreemptionVictim::kLifo;
+    /** Per-worker host memory for the KV swap tier. Only committed
+     *  when the policy can swap (kSwap/kAuto). */
+    u64 host_swap_bytes = 16 * GiB;
+    /** PCIe link pricing swap copies and the kAuto cost comparison. */
+    perf::PcieSpec pcie = perf::PcieSpec::gen4x16();
 
     /** Per-worker KV pool size implied by the settings above. */
     u64 kvBudgetPerWorker() const;
@@ -140,10 +188,24 @@ class Engine
      *  for everything running, except prefill-chunk members whose
      *  target includes the chunk being computed. */
     ActiveLens activeLens(const IterationPlan &plan) const;
-    /** ensure() with preemption-on-OOM; returns critical ns. */
+    /** ensure() with preemption-on-OOM; returns critical ns (swap-out
+     *  stalls included — they happen inside the iteration). */
     TimeNs ensureWithPreemption(const IterationPlan &plan,
                                 RunReport &report);
-    void preemptOne();
+    /** The running request the configured victim policy selects. */
+    Request *pickVictim();
+    /** Modeled cost of re-prefilling the request's computed tokens. */
+    TimeNs recomputeCostNs(const Request *request) const;
+    /** Preempt one victim per the configured policy: swap it to host
+     *  (stall added to @p swap_stall_ns) or free-and-requeue it for
+     *  recomputation. */
+    void preemptOne(RunReport &report, TimeNs *swap_stall_ns);
+    /** Swap queued-out requests back in, FCFS, before any new
+     *  admission; forced when the device is otherwise idle. */
+    void swapInReady(RunReport &report);
+    /** Permanently reject a request whose KV demand can never be met
+     *  (graceful per-request failure; keeps serving). */
+    void dropRequest(Request *request, RunReport &report);
     void finishRequest(Request *request, RunReport &report);
     /** TBT bookkeeping at every token emission. */
     void recordToken(Request *request, RunReport &report);

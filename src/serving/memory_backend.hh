@@ -49,6 +49,16 @@ struct BackendPrefixStats
     u64 copied_bytes = 0;
 };
 
+/** Outcome of one slot swap (out or in). */
+struct SwapResult
+{
+    /** KV bytes moved over PCIe. */
+    u64 bytes = 0;
+    /** Synchronous latency of the swap (copies plus any driver
+     *  map/unmap work) — the engine's swap-stall time. */
+    TimeNs stall_ns = 0;
+};
+
 /** KV memory manager abstraction used by the engine. */
 class MemoryBackend
 {
@@ -108,6 +118,59 @@ class MemoryBackend
 
     /** Cumulative sharing counters (reports/benches). */
     virtual BackendPrefixStats prefixStats() const { return {}; }
+
+    // ---- Host-memory swap tier (optional capability) ----------------
+    //
+    // Preemption-by-swap: a victim's KV moves to host memory and back
+    // instead of being recomputed. The slot stays leased for the whole
+    // cycle (vAttention keeps the virtual layout mapped-out-but-intact;
+    // paged keeps the slot's bookkeeping with CPU block ids), so
+    // swap-in resumes the request exactly where it stopped.
+
+    /** Does this backend have a host tier to swap to? */
+    virtual bool supportsSwap() const { return false; }
+
+    /** Could swapOut(slot) succeed right now? False in particular
+     *  while any of the slot's pages/blocks are shared with another
+     *  request (prefix aliasing) — those must stay resident. */
+    virtual bool canSwapOut(int slot) const
+    {
+        (void)slot;
+        return false;
+    }
+
+    /** Could swapIn(slot) succeed right now (device capacity)? */
+    virtual bool canSwapIn(int slot) const
+    {
+        (void)slot;
+        return false;
+    }
+
+    /** Move the slot's KV to the host tier, freeing device memory. */
+    virtual Result<SwapResult>
+    swapOut(int slot)
+    {
+        (void)slot;
+        return Result<SwapResult>(ErrorCode::kUnimplemented,
+                                  "backend has no swap tier");
+    }
+
+    /** Bring a swapped-out slot's KV back to the device. */
+    virtual Result<SwapResult>
+    swapIn(int slot)
+    {
+        (void)slot;
+        return Result<SwapResult>(ErrorCode::kUnimplemented,
+                                  "backend has no swap tier");
+    }
+
+    /** Physical KV bytes a live slot currently occupies on the device
+     *  (the cost model's estimate of what a swap would move). */
+    virtual u64 slotPhysBytes(int slot) const
+    {
+        (void)slot;
+        return 0;
+    }
 
     /** Release a slot (completion or preemption). */
     virtual void freeSlot(int slot) = 0;

@@ -51,9 +51,31 @@ struct RunReport
     i64 mixed_iterations = 0;
     /** Preemption events during the run, counted when they happen
      *  (not via per-request totals: that would double-count, and
-     *  would miss requests that never finish). */
+     *  would miss requests that never finish). Swap preemptions count
+     *  here too (they are preemption events; swap_outs tells them
+     *  apart from recomputations). */
     u64 preemptions = 0;
     i64 peak_batch = 0;
+
+    // ---- Host-memory swap tier (all zero under kRecompute) ---------
+    /** Preemptions resolved by swapping the victim's KV to host. */
+    u64 swap_outs = 0;
+    /** Swapped requests brought back to the device. */
+    u64 swap_ins = 0;
+    /** KV bytes moved device -> host. */
+    u64 swap_out_bytes = 0;
+    /** KV bytes moved host -> device. */
+    u64 swap_in_bytes = 0;
+    /** Synchronous time the engine stalled on swap traffic (copies
+     *  plus remap/unmap driver work, both directions). */
+    TimeNs swap_stall_ns = 0;
+    /** Requests permanently rejected because their KV demand can
+     *  never fit the budget (graceful per-request failure instead of
+     *  an engine panic). Never counted in the request-level
+     *  latency/TTFT/normalized percentiles; TBT samples a dropped
+     *  request emitted before failing remain (they measured real
+     *  served tokens). */
+    i64 dropped_requests = 0;
 
     // ---- §8.1 prefix caching (all zero when disabled) --------------
     /** Slot allocations that consulted the prefix cache. */

@@ -1,6 +1,7 @@
 #include "serving/paged_backend.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -9,12 +10,15 @@ namespace vattn::serving
 
 PagedBackend::PagedBackend(const perf::ModelSpec &model, int tp,
                            i64 block_size, u64 budget_bytes,
-                           bool enable_prefix_caching)
+                           bool enable_prefix_caching,
+                           u64 host_swap_bytes, perf::PcieSpec pcie)
     : bytes_per_block_(model.kvBytesPerTokenPerWorker(tp) *
                        static_cast<u64>(block_size)),
       budget_bytes_(budget_bytes),
+      pcie_(std::move(pcie)),
       manager_(static_cast<i64>(budget_bytes / bytes_per_block_),
-               block_size, enable_prefix_caching)
+               block_size, enable_prefix_caching,
+               static_cast<i64>(host_swap_bytes / bytes_per_block_))
 {
 }
 
@@ -34,7 +38,8 @@ Result<int>
 PagedBackend::allocSlot()
 {
     const int slot = next_slot_++;
-    slots_.emplace(slot, Slot{paged::RequestBlocks(&manager_), {}, 0});
+    slots_.emplace(slot,
+                   Slot{paged::RequestBlocks(&manager_), {}, 0, {}});
     return slot;
 }
 
@@ -122,10 +127,143 @@ PagedBackend::freeSlot(int slot)
 {
     auto it = slots_.find(slot);
     panic_if(it == slots_.end(), "freeSlot on unknown slot ", slot);
+    // A slot freed while swapped out abandons its CPU blocks.
+    for (const i32 cpu_block : it->second.cpu_blocks) {
+        manager_.freeCpuBlock(cpu_block).expectOk("free CPU block");
+    }
     // RequestBlocks dtor drops the references; hashed refcount-0
     // blocks park on the evictable LRU (the prefix cache), the rest
     // return to the free list.
     slots_.erase(it);
+}
+
+bool
+PagedBackend::supportsSwap() const
+{
+    return manager_.numCpuBlocks() > 0;
+}
+
+bool
+PagedBackend::canSwapOut(int slot) const
+{
+    auto it = slots_.find(slot);
+    if (it == slots_.end() || it->second.swapped()) {
+        return false;
+    }
+    const auto &blocks = it->second.blocks.blocks();
+    if (blocks.empty() ||
+        static_cast<i64>(blocks.size()) > manager_.numCpuFree()) {
+        return false;
+    }
+    for (const i32 block : blocks) {
+        if (manager_.refCount(block) != 1) {
+            return false; // shared with another request: stays resident
+        }
+    }
+    return true;
+}
+
+bool
+PagedBackend::canSwapIn(int slot) const
+{
+    auto it = slots_.find(slot);
+    if (it == slots_.end() || !it->second.swapped()) {
+        return false;
+    }
+    // Mirror canAdmit's watermark: keep one block of headroom per
+    // resident request so the next decode iteration cannot OOM.
+    i64 resident = 0;
+    for (const auto &[id, state] : slots_) {
+        resident += state.swapped() ? 0 : 1;
+    }
+    return manager_.numAllocatable() >=
+           static_cast<i64>(it->second.cpu_blocks.size()) + resident;
+}
+
+Result<SwapResult>
+PagedBackend::swapOut(int slot)
+{
+    auto it = slots_.find(slot);
+    if (it == slots_.end()) {
+        return Result<SwapResult>(ErrorCode::kInvalidArgument,
+                                  "unknown slot");
+    }
+    Slot &state = it->second;
+    if (state.swapped()) {
+        return Result<SwapResult>(ErrorCode::kFailedPrecondition,
+                                  "slot already swapped out");
+    }
+    if (state.blocks.blocks().empty()) {
+        return Result<SwapResult>(ErrorCode::kFailedPrecondition,
+                                  "slot holds no blocks");
+    }
+    for (const i32 block : state.blocks.blocks()) {
+        if (manager_.refCount(block) != 1) {
+            return Result<SwapResult>(
+                ErrorCode::kFailedPrecondition,
+                "block shared with another request");
+        }
+    }
+    if (static_cast<i64>(state.blocks.blocks().size()) >
+        manager_.numCpuFree()) {
+        return Result<SwapResult>(ErrorCode::kOutOfMemory,
+                                  "CPU block pool full");
+    }
+    const std::vector<i32> blocks = state.blocks.releaseForSwap();
+    state.cpu_blocks.reserve(blocks.size());
+    for (const i32 block : blocks) {
+        auto cpu_block = manager_.swapOutBlock(block);
+        cpu_block.status().expectOk("swapOutBlock after checks");
+        state.cpu_blocks.push_back(cpu_block.value());
+    }
+    // Swapping invalidates the slot's registered hashes (the manager
+    // dropped them with the device blocks); prefill re-registers from
+    // scratch if the request is ever re-run through registerPrefix.
+    state.hashes.clear();
+    state.chain = 0;
+    const u64 swapped_bytes =
+        static_cast<u64>(blocks.size()) * bytes_per_block_;
+    return SwapResult{swapped_bytes, pcie_.dtohNs(swapped_bytes)};
+}
+
+Result<SwapResult>
+PagedBackend::swapIn(int slot)
+{
+    auto it = slots_.find(slot);
+    if (it == slots_.end()) {
+        return Result<SwapResult>(ErrorCode::kInvalidArgument,
+                                  "unknown slot");
+    }
+    Slot &state = it->second;
+    if (!state.swapped()) {
+        return Result<SwapResult>(ErrorCode::kFailedPrecondition,
+                                  "slot not swapped out");
+    }
+    if (manager_.numAllocatable() <
+        static_cast<i64>(state.cpu_blocks.size())) {
+        return Result<SwapResult>(ErrorCode::kOutOfMemory,
+                                  "device block pool full");
+    }
+    for (const i32 cpu_block : state.cpu_blocks) {
+        auto block = manager_.swapInBlock(cpu_block);
+        block.status().expectOk("swapInBlock after capacity check");
+        state.blocks.adoptBlock(block.value());
+    }
+    const u64 swapped_bytes =
+        static_cast<u64>(state.cpu_blocks.size()) * bytes_per_block_;
+    state.cpu_blocks.clear();
+    return SwapResult{swapped_bytes, pcie_.htodNs(swapped_bytes)};
+}
+
+u64
+PagedBackend::slotPhysBytes(int slot) const
+{
+    auto it = slots_.find(slot);
+    if (it == slots_.end()) {
+        return 0;
+    }
+    return static_cast<u64>(it->second.blocks.blocks().size()) *
+           bytes_per_block_;
 }
 
 Result<TimeNs>

@@ -22,6 +22,7 @@
 
 #include "paged/block_manager.hh"
 #include "perf/model_spec.hh"
+#include "perf/pcie_spec.hh"
 #include "serving/memory_backend.hh"
 
 namespace vattn::serving
@@ -37,9 +38,15 @@ class PagedBackend : public MemoryBackend
      * @param block_size tokens per KV block
      * @param budget_bytes per-worker KV pool bytes
      * @param enable_prefix_caching hash-block prefix cache (§8.1)
+     * @param host_swap_bytes CPU block pool for preempt-by-swap, the
+     *        vLLM --swap-space model (0 disables the tier)
+     * @param pcie link pricing the swap copies (block sharing itself
+     *        stays free; only swap traffic crosses PCIe)
      */
     PagedBackend(const perf::ModelSpec &model, int tp, i64 block_size,
-                 u64 budget_bytes, bool enable_prefix_caching = false);
+                 u64 budget_bytes, bool enable_prefix_caching = false,
+                 u64 host_swap_bytes = 0,
+                 perf::PcieSpec pcie = perf::PcieSpec::gen4x16());
 
     bool canAdmit(i64 uncached_tokens) const override;
     Result<int> allocSlot() override;
@@ -59,6 +66,13 @@ class PagedBackend : public MemoryBackend
     u64 bytesInUse() const override;
     u64 budgetBytes() const override;
 
+    bool supportsSwap() const override;
+    bool canSwapOut(int slot) const override;
+    bool canSwapIn(int slot) const override;
+    Result<SwapResult> swapOut(int slot) override;
+    Result<SwapResult> swapIn(int slot) override;
+    u64 slotPhysBytes(int slot) const override;
+
     paged::BlockManager &blockManager() { return manager_; }
     i64 blockSize() const { return manager_.blockSize(); }
 
@@ -73,10 +87,16 @@ class PagedBackend : public MemoryBackend
         std::vector<u64> hashes;
         /** Running chain value after hashes.back(). */
         u64 chain = 0;
+        /** CPU block per former device block while swapped out (empty
+         *  = resident). */
+        std::vector<i32> cpu_blocks;
+
+        bool swapped() const { return !cpu_blocks.empty(); }
     };
 
     u64 bytes_per_block_;
     u64 budget_bytes_;
+    perf::PcieSpec pcie_;
     paged::BlockManager manager_;
     std::unordered_map<int, Slot> slots_;
     int next_slot_ = 0;

@@ -24,7 +24,12 @@ struct Request
         kPending,  ///< not yet arrived (online traces)
         kWaiting,  ///< queued, no KV allocated
         kRunning,  ///< scheduled, holds a backend slot
+        kSwapped,  ///< preempted to host memory; still holds its slot
         kFinished,
+        /** Permanently rejected: the request's KV demand can never fit
+         *  the budget (recorded in RunReport::dropped_requests, never
+         *  in the latency percentiles). */
+        kDropped,
     };
 
     u64 id = 0;

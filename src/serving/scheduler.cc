@@ -78,6 +78,29 @@ Scheduler::popFrontWaiting()
 }
 
 void
+Scheduler::pushSwapped(Request *request)
+{
+    panic_if(!request, "pushSwapped null request");
+    panic_if(request->slot < 0,
+             "swapped request must keep its backend slot");
+    request->state = Request::State::kSwapped;
+    swapped_.push_back(request);
+}
+
+Request *
+Scheduler::frontSwapped() const
+{
+    return swapped_.empty() ? nullptr : swapped_.front();
+}
+
+void
+Scheduler::popFrontSwapped()
+{
+    panic_if(swapped_.empty(), "popFrontSwapped on an empty queue");
+    swapped_.pop_front();
+}
+
+void
 Scheduler::clearWaiting()
 {
     // Dropped requests must not keep kWaiting state or stale
@@ -98,8 +121,11 @@ Scheduler::pickPrefillBatch(int num_running, const CanAdmit &can_admit)
     i64 batched_tokens = 0;
     while (!waiting_.empty()) {
         Request *request = waiting_.front();
+        // Swapped-out requests count against the sequence cap: they
+        // hold backend slots and will rejoin the running set.
         const int total_running =
-            num_running + static_cast<int>(picked.size());
+            num_running + static_cast<int>(picked.size()) +
+            static_cast<int>(swapped_.size());
         if (total_running >= config_.max_num_seqs) {
             break;
         }
@@ -210,8 +236,10 @@ BatchComposer::composeStallFreeChunked(
     // The queue head gates admission (no head-of-line bypass), and a
     // new prompt is only admitted when it gets at least one token.
     // A prefix-cache hit (hint refreshed by can_admit) shrinks the
-    // prompt's chunk demand to its uncached suffix.
-    int num_running = static_cast<int>(running.size());
+    // prompt's chunk demand to its uncached suffix. Swapped-out
+    // requests keep their seats under the sequence cap.
+    int num_running = static_cast<int>(running.size()) +
+                      static_cast<int>(scheduler.numSwapped());
     while (budget > 0 && num_running < config_.max_num_seqs) {
         Request *head = scheduler.frontWaiting();
         if (!head || !can_admit(*head)) {

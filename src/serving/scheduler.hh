@@ -109,6 +109,22 @@ class Scheduler
     Request *frontWaiting() const;
     /** Remove the head of the queue (the composer admitted it). */
     void popFrontWaiting();
+
+    // ---- Swapped queue ----------------------------------------------
+    //
+    // Requests preempted to the host tier. They still hold a backend
+    // slot and their computed state, so they are not re-admitted
+    // through the waiting queue: the engine swaps them back in — FCFS,
+    // before any new admission — as soon as device memory allows.
+
+    /** Park a swapped-out request (FCFS order). */
+    void pushSwapped(Request *request);
+    bool hasSwapped() const { return !swapped_.empty(); }
+    std::size_t numSwapped() const { return swapped_.size(); }
+    /** Oldest swapped request (nullptr when none). */
+    Request *frontSwapped() const;
+    /** Remove the head of the swapped queue (swap-in succeeded). */
+    void popFrontSwapped();
     /** Drop everything queued (microbenchmark teardown); dropped
      *  requests are reset to kPending with no computed state so they
      *  can be re-enqueued later without stale slot/progress fields. */
@@ -134,6 +150,7 @@ class Scheduler
   private:
     Config config_;
     std::deque<Request *> waiting_;
+    std::deque<Request *> swapped_;
 };
 
 /**

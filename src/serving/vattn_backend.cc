@@ -39,6 +39,7 @@ VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
     config.overlap_allocation = options.overlap_allocation;
     config.prefix_caching = options.enable_prefix_caching;
     config.phys_budget_bytes = budget_bytes;
+    config.host_swap_bytes = options.host_swap_bytes;
     config.validate().expectOk("vAttention backend config");
 
     runtime_ = std::make_unique<core::VAttention>(*driver_, config);
@@ -140,13 +141,68 @@ VAttentionBackend::ensure(const ActiveLens &active)
     if (!last_step_.status.isOk()) {
         return Result<TimeNs>(last_step_.status);
     }
-    return last_step_.critical_ns;
+    // Driver time banked by failed swap-in attempts rides the next
+    // iteration's critical path (0 in the common case).
+    const TimeNs failed_swap = failed_swap_ns_;
+    failed_swap_ns_ = 0;
+    return last_step_.critical_ns + failed_swap;
 }
 
 void
 VAttentionBackend::computeWindow(TimeNs window_ns)
 {
     runtime_->computePhase(window_ns);
+}
+
+bool
+VAttentionBackend::supportsSwap() const
+{
+    return runtime_->hostSwapBudgetBytes() > 0;
+}
+
+bool
+VAttentionBackend::canSwapOut(int slot) const
+{
+    return runtime_->canSwapOut(slot);
+}
+
+bool
+VAttentionBackend::canSwapIn(int slot) const
+{
+    return runtime_->canSwapIn(slot);
+}
+
+Result<SwapResult>
+VAttentionBackend::swapOut(int slot)
+{
+    const auto stats = runtime_->swapOutReq(slot);
+    if (!stats.status.isOk()) {
+        return Result<SwapResult>(stats.status);
+    }
+    seq_lens_[static_cast<std::size_t>(slot)] = 0;
+    return SwapResult{stats.bytes, stats.critical_ns};
+}
+
+Result<SwapResult>
+VAttentionBackend::swapIn(int slot)
+{
+    const auto stats = runtime_->swapInReq(slot);
+    if (!stats.status.isOk()) {
+        // The failed attempt still did modeled driver work (cached
+        // steals, partial remap + rollback). An error result carries
+        // no time, so bank it and charge the next ensure().
+        failed_swap_ns_ += stats.critical_ns;
+        return Result<SwapResult>(stats.status);
+    }
+    return SwapResult{stats.bytes, stats.critical_ns};
+}
+
+u64
+VAttentionBackend::slotPhysBytes(int slot) const
+{
+    return static_cast<u64>(runtime_->groupsMapped(slot)) *
+           static_cast<u64>(runtime_->geometry().numBuffers()) *
+           runtime_->geometry().groupBytes();
 }
 
 u64

@@ -39,6 +39,9 @@ class VAttentionBackend : public MemoryBackend
          *  for cross-lifetime reuse (live-to-live sharing works
          *  regardless). */
         bool enable_prefix_caching = false;
+        /** Pinned host bytes for the KV swap tier (0 = no tier; the
+         *  engine must preempt with recomputation). */
+        u64 host_swap_bytes = 0;
     };
 
     /**
@@ -70,6 +73,13 @@ class VAttentionBackend : public MemoryBackend
     u64 bytesInUse() const override;
     u64 budgetBytes() const override;
 
+    bool supportsSwap() const override;
+    bool canSwapOut(int slot) const override;
+    bool canSwapIn(int slot) const override;
+    Result<SwapResult> swapOut(int slot) override;
+    Result<SwapResult> swapIn(int slot) override;
+    u64 slotPhysBytes(int slot) const override;
+
     core::VAttention &runtime() { return *runtime_; }
     const core::VAttention &runtime() const { return *runtime_; }
     cuvmm::Driver &driver() { return *driver_; }
@@ -88,6 +98,9 @@ class VAttentionBackend : public MemoryBackend
     std::vector<i64> seq_lens_;
     core::StepStats last_step_;
     bool prefix_caching_ = false;
+    /** Driver time spent by failed swap-in attempts, charged to the
+     *  next ensure() (error results cannot carry latency). */
+    TimeNs failed_swap_ns_ = 0;
 };
 
 } // namespace vattn::serving

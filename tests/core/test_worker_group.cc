@@ -144,5 +144,77 @@ TEST(WorkerGroup, InvalidConfigRejected)
     EXPECT_THROW(WorkerGroup(0, tpConfig(), 64 * MiB), SimError);
 }
 
+TEST(WorkerGroup, LockstepAcrossPreemptionCycles)
+{
+    // The serving engine's recomputation preemption as the runtime
+    // sees it: freeReqId mid-flight (half-grown KV), then re-admission
+    // that hands back the SAME reqId (the cached slot with the most
+    // retained groups) on every worker simultaneously.
+    WorkerGroup group(2, tpConfig(), 64 * MiB);
+    const int r1 = group.allocReqId().value();
+    std::vector<i64> lens(4, 0);
+    lens[static_cast<std::size_t>(r1)] = 3000;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+
+    // Preempt mid-flight: mappings are retained (deferred
+    // reclamation), every worker parks the same cached slot.
+    ASSERT_TRUE(group.freeReqId(r1).isOk());
+    EXPECT_TRUE(group.inLockstep());
+    EXPECT_GT(group.worker(0).cachedHandles(), 0);
+
+    // Re-admission reuses the same reqId on all workers (the group
+    // panics on divergence, so allocReqId returning at all proves
+    // agreement) and the retained groups serve the new prompt without
+    // fresh mapping work.
+    const auto again = group.allocReqId();
+    ASSERT_TRUE(again.isOk());
+    EXPECT_EQ(again.value(), r1);
+    auto stats = group.step(lens);
+    ASSERT_TRUE(stats.status.isOk());
+    EXPECT_EQ(stats.handles_mapped, 0);
+    EXPECT_TRUE(group.checkInvariants());
+}
+
+TEST(WorkerGroup, LockstepAcrossSwapCycles)
+{
+    auto config = tpConfig();
+    config.host_swap_bytes = 8 * MiB;
+    WorkerGroup group(2, config, 64 * MiB);
+    const int r1 = group.allocReqId().value();
+    const int r2 = group.allocReqId().value();
+    std::vector<i64> lens(4, 0);
+    lens[static_cast<std::size_t>(r1)] = 3000;
+    lens[static_cast<std::size_t>(r2)] = 2000;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+
+    // Swap r1 to each worker's host tier; every worker stashes its own
+    // shard and the device shares must agree.
+    const auto out = group.swapOutReq(r1);
+    ASSERT_TRUE(out.status.isOk()) << out.status.message();
+    EXPECT_EQ(out.handles, 8); // per worker: 2 groups x 4 buffers
+    EXPECT_TRUE(group.inLockstep());
+    EXPECT_EQ(group.worker(0).groupsMapped(r1), 0);
+    EXPECT_EQ(group.worker(1).swappedGroups(r1), 2);
+
+    // r2 keeps decoding while r1 sits on the host (freeReqId mid-
+    // flight of a *different* request must not disturb the stash).
+    lens[static_cast<std::size_t>(r2)] = 2500;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+    ASSERT_TRUE(group.freeReqId(r2).isOk());
+    EXPECT_TRUE(group.inLockstep());
+
+    // Swap back in and resume: same reqId, same virtual layout, no
+    // divergence.
+    const auto in = group.swapInReq(r1);
+    ASSERT_TRUE(in.status.isOk()) << in.status.message();
+    EXPECT_EQ(in.handles, 8);
+    lens[static_cast<std::size_t>(r2)] = 0;
+    lens[static_cast<std::size_t>(r1)] = 3001;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+    EXPECT_TRUE(group.checkInvariants());
+    ASSERT_TRUE(group.freeReqId(r1).isOk());
+    EXPECT_TRUE(group.inLockstep());
+}
+
 } // namespace
 } // namespace vattn::core

@@ -443,5 +443,87 @@ TEST_F(DriverTest, AliasedVasTranslateToTheSamePhysAddr)
     driver_.vMemRelease(handle);
 }
 
+TEST_F(DriverTest, HostAllocCopyReleaseLifecycle)
+{
+    // Host allocations live beside device handles with their own
+    // accounting; copies price the PCIe link and hit the same ledger.
+    MemHandle host = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemHostCreate(&host, 64 * KiB),
+              CuResult::kSuccess);
+    EXPECT_EQ(driver_.hostBytesInUse(), 64 * KiB);
+    EXPECT_EQ(driver_.numLiveHostHandles(), 1u);
+    EXPECT_EQ(driver_.physBytesInUse(), 0u); // not device memory
+
+    MemHandle dev = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&dev, PageGroup::k64KB),
+              CuResult::kSuccess);
+    driver_.consumeElapsedNs();
+
+    ASSERT_EQ(driver_.cuMemcpyDtoH(host, dev), CuResult::kSuccess);
+    const TimeNs dtoh = driver_.consumeElapsedNs();
+    EXPECT_GE(dtoh, driver_.latency().copyModel().launch_ns);
+    ASSERT_EQ(driver_.cuMemcpyHtoD(dev, host), CuResult::kSuccess);
+    EXPECT_GT(driver_.consumeElapsedNs(), 0u);
+    EXPECT_EQ(driver_.counters().copy_dtoh, 1u);
+    EXPECT_EQ(driver_.counters().copy_htod, 1u);
+
+    ASSERT_EQ(driver_.cuMemHostRelease(host), CuResult::kSuccess);
+    EXPECT_EQ(driver_.hostBytesInUse(), 0u);
+    EXPECT_EQ(driver_.numLiveHostHandles(), 0u);
+    driver_.vMemRelease(dev);
+}
+
+TEST_F(DriverTest, HostCopyRejectsBadHandlesAndSizeMismatch)
+{
+    MemHandle host = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemHostCreate(&host, 128 * KiB),
+              CuResult::kSuccess);
+    MemHandle dev = kInvalidHandle;
+    ASSERT_EQ(driver_.vMemCreate(&dev, PageGroup::k64KB),
+              CuResult::kSuccess);
+    // Sizes must match exactly (page-group granular swap).
+    EXPECT_EQ(driver_.cuMemcpyDtoH(host, dev),
+              CuResult::kErrorInvalidValue);
+    // Host/device namespaces do not mix.
+    EXPECT_EQ(driver_.cuMemcpyDtoH(dev, dev),
+              CuResult::kErrorInvalidHandle);
+    EXPECT_EQ(driver_.cuMemcpyHtoD(host, host),
+              CuResult::kErrorInvalidHandle);
+    EXPECT_EQ(driver_.cuMemHostRelease(dev),
+              CuResult::kErrorInvalidHandle);
+    // A host handle cannot be mapped into the GPU VA space.
+    Addr va = 0;
+    ASSERT_EQ(driver_.vMemReserve(&va, 128 * KiB), CuResult::kSuccess);
+    EXPECT_EQ(driver_.vMemMap(va, host),
+              CuResult::kErrorInvalidHandle);
+    driver_.cuMemHostRelease(host);
+    driver_.vMemRelease(dev);
+}
+
+TEST_F(DriverTest, CopyCostsFollowTheInstalledPcieModel)
+{
+    LatencyModel::CopyModel slow;
+    slow.d2h_bytes_per_s = 1e9;
+    slow.h2d_bytes_per_s = 2e9;
+    slow.launch_ns = 1000;
+    driver_.latency().setCopyModel(slow);
+    MemHandle host = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemHostCreate(&host, 2 * MiB),
+              CuResult::kSuccess);
+    MemHandle dev = kInvalidHandle;
+    ASSERT_EQ(driver_.cuMemCreate(&dev, 2 * MiB), CuResult::kSuccess);
+    driver_.consumeElapsedNs();
+
+    ASSERT_EQ(driver_.cuMemcpyDtoH(host, dev), CuResult::kSuccess);
+    // 2 MiB at 1 GB/s ~= 2.097 ms plus launch.
+    EXPECT_NEAR(static_cast<double>(driver_.consumeElapsedNs()),
+                1000.0 + 2.0 * MiB / 1e9 * 1e9, 1e3);
+    ASSERT_EQ(driver_.cuMemcpyHtoD(dev, host), CuResult::kSuccess);
+    EXPECT_NEAR(static_cast<double>(driver_.consumeElapsedNs()),
+                1000.0 + 2.0 * MiB / 2e9 * 1e9, 1e3);
+    driver_.cuMemHostRelease(host);
+    driver_.cuMemRelease(dev);
+}
+
 } // namespace
 } // namespace vattn::cuvmm

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cuvmm/latency_model.hh"
+#include "perf/pcie_spec.hh"
 #include "test_util.hh"
 
 namespace vattn::cuvmm
@@ -88,6 +89,22 @@ TEST(LatencyModel, ApiNames)
 {
     EXPECT_STREQ(toString(Api::kMap), "MemMap");
     EXPECT_STREQ(toString(Api::kSetAccess), "MemSetAccess");
+}
+
+TEST(LatencyModel, DefaultCopyModelMirrorsGen4Pcie)
+{
+    // A bare driver must price swap copies like the calibrated A100
+    // link; perf::PcieSpec::gen4x16() is the authoritative source and
+    // the CopyModel defaults must not drift from it.
+    const LatencyModel model;
+    const auto gen4 = perf::PcieSpec::gen4x16().toCopyModel();
+    EXPECT_EQ(model.copyModel().d2h_bytes_per_s, gen4.d2h_bytes_per_s);
+    EXPECT_EQ(model.copyModel().h2d_bytes_per_s, gen4.h2d_bytes_per_s);
+    EXPECT_EQ(model.copyModel().launch_ns, gen4.launch_ns);
+    // Host allocation is dominated by page-locking: linear-ish growth.
+    EXPECT_GT(model.hostAllocCost(2 * MiB),
+              4 * model.hostAllocCost(64 * KiB) / 2);
+    EXPECT_GT(model.hostAllocCost(64 * KiB), model.hostFreeCost(0));
 }
 
 } // namespace

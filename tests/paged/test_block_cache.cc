@@ -156,5 +156,115 @@ TEST(BlockCache, AdoptedSharedBlocksSurviveParentRelease)
     EXPECT_TRUE(manager.checkInvariants());
 }
 
+TEST(BlockSwap, RoundTripMovesBlocksThroughTheCpuPool)
+{
+    BlockManager manager(4, 16, /*enable_prefix_cache=*/false,
+                         /*num_cpu_blocks=*/2);
+    EXPECT_EQ(manager.numCpuBlocks(), 2);
+    EXPECT_EQ(manager.numCpuFree(), 2);
+
+    auto block = manager.allocBlock();
+    ASSERT_TRUE(block.isOk());
+    auto cpu = manager.swapOutBlock(block.value());
+    ASSERT_TRUE(cpu.isOk());
+    // The device block is free again, the CPU block is occupied.
+    EXPECT_EQ(manager.numFree(), 4);
+    EXPECT_EQ(manager.numCpuInUse(), 1);
+    EXPECT_TRUE(manager.checkInvariants());
+
+    auto back = manager.swapInBlock(cpu.value());
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(manager.refCount(back.value()), 1);
+    EXPECT_EQ(manager.numCpuFree(), 2);
+    EXPECT_TRUE(manager.checkInvariants());
+    manager.freeBlock(back.value()).expectOk("free");
+}
+
+TEST(BlockSwap, RefusesSharedAndFreeBlocks)
+{
+    BlockManager manager(4, 16, /*enable_prefix_cache=*/true,
+                         /*num_cpu_blocks=*/4);
+    auto block = manager.allocBlock();
+    ASSERT_TRUE(block.isOk());
+    manager.addRef(block.value()).expectOk("share");
+    // Shared (prefix-aliased) blocks must stay resident.
+    EXPECT_EQ(manager.swapOutBlock(block.value()).code(),
+              ErrorCode::kFailedPrecondition);
+    manager.freeBlock(block.value()).expectOk("unshare");
+    // Refcount back to 1: swappable now.
+    EXPECT_TRUE(manager.swapOutBlock(block.value()).isOk());
+    // A free block has nothing to move.
+    auto other = manager.allocBlock();
+    ASSERT_TRUE(other.isOk());
+    manager.freeBlock(other.value()).expectOk("free");
+    EXPECT_EQ(manager.swapOutBlock(other.value()).code(),
+              ErrorCode::kFailedPrecondition);
+    EXPECT_TRUE(manager.checkInvariants());
+}
+
+TEST(BlockSwap, SwapOutDropsTheBlockHash)
+{
+    BlockManager manager(4, 16, /*enable_prefix_cache=*/true,
+                         /*num_cpu_blocks=*/2);
+    auto block = manager.allocBlock();
+    ASSERT_TRUE(block.isOk());
+    manager.setBlockHash(block.value(), 0xabcu);
+    ASSERT_EQ(manager.lookupHash(0xabcu), block.value());
+    auto cpu = manager.swapOutBlock(block.value());
+    ASSERT_TRUE(cpu.isOk());
+    // The content left the device: the hash may not match anymore.
+    EXPECT_EQ(manager.lookupHash(0xabcu), -1);
+    manager.freeCpuBlock(cpu.value()).expectOk("drop CPU block");
+    EXPECT_EQ(manager.numCpuFree(), 2);
+    EXPECT_TRUE(manager.checkInvariants());
+}
+
+TEST(BlockSwap, CpuPoolExhaustionAndDisabledPool)
+{
+    BlockManager manager(4, 16, /*enable_prefix_cache=*/false,
+                         /*num_cpu_blocks=*/1);
+    auto a = manager.allocBlock();
+    auto b = manager.allocBlock();
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    ASSERT_TRUE(manager.swapOutBlock(a.value()).isOk());
+    EXPECT_EQ(manager.swapOutBlock(b.value()).code(),
+              ErrorCode::kOutOfMemory);
+
+    BlockManager no_pool(4, 16);
+    auto c = no_pool.allocBlock();
+    ASSERT_TRUE(c.isOk());
+    EXPECT_EQ(no_pool.swapOutBlock(c.value()).code(),
+              ErrorCode::kOutOfMemory);
+    EXPECT_EQ(no_pool.numCpuBlocks(), 0);
+}
+
+TEST(BlockSwap, SwapInEvictsCachedBlocksWhenDeviceIsFull)
+{
+    BlockManager manager(2, 16, /*enable_prefix_cache=*/true,
+                         /*num_cpu_blocks=*/2);
+    // One block swapped out...
+    auto victim = manager.allocBlock();
+    ASSERT_TRUE(victim.isOk());
+    auto cpu = manager.swapOutBlock(victim.value());
+    ASSERT_TRUE(cpu.isOk());
+    // ...then fill the device with hashed blocks parked evictable.
+    auto a = manager.allocBlock();
+    auto b = manager.allocBlock();
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    manager.setBlockHash(a.value(), 1);
+    manager.setBlockHash(b.value(), 2);
+    manager.freeBlock(a.value()).expectOk("park a");
+    manager.freeBlock(b.value()).expectOk("park b");
+    ASSERT_EQ(manager.numFree(), 0);
+    ASSERT_EQ(manager.numEvictable(), 2);
+    // Swap-in must evict the LRU cached block to make room.
+    auto back = manager.swapInBlock(cpu.value());
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(manager.numEvictable(), 1);
+    EXPECT_TRUE(manager.checkInvariants());
+}
+
 } // namespace
 } // namespace vattn::paged

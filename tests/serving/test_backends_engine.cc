@@ -237,13 +237,20 @@ TEST(EngineTest, VAttentionBeatsPagedOnPrefillHeavyWork)
     EXPECT_LT(speedup, 1.6);
 }
 
-TEST(EngineTest, ImpossiblePromptIsFatal)
+TEST(EngineTest, ImpossiblePromptIsDroppedGracefully)
 {
-    test::ScopedThrowErrors guard;
+    // A prompt that can never fit the KV budget used to be fatal;
+    // it is now a per-request failure and the engine keeps serving.
     auto config = tinyEngineConfig(perf::BackendKind::kFa2VAttention);
     config.kv_budget_override = 256 * MiB; // ~4K tokens
     Engine engine(config);
-    EXPECT_THROW(engine.run(tinyTrace(1, 150000, 10)), SimError);
+    auto trace = tinyTrace(3, 1000, 10);
+    trace[1].prompt_tokens = 150000; // impossible
+    assignOfflineArrivals(trace);
+    const auto report = engine.run(std::move(trace));
+    EXPECT_EQ(report.dropped_requests, 1);
+    EXPECT_EQ(report.num_requests, 2); // the feasible ones finished
+    EXPECT_EQ(report.latency_s.count(), 2u);
 }
 
 TEST(EngineTest, KvBudgetComputation)
