@@ -1,0 +1,32 @@
+#include "common/audit.hh"
+
+namespace vattn::audit
+{
+
+bool
+AuditReport::contains(const std::string &needle) const
+{
+    for (const std::string &violation : violations_) {
+        if (violation.find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+AuditReport::toString() const
+{
+    if (ok()) {
+        return "audit: all invariants hold";
+    }
+    std::ostringstream oss;
+    oss << "audit: " << violations_.size() << " invariant violation"
+        << (violations_.size() == 1 ? "" : "s");
+    for (const std::string &violation : violations_) {
+        oss << "\n  - " << violation;
+    }
+    return oss.str();
+}
+
+} // namespace vattn::audit

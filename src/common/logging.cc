@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 
 namespace vattn
@@ -36,50 +38,69 @@ namespace log_detail
 
 namespace
 {
-bool throw_on_error = false;
+
+/** Serializes log output and guards the error-mode flag: replica
+ *  worker threads (serving/cluster.cc) report through here
+ *  concurrently, and interleaved half-lines are useless in CI logs. */
+std::mutex log_mutex;
+
+bool throw_on_error GUARDED_BY(log_mutex) = false;
+
 } // namespace
 
 void
 setThrowOnError(bool enable)
 {
+    std::lock_guard<std::mutex> lock(log_mutex);
     throw_on_error = enable;
 }
 
 bool
 throwOnError()
 {
+    std::lock_guard<std::mutex> lock(log_mutex);
     return throw_on_error;
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    if (throw_on_error) {
-        throw SimError{msg};
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        if (throw_on_error) {
+            throw SimError{msg};
+        }
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
     }
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    if (throw_on_error) {
-        throw SimError{msg};
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        if (throw_on_error) {
+            throw SimError{msg};
+        }
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
     }
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }
 
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(log_mutex);
     std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(log_mutex);
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

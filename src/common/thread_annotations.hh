@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros (the abseil/LLVM
+ * convention). Classes with cross-thread state annotate which mutex
+ * guards each member (GUARDED_BY) and which lock a method needs
+ * (REQUIRES) or takes (ACQUIRE/RELEASE), and clang's -Wthread-safety
+ * turns locking-discipline violations into compile errors. The clang
+ * CI job builds with -Wthread-safety -Werror; on compilers without the
+ * attribute (gcc) every macro expands to nothing, so annotations are
+ * documentation there and machine-checked contract under clang.
+ *
+ * Only the subset this codebase uses is defined — add macros from the
+ * LLVM mutex.h reference as they become needed rather than carrying
+ * dead ones.
+ */
+
+#ifndef VATTN_COMMON_THREAD_ANNOTATIONS_HH
+#define VATTN_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VATTN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VATTN_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** The member is protected by the given mutex (read and write). */
+#define GUARDED_BY(x) VATTN_THREAD_ANNOTATION(guarded_by(x))
+
+/** The pointed-to data is protected by the given mutex. */
+#define PT_GUARDED_BY(x) VATTN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the mutex(es) when calling this function. */
+#define REQUIRES(...) \
+    VATTN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the mutex(es) when calling this function
+ *  (the function acquires them itself — deadlock guard). */
+#define EXCLUDES(...) \
+    VATTN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** The function acquires the mutex(es) and holds them on return. */
+#define ACQUIRE(...) \
+    VATTN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** The function releases the mutex(es) held on entry. */
+#define RELEASE(...) \
+    VATTN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Declares a type to be a lockable capability (e.g. a mutex
+ *  wrapper); std::mutex is already known to the analysis. */
+#define CAPABILITY(x) VATTN_THREAD_ANNOTATION(capability(x))
+
+/** RAII types that acquire on construction, release on destruction
+ *  (std::lock_guard/std::unique_lock are already known). */
+#define SCOPED_CAPABILITY VATTN_THREAD_ANNOTATION(scoped_lockable)
+
+/** The function returns a reference to the given mutex. */
+#define RETURN_CAPABILITY(x) \
+    VATTN_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: the function touches guarded state but is vetted by
+ *  other means (e.g. called before threads exist). Use sparingly and
+ *  say why at the call site. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    VATTN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // VATTN_COMMON_THREAD_ANNOTATIONS_HH

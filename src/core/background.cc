@@ -6,6 +6,7 @@ namespace vattn::core
 void
 BackgroundWorker::beginWindow(TimeNs budget_ns)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     remaining_ns_ = budget_ns;
     ++num_windows_;
 }
@@ -13,6 +14,7 @@ BackgroundWorker::beginWindow(TimeNs budget_ns)
 bool
 BackgroundWorker::tryConsume(TimeNs cost_ns)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (cost_ns > remaining_ns_) {
         remaining_ns_ = 0;
         return false;
@@ -21,6 +23,34 @@ BackgroundWorker::tryConsume(TimeNs cost_ns)
     total_hidden_ns_ += cost_ns;
     ++items_completed_;
     return true;
+}
+
+TimeNs
+BackgroundWorker::windowRemaining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return remaining_ns_;
+}
+
+u64
+BackgroundWorker::numWindows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return num_windows_;
+}
+
+TimeNs
+BackgroundWorker::totalHiddenNs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_hidden_ns_;
+}
+
+u64
+BackgroundWorker::itemsCompleted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_completed_;
 }
 
 } // namespace vattn::core

@@ -8,11 +8,20 @@
  * window is spent. Work that does not fit spills back into the next
  * step()'s critical path — which is exactly the latency-spike behaviour
  * Figure 12 measures when overlapping is disabled (window = 0).
+ *
+ * The class it models is inherently cross-thread (the allocation
+ * thread races the step API for the window budget), so the tracker is
+ * mutex-guarded and thread-safety annotated even though today's
+ * engine drives it from one simulation thread: the async front-end on
+ * the roadmap will call beginWindow/tryConsume from different threads.
  */
 
 #ifndef VATTN_CORE_BACKGROUND_HH
 #define VATTN_CORE_BACKGROUND_HH
 
+#include <mutex>
+
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 
 namespace vattn::core
@@ -23,27 +32,28 @@ class BackgroundWorker
 {
   public:
     /** Open a window of @p budget_ns of hidden (overlapped) time. */
-    void beginWindow(TimeNs budget_ns);
+    void beginWindow(TimeNs budget_ns) EXCLUDES(mutex_);
 
     /**
      * Try to account @p cost_ns of driver work inside the current
      * window. Returns true (and consumes budget) if it fits; false if
      * the window is exhausted.
      */
-    bool tryConsume(TimeNs cost_ns);
+    bool tryConsume(TimeNs cost_ns) EXCLUDES(mutex_);
 
-    TimeNs windowRemaining() const { return remaining_ns_; }
+    TimeNs windowRemaining() const EXCLUDES(mutex_);
 
     // Lifetime statistics.
-    u64 numWindows() const { return num_windows_; }
-    TimeNs totalHiddenNs() const { return total_hidden_ns_; }
-    u64 itemsCompleted() const { return items_completed_; }
+    u64 numWindows() const EXCLUDES(mutex_);
+    TimeNs totalHiddenNs() const EXCLUDES(mutex_);
+    u64 itemsCompleted() const EXCLUDES(mutex_);
 
   private:
-    TimeNs remaining_ns_ = 0;
-    u64 num_windows_ = 0;
-    TimeNs total_hidden_ns_ = 0;
-    u64 items_completed_ = 0;
+    mutable std::mutex mutex_;
+    TimeNs remaining_ns_ GUARDED_BY(mutex_) = 0;
+    u64 num_windows_ GUARDED_BY(mutex_) = 0;
+    TimeNs total_hidden_ns_ GUARDED_BY(mutex_) = 0;
+    u64 items_completed_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace vattn::core

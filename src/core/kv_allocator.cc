@@ -402,29 +402,74 @@ KvAllocator::physBytesMapped() const
 bool
 KvAllocator::checkInvariants() const
 {
+    audit::AuditReport report;
+    auditInto(report);
+    return report.ok();
+}
+
+void
+KvAllocator::auditInto(audit::AuditReport &report) const
+{
     const int nbuf = geom_.numBuffers();
+    /** Times each physical handle appears across all slot tables. */
+    std::unordered_map<cuvmm::MemHandle, i64> mapping_counts;
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         const auto &mappings = slots_[static_cast<std::size_t>(slot)];
         for (int b = 0; b < nbuf; ++b) {
             const auto &list =
                 mappings.handles[static_cast<std::size_t>(b)];
             if (static_cast<i64>(list.size()) != mappings.groups) {
-                return false;
+                report.fail("kv_allocator: slot ", slot, " buffer ", b,
+                            " holds ", list.size(),
+                            " handles but the slot claims ",
+                            mappings.groups,
+                            " groups (buffers must grow in lockstep)");
+            }
+            for (const cuvmm::MemHandle handle : list) {
+                ++mapping_counts[handle];
             }
             // Mapped region must be accessible; the byte after must
             // not be mapped.
-            if (mappings.groups > 0) {
-                const Addr start = groupVa(b, slot, 0);
-                const u64 span = static_cast<u64>(mappings.groups) *
-                                 geom_.groupBytes();
-                if (!driver_.device().pageTable().isAccessible(start,
-                                                               span)) {
-                    return false;
-                }
+            if (mappings.groups > 0 &&
+                !driver_.device().pageTable().isAccessible(
+                    groupVa(b, slot, 0),
+                    static_cast<u64>(mappings.groups) *
+                        geom_.groupBytes())) {
+                report.fail("kv_allocator: slot ", slot, " buffer ", b,
+                            " claims ", mappings.groups,
+                            " mapped groups but the range is not "
+                            "RW-accessible in the page table");
             }
         }
     }
-    return true;
+    // Cross-layer per-handle equality: this allocator's mapping count
+    // == pool refcount == driver mapping count. A pool reference
+    // without a mapping (leaked addRef) or a driver mapping without a
+    // pool reference (alias created behind the allocator) both break
+    // it with a distinct imbalance.
+    i64 aliased = 0;
+    for (const auto &[handle, count] : mapping_counts) {
+        aliased += count - 1;
+        const int refs = pool_.refCount(handle);
+        if (refs != static_cast<int>(count)) {
+            report.fail("kv_allocator: handle ", handle, " mapped ",
+                        count, " time(s) but the pool holds ", refs,
+                        " reference(s) — a reference was taken or "
+                        "dropped without a matching (un)map");
+        }
+        const std::size_t driver_maps = driver_.numMappings(handle);
+        if (driver_maps != static_cast<std::size_t>(count)) {
+            report.fail("kv_allocator: handle ", handle, " mapped ",
+                        count, " time(s) in KV tensors but ",
+                        driver_maps, " time(s) in the driver — a "
+                        "mapping was created or destroyed behind the "
+                        "allocator");
+        }
+    }
+    report.check(aliased == aliased_mappings_,
+                 "kv_allocator: aliased-mappings ledger is ",
+                 aliased_mappings_, " but per-handle counts show ",
+                 aliased, " mappings beyond one per handle");
 }
 
 } // namespace vattn::core

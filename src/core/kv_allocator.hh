@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "attn/kv_view.hh"
+#include "common/audit.hh"
 #include "core/config.hh"
 #include "core/kv_geometry.hh"
 #include "core/page_pool.hh"
@@ -119,8 +120,18 @@ class KvAllocator
     /** Unique physical bytes mapped (aliases counted once). */
     u64 physBytesMapped() const;
 
+    /**
+     * Self- and cross-layer audit: per-slot mapping tables are
+     * rectangular (same group count in every buffer) and RW-accessible;
+     * every physical handle's mapping count here equals its pool
+     * refcount AND its driver mapping count (a leaked pool reference or
+     * a mapping created behind the allocator breaks the equality); the
+     * aliased-mappings ledger matches the per-handle excess.
+     */
+    void auditInto(audit::AuditReport &report) const;
+
     /** Every mapped group must be RW-accessible; per-slot counts must
-     *  be consistent with the page table. */
+     *  be consistent with the page table. Wraps auditInto. */
     bool checkInvariants() const;
 
   private:

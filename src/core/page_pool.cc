@@ -105,6 +105,67 @@ PagePool::acquire()
     return handle;
 }
 
+i64
+PagePool::sharedExtraRefs() const
+{
+    i64 extra = 0;
+    for (const auto &[handle, count] : refs_) {
+        (void)handle;
+        extra += count - 1;
+    }
+    return extra;
+}
+
+void
+PagePool::auditInto(audit::AuditReport &report) const
+{
+    report.check(created_ <= total_groups_,
+                 "page_pool: created ", created_,
+                 " groups but the budget allows only ", total_groups_);
+    report.check(freeGroups() + groups_in_use_ == created_,
+                 "page_pool: ", freeGroups(), " free + ",
+                 groups_in_use_, " in-use groups != ", created_,
+                 " created (a handle leaked out of the pool)");
+    report.check(static_cast<i64>(refs_.size()) == groups_in_use_,
+                 "page_pool: ", refs_.size(),
+                 " refcount entries but ", groups_in_use_,
+                 " groups handed out");
+    for (const auto &[handle, count] : refs_) {
+        if (count < 1) {
+            report.fail("page_pool: handed-out handle ", handle,
+                        " has refcount ", count);
+        }
+        if (driver_.handleSize(handle) != groupBytes()) {
+            report.fail("page_pool: handed-out handle ", handle,
+                        " is ", driver_.handleSize(handle),
+                        " bytes in the driver, expected group size ",
+                        groupBytes(), " (0 = released behind the pool)");
+        }
+    }
+    for (const cuvmm::MemHandle handle : free_) {
+        if (driver_.handleSize(handle) != groupBytes()) {
+            report.fail("page_pool: pooled handle ", handle, " is ",
+                        driver_.handleSize(handle),
+                        " bytes in the driver, expected group size ",
+                        groupBytes(), " (0 = released behind the pool)");
+        }
+        if (driver_.isMapped(handle)) {
+            report.fail("page_pool: pooled handle ", handle,
+                        " is still mapped in the driver");
+        }
+    }
+    // Host tier conservation.
+    report.check(host_created_ <= host_total_groups_,
+                 "page_pool: created ", host_created_,
+                 " host pages but the host budget allows only ",
+                 host_total_groups_);
+    report.check(static_cast<i64>(host_free_.size()) + host_in_use_ ==
+                     host_created_,
+                 "page_pool: ", host_free_.size(), " free + ",
+                 host_in_use_, " in-use host pages != ", host_created_,
+                 " created");
+}
+
 void
 PagePool::addRef(cuvmm::MemHandle handle)
 {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 #include "cuvmm/driver.hh"
@@ -89,6 +90,19 @@ class PagePool
     i64 groupsInUse() const { return groups_in_use_; }
     /** Total groups the budget allows. */
     i64 totalGroups() const { return total_groups_; }
+    /** Device handles created so far (== free + in-use). */
+    i64 createdGroups() const { return created_; }
+    /** References beyond the first across all handed-out handles
+     *  (each one corresponds to an aliased mapping, §8.1). */
+    i64 sharedExtraRefs() const;
+
+    /**
+     * Self-audit: handle conservation (free + in-use == created <=
+     * total), refcount table shape (one entry >= 1 per handed-out
+     * handle), and that every pooled/handed-out handle is live in the
+     * driver at exactly the pool's group size.
+     */
+    void auditInto(audit::AuditReport &report) const;
 
     bool
     exhausted() const
@@ -111,6 +125,8 @@ class PagePool
     void releaseHost(cuvmm::MemHandle handle);
 
     u64 hostBudgetBytes() const { return host_budget_bytes_; }
+    /** Host pages created so far (== host free + host in-use). */
+    i64 hostCreatedGroups() const { return host_created_; }
     /** Host pages currently holding swapped KV. */
     i64 hostGroupsInUse() const { return host_in_use_; }
     /** Host pages still obtainable right now. */

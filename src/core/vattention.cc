@@ -848,37 +848,86 @@ VAttention::cachedHandles() const
 bool
 VAttention::checkInvariants() const
 {
-    if (!allocator_.checkInvariants()) {
-        return false;
-    }
+    audit::AuditReport report;
+    auditInto(report);
+    return report.ok();
+}
+
+void
+VAttention::auditInto(audit::AuditReport &report) const
+{
+    driver_.auditInto(report);
+    pool_.auditInto(report);
+    allocator_.auditInto(report);
     // Every handle handed out by the pool is mapped somewhere; aliased
     // mappings reuse a handed-out handle rather than consuming one.
-    if (pool_.groupsInUse() !=
-        allocator_.totalHandlesMapped() - allocator_.aliasedMappings()) {
-        return false;
-    }
+    report.check(pool_.groupsInUse() == allocator_.totalHandlesMapped() -
+                                            allocator_.aliasedMappings(),
+                 "vattention: pool hands out ", pool_.groupsInUse(),
+                 " groups but KV tensors map ",
+                 allocator_.totalHandlesMapped(), " handles of which ",
+                 allocator_.aliasedMappings(), " are aliases");
+    // This runtime's driver exists solely to back the KV pool, so the
+    // driver-wide byte ledgers must equal what the pool created. A
+    // physical allocation made behind the pool (or a pool handle
+    // destroyed behind the driver) shows up as drift here.
+    report.check(driver_.physBytesInUse() ==
+                     static_cast<u64>(pool_.createdGroups()) *
+                         pool_.groupBytes(),
+                 "vattention: driver owns ", driver_.physBytesInUse(),
+                 " physical bytes but the pool created ",
+                 pool_.createdGroups(), " groups = ",
+                 static_cast<u64>(pool_.createdGroups()) *
+                     pool_.groupBytes(),
+                 " bytes (an allocation bypassed the pool)");
+    report.check(driver_.hostBytesInUse() ==
+                     static_cast<u64>(pool_.hostCreatedGroups()) *
+                         pool_.groupBytes(),
+                 "vattention: driver owns ", driver_.hostBytesInUse(),
+                 " pinned host bytes but the pool created ",
+                 pool_.hostCreatedGroups(), " host pages = ",
+                 static_cast<u64>(pool_.hostCreatedGroups()) *
+                     pool_.groupBytes(),
+                 " bytes");
     i64 stashed_pages = 0;
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         // Free slots hold no mappings (cached/active ones may).
         if (slots_.state(slot) == SlotState::kFree &&
             allocator_.groupsMapped(slot) != 0) {
-            return false;
+            report.fail("vattention: free slot ", slot, " still has ",
+                        allocator_.groupsMapped(slot),
+                        " groups mapped (freeReqId must unmap or "
+                        "cache)");
         }
         // A host stash belongs to a leased (Active) slot, covers the
         // same group count in every buffer, and its slot cannot be a
         // prefix source (the KV left the device).
         const auto &stash = stashes_[static_cast<std::size_t>(slot)];
         if (!stash.empty()) {
-            if (slots_.state(slot) != SlotState::kActive ||
-                !chains_[static_cast<std::size_t>(slot)].empty() ||
-                static_cast<i64>(stash.pages.size()) !=
-                    allocator_.geometry().numBuffers()) {
-                return false;
+            if (slots_.state(slot) != SlotState::kActive) {
+                report.fail("vattention: slot ", slot,
+                            " holds a host stash but is ",
+                            toString(slots_.state(slot)),
+                            ", not Active");
+            }
+            if (!chains_[static_cast<std::size_t>(slot)].empty()) {
+                report.fail("vattention: swapped-out slot ", slot,
+                            " is still registered as a prefix source");
+            }
+            if (static_cast<i64>(stash.pages.size()) !=
+                allocator_.geometry().numBuffers()) {
+                report.fail("vattention: slot ", slot, " stashes ",
+                            stash.pages.size(), " buffers, expected ",
+                            allocator_.geometry().numBuffers());
             }
             for (const auto &buffer_pages : stash.pages) {
                 if (static_cast<i64>(buffer_pages.size()) !=
                     stash.groups) {
-                    return false;
+                    report.fail("vattention: slot ", slot,
+                                " stash buffer holds ",
+                                buffer_pages.size(),
+                                " pages but the stash claims ",
+                                stash.groups, " groups");
                 }
                 stashed_pages += static_cast<i64>(buffer_pages.size());
             }
@@ -895,15 +944,20 @@ VAttention::checkInvariants() const
                 covered > allocator_.groupsMapped(slot) ||
                 chain.tokens >
                     (static_cast<i64>(chain.hashes.size()) + 1) * tpg) {
-                return false;
+                report.fail("vattention: slot ", slot,
+                            " prefix chain (", chain.hashes.size(),
+                            " hashes, ", chain.tokens,
+                            " tokens) describes more than the slot's ",
+                            allocator_.groupsMapped(slot),
+                            " mapped groups hold");
             }
         }
     }
     // Every host page handed out by the pool is owned by some stash.
-    if (stashed_pages != pool_.hostGroupsInUse()) {
-        return false;
-    }
-    return true;
+    report.check(stashed_pages == pool_.hostGroupsInUse(),
+                 "vattention: slots stash ", stashed_pages,
+                 " host pages but the pool hands out ",
+                 pool_.hostGroupsInUse());
 }
 
 } // namespace vattn::core

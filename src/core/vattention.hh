@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "attn/kv_view.hh"
+#include "common/audit.hh"
 #include "core/background.hh"
 #include "core/config.hh"
 #include "core/kv_allocator.hh"
@@ -259,6 +260,17 @@ class VAttention
         return allocator_.handleAt(req_id, buffer, group);
     }
 
+    /**
+     * Whole-runtime audit: sub-audits the driver, pool and allocator,
+     * then checks the cross-layer equalities — pool handles in use ==
+     * unique handles mapped in KV tensors, driver phys/host bytes ==
+     * pool-created groups (this runtime's driver serves only the KV
+     * pool), free slots unmapped, host stashes and prefix chains
+     * consistent with slot states. Records violations in @p report.
+     */
+    void auditInto(audit::AuditReport &report) const;
+
+    /** True when auditInto records no violation. */
     bool checkInvariants() const;
 
     /** Bytes currently mapped into more than one virtual range. */

@@ -501,6 +501,62 @@ Driver::vMemRelease(MemHandle handle)
 // Introspection
 // --------------------------------------------------------------------
 
+void
+Driver::auditInto(audit::AuditReport &report) const
+{
+    // Ledger conservation: the incremental phys/host byte counters
+    // must equal what the handle tables actually hold.
+    u64 live_bytes = 0;
+    std::size_t total_mappings = 0;
+    for (const auto &[handle, info] : handles_) {
+        live_bytes += info.size;
+        total_mappings += info.mappings.size();
+        for (const Addr va : info.mappings) {
+            const auto it = mapped_.find(va);
+            if (it == mapped_.end()) {
+                report.fail("driver: handle ", handle, " lists VA 0x",
+                            std::hex, va, std::dec,
+                            " but the VA->handle map has no entry");
+            } else if (it->second != handle) {
+                report.fail("driver: VA 0x", std::hex, va,
+                            " maps handle ", std::dec, it->second,
+                            " but handle ", handle,
+                            " also claims that VA");
+            }
+        }
+    }
+    report.check(phys_in_use_ == live_bytes,
+                 "driver: physBytesInUse ledger is ", phys_in_use_,
+                 " but live handles sum to ", live_bytes,
+                 " bytes (a create/release bypassed the ledger)");
+    report.check(total_mappings == mapped_.size(),
+                 "driver: handles list ", total_mappings,
+                 " mappings but the VA->handle map has ",
+                 mapped_.size(), " entries");
+    for (const auto &[va, handle] : mapped_) {
+        if (handles_.find(handle) == handles_.end()) {
+            report.fail("driver: VA 0x", std::hex, va, std::dec,
+                        " maps released handle ", handle);
+        }
+    }
+    u64 host_bytes = 0;
+    for (const auto &[handle, size] : host_handles_) {
+        (void)handle;
+        host_bytes += size;
+    }
+    report.check(host_in_use_ == host_bytes,
+                 "driver: hostBytesInUse ledger is ", host_in_use_,
+                 " but live host handles sum to ", host_bytes,
+                 " bytes");
+    for (const auto &[va, info] : mallocs_) {
+        if (handles_.find(info.handle) == handles_.end()) {
+            report.fail("driver: cudaMalloc at VA 0x", std::hex, va,
+                        std::dec, " backed by released handle ",
+                        info.handle);
+        }
+    }
+}
+
 u64
 Driver::handleSize(MemHandle handle) const
 {

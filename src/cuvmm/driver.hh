@@ -36,6 +36,7 @@
 
 #include <unordered_map>
 
+#include "common/audit.hh"
 #include "common/types.hh"
 #include "cuvmm/latency_model.hh"
 #include "gpu/device.hh"
@@ -161,6 +162,14 @@ class Driver
     {
         return host_handles_.size();
     }
+
+    /**
+     * Self-audit of the driver's ledgers: physBytesInUse() and
+     * hostBytesInUse() must equal the sum of live handle sizes, and
+     * the VA->handle map must agree bidirectionally with every
+     * handle's mapping list. Records violations in @p report.
+     */
+    void auditInto(audit::AuditReport &report) const;
 
     /** Page-group size of a live handle (tests). */
     u64 handleSize(MemHandle handle) const;

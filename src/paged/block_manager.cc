@@ -243,12 +243,40 @@ BlockManager::refCount(i32 block) const
 bool
 BlockManager::checkInvariants() const
 {
+    audit::AuditReport report;
+    auditInto(report);
+    return report.ok();
+}
+
+i64
+BlockManager::totalRefCount() const
+{
+    i64 total = 0;
+    for (int count : ref_counts_) {
+        total += count;
+    }
+    return total;
+}
+
+void
+BlockManager::auditInto(audit::AuditReport &report) const
+{
     i64 zero_holders = 0;
     for (i32 block : free_list_) {
-        if (block < 0 || block >= num_blocks_ ||
-            ref_counts_[static_cast<std::size_t>(block)] != 0 ||
+        if (block < 0 || block >= num_blocks_) {
+            report.fail("block_manager: free list holds out-of-range "
+                        "block ", block);
+            continue;
+        }
+        if (ref_counts_[static_cast<std::size_t>(block)] != 0 ||
             is_evictable_[static_cast<std::size_t>(block)]) {
-            return false;
+            report.fail("block_manager: free block ", block,
+                        " has refcount ",
+                        ref_counts_[static_cast<std::size_t>(block)],
+                        " / evictable=",
+                        is_evictable_[static_cast<std::size_t>(block)],
+                        " (free blocks must be unreferenced and "
+                        "unparked)");
         }
         ++zero_holders;
     }
@@ -258,7 +286,9 @@ BlockManager::checkInvariants() const
         if (ref_counts_[idx] != 0 || !is_evictable_[idx] ||
             !has_hash_[idx] ||
             lookupHash(block_hash_[idx]) != block) {
-            return false;
+            report.fail("block_manager: evictable block ", block,
+                        " lost its refcount-0 / hashed / "
+                        "hash-map-backed shape");
         }
         ++zero_holders;
     }
@@ -268,21 +298,28 @@ BlockManager::checkInvariants() const
             ++zero_refs;
         }
     }
-    if (zero_holders != zero_refs) {
-        return false;
-    }
+    report.check(zero_holders == zero_refs,
+                 "block_manager: ", zero_refs,
+                 " blocks have refcount 0 but free+evictable lists "
+                 "hold ", zero_holders,
+                 " (a freed block fell off both lists or a live block "
+                 "is parked)");
     // CPU pool conservation: every CPU block is either free or in use.
     i64 cpu_used = 0;
     for (i32 cpu_block : cpu_free_list_) {
         if (cpu_block < 0 || cpu_block >= num_cpu_blocks_ ||
             cpu_in_use_[static_cast<std::size_t>(cpu_block)]) {
-            return false;
+            report.fail("block_manager: CPU free list holds invalid "
+                        "or in-use block ", cpu_block);
         }
     }
     for (bool used : cpu_in_use_) {
         cpu_used += used ? 1 : 0;
     }
-    return cpu_used + numCpuFree() == num_cpu_blocks_;
+    report.check(cpu_used + numCpuFree() == num_cpu_blocks_,
+                 "block_manager: ", cpu_used, " in-use + ",
+                 numCpuFree(), " free CPU blocks != pool size ",
+                 num_cpu_blocks_);
 }
 
 RequestBlocks::RequestBlocks(BlockManager *manager)

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 
@@ -119,8 +120,20 @@ class BlockManager
     /** Return a CPU block without swapping it in (request dropped). */
     Status freeCpuBlock(i32 cpu_block);
 
-    /** Conservation check for tests. */
+    /**
+     * Self-audit: the free list, evictable LRU and live (refcount > 0)
+     * blocks partition the pool; evictable blocks keep a valid hash
+     * entry; the CPU pool conserves blocks. Records violations in
+     * @p report.
+     */
+    void auditInto(audit::AuditReport &report) const;
+
+    /** Conservation check for tests. Wraps auditInto. */
     bool checkInvariants() const;
+
+    /** Sum of refcounts over all blocks (cross-layer audits compare
+     *  it against the holds the serving layer can account for). */
+    i64 totalRefCount() const;
 
   private:
     void dropHash(i32 block);

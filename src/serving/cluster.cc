@@ -127,16 +127,36 @@ ServingCluster::routeTrace(const std::vector<Request> &trace) const
     return assignment;
 }
 
+ServingCluster::Progress
+ServingCluster::progress() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return progress_;
+}
+
+void
+ServingCluster::recordReplicaDone(const RunReport &report)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++progress_.replicas_finished;
+    progress_.requests_finished += report.num_requests;
+    progress_.tokens_served += report.prompt_tokens +
+                               report.decode_tokens;
+}
+
 ClusterReport
 ServingCluster::run(std::vector<Request> trace)
 {
     const std::size_t n = engines_.size();
-    // Engine virtual clocks carry across runs, which would shift every
-    // arrival into the past on a second trace: one cluster, one run.
-    for (const auto &engine : engines_) {
-        panic_if(engine->clock().now() != 0,
+    {
+        // Thread-safe single-shot guard: engine virtual clocks carry
+        // across runs, which would shift every arrival into the past
+        // on a second trace — one cluster, one run.
+        std::lock_guard<std::mutex> lock(mutex_);
+        panic_if(run_started_,
                  "ServingCluster::run is single-shot; construct a "
                  "fresh cluster per trace");
+        run_started_ = true;
     }
     ClusterReport report;
     report.replicas.resize(n);
@@ -163,6 +183,7 @@ ServingCluster::run(std::vector<Request> trace)
             try {
                 report.replicas[r] =
                     engines_[r]->run(std::move(shares[r]));
+                recordReplicaDone(report.replicas[r]);
             } catch (...) {
                 errors[r] = std::current_exception();
             }

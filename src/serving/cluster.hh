@@ -14,8 +14,10 @@
 #define VATTN_SERVING_CLUSTER_HH
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "serving/engine.hh"
 #include "serving/metrics.hh"
 #include "serving/router.hh"
@@ -80,13 +82,41 @@ class ServingCluster
     Engine &replica(int i) { return *engines_[static_cast<std::size_t>(i)]; }
     const Config &config() const { return config_; }
 
+    /**
+     * Live cross-thread run progress, accumulated by the replica
+     * worker threads as each finishes its share. Integer sums only, so
+     * the totals are identical no matter which order the threads
+     * complete in; after run() returns they must equal the merged
+     * report's counts (the cross-layer audit checks this).
+     */
+    struct Progress
+    {
+        int replicas_finished = 0;
+        i64 requests_finished = 0;
+        i64 tokens_served = 0; ///< prompt + decode tokens
+    };
+
+    /** Snapshot of the shared progress accumulator. Safe to call from
+     *  any thread while run() executes on another. */
+    Progress progress() const EXCLUDES(mutex_);
+
   private:
     /** This request's footprint on @p replica's load model. */
     Router::Estimate estimateFor(const Request &request,
                                  int replica) const;
 
+    /** Worker-thread side of the accumulator. */
+    void recordReplicaDone(const RunReport &report) EXCLUDES(mutex_);
+
     Config config_;
     std::vector<std::unique_ptr<Engine>> engines_;
+
+    /** Guards the cross-thread run state below: the single-shot flag
+     *  (run() may race itself from different threads) and the merge
+     *  progress the worker threads write. */
+    mutable std::mutex mutex_;
+    bool run_started_ GUARDED_BY(mutex_) = false;
+    Progress progress_ GUARDED_BY(mutex_);
 };
 
 } // namespace vattn::serving

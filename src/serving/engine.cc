@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "serving/paged_backend.hh"
+#include "serving/serving_audit.hh"
 
 namespace vattn::serving
 {
@@ -555,6 +556,69 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
     }
 }
 
+audit::AuditReport
+Engine::auditNow() const
+{
+    audit::AuditReport report;
+    auditServingState(running_, scheduler_, report);
+    backend_->auditInto(report);
+    return report;
+}
+
+#if VATTN_AUDIT
+void
+Engine::auditTick()
+{
+    ++audit_iter_;
+    audit::AuditReport report;
+    auditServingState(running_, scheduler_, report);
+    const auto observe = [this, &report](const Request *request) {
+        if (request == nullptr) {
+            return;
+        }
+        const auto it = audit_last_state_.find(request->id);
+        if (it != audit_last_state_.end() &&
+            !isReachableState(it->second, request->state)) {
+            report.fail("serving: request ", request->id, " went ",
+                        toString(it->second), " -> ",
+                        toString(request->state),
+                        " with no legal transition path");
+        }
+        audit_last_state_[request->id] = request->state;
+    };
+    for (const Request *request : running_) {
+        observe(request);
+    }
+    for (const Request *request : scheduler_.waitingQueue()) {
+        observe(request);
+    }
+    for (const Request *request : scheduler_.swappedQueue()) {
+        observe(request);
+    }
+    // The serving-layer checks above are O(requests) and run every
+    // iteration. The cross-layer backend audit is O(KV state), so on
+    // long runs it audits every iteration while the state is being
+    // stood up, then on a stride — accounting drift persists once
+    // introduced, so a sampled audit still catches it (only the exact
+    // iteration is localized more coarsely). run()/decodeOnlyVaried()
+    // audit the final state unconditionally.
+    if (audit_iter_ <= kAuditWarmupIters ||
+        audit_iter_ % kAuditStride == 0) {
+        backend_->auditInto(report);
+    }
+    panic_if(!report.ok(),
+             "per-iteration audit failed\n", report.toString());
+}
+
+void
+Engine::auditFinal() const
+{
+    const audit::AuditReport report = auditNow();
+    panic_if(!report.ok(),
+             "end-of-run audit failed\n", report.toString());
+}
+#endif
+
 RunReport
 Engine::run(std::vector<Request> trace)
 {
@@ -562,6 +626,10 @@ Engine::run(std::vector<Request> trace)
     if (trace.empty()) {
         return report;
     }
+#if VATTN_AUDIT
+    audit_last_state_.clear();
+    audit_iter_ = 0;
+#endif
 
     std::vector<Request *> by_arrival;
     by_arrival.reserve(trace.size());
@@ -621,7 +689,13 @@ Engine::run(std::vector<Request> trace)
         finished += static_cast<std::size_t>(
             (report.num_requests - finished_before) +
             (report.dropped_requests - dropped_before));
+#if VATTN_AUDIT
+        auditTick();
+#endif
     }
+#if VATTN_AUDIT
+    auditFinal();
+#endif
 
     report.makespan_ns = clock_.now();
     const auto prefix_stats = backend_->prefixStats();
@@ -643,6 +717,10 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
                          int iterations)
 {
     RunReport scratch;
+#if VATTN_AUDIT
+    audit_last_state_.clear();
+    audit_iter_ = 0;
+#endif
     const int batch = static_cast<int>(initial_ctx.size());
     // Stand the batch up (untimed setup).
     std::vector<Request> requests(static_cast<std::size_t>(batch));
@@ -672,6 +750,9 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
     for (int i = 0; i < iterations; ++i) {
         const TimeNs iter_start = clock_.now();
         runIteration(decodePlan(), scratch);
+#if VATTN_AUDIT
+        auditTick();
+#endif
         tokens += static_cast<i64>(running_.size());
         const double ms =
             SimClock::toMillis(clock_.now() - iter_start);
@@ -680,6 +761,9 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
             result.iterations.push_back(scratch.iterations.back());
         }
     }
+#if VATTN_AUDIT
+    auditFinal();
+#endif
     const double elapsed_s = SimClock::toSeconds(clock_.now() - t0);
     // Zero iterations leave the clock untouched; report 0, not 0/0.
     result.tokens_per_second =

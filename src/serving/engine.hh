@@ -20,8 +20,10 @@
 #define VATTN_SERVING_ENGINE_HH
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/sim_clock.hh"
 #include "perf/backend_kind.hh"
 #include "perf/gpu_spec.hh"
@@ -163,6 +165,14 @@ class Engine
 
     // ---- Introspection -------------------------------------------------
 
+    /**
+     * One whole-stack audit sweep: serving containers + request states
+     * (serving_audit.hh) and the memory backend's layers down to the
+     * driver ledgers. Always compiled; VATTN_AUDIT builds additionally
+     * run it after every engine iteration and panic on violations.
+     */
+    audit::AuditReport auditNow() const;
+
     const EngineConfig &config() const { return config_; }
     const perf::KernelModel &kernelModel() const { return kernel_; }
     const perf::OverheadModel &overheadModel() const { return overhead_; }
@@ -218,6 +228,21 @@ class Engine
     static i64 totalBlocksIn(const std::vector<Request *> &requests,
                              i64 block_size);
 
+#if VATTN_AUDIT
+    /** Per-iteration hook: serving-layer audit + state-machine
+     *  reachability every iteration, full cross-layer backend audit
+     *  on a warmup + stride schedule; panics on violation. */
+    void auditTick();
+    /** Unconditional full audit of the final state; panics. */
+    void auditFinal() const;
+
+    /** Full backend audits run every iteration this long... */
+    static constexpr u64 kAuditWarmupIters = 64;
+    /** ...then every Nth iteration (O(KV state) each, so every
+     *  iteration on a long large-batch run is quadratic). */
+    static constexpr u64 kAuditStride = 32;
+#endif
+
     EngineConfig config_;
     perf::KernelModel kernel_;
     perf::OverheadModel overhead_;
@@ -228,6 +253,12 @@ class Engine
     SimClock clock_;
     std::vector<Request *> running_; ///< admission order
     i64 block_size_ = 0;             ///< paged back-ends only
+#if VATTN_AUDIT
+    /** Last audited state per request id (reachability tracking). */
+    std::unordered_map<u64, Request::State> audit_last_state_;
+    /** Iterations audited since the run started (stride schedule). */
+    u64 audit_iter_ = 0;
+#endif
 };
 
 } // namespace vattn::serving

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/prefix_hash.hh"
 #include "common/status.hh"
 #include "common/types.hh"
@@ -190,6 +191,17 @@ class MemoryBackend
     virtual u64 bytesInUse() const = 0;
     /** Total KV bytes this backend may use. */
     virtual u64 budgetBytes() const = 0;
+
+    /**
+     * Re-derive the backend's memory-accounting invariants from first
+     * principles and record every violation (common/audit.hh). The
+     * engine's VATTN_AUDIT builds call this once per iteration; tests
+     * call it after injecting corruption. Default: nothing to audit.
+     */
+    virtual void auditInto(audit::AuditReport &report) const
+    {
+        (void)report;
+    }
 };
 
 } // namespace vattn::serving

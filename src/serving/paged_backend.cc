@@ -288,6 +288,48 @@ PagedBackend::computeWindow(TimeNs window_ns)
     (void)window_ns; // nothing to overlap
 }
 
+void
+PagedBackend::auditInto(audit::AuditReport &report) const
+{
+    manager_.auditInto(report);
+    // Slot-side cross-checks: this backend's slots are the only block
+    // holders, so the references they hold must account for every
+    // refcount in the manager, and swapped slots must own every CPU
+    // block in use.
+    i64 held = 0;
+    i64 cpu_held = 0;
+    for (const auto &[slot, state] : slots_) {
+        for (const i32 block : state.blocks.blocks()) {
+            if (manager_.refCount(block) < 1) {
+                report.fail("paged_backend: slot ", slot,
+                            " holds block ", block, " with refcount ",
+                            manager_.refCount(block),
+                            " (freed while still held)");
+            }
+            ++held;
+        }
+        cpu_held += static_cast<i64>(state.cpu_blocks.size());
+        if (state.swapped() && !state.blocks.blocks().empty()) {
+            report.fail("paged_backend: swapped slot ", slot,
+                        " still holds ", state.blocks.blocks().size(),
+                        " device blocks");
+        }
+    }
+    report.check(held == manager_.totalRefCount(),
+                 "paged_backend: slots hold ", held,
+                 " device-block references but the manager counts ",
+                 manager_.totalRefCount(),
+                 " (a reference leaked outside the slots)");
+    report.check(cpu_held == manager_.numCpuInUse(),
+                 "paged_backend: slots own ", cpu_held,
+                 " CPU blocks but the manager has ",
+                 manager_.numCpuInUse(), " in use");
+    report.check(bytesInUse() <= budgetBytes(),
+                 "paged_backend: ", bytesInUse(),
+                 " bytes in use exceed the ", budgetBytes(),
+                 "-byte budget");
+}
+
 u64
 PagedBackend::bytesInUse() const
 {

@@ -65,6 +65,8 @@ class PagedBackend : public MemoryBackend
     void computeWindow(TimeNs window_ns) override;
     u64 bytesInUse() const override;
     u64 budgetBytes() const override;
+    /** Block-manager self-audit + slot/manager cross-checks. */
+    void auditInto(audit::AuditReport &report) const override;
 
     bool supportsSwap() const override;
     bool canSwapOut(int slot) const override;

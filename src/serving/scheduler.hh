@@ -130,6 +130,17 @@ class Scheduler
      *  can be re-enqueued later without stale slot/progress fields. */
     void clearWaiting();
 
+    /** The FCFS waiting queue, oldest first (audits/introspection). */
+    const std::deque<Request *> &waitingQueue() const
+    {
+        return waiting_;
+    }
+    /** The swapped-out queue, oldest first (audits/introspection). */
+    const std::deque<Request *> &swappedQueue() const
+    {
+        return swapped_;
+    }
+
     /**
      * Memory-admission gate. Non-const: the engine's implementation
      * refreshes the request's prefix-cache hint as a side effect, so

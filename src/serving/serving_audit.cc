@@ -1,0 +1,162 @@
+#include "serving/serving_audit.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vattn::serving
+{
+
+const char *
+toString(Request::State state)
+{
+    switch (state) {
+    case Request::State::kPending:
+        return "Pending";
+    case Request::State::kWaiting:
+        return "Waiting";
+    case Request::State::kRunning:
+        return "Running";
+    case Request::State::kSwapped:
+        return "Swapped";
+    case Request::State::kFinished:
+        return "Finished";
+    case Request::State::kDropped:
+        return "Dropped";
+    }
+    return "<invalid>";
+}
+
+bool
+isLegalTransition(Request::State from, Request::State to)
+{
+    using State = Request::State;
+    switch (from) {
+    case State::kPending:
+        return to == State::kWaiting;
+    case State::kWaiting:
+        return to == State::kRunning || to == State::kDropped ||
+               to == State::kPending;
+    case State::kRunning:
+        return to == State::kWaiting || to == State::kSwapped ||
+               to == State::kFinished || to == State::kDropped;
+    case State::kSwapped:
+        return to == State::kRunning;
+    case State::kFinished:
+    case State::kDropped:
+        return false; // terminal
+    }
+    return false;
+}
+
+bool
+isReachableState(Request::State from, Request::State to)
+{
+    if (from == to) {
+        return true;
+    }
+    // Six states: a fixed-point sweep over the transition relation
+    // terminates in at most five rounds.
+    constexpr int kNumStates = 6;
+    bool reachable[kNumStates] = {};
+    reachable[static_cast<int>(from)] = true;
+    for (int round = 0; round < kNumStates - 1; ++round) {
+        for (int s = 0; s < kNumStates; ++s) {
+            if (!reachable[s]) {
+                continue;
+            }
+            for (int t = 0; t < kNumStates; ++t) {
+                if (isLegalTransition(static_cast<Request::State>(s),
+                                      static_cast<Request::State>(t))) {
+                    reachable[t] = true;
+                }
+            }
+        }
+    }
+    return reachable[static_cast<int>(to)];
+}
+
+namespace
+{
+
+/** Check one container's members against the state and slot shape its
+ *  membership implies, recording each request's owner for the
+ *  cross-container disjointness check. */
+void
+auditContainer(const char *container, const Request *const *requests,
+               std::size_t count, Request::State expected,
+               bool holds_slot,
+               std::unordered_map<const Request *, const char *> &seen,
+               audit::AuditReport &report)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const Request *request = requests[i];
+        if (request == nullptr) {
+            report.fail("serving: ", container,
+                        " holds a null request");
+            continue;
+        }
+        const auto [it, inserted] = seen.emplace(request, container);
+        if (!inserted) {
+            report.fail("serving: request ", request->id, " is in ",
+                        it->second, " and ", container,
+                        " at once (containers must be disjoint)");
+        }
+        if (request->state != expected) {
+            report.fail("serving: request ", request->id, " is in ",
+                        container, " but its state is ",
+                        toString(request->state), ", expected ",
+                        toString(expected));
+        }
+        if (holds_slot && request->slot < 0) {
+            report.fail("serving: request ", request->id, " is in ",
+                        container, " without a backend slot");
+        }
+        if (!holds_slot && request->slot >= 0) {
+            report.fail("serving: request ", request->id, " is in ",
+                        container, " but still holds slot ",
+                        request->slot);
+        }
+    }
+}
+
+} // namespace
+
+void
+auditServingState(const std::vector<Request *> &running,
+                  const Scheduler &scheduler,
+                  audit::AuditReport &report)
+{
+    std::unordered_map<const Request *, const char *> seen;
+    auditContainer("running", running.data(), running.size(),
+                   Request::State::kRunning, /*holds_slot=*/true, seen,
+                   report);
+    const auto &waiting = scheduler.waitingQueue();
+    const std::vector<Request *> waiting_flat(waiting.begin(),
+                                              waiting.end());
+    auditContainer("waiting", waiting_flat.data(), waiting_flat.size(),
+                   Request::State::kWaiting, /*holds_slot=*/false, seen,
+                   report);
+    const auto &swapped = scheduler.swappedQueue();
+    const std::vector<Request *> swapped_flat(swapped.begin(),
+                                              swapped.end());
+    auditContainer("swapped", swapped_flat.data(), swapped_flat.size(),
+                   Request::State::kSwapped, /*holds_slot=*/true, seen,
+                   report);
+    // No two slot-holding requests may share a backend slot.
+    std::unordered_map<int, const Request *> slot_owner;
+    for (const auto &[request, container] : seen) {
+        (void)container;
+        if (request == nullptr || request->slot < 0) {
+            continue;
+        }
+        const auto [it, inserted] =
+            slot_owner.emplace(request->slot, request);
+        if (!inserted) {
+            report.fail("serving: requests ", it->second->id, " and ",
+                        request->id, " both hold slot ",
+                        request->slot);
+        }
+    }
+}
+
+} // namespace vattn::serving

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Serving-layer invariant audit: the request state machine and the
+ * consistency of the engine's three request containers (running set,
+ * waiting queue, swapped queue). Pure functions over the containers so
+ * tests can audit hand-built corrupt states without an engine.
+ */
+
+#ifndef VATTN_SERVING_SERVING_AUDIT_HH
+#define VATTN_SERVING_SERVING_AUDIT_HH
+
+#include <vector>
+
+#include "common/audit.hh"
+#include "serving/request.hh"
+#include "serving/scheduler.hh"
+
+namespace vattn::serving
+{
+
+const char *toString(Request::State state);
+
+/**
+ * Is @p from -> @p to a legal request state transition? The machine:
+ *
+ *   kPending -> kWaiting                         (arrival)
+ *   kWaiting -> kRunning | kDropped | kPending   (admit / reject /
+ *                                                 queue teardown)
+ *   kRunning -> kWaiting | kSwapped | kFinished | kDropped
+ *              (preempt-recompute / preempt-swap / done / over-budget)
+ *   kSwapped -> kRunning                         (swap-in)
+ *
+ * kFinished and kDropped are terminal. Self-transitions are not
+ * transitions and return false.
+ */
+bool isLegalTransition(Request::State from, Request::State to);
+
+/**
+ * Is @p to reachable from @p from via zero or more legal transitions?
+ * Audits that sample once per engine iteration can observe multi-hop
+ * jumps (a request admitted and then preempted inside one iteration
+ * goes kWaiting -> kRunning -> kSwapped between two samples), so the
+ * per-iteration tracker checks reachability, not single-step legality.
+ */
+bool isReachableState(Request::State from, Request::State to);
+
+/**
+ * Audit queue/state consistency: the three containers are pairwise
+ * disjoint; every member's state matches its container (kRunning /
+ * kWaiting / kSwapped); running and swapped requests hold a backend
+ * slot, waiting ones do not; no two requests share a slot.
+ */
+void auditServingState(const std::vector<Request *> &running,
+                       const Scheduler &scheduler,
+                       audit::AuditReport &report);
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_SERVING_AUDIT_HH

@@ -72,6 +72,11 @@ class VAttentionBackend : public MemoryBackend
     void computeWindow(TimeNs window_ns) override;
     u64 bytesInUse() const override;
     u64 budgetBytes() const override;
+    /** Whole-stack audit of driver + pool + allocator + runtime. */
+    void auditInto(audit::AuditReport &report) const override
+    {
+        runtime_->auditInto(report);
+    }
 
     bool supportsSwap() const override;
     bool canSwapOut(int slot) const override;

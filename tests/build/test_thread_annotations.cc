@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Compile check for common/thread_annotations.hh on BOTH compilers:
+ * under clang -Wthread-safety -Werror this file only builds when every
+ * annotation below is used correctly, and under gcc the macros must
+ * expand to nothing without warnings. The runtime assertions are
+ * deliberately trivial — the value of this test is that it compiles.
+ */
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.hh"
+#include "common/types.hh"
+
+namespace
+{
+
+using vattn::i64;
+
+/** Exercises GUARDED_BY / REQUIRES / EXCLUDES / ACQUIRE / RELEASE the
+ *  way the production classes (logging, cluster, background worker)
+ *  do, so a regression in the macro definitions fails here first. */
+class AnnotatedCounter
+{
+  public:
+    void
+    add(i64 x) EXCLUDES(mutex_)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        addLocked(x);
+    }
+
+    i64
+    value() const EXCLUDES(mutex_)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return value_;
+    }
+
+    void lock() ACQUIRE(mutex_) { mutex_.lock(); }
+    void unlock() RELEASE(mutex_) { mutex_.unlock(); }
+
+    /** Callers hold the lock (via lock() or a scoped guard). */
+    void addLocked(i64 x) REQUIRES(mutex_) { value_ += x; }
+
+  private:
+    mutable std::mutex mutex_;
+    i64 value_ GUARDED_BY(mutex_) = 0;
+};
+
+TEST(ThreadAnnotations, AnnotatedClassCompilesAndCounts)
+{
+    AnnotatedCounter counter;
+    counter.add(2);
+    counter.lock();
+    counter.addLocked(3);
+    counter.unlock();
+    EXPECT_EQ(counter.value(), 5);
+}
+
+TEST(ThreadAnnotations, GuardedStateIsRaceFreeAcrossThreads)
+{
+    // Under the TSan preset this doubles as a data-race probe for the
+    // exact locking pattern the annotated production classes use.
+    AnnotatedCounter counter;
+    constexpr int kThreads = 4;
+    constexpr i64 kPerThread = 1000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (i64 i = 0; i < kPerThread; ++i) {
+                counter.add(1);
+            }
+        });
+    }
+    for (std::thread &thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+#if defined(__clang__)
+/** The macros must really expand to clang attributes (not no-ops)
+ *  when clang builds this: a GUARDED_BY on a plain member is the
+ *  canonical smoke test — it parses iff the attribute exists. */
+struct ClangAttributeSmoke
+{
+    std::mutex m;
+    int guarded GUARDED_BY(m) = 0;
+};
+#else
+/** gcc path: every macro must vanish; using one in a context where a
+ *  gcc attribute would be malformed proves the expansion is empty. */
+struct GccNoopSmoke
+{
+    std::mutex m;
+    int guarded GUARDED_BY(m) = 0; // compiles only if macro is empty
+};
+#endif
+
+} // namespace

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Project-convention lint for the vAttention reproduction.
+
+Machine-checks the conventions the simulator's correctness leans on:
+
+  1. naming   — fields of type TimeNs end in `_ns`; integer fields
+                whose name mentions bytes end in `bytes` (ratios may
+                start with `bytes_per_`). Mixed units inside one
+                struct are how latency/capacity accounting bugs start.
+  2. sim-time — simulation code (src/) never reads wall clocks or
+                libc randomness: `std::chrono` clocks, std::rand and
+                friends are forbidden there. Determinism comes from
+                SimClock and common/rng.hh only.
+  3. memory   — no naked `new` in src/; ownership goes through
+                std::unique_ptr / std::make_unique or containers.
+
+Usage: tools/check_invariants.py [--root DIR]
+Exits non-zero and prints file:line diagnostics on violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Field declaration of type TimeNs: the name must end `_ns` (members
+# keep their trailing underscore). Headers only — locals in .cc files
+# legitimately use short names (`cost`, `start`).
+TIMENS_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?TimeNs\s+(\w+)\s*(?:=[^;]*)?;"
+)
+
+# Integer field whose name mentions bytes: must *end* in `bytes`
+# (e.g. budget_bytes, swap_out_bytes) or be a `bytes_per_*` ratio.
+BYTES_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?(?:u64|i64|u32|i32)\s+"
+    r"(\w*bytes\w*)\s*(?:=[^;]*)?;"
+)
+
+# Wall-clock / libc-randomness reads that break simulation determinism.
+WALL_CLOCK_RE = re.compile(r"std::chrono")
+LIBC_RAND_RE = re.compile(r"(?:std::|\b)s?rand\s*\(")
+
+# Naked allocation. `new` as an English word in comments is stripped
+# before matching.
+NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:])")
+
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string literals, preserving line
+    numbers so diagnostics stay accurate."""
+
+    def blank(match: re.Match[str]) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = STRING_RE.sub(blank, text)
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    return LINE_COMMENT_RE.sub(blank, text)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(raw)
+    rel = path.relative_to(root)
+    problems: list[str] = []
+
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        where = f"{rel}:{lineno}"
+
+        if path.suffix == ".hh":
+            m = TIMENS_FIELD_RE.match(line)
+            if m and not m.group(1).rstrip("_").endswith("_ns"):
+                problems.append(
+                    f"{where}: TimeNs field `{m.group(1)}` must end in"
+                    " `_ns` (time fields carry their unit)"
+                )
+            m = BYTES_FIELD_RE.match(line)
+            if m:
+                name = m.group(1).rstrip("_")
+                if not (name.endswith("bytes")
+                        or name.startswith("bytes_per_")):
+                    problems.append(
+                        f"{where}: byte-quantity field `{m.group(1)}`"
+                        " must end in `bytes` (sizes carry their unit)"
+                    )
+
+        if WALL_CLOCK_RE.search(line):
+            problems.append(
+                f"{where}: std::chrono in simulation code — simulated"
+                " time comes from common/sim_clock.hh only"
+            )
+        if LIBC_RAND_RE.search(line):
+            problems.append(
+                f"{where}: libc randomness in simulation code — use"
+                " the seeded generators in common/rng.hh"
+            )
+        if NAKED_NEW_RE.search(line):
+            problems.append(
+                f"{where}: naked `new` — own memory via"
+                " std::unique_ptr / std::make_unique or a container"
+            )
+
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this"
+        " script)",
+    )
+    args = parser.parse_args()
+
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"check_invariants: no src/ under {args.root}",
+              file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in {".hh", ".cc"}:
+            problems.extend(check_file(path, args.root))
+
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_invariants: {len(problems)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
