@@ -166,7 +166,7 @@ ServingCluster::run(std::vector<Request> trace)
     std::vector<std::vector<Request>> shares(n);
     for (std::size_t i = 0; i < trace.size(); ++i) {
         shares[static_cast<std::size_t>(assignment[i])].push_back(
-            trace[i]);
+            std::move(trace[i]));
     }
     for (std::size_t r = 0; r < n; ++r) {
         report.assigned[r] = static_cast<i64>(shares[r].size());

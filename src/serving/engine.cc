@@ -65,12 +65,12 @@ EngineConfig::kvBudgetPerWorker() const
 }
 
 Engine::Engine(EngineConfig config)
-    : config_(config),
-      kernel_(config.gpu, config.model, config.tp),
+    : config_(std::move(config)),
+      kernel_(config_.gpu, config_.model, config_.tp),
       overhead_(),
-      scheduler_(config.scheduler),
-      composer_(config.scheduler),
-      block_size_(perf::defaultBlockSize(config.backend))
+      scheduler_(config_.scheduler),
+      composer_(config_.scheduler),
+      block_size_(perf::defaultBlockSize(config_.backend))
 {
     const u64 budget = config_.kvBudgetPerWorker();
     // The host tier is only committed when the policy can swap, so the
