@@ -33,6 +33,7 @@ main()
 {
     banner("Ablation: the §6.1 latency-hiding optimizations",
            "Yi-6B, 1x A100, chat trace at 5 QPS, 2MB page-groups");
+    JsonReport json("ablation_optimizations");
 
     const Variant variants[] = {
         {"all optimizations ON", true, true, true},
@@ -74,9 +75,9 @@ main()
             Table::integer(stats.background_handles),
         });
     }
-    table.print("ablation (critical alloc ms = total driver latency "
+    json.printTable("ablation (critical alloc ms = total driver latency "
                 "paid inside step(); hidden = absorbed by the "
-                "background worker)");
+                "background worker)", table);
     std::printf("\nreading: with everything on, nearly all page-group "
                 "mapping is prefetched or reused, so the critical "
                 "path sees almost no driver latency; turning the "

@@ -21,6 +21,7 @@ main()
     banner("Cluster: online latency vs routing policy",
            "arXiv-Summarization online trace, Yi-6B TP-1 replicas, "
            "Poisson arrivals at 0.2 QPS per replica; seconds");
+    JsonReport json("cluster_online_latency");
 
     const Setup setup{perf::ModelSpec::yi6B(), 1};
     const double qps_per_replica = 0.2;
@@ -58,12 +59,12 @@ main()
                 Table::num(report.jain_fairness, 3),
             });
         }
-        table.print("replicas = " + std::to_string(replicas) +
+        json.printTable("replicas = " + std::to_string(replicas) +
                     " (offered load " +
                     Table::num(qps_per_replica * replicas, 2) +
                     " QPS, " +
                     std::to_string(trace_per_replica * replicas) +
-                    " requests)");
+                    " requests)", table);
     }
 
     std::printf("\nload-aware policies (JSQ, least-KV) should match "

@@ -18,6 +18,7 @@ main()
 {
     banner("Figure 2: paged-vs-non-paged prefill kernel overhead",
            "model: Llama-3-8B, 1x A100 (kernel latency model)");
+    JsonReport json("fig02_prefill_paging_overhead");
 
     perf::KernelModel model(perf::GpuSpec::a100(),
                             perf::ModelSpec::llama3_8B(), 1);
@@ -47,6 +48,6 @@ main()
                        2) + "x",
         });
     }
-    table.print("Figure 2 (paper: FA2 1.07-1.37x, FI 1.25-1.42x)");
+    json.printTable("Figure 2 (paper: FA2 1.07-1.37x, FI 1.25-1.42x)", table);
     return 0;
 }

@@ -16,6 +16,7 @@ main()
 {
     banner("Figure 3: vLLM paged decode kernel vs block size",
            "model: Llama-3-8B, 1x A100 (kernel latency model)");
+    JsonReport json("fig03_block_size_sensitivity");
 
     perf::KernelModel model(perf::GpuSpec::a100(),
                             perf::ModelSpec::llama3_8B(), 1);
@@ -48,6 +49,6 @@ main()
                        2) + "x",
         });
     }
-    table.print("Figure 3 (paper: block 128 is 1.86-1.93x block 16)");
+    json.printTable("Figure 3 (paper: block 128 is 1.86-1.93x block 16)", table);
     return 0;
 }

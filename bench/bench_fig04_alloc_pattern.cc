@@ -16,6 +16,7 @@ main()
 {
     banner("Figure 4: decode throughput and memory allocation rate",
            "batch 1-320, initial context 1K, A100s (engine simulation)");
+    JsonReport json("fig04_alloc_pattern");
 
     for (const auto &setup : evalSetups()) {
         Table table({"batch", "effective", "tokens/s", "alloc MB/s"});
@@ -49,7 +50,7 @@ main()
                 Table::num(run.alloc_bytes_per_second / 1e6, 1),
             });
         }
-        table.print("Figure 4: " + setupLabel(setup));
+        json.printTable("Figure 4: " + setupLabel(setup), table);
         std::printf("peak allocation rate: %.0f MB/s "
                     "(paper: <= ~750 MB/s across models)\n",
                     peak_alloc);

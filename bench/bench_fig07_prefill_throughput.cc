@@ -16,6 +16,7 @@ main()
 {
     banner("Figure 7: prefill throughput (tokens/second)",
            "single prompt per iteration; A100s (engine simulation)");
+    JsonReport json("fig07_prefill_throughput");
 
     const perf::BackendKind kinds[] = {
         perf::BackendKind::kFa2Paged,
@@ -54,7 +55,7 @@ main()
                 Table::num(tput[3] / tput[1], 2) + "x",
             });
         }
-        table.print("Figure 7: " + setupLabel(setup));
+        json.printTable("Figure 7: " + setupLabel(setup), table);
     }
     std::printf("\npaper: at 192K FA2_vAttention/FA2_Paged = "
                 "1.24-1.26x; FI gains up to 1.36x at 16K\n");

@@ -16,6 +16,7 @@ main()
 {
     banner("Figure 8: decode throughput (tokens/second)",
            "initial context 16K, 400 decode iterations; A100s");
+    JsonReport json("fig08_decode_throughput");
 
     const perf::BackendKind kinds[] = {
         perf::BackendKind::kVllmPaged,
@@ -48,7 +49,7 @@ main()
                 Table::num(tput[3] / tput[0], 2) + "x",
             });
         }
-        table.print("Figure 8: " + setupLabel(setup));
+        json.printTable("Figure 8: " + setupLabel(setup), table);
     }
     std::printf("\npaper: FA2_vAttention ~= FA2_Paged; gains over "
                 "vLLM up to 1.99x (Yi-6B), 1.58x (Llama-3-8B), "

@@ -16,6 +16,7 @@ main()
 {
     banner("Figure 9: offline throughput, arXiv-Summarization trace",
            "427 requests, ctx 64K-192K; requests per minute; A100s");
+    JsonReport json("fig09_offline_throughput");
 
     const perf::BackendKind kinds[] = {
         perf::BackendKind::kFa2Paged,
@@ -46,7 +47,7 @@ main()
             Table::num(rpm[2] / rpm[1], 2) + "x",
         });
     }
-    table.print("Figure 9 (paper: 2.79/2.75/3.28, 4.55/4.27/5.25, "
-                "1.30/1.28/1.47 req/min)");
+    json.printTable("Figure 9 (paper: 2.79/2.75/3.28, 4.55/4.27/5.25, "
+                "1.30/1.28/1.47 req/min)", table);
     return 0;
 }

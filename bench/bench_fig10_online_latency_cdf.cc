@@ -42,6 +42,7 @@ main()
     banner("Figure 10: online request latency CDF",
            "arXiv-Summarization online trace, 512 reqs, Poisson "
            "arrivals; seconds");
+    JsonReport json("fig10_online_latency_cdf");
 
     const perf::BackendKind kinds[] = {
         perf::BackendKind::kFa2Paged,
@@ -78,8 +79,8 @@ main()
                 // the default output stays byte-identical.
                 maybePrintPrefixStats(report, toString(kinds[i]));
             }
-            table.print("Figure 10: " + setupLabel(setup) + ", QPS=" +
-                        Table::num(qps, 3));
+            json.printTable("Figure 10: " + setupLabel(setup) + ", QPS=" +
+                        Table::num(qps, 3), table);
             std::printf("median reduction vs FA2_Paged: %.0f%%  (vs "
                         "FI_Paged: %.0f%%)\n",
                         100.0 * (1.0 - medians[2] / medians[0]),

@@ -16,6 +16,7 @@ main()
 {
     banner("Figure 11: offline throughput on H100s (FA3 portability)",
            "arXiv-Summarization offline trace; requests per minute");
+    JsonReport json("fig11_fa3_h100");
 
     const perf::BackendKind kinds[] = {
         perf::BackendKind::kFa2Paged,
@@ -43,7 +44,7 @@ main()
             Table::num(rpm[2] / rpm[0], 2) + "x",
         });
     }
-    table.print("Figure 11 (paper: 5.93/6.57/8.90, 8.06/9.28/10.17, "
-                "2.65/2.81/3.50 req/min)");
+    json.printTable("Figure 11 (paper: 5.93/6.57/8.90, 8.06/9.28/10.17, "
+                "2.65/2.81/3.50 req/min)", table);
     return 0;
 }

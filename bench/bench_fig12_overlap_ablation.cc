@@ -19,6 +19,7 @@ main()
 {
     banner("Figure 12: hiding allocation latency (decode iterations)",
            "Llama-3-8B TP-2, batch 32, ctx 4K-8K, 2MB page-groups");
+    JsonReport json("fig12_overlap_ablation");
 
     // Contexts are multiples of 256 so several requests cross a
     // page-group boundary in the same iteration, like a real batch
@@ -70,6 +71,6 @@ main()
                         worst_spike);
         }
     }
-    table.print("Figure 12 summary");
+    json.printTable("Figure 12 summary", table);
     return 0;
 }

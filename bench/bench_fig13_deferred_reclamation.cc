@@ -22,6 +22,7 @@ main()
     banner("Figure 13: prefill time of a 16K prompt vs allocation "
            "strategy",
            "seconds; ratios normalized to the no-allocation ideal");
+    JsonReport json("fig13_deferred_reclamation");
 
     for (const auto &setup : evalSetups()) {
         Table table({"strategy", "prefill s", "alloc ms", "ratio"});
@@ -66,7 +67,7 @@ main()
         add("CUDA APIs + 64KB (synchronous)", sync64);
         add("CUDA APIs + 2MB (synchronous)", sync2m);
         add("CUDA APIs + deferred reclamation", deferred);
-        table.print("Figure 13: " + setupLabel(setup));
+        json.printTable("Figure 13: " + setupLabel(setup), table);
     }
     std::printf("\npaper: sync 64KB up to 1.15x, sync 2MB up to "
                 "1.03x, deferred reclamation 1.00x\n");

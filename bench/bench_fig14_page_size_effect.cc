@@ -57,6 +57,7 @@ main()
 {
     banner("Figure 14: effect of page size on attention kernels",
            "FA2 kernels, Llama-3-8B; TLB replay + kernel model");
+    JsonReport json("fig14_page_size_effect");
 
     const perf::ModelSpec model = perf::ModelSpec::llama3_8B();
     perf::KernelModel kernel(perf::GpuSpec::a100(), model, 1);
@@ -82,7 +83,7 @@ main()
             Table::num(t_64k / t_2m, 3) + "x",
         });
     }
-    prefill.print("Figure 14 (left): prefill kernel");
+    json.printTable("Figure 14 (left): prefill kernel", prefill);
 
     Table decode({"batch x ctx", "kernel ms", "walks 2MB",
                   "walks 64KB", "runtime 64KB vs 2MB"});
@@ -109,7 +110,7 @@ main()
             Table::num(t_64k / t_2m, 3) + "x",
         });
     }
-    decode.print("Figure 14 (right): decode kernel");
+    json.printTable("Figure 14 (right): decode kernel", decode);
     std::printf("\npaper: 64KB pages change kernel runtime by at most "
                 "~2%% in either direction (no TLB thrashing)\n");
     return 0;

@@ -17,6 +17,7 @@ main()
 {
     banner("Figure 15: max batch size vs page-group size",
            "OpenChat-like trace at 7 QPS (engine simulation)");
+    JsonReport json("fig15_max_batch_size");
 
     Table table({"model", "2MB", "256KB", "128KB", "64KB",
                  "64KB vs 2MB"});
@@ -57,8 +58,8 @@ main()
                                    2) + "x");
         table.addRow(cells);
     }
-    table.print("Figure 15 (paper: 187->240 (1.23x), 203->258 "
+    json.printTable("Figure 15 (paper: 187->240 (1.23x), 203->258 "
                 "(1.26x), 56->68 (1.20x) including intermediate "
-                "sizes)");
+                "sizes)", table);
     return 0;
 }

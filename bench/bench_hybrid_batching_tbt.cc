@@ -34,7 +34,8 @@ modeLabel(const Mode &mode)
 }
 
 void
-scenario(const std::string &title, std::vector<serving::Request> trace)
+scenario(JsonReport &json, const std::string &title,
+         std::vector<serving::Request> trace)
 {
     const perf::BackendKind kinds[] = {
         perf::BackendKind::kFa2Paged,
@@ -70,7 +71,7 @@ scenario(const std::string &title, std::vector<serving::Request> trace)
             });
         }
     }
-    table.print(title);
+    json.printTable(title, table);
 }
 
 } // namespace
@@ -81,18 +82,21 @@ main()
     banner("Hybrid batching: time-between-tokens vs scheduling mode",
            "Yi-6B TP-1 on A100; TBT and normalized latency in "
            "seconds, both scheduling modes x {paged, vAttention}");
+    JsonReport json("hybrid_batching_tbt");
 
     {
         auto trace = serving::arxivOnlineTrace(128);
         serving::assignPoissonArrivals(trace, 0.25, 2024);
-        scenario("arXiv-Summarization online, 128 reqs, 0.25 QPS "
+        scenario(json,
+                 "arXiv-Summarization online, 128 reqs, 0.25 QPS "
                  "(29K-token prompts: worst-case decode stalls)",
                  std::move(trace));
     }
     {
         auto trace = serving::shareGptTrace(512);
         serving::assignPoissonArrivals(trace, 6.0, 2024);
-        scenario("ShareGPT-style chat, 512 reqs, 6 QPS (short "
+        scenario(json,
+                 "ShareGPT-style chat, 512 reqs, 6 QPS (short "
                  "prompts, long decodes)",
                  std::move(trace));
     }

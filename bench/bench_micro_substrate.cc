@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "attn/kernels.hh"
+#include "bench_util.hh"
 #include "common/rng.hh"
 #include "cuvmm/driver.hh"
 #include "gpu/buddy_allocator.hh"
@@ -182,4 +183,20 @@ BENCHMARK(BM_PageTableTranslate);
 } // namespace
 } // namespace vattn
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Manual BENCHMARK_MAIN so the run also emits the machine-readable
+    // report every bench binary writes (google-benchmark prints its
+    // own wall-time table; the JSON records that the suite ran).
+    vattn::bench::JsonReport json("micro_substrate");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    json.metric("benchmarks_run",
+                static_cast<vattn::i64>(
+                    benchmark::RunSpecifiedBenchmarks()));
+    benchmark::Shutdown();
+    return 0;
+}

@@ -46,6 +46,7 @@ main()
     banner("Prefix caching: multi-tenant shared system prompts",
            "256 requests, 8 tenants x 8K-token system prompt + ~512 "
            "unique user tokens; Yi-6B on 1x A100");
+    JsonReport json("prefix_caching");
 
     const Variant variants[] = {
         {perf::BackendKind::kFa2Paged, false},
@@ -92,7 +93,7 @@ main()
                                            ttft_off[idx]));
         }
     }
-    table.print("shared-system-prompt trace, offline arrivals");
+    json.printTable("shared-system-prompt trace, offline arrivals", table);
     std::printf("\nReading: both backends skip the shared system "
                 "prompt's prefill on a hit; vAttention additionally "
                 "maps one physical page-group into several requests' "

@@ -90,6 +90,7 @@ main()
     banner("Swap vs recompute preemption under memory pressure",
            "bursty online trace overcommitting the KV budget; "
            "Yi-6B on 1x A100, both memory backends");
+    JsonReport json("swap_preemption");
 
     const int bursts = smokeN(4, 2);
     const int per_burst = smokeN(24, 6);
@@ -139,8 +140,8 @@ main()
                            1),
             });
         }
-        table.print(std::string("preemption policies on ") +
-                    toString(kind));
+        json.printTable(std::string("preemption policies on ") +
+                    toString(kind), table);
         if (ttft_p99_recompute > 0) {
             std::printf("p99 TTFT, swap vs recompute: %.0f%% lower\n",
                         100.0 * (1.0 - ttft_p99_swap /
@@ -166,6 +167,6 @@ main()
             Table::integer(static_cast<i64>(report.preemptions)),
         });
     }
-    victims.print("victim selection (recompute policy, vAttention)");
+    json.printTable("victim selection (recompute policy, vAttention)", victims);
     return 0;
 }

@@ -18,6 +18,7 @@ main()
 {
     banner("Table 3: CUDA VMM / driver-extension API latencies",
            "microseconds per call; '-' = fused into another call");
+    JsonReport json("table03_vmm_api_latency");
 
     cuvmm::LatencyModel model;
     Table table({"API", "64KB", "128KB", "256KB", "2MB"});
@@ -50,7 +51,7 @@ main()
         }
         table.addRow(cells);
     }
-    table.print("Table 3 (model values = paper's measurements)");
+    json.printTable("Table 3 (model values = paper's measurements)", table);
 
     // Live cross-check: run one full lifecycle per page-group size on
     // the simulated driver and report the charged latency per call.
@@ -102,7 +103,7 @@ main()
                        1),
         });
     }
-    live.print("Live driver lifecycle (map column includes the access "
-               "grant; reclaim = unmap+release path)");
+    json.printTable("Live driver lifecycle (map column includes the access "
+               "grant; reclaim = unmap+release path)", live);
     return 0;
 }

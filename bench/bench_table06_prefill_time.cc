@@ -31,6 +31,7 @@ main()
 {
     banner("Table 6: prefill completion (attention) time, seconds",
            "single prompt; FA2/FI x paged/vAttention; A100s");
+    JsonReport json("table06_prefill_time");
 
     for (const auto &setup : evalSetups()) {
         Table table({"context", "FA2_Paged", "FA2_vAttention",
@@ -55,7 +56,7 @@ main()
                 cell(fi_vattn, ctx),
             });
         }
-        table.print("Table 6: " + setupLabel(setup));
+        json.printTable("Table 6: " + setupLabel(setup), table);
     }
     std::printf("\npaper anchors: Yi-6B@192K FA2 81.5 (70.0) vs vAttn "
                 "64.6 (53.6); Llama-3-8B@192K 43.3 (35.6) vs 34.8 "

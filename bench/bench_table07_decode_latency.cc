@@ -17,6 +17,7 @@ main()
 {
     banner("Table 7: decode attention latency per iteration (ms)",
            "context 16K per request (kernel latency model)");
+    JsonReport json("table07_decode_latency");
 
     for (const auto &setup : evalSetups()) {
         perf::KernelModel model(perf::GpuSpec::a100(), setup.model,
@@ -44,7 +45,7 @@ main()
                 Table::num(vllm / fa2p, 2) + "x",
             });
         }
-        table.print("Table 7: " + setupLabel(setup));
+        json.printTable("Table 7: " + setupLabel(setup), table);
     }
     std::printf("\npaper anchors (bs16): Yi-6B 32.3/11.5/15.2/11.3; "
                 "Llama-3-8B 17.8/11.9/12.1/11.8; Yi-34B(bs16) "

@@ -37,6 +37,7 @@ main()
 {
     banner("Table 8: tokens per page-group (block size)",
            "per model and tensor-parallel degree");
+    JsonReport json("table08_block_size");
 
     Table table({"model", "64KB", "128KB", "256KB", "2MB"});
     for (const auto &base : evalSetups()) {
@@ -51,7 +52,7 @@ main()
             table.addRow(cells);
         }
     }
-    table.print("Table 8 (paper: Yi-6B TP-1 row = 64/128/256/2048; "
-                "Llama-3-8B TP-1 = 32/64/128/1024; TP-2 doubles)");
+    json.printTable("Table 8 (paper: Yi-6B TP-1 row = 64/128/256/2048; "
+                "Llama-3-8B TP-1 = 32/64/128/1024; TP-2 doubles)", table);
     return 0;
 }

@@ -64,6 +64,7 @@ main()
 {
     banner("Table 9: physical memory allocation bandwidth (GB/s)",
            "live driver measurement, Llama-3-8B KV geometry");
+    JsonReport json("table09_alloc_bandwidth");
 
     Table table({"config", "64KB", "128KB", "256KB", "2MB"});
     for (int tp : {1, 2}) {
@@ -73,8 +74,8 @@ main()
         }
         table.addRow(cells);
     }
-    table.print("Table 9 (paper: TP-1 7.59/14.56/27.04/35.17; TP-2 "
+    json.printTable("Table 9 (paper: TP-1 7.59/14.56/27.04/35.17; TP-2 "
                 "doubles; every value >> the 0.75 GB/s decode "
-                "demand)");
+                "demand)", table);
     return 0;
 }

@@ -39,6 +39,7 @@ main()
 {
     banner("Table 10: block size with and without tensor slicing",
            "2MB pages, stock CUDA APIs (no driver modification)");
+    JsonReport json("table10_tensor_slicing");
 
     Table table({"model", "w/o slicing", "w/ slicing", "reduction"});
     for (const auto &base : evalSetups()) {
@@ -55,8 +56,8 @@ main()
             });
         }
     }
-    table.print("Table 10 (paper: 2048->64, 4096->128, 1024->32, "
+    json.printTable("Table 10 (paper: 2048->64, 4096->128, 1024->32, "
                 "2048->64, 1024->18, 2048->36; we compute 17 where "
-                "the paper rounds Yi-34B TP-1 to 18)");
+                "the paper rounds Yi-34B TP-1 to 18)", table);
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hh"
@@ -95,6 +96,160 @@ setupLabel(const Setup &setup)
 {
     return setup.model.name + " (TP-" + std::to_string(setup.tp) + ")";
 }
+
+/**
+ * Machine-readable companion to the printed tables. Each bench binary
+ * owns one JsonReport; tables routed through printTable() and scalar
+ * metrics recorded with metric() are written to BENCH_<name>.json in
+ * the working directory (or $VATTN_BENCH_JSON_DIR) when the report is
+ * destroyed. CI uploads these files as build artifacts. Recording
+ * never alters stdout, so the golden text outputs stay byte-identical.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    ~JsonReport() { write(); }
+
+    void
+    metric(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.10g", value);
+        metrics_.emplace_back(key, std::string(buf));
+    }
+
+    void
+    metric(const std::string &key, i64 value)
+    {
+        metrics_.emplace_back(key, std::to_string(value));
+    }
+
+    void
+    metric(const std::string &key, const std::string &value)
+    {
+        metrics_.emplace_back(key, quoted(value));
+    }
+
+    /** Print @p table under @p caption (byte-identical to
+     *  Table::print) and record both in the JSON report. */
+    void
+    printTable(const std::string &caption, const Table &table)
+    {
+        table.print(caption);
+        tables_.emplace_back(caption, table);
+    }
+
+    /** Record without printing (for sub-tables a bench aggregates). */
+    void
+    recordTable(const std::string &caption, const Table &table)
+    {
+        tables_.emplace_back(caption, table);
+    }
+
+    /** Flush BENCH_<name>.json now (the destructor is then a no-op). */
+    void
+    write()
+    {
+        if (written_) {
+            return;
+        }
+        written_ = true;
+        const char *dir = std::getenv("VATTN_BENCH_JSON_DIR");
+        std::string path =
+            (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+        path += "BENCH_" + name_ + ".json";
+        std::FILE *file = std::fopen(path.c_str(), "w");
+        if (file == nullptr) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        const std::string body = render();
+        std::fwrite(body.data(), 1, body.size(), file);
+        std::fclose(file);
+    }
+
+  private:
+    static std::string
+    quoted(const std::string &s)
+    {
+        std::string out = "\"";
+        for (const char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        out += '"';
+        return out;
+    }
+
+    static std::string
+    cellList(const std::vector<std::string> &cells)
+    {
+        std::string out = "[";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out += (i != 0 ? ", " : "") + quoted(cells[i]);
+        }
+        return out + "]";
+    }
+
+    std::string
+    render() const
+    {
+        std::string out = "{\n";
+        out += "  \"bench\": " + quoted(name_) + ",\n";
+        out += std::string("  \"smoke\": ") +
+               (smokeMode() ? "true" : "false") + ",\n";
+        out += "  \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            out += (i != 0 ? "," : "");
+            out += "\n    " + quoted(metrics_[i].first) + ": " +
+                   metrics_[i].second;
+        }
+        out += metrics_.empty() ? "},\n" : "\n  },\n";
+        out += "  \"tables\": [";
+        for (std::size_t t = 0; t < tables_.size(); ++t) {
+            const Table &table = tables_[t].second;
+            out += (t != 0 ? "," : "");
+            out += "\n    {\n      \"caption\": " +
+                   quoted(tables_[t].first) + ",\n";
+            out += "      \"headers\": " + cellList(table.headers()) +
+                   ",\n";
+            out += "      \"rows\": [";
+            const auto &rows = table.rows();
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                out += (r != 0 ? "," : "");
+                out += "\n        " + cellList(rows[r]);
+            }
+            out += rows.empty() ? "]\n    }" : "\n      ]\n    }";
+        }
+        out += tables_.empty() ? "]\n" : "\n  ]\n";
+        out += "}\n";
+        return out;
+    }
+
+    std::string name_;
+    /// key -> pre-rendered JSON value (number or quoted string)
+    std::vector<std::pair<std::string, std::string>> metrics_;
+    std::vector<std::pair<std::string, Table>> tables_;
+    bool written_ = false;
+};
 
 /**
  * One-line prefix-cache summary. Prints nothing when the run never

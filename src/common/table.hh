@@ -36,6 +36,13 @@ class Table
 
     std::size_t numRows() const { return rows_.size(); }
 
+    /** Raw cells, for machine-readable re-emission (JSON reports). */
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

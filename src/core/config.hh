@@ -8,12 +8,43 @@
 #ifndef VATTN_CORE_CONFIG_HH
 #define VATTN_CORE_CONFIG_HH
 
+#include <vector>
+
 #include "common/status.hh"
 #include "common/types.hh"
 #include "tensor/dtype.hh"
 
 namespace vattn::core
 {
+
+/** Attention pattern of one transformer layer (Jenga-style
+ *  heterogeneity: full-attention and sliding-window layers mix within
+ *  one model). */
+enum class AttentionKind : u8
+{
+    /** Causal attention over the entire context; KV of every token is
+     *  kept for the request's whole lifetime. */
+    kFull,
+    /** Attention over the last window_tokens tokens only; KV behind
+     *  the window is dead and its page-groups may be unmapped. */
+    kSlidingWindow,
+};
+
+/**
+ * Per-layer KV geometry. A zero in kv_heads/head_dim/bytes_per_elem
+ * means "inherit the corresponding global Config field", so a spec
+ * list that only sets attention kinds stays terse.
+ */
+struct LayerKvSpec
+{
+    AttentionKind kind = AttentionKind::kFull;
+    /** Sliding-window width; must be positive for kSlidingWindow
+     *  layers and zero for kFull layers. */
+    i64 window_tokens = 0;
+    int kv_heads = 0;       ///< 0 = Config::num_kv_heads
+    int head_dim = 0;       ///< 0 = Config::head_dim
+    int bytes_per_elem = 0; ///< 0 = Config::bytes_per_elem
+};
 
 /** Serving-worker configuration for the vAttention runtime. */
 struct Config
@@ -25,6 +56,14 @@ struct Config
     int bytes_per_elem = 2;    ///< P (2 = FP16/BF16)
     int max_batch_size = 0;    ///< B
     i64 max_context_len = 0;   ///< L
+
+    /**
+     * Per-layer KV geometry. Empty (the default) means num_layers
+     * identical full-attention layers built from the scalar fields
+     * above — the historical uniform model, bit-for-bit. A non-empty
+     * list must have exactly num_layers entries.
+     */
+    std::vector<LayerKvSpec> layers;
 
     // ---- Allocation policy ------------------------------------------
     /** Physical allocation granularity (§6.2). */
@@ -70,6 +109,21 @@ struct Config
 
     /** Storage dtype implied by bytes_per_elem. */
     tensor::DType dtype() const;
+
+    /** The resolved spec of one layer: inherited fields filled in from
+     *  the global scalars, uniform default when layers is empty. */
+    LayerKvSpec layerSpec(int layer) const;
+
+    /** Any sliding-window layer present? */
+    bool hasWindowLayers() const;
+
+    /** Every layer full-attention with the global shape (the
+     *  historical uniform model)? */
+    bool uniformLayers() const;
+
+    /** Same per-token KV footprint (kv_heads * head_dim *
+     *  bytes_per_elem) on every layer? Sliding windows allowed. */
+    bool uniformFootprint() const;
 
     /** Validate user-provided parameters. */
     Status validate() const;

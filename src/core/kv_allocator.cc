@@ -1,5 +1,8 @@
 #include "core/kv_allocator.hh"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace vattn::core
@@ -14,9 +17,9 @@ KvAllocator::KvAllocator(cuvmm::Driver &driver, const Config &config,
     config_.validate().expectOk("KvAllocator config");
 
     const int nbuf = geom_.numBuffers();
-    const u64 buf_bytes = geom_.bufferBytes();
     buffer_base_.reserve(static_cast<std::size_t>(nbuf));
     for (int b = 0; b < nbuf; ++b) {
+        const u64 buf_bytes = geom_.bufferBytesFor(b);
         Addr base = 0;
         cuvmm::CuResult r;
         if (use_cu_path_) {
@@ -34,20 +37,20 @@ KvAllocator::KvAllocator(cuvmm::Driver &driver, const Config &config,
     }
 
     // Build the full-batch tensor views.
-    const auto dtype = config_.dtype();
     const i64 batch = config_.max_batch_size;
     const i64 len = config_.max_context_len;
-    const i64 heads = config_.num_kv_heads;
-    const i64 dim = config_.head_dim;
     const i64 layers = config_.num_layers;
-    const i64 batch_stride = static_cast<i64>(
-        geom_.perRequestBytesAligned() /
-        static_cast<u64>(config_.bytes_per_elem));
 
     layer_tensors_.reserve(static_cast<std::size_t>(layers));
     if (config_.tensor_slicing) {
         // One [B, L, N, H, D] tensor per K/V; per-layer tensors are
-        // strided slices of it.
+        // strided slices of it. (Slicing requires uniform layers.)
+        const auto dtype = config_.dtype();
+        const i64 heads = config_.num_kv_heads;
+        const i64 dim = config_.head_dim;
+        const i64 batch_stride = static_cast<i64>(
+            geom_.perRequestBytesAligned(0) /
+            static_cast<u64>(config_.bytes_per_elem));
         tensor::Layout big;
         big.shape = tensor::Shape{batch, len, layers, heads, dim};
         big.strides = {batch_stride, layers * heads * dim, heads * dim,
@@ -64,11 +67,21 @@ KvAllocator::KvAllocator(cuvmm::Driver &driver, const Config &config,
             });
         }
     } else {
-        tensor::Layout per_layer;
-        per_layer.shape = tensor::Shape{batch, len, heads, dim};
-        per_layer.strides = {batch_stride, heads * dim, dim, 1};
-        per_layer.offset = 0;
         for (i64 layer = 0; layer < layers; ++layer) {
+            const LayerKvSpec spec =
+                config_.layerSpec(static_cast<int>(layer));
+            const auto dtype = spec.bytes_per_elem == 4
+                                   ? tensor::DType::kF32
+                                   : tensor::DType::kF16;
+            const i64 heads = spec.kv_heads;
+            const i64 dim = spec.head_dim;
+            const i64 batch_stride = static_cast<i64>(
+                geom_.perRequestBytesAligned(static_cast<int>(layer)) /
+                static_cast<u64>(spec.bytes_per_elem));
+            tensor::Layout per_layer;
+            per_layer.shape = tensor::Shape{batch, len, heads, dim};
+            per_layer.strides = {batch_stride, heads * dim, dim, 1};
+            per_layer.offset = 0;
             const auto kb = static_cast<std::size_t>(
                 kBuffer(static_cast<int>(layer)));
             const auto vb = static_cast<std::size_t>(
@@ -85,7 +98,7 @@ KvAllocator::KvAllocator(cuvmm::Driver &driver, const Config &config,
     }
 
     for (auto &slot : slots_) {
-        slot.handles.resize(static_cast<std::size_t>(nbuf));
+        slot.buffers.resize(static_cast<std::size_t>(nbuf));
     }
 }
 
@@ -94,8 +107,9 @@ KvAllocator::~KvAllocator()
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         releaseAll(slot);
     }
-    const u64 buf_bytes = geom_.bufferBytes();
-    for (Addr base : buffer_base_) {
+    for (int b = 0; b < geom_.numBuffers(); ++b) {
+        const Addr base = buffer_base_[static_cast<std::size_t>(b)];
+        const u64 buf_bytes = geom_.bufferBytesFor(b);
         if (use_cu_path_) {
             driver_.cuMemAddressFree(base, buf_bytes);
         } else {
@@ -120,7 +134,9 @@ Addr
 KvAllocator::groupVa(int buffer, int slot, i64 group) const
 {
     return buffer_base_[static_cast<std::size_t>(buffer)] +
-           static_cast<u64>(slot) * geom_.perRequestBytesAligned() +
+           static_cast<u64>(slot) *
+               geom_.perRequestBytesAligned(
+                   geom_.layerOfBuffer(buffer)) +
            static_cast<u64>(group) * geom_.groupBytes();
 }
 
@@ -143,7 +159,51 @@ KvAllocator::vView(int layer, int slot) const
 i64
 KvAllocator::groupsMapped(int slot) const
 {
-    return slots_[static_cast<std::size_t>(slot)].groups;
+    const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    i64 frontier = 0;
+    for (const BufferMappings &buffer : mappings.buffers) {
+        frontier = std::max(frontier, buffer.end());
+    }
+    return frontier;
+}
+
+i64
+KvAllocator::mappedHandles(int slot) const
+{
+    const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    i64 total = 0;
+    for (const BufferMappings &buffer : mappings.buffers) {
+        total += buffer.mapped();
+    }
+    return total;
+}
+
+i64
+KvAllocator::bufferLead(int slot, int buffer) const
+{
+    return slots_[static_cast<std::size_t>(slot)]
+        .buffers[static_cast<std::size_t>(buffer)]
+        .lead;
+}
+
+i64
+KvAllocator::bufferEnd(int slot, int buffer) const
+{
+    return slots_[static_cast<std::size_t>(slot)]
+        .buffers[static_cast<std::size_t>(buffer)]
+        .end();
+}
+
+i64
+KvAllocator::prefixGroupsMapped(int slot) const
+{
+    const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    i64 prefix = std::numeric_limits<i64>::max();
+    for (const BufferMappings &buffer : mappings.buffers) {
+        prefix = std::min(prefix,
+                          buffer.lead > 0 ? i64{0} : buffer.end());
+    }
+    return prefix;
 }
 
 Status
@@ -176,7 +236,8 @@ void
 KvAllocator::unmapOne(int buffer, int slot, i64 group)
 {
     auto &mappings = slots_[static_cast<std::size_t>(slot)];
-    auto &list = mappings.handles[static_cast<std::size_t>(buffer)];
+    auto &list = mappings.buffers[static_cast<std::size_t>(buffer)]
+                     .handles;
     const cuvmm::MemHandle handle =
         list[static_cast<std::size_t>(group)];
     const Addr va = groupVa(buffer, slot, group);
@@ -208,21 +269,41 @@ KvAllocator::unmapOne(int buffer, int slot, i64 group)
 }
 
 Status
-KvAllocator::growTo(int slot, i64 target_groups)
+KvAllocator::growRows(int slot, const std::vector<i64> &targets,
+                      i64 max_rows)
 {
-    panic_if(slot < 0 || slot >= config_.max_batch_size,
-             "slot out of range");
     auto &mappings = slots_[static_cast<std::size_t>(slot)];
-    panic_if(target_groups > geom_.maxGroupsPerRequest(),
-             "growTo beyond the max context length");
-
     const int nbuf = geom_.numBuffers();
-    while (mappings.groups < target_groups) {
-        const i64 group = mappings.groups;
-        // Acquire + map the group on every buffer; only then commit.
-        int mapped = 0;
+    for (int b = 0; b < nbuf; ++b) {
+        panic_if(targets[static_cast<std::size_t>(b)] >
+                     geom_.maxGroupsPerRequest(geom_.layerOfBuffer(b)),
+                 "grow beyond the max context length");
+    }
+    i64 rows = 0;
+    while (max_rows < 0 || rows < max_rows) {
+        // The lowest group index any buffer still needs.
+        i64 group = std::numeric_limits<i64>::max();
+        for (int b = 0; b < nbuf; ++b) {
+            const BufferMappings &buffer =
+                mappings.buffers[static_cast<std::size_t>(b)];
+            if (buffer.end() < targets[static_cast<std::size_t>(b)]) {
+                group = std::min(group, buffer.end());
+            }
+        }
+        if (group == std::numeric_limits<i64>::max()) {
+            break;
+        }
+        // Acquire + map the group on every buffer whose frontier is
+        // here; only then commit the row.
+        std::vector<int> row;
         Status failure;
         for (int b = 0; b < nbuf; ++b) {
+            BufferMappings &buffer =
+                mappings.buffers[static_cast<std::size_t>(b)];
+            if (buffer.end() != group ||
+                buffer.end() >= targets[static_cast<std::size_t>(b)]) {
+                continue;
+            }
             auto handle = pool_.acquire();
             if (!handle.isOk()) {
                 failure = handle.status();
@@ -230,22 +311,163 @@ KvAllocator::growTo(int slot, i64 target_groups)
             }
             auto status = mapOne(b, slot, group, handle.value());
             status.expectOk("page-group map");
-            mappings.handles[static_cast<std::size_t>(b)].push_back(
-                handle.value());
-            ++mapped;
+            buffer.handles.push_back(handle.value());
+            row.push_back(b);
         }
-        if (mapped < nbuf) {
-            // Roll the partially mapped group back so every buffer
-            // keeps the same group count.
-            for (int b = mapped - 1; b >= 0; --b) {
-                unmapOne(b, slot, group);
-                mappings.handles[static_cast<std::size_t>(b)].pop_back();
+        if (!failure.isOk()) {
+            // Roll the partially mapped row back so the slot stays at
+            // a consistent frontier.
+            for (auto it = row.rbegin(); it != row.rend(); ++it) {
+                unmapOne(*it, slot, group);
+                mappings.buffers[static_cast<std::size_t>(*it)]
+                    .handles.pop_back();
             }
             return failure;
         }
-        ++mappings.groups;
+        ++rows;
     }
     return Status::ok();
+}
+
+Status
+KvAllocator::growTo(int slot, i64 target_groups)
+{
+    panic_if(slot < 0 || slot >= config_.max_batch_size,
+             "slot out of range");
+    const std::vector<i64> targets(
+        static_cast<std::size_t>(geom_.numBuffers()), target_groups);
+    return growRows(slot, targets, -1);
+}
+
+void
+KvAllocator::advanceLead(int slot, int buffer, i64 target_lead)
+{
+    auto &state = slots_[static_cast<std::size_t>(slot)]
+                      .buffers[static_cast<std::size_t>(buffer)];
+    const i64 stop = std::min(target_lead, state.end());
+    while (state.lead < stop) {
+        unmapOne(buffer, slot, state.lead);
+        ++state.lead;
+    }
+    if (state.mapped() == 0 && state.end() < target_lead) {
+        // Everything mapped (if anything) was dead — a fresh long
+        // prompt, or a recycled warm slot whose leftover groups all
+        // sat below the window. Skip the rest of the dead region
+        // without ever mapping it; stopping at the old end would make
+        // growth map the dead groups [end, target_lead).
+        state.handles.resize(static_cast<std::size_t>(target_lead),
+                             cuvmm::kInvalidHandle);
+        state.lead = target_lead;
+    }
+}
+
+Status
+KvAllocator::ensureTokens(int slot, i64 tokens)
+{
+    panic_if(slot < 0 || slot >= config_.max_batch_size,
+             "slot out of range");
+    const int nbuf = geom_.numBuffers();
+    std::vector<i64> targets(static_cast<std::size_t>(nbuf));
+    for (int b = 0; b < nbuf; ++b) {
+        const int layer = geom_.layerOfBuffer(b);
+        advanceLead(slot, b, geom_.deadLeadGroups(layer, tokens));
+        targets[static_cast<std::size_t>(b)] =
+            geom_.groupsForTokens(layer, tokens);
+    }
+    return growRows(slot, targets, -1);
+}
+
+bool
+KvAllocator::needsEnsureTokens(int slot, i64 tokens) const
+{
+    const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    for (int b = 0; b < geom_.numBuffers(); ++b) {
+        const BufferMappings &buffer =
+            mappings.buffers[static_cast<std::size_t>(b)];
+        const int layer = geom_.layerOfBuffer(b);
+        if (buffer.end() < geom_.groupsForTokens(layer, tokens)) {
+            return true;
+        }
+        const i64 target_lead = geom_.deadLeadGroups(layer, tokens);
+        if (buffer.lead < std::min(target_lead, buffer.end())) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+KvAllocator::needsGrowthForTokens(int slot, i64 tokens) const
+{
+    const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    for (int b = 0; b < geom_.numBuffers(); ++b) {
+        const int layer = geom_.layerOfBuffer(b);
+        if (mappings.buffers[static_cast<std::size_t>(b)].end() <
+            geom_.groupsForTokens(layer, tokens)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+Status
+KvAllocator::growOneRowForTokens(int slot, i64 tokens)
+{
+    const int nbuf = geom_.numBuffers();
+    std::vector<i64> targets(static_cast<std::size_t>(nbuf));
+    for (int b = 0; b < nbuf; ++b) {
+        targets[static_cast<std::size_t>(b)] =
+            geom_.groupsForTokens(geom_.layerOfBuffer(b), tokens);
+    }
+    return growRows(slot, targets, 1);
+}
+
+Status
+KvAllocator::growToLayout(int slot, const std::vector<i64> &leads,
+                          const std::vector<i64> &ends)
+{
+    panic_if(slot < 0 || slot >= config_.max_batch_size,
+             "slot out of range");
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    const int nbuf = geom_.numBuffers();
+    if (mappedHandles(slot) == 0 && groupsMapped(slot) == 0) {
+        for (int b = 0; b < nbuf; ++b) {
+            BufferMappings &buffer =
+                mappings.buffers[static_cast<std::size_t>(b)];
+            buffer.handles.assign(static_cast<std::size_t>(
+                                      leads[static_cast<std::size_t>(b)]),
+                                  cuvmm::kInvalidHandle);
+            buffer.lead = leads[static_cast<std::size_t>(b)];
+        }
+    } else {
+        // Resuming a partially built layout (the caller stole supply
+        // between attempts): the leads must agree.
+        for (int b = 0; b < nbuf; ++b) {
+            panic_if(mappings.buffers[static_cast<std::size_t>(b)]
+                             .lead !=
+                         leads[static_cast<std::size_t>(b)],
+                     "growToLayout lead mismatch on a non-empty slot");
+        }
+    }
+    return growRows(slot, ends, -1);
+}
+
+void
+KvAllocator::resetWindowTrimmed(int slot)
+{
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    for (int b = 0; b < geom_.numBuffers(); ++b) {
+        BufferMappings &buffer =
+            mappings.buffers[static_cast<std::size_t>(b)];
+        if (buffer.lead == 0) {
+            continue;
+        }
+        for (i64 group = buffer.lead; group < buffer.end(); ++group) {
+            unmapOne(b, slot, group);
+        }
+        buffer.handles.clear();
+        buffer.lead = 0;
+    }
 }
 
 Status
@@ -260,27 +482,27 @@ KvAllocator::aliasFrom(int dst, int src, i64 groups)
     }
     auto &dst_map = slots_[static_cast<std::size_t>(dst)];
     const auto &src_map = slots_[static_cast<std::size_t>(src)];
-    if (dst_map.groups != 0) {
+    if (mappedHandles(dst) != 0 || groupsMapped(dst) != 0) {
         return errorStatus(ErrorCode::kFailedPrecondition,
                            "aliasFrom onto a slot with mappings");
     }
-    if (groups <= 0 || groups > src_map.groups) {
+    if (groups <= 0 || groups > prefixGroupsMapped(src)) {
         return errorStatus(ErrorCode::kInvalidArgument,
-                           "aliasFrom beyond the source's groups");
+                           "aliasFrom beyond the source's intact "
+                           "prefix groups");
     }
     const int nbuf = geom_.numBuffers();
     for (i64 group = 0; group < groups; ++group) {
         for (int b = 0; b < nbuf; ++b) {
             const cuvmm::MemHandle handle =
-                src_map.handles[static_cast<std::size_t>(b)]
-                               [static_cast<std::size_t>(group)];
+                src_map.buffers[static_cast<std::size_t>(b)]
+                    .handles[static_cast<std::size_t>(group)];
             pool_.addRef(handle);
             mapOne(b, dst, group, handle).expectOk("alias map");
-            dst_map.handles[static_cast<std::size_t>(b)].push_back(
-                handle);
+            dst_map.buffers[static_cast<std::size_t>(b)]
+                .handles.push_back(handle);
             ++aliased_mappings_;
         }
-        ++dst_map.groups;
     }
     return Status::ok();
 }
@@ -289,8 +511,8 @@ cuvmm::MemHandle
 KvAllocator::handleAt(int slot, int buffer, i64 group) const
 {
     const auto &mappings = slots_[static_cast<std::size_t>(slot)];
-    return mappings.handles[static_cast<std::size_t>(buffer)]
-                           [static_cast<std::size_t>(group)];
+    return mappings.buffers[static_cast<std::size_t>(buffer)]
+        .handles[static_cast<std::size_t>(group)];
 }
 
 bool
@@ -300,9 +522,10 @@ KvAllocator::hasSharedGroups(int slot) const
         return false; // nothing anywhere is shared
     }
     const auto &mappings = slots_[static_cast<std::size_t>(slot)];
-    for (const auto &list : mappings.handles) {
-        for (const cuvmm::MemHandle handle : list) {
-            if (pool_.refCount(handle) > 1) {
+    for (const BufferMappings &buffer : mappings.buffers) {
+        for (i64 group = buffer.lead; group < buffer.end(); ++group) {
+            if (pool_.refCount(buffer.handles[static_cast<std::size_t>(
+                    group)]) > 1) {
                 return true;
             }
         }
@@ -318,12 +541,15 @@ KvAllocator::privatizeFrom(int slot, i64 from_group)
     }
     auto &mappings = slots_[static_cast<std::size_t>(slot)];
     const int nbuf = geom_.numBuffers();
-    for (i64 group = from_group; group < mappings.groups; ++group) {
+    for (i64 group = from_group; group < groupsMapped(slot); ++group) {
         for (int b = 0; b < nbuf; ++b) {
-            auto &list =
-                mappings.handles[static_cast<std::size_t>(b)];
+            auto &buffer =
+                mappings.buffers[static_cast<std::size_t>(b)];
+            if (group < buffer.lead || group >= buffer.end()) {
+                continue;
+            }
             const cuvmm::MemHandle handle =
-                list[static_cast<std::size_t>(group)];
+                buffer.handles[static_cast<std::size_t>(group)];
             if (pool_.refCount(handle) <= 1) {
                 continue;
             }
@@ -333,7 +559,7 @@ KvAllocator::privatizeFrom(int slot, i64 from_group)
                 // this group (losing retained capacity, never
                 // correctness). unmapOne handles the mixed
                 // private/shared rows.
-                while (mappings.groups > group) {
+                while (groupsMapped(slot) > group) {
                     shrinkTail(slot).expectOk("privatize shrink");
                 }
                 return;
@@ -349,7 +575,8 @@ KvAllocator::privatizeFrom(int slot, i64 from_group)
             --aliased_mappings_;
             mapOne(b, slot, group, fresh.value())
                 .expectOk("privatize map");
-            list[static_cast<std::size_t>(group)] = fresh.value();
+            buffer.handles[static_cast<std::size_t>(group)] =
+                fresh.value();
         }
     }
 }
@@ -358,26 +585,40 @@ Status
 KvAllocator::shrinkTail(int slot)
 {
     auto &mappings = slots_[static_cast<std::size_t>(slot)];
-    if (mappings.groups == 0) {
+    if (mappedHandles(slot) == 0) {
         return errorStatus(ErrorCode::kFailedPrecondition,
                            "slot has no mapped groups");
     }
-    const i64 group = mappings.groups - 1;
-    const int nbuf = geom_.numBuffers();
-    for (int b = 0; b < nbuf; ++b) {
-        unmapOne(b, slot, group);
-        mappings.handles[static_cast<std::size_t>(b)].pop_back();
+    for (int b = 0; b < geom_.numBuffers(); ++b) {
+        BufferMappings &buffer =
+            mappings.buffers[static_cast<std::size_t>(b)];
+        if (buffer.mapped() == 0) {
+            continue;
+        }
+        unmapOne(b, slot, buffer.end() - 1);
+        buffer.handles.pop_back();
+        if (buffer.mapped() == 0) {
+            // Fully drained: forget the (now moot) dead lead so the
+            // slot really is empty for reuse.
+            buffer.handles.clear();
+            buffer.lead = 0;
+        }
     }
-    --mappings.groups;
     return Status::ok();
 }
 
 void
 KvAllocator::releaseAll(int slot)
 {
-    auto &mappings = slots_[static_cast<std::size_t>(slot)];
-    while (mappings.groups > 0) {
+    while (mappedHandles(slot) > 0) {
         shrinkTail(slot).expectOk("releaseAll");
+    }
+    // Buffers that were trimmed to emptiness already reset in
+    // shrinkTail; clear any lead-only remnants (never-mapped skips).
+    auto &mappings = slots_[static_cast<std::size_t>(slot)];
+    for (BufferMappings &buffer : mappings.buffers) {
+        buffer.handles.clear();
+        buffer.lead = 0;
     }
 }
 
@@ -385,10 +626,10 @@ i64
 KvAllocator::totalHandlesMapped() const
 {
     i64 total = 0;
-    for (const auto &slot : slots_) {
-        total += slot.groups;
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        total += mappedHandles(slot);
     }
-    return total * geom_.numBuffers();
+    return total;
 }
 
 u64
@@ -411,34 +652,72 @@ void
 KvAllocator::auditInto(audit::AuditReport &report) const
 {
     const int nbuf = geom_.numBuffers();
+    const bool uniform = !geom_.hasWindows();
     /** Times each physical handle appears across all slot tables. */
     std::unordered_map<cuvmm::MemHandle, i64> mapping_counts;
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         const auto &mappings = slots_[static_cast<std::size_t>(slot)];
+        const i64 frontier = groupsMapped(slot);
         for (int b = 0; b < nbuf; ++b) {
-            const auto &list =
-                mappings.handles[static_cast<std::size_t>(b)];
-            if (static_cast<i64>(list.size()) != mappings.groups) {
+            const BufferMappings &buffer =
+                mappings.buffers[static_cast<std::size_t>(b)];
+            if (uniform &&
+                (buffer.lead != 0 || buffer.end() != frontier)) {
                 report.fail("kv_allocator: slot ", slot, " buffer ", b,
-                            " holds ", list.size(),
-                            " handles but the slot claims ",
-                            mappings.groups,
-                            " groups (buffers must grow in lockstep)");
+                            " holds groups [", buffer.lead, ", ",
+                            buffer.end(), ") but the slot frontier is ",
+                            frontier,
+                            " (uniform buffers must grow in lockstep "
+                            "from group 0)");
             }
-            for (const cuvmm::MemHandle handle : list) {
+            for (i64 group = 0; group < buffer.end(); ++group) {
+                const cuvmm::MemHandle handle =
+                    buffer.handles[static_cast<std::size_t>(group)];
+                if (group < buffer.lead) {
+                    if (handle != cuvmm::kInvalidHandle) {
+                        report.fail(
+                            "kv_allocator: slot ", slot, " buffer ", b,
+                            " group ", group,
+                            " is behind the window lead ", buffer.lead,
+                            " but still records a handle");
+                    }
+                    // A trimmed (window-dead) group must be unmapped;
+                    // an accessible VA here is a rogue window-tail
+                    // mapping created behind the allocator.
+                    if (driver_.device().pageTable().isAccessible(
+                            groupVa(b, slot, group),
+                            geom_.groupBytes())) {
+                        report.fail(
+                            "kv_allocator: slot ", slot, " buffer ", b,
+                            " group ", group,
+                            " lies in the window-dead lead region "
+                            "[0, ", buffer.lead,
+                            ") yet its VA is mapped — rogue "
+                            "window-tail mapping");
+                    }
+                    continue;
+                }
+                if (handle == cuvmm::kInvalidHandle) {
+                    report.fail("kv_allocator: slot ", slot,
+                                " buffer ", b, " group ", group,
+                                " inside the mapped range [",
+                                buffer.lead, ", ", buffer.end(),
+                                ") has no handle");
+                    continue;
+                }
                 ++mapping_counts[handle];
             }
-            // Mapped region must be accessible; the byte after must
-            // not be mapped.
-            if (mappings.groups > 0 &&
+            // Mapped region must be accessible.
+            if (buffer.mapped() > 0 &&
                 !driver_.device().pageTable().isAccessible(
-                    groupVa(b, slot, 0),
-                    static_cast<u64>(mappings.groups) *
+                    groupVa(b, slot, buffer.lead),
+                    static_cast<u64>(buffer.mapped()) *
                         geom_.groupBytes())) {
                 report.fail("kv_allocator: slot ", slot, " buffer ", b,
-                            " claims ", mappings.groups,
-                            " mapped groups but the range is not "
-                            "RW-accessible in the page table");
+                            " claims mapped groups [", buffer.lead,
+                            ", ", buffer.end(),
+                            ") but the range is not RW-accessible in "
+                            "the page table");
             }
         }
     }

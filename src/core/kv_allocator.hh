@@ -7,9 +7,15 @@
  * Layout (§5.1.3 / §5.2.3): request reqId occupies the byte range
  * [reqId * S_aligned, (reqId+1) * S_aligned) of every buffer, where
  * S_aligned is the per-request share rounded up to the page-group size
- * so requests never share a group. The invariant maintained here is
- * that a slot has the same number of groups mapped in every buffer
- * (tokens arrive at all layers simultaneously).
+ * so requests never share a group.
+ *
+ * Per-layer geometries: each buffer's mapped region is a contiguous
+ * group range [lead, end). Full-attention layers always have lead 0
+ * and (with a uniform footprint) grow in lockstep — the historical
+ * invariant. Sliding-window layers advance lead as the window moves:
+ * fully-dead leading page-groups are unmapped (llama.cpp-style
+ * eviction bookkeeping), while prefix-aliased groups only drop this
+ * slot's mapping — the sharer keeps the physical group alive.
  */
 
 #ifndef VATTN_CORE_KV_ALLOCATOR_HH
@@ -59,21 +65,80 @@ class KvAllocator
     tensor::VirtualTensor kView(int layer, int slot) const;
     tensor::VirtualTensor vView(int layer, int slot) const;
 
-    /** Page-groups currently mapped for the slot (per buffer). */
+    /** The slot's group frontier: the highest end of any buffer's
+     *  mapped range (equals every buffer's count in the uniform
+     *  model). */
     i64 groupsMapped(int slot) const;
 
+    /** Page-group mappings the slot holds across all buffers
+     *  (Σ end − lead; per-layer trims make this the real footprint,
+     *  where groupsMapped * numBuffers over-counts). */
+    i64 mappedHandles(int slot) const;
+
+    /** First mapped group of the slot in @p buffer (window trims
+     *  advance it past 0). */
+    i64 bufferLead(int slot, int buffer) const;
+
+    /** One past the last mapped group of the slot in @p buffer. */
+    i64 bufferEnd(int slot, int buffer) const;
+
+    /** Leading groups mapped in EVERY buffer — the prefix usable for
+     *  §8.1 aliasing. Zero as soon as any buffer trimmed its lead. */
+    i64 prefixGroupsMapped(int slot) const;
+
     /**
-     * Grow the slot's backing to @p target_groups per buffer. Groups
-     * are mapped across all buffers in lockstep; on pool exhaustion the
-     * slot is left consistent at its previous (or partially grown)
-     * group count and kOutOfMemory is returned.
+     * Grow the slot's backing to @p target_groups in every buffer.
+     * Groups are mapped across all buffers in lockstep; on pool
+     * exhaustion the slot is left consistent at its previous (or
+     * partially grown) group count and kOutOfMemory is returned.
      */
     Status growTo(int slot, i64 target_groups);
 
-    /** Unmap the slot's last group from every buffer (reclaim). */
+    /**
+     * Bring the slot to the canonical layout for a context of
+     * @p tokens tokens: per buffer, unmap dead leading groups of
+     * sliding-window layers (never rewinding a lead), then grow every
+     * buffer to its frontier groupsForTokens(layer, tokens). Trims
+     * happen before growth so a tight pool benefits from the freed
+     * groups. Uniform configs reduce to growTo(groupsForTokens).
+     */
+    Status ensureTokens(int slot, i64 tokens);
+
+    /** Would ensureTokens(slot, tokens) perform any work? */
+    bool needsEnsureTokens(int slot, i64 tokens) const;
+
+    /** Any buffer below its frontier for @p tokens? (Growth only —
+     *  ignores pending trims; the overlap prefetcher must never trim
+     *  groups the current iteration still reads.) */
+    bool needsGrowthForTokens(int slot, i64 tokens) const;
+
+    /** Map the single lowest missing group row toward the frontier
+     *  for @p tokens (incremental overlap-allocation step). */
+    Status growOneRowForTokens(int slot, i64 tokens);
+
+    /**
+     * Rebuild an empty slot to an explicit per-buffer layout
+     * (swap-in): set each buffer's lead, then map [lead, end) group
+     * rows. On pool exhaustion the partial layout remains (the caller
+     * rolls back with releaseAll).
+     */
+    Status growToLayout(int slot, const std::vector<i64> &leads,
+                        const std::vector<i64> &ends);
+
+    /**
+     * Unmap and forget every buffer whose lead advanced past 0. A
+     * lead can never rewind, so a slot recycled for a NEW request
+     * must restart its window-trimmed buffers from empty; untrimmed
+     * buffers keep their mappings for §6.1 reuse. No-op without
+     * windows.
+     */
+    void resetWindowTrimmed(int slot);
+
+    /** Unmap the last mapped group of every non-empty buffer
+     *  (reclaim). */
     Status shrinkTail(int slot);
 
-    /** Unmap everything mapped for the slot. */
+    /** Unmap everything mapped for the slot (leads reset to 0). */
     void releaseAll(int slot);
 
     /**
@@ -83,12 +148,14 @@ class KvAllocator
      * cuMemMap multi-mapping; Driver::numMappings > 1). Handles are
      * reference-counted in the pool, so either slot may release
      * independently. @p dst must currently have no groups mapped; the
-     * shared groups must never be written through @p dst.
+     * shared groups must never be written through @p dst. The source
+     * prefix must be intact in every buffer (window trims clear a
+     * slot's shareable prefix).
      */
     Status aliasFrom(int dst, int src, i64 groups);
 
     /** The handle mapped at (slot, buffer, group) — introspection for
-     *  aliasing tests. */
+     *  aliasing tests. kInvalidHandle in a trimmed lead. */
     cuvmm::MemHandle handleAt(int slot, int buffer, i64 group) const;
 
     /**
@@ -112,8 +179,8 @@ class KvAllocator
      */
     void privatizeFrom(int slot, i64 from_group);
 
-    /** Sum of groupsMapped over all slots, times numBuffers (counts
-     *  mappings; aliased groups count once per mapping). */
+    /** Sum of mappedHandles over all slots (counts mappings; aliased
+     *  groups count once per mapping). */
     i64 totalHandlesMapped() const;
     /** Mappings that alias another slot's physical group. */
     i64 aliasedMappings() const { return aliased_mappings_; }
@@ -122,11 +189,14 @@ class KvAllocator
 
     /**
      * Self- and cross-layer audit: per-slot mapping tables are
-     * rectangular (same group count in every buffer) and RW-accessible;
-     * every physical handle's mapping count here equals its pool
-     * refcount AND its driver mapping count (a leaked pool reference or
-     * a mapping created behind the allocator breaks the equality); the
-     * aliased-mappings ledger matches the per-handle excess.
+     * contiguous [lead, end) ranges that are RW-accessible, trimmed
+     * lead regions are NOT mapped (a rogue window-tail mapping is
+     * caught here by name), uniform configs additionally keep every
+     * buffer in lockstep with lead 0; every physical handle's mapping
+     * count here equals its pool refcount AND its driver mapping
+     * count (a leaked pool reference or a mapping created behind the
+     * allocator breaks the equality); the aliased-mappings ledger
+     * matches the per-handle excess.
      */
     void auditInto(audit::AuditReport &report) const;
 
@@ -146,12 +216,33 @@ class KvAllocator
      *  path (§6.2: 2MB keeps the handle, vMemRelease destroys it). */
     void unmapOne(int buffer, int slot, i64 group);
 
+    /** Mapped range of one slot in one buffer: groups [lead, end)
+     *  where end == handles.size(); entries below lead are
+     *  kInvalidHandle placeholders (absolute indexing). */
+    struct BufferMappings
+    {
+        i64 lead = 0;
+        std::vector<cuvmm::MemHandle> handles;
+
+        i64 end() const { return static_cast<i64>(handles.size()); }
+        i64 mapped() const { return end() - lead; }
+    };
+
     struct SlotMappings
     {
-        i64 groups = 0;
-        /** handles[buffer][group] */
-        std::vector<std::vector<cuvmm::MemHandle>> handles;
+        std::vector<BufferMappings> buffers;
     };
+
+    /** Map group rows until every buffer reaches its target end
+     *  (group-major, buffer-inner — the historical growTo order);
+     *  @p max_rows < 0 means unbounded. Rolls a partial row back on
+     *  pool exhaustion. */
+    Status growRows(int slot, const std::vector<i64> &targets,
+                    i64 max_rows);
+
+    /** Advance one buffer's lead to @p target_lead, unmapping dead
+     *  groups (or skipping never-mapped ones when empty). */
+    void advanceLead(int slot, int buffer, i64 target_lead);
 
     cuvmm::Driver &driver_;
     Config config_;

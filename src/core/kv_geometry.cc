@@ -1,11 +1,29 @@
 #include "core/kv_geometry.hh"
 
+#include "common/logging.hh"
+
 namespace vattn::core
 {
 
 KvGeometry::KvGeometry(const Config &config)
     : config_(config)
 {
+    const int layers = config_.tensor_slicing ? 1 : config_.num_layers;
+    specs_.reserve(static_cast<std::size_t>(layers));
+    for (int layer = 0; layer < layers; ++layer) {
+        specs_.push_back(config_.layerSpec(layer));
+    }
+    const LayerKvSpec &first = specs_.front();
+    for (const LayerKvSpec &spec : specs_) {
+        if (spec.kind == AttentionKind::kSlidingWindow) {
+            has_windows_ = true;
+        }
+        if (spec.kv_heads != first.kv_heads ||
+            spec.head_dim != first.head_dim ||
+            spec.bytes_per_elem != first.bytes_per_elem) {
+            uniform_footprint_ = false;
+        }
+    }
 }
 
 int
@@ -14,80 +32,224 @@ KvGeometry::numBuffers() const
     return config_.tensor_slicing ? 2 : 2 * config_.num_layers;
 }
 
-u64
-KvGeometry::tokenBytesPerBuffer() const
+int
+KvGeometry::layerOfBuffer(int buffer) const
 {
-    u64 per_layer = static_cast<u64>(config_.num_kv_heads) *
-                    static_cast<u64>(config_.head_dim) *
-                    static_cast<u64>(config_.bytes_per_elem);
+    if (config_.tensor_slicing) {
+        return 0;
+    }
+    return buffer < config_.num_layers ? buffer
+                                       : buffer - config_.num_layers;
+}
+
+bool
+KvGeometry::hasWindows() const
+{
+    return has_windows_;
+}
+
+bool
+KvGeometry::uniformFootprint() const
+{
+    return uniform_footprint_;
+}
+
+i64
+KvGeometry::windowTokens(int layer) const
+{
+    const LayerKvSpec &spec =
+        specs_[static_cast<std::size_t>(layer)];
+    return spec.kind == AttentionKind::kSlidingWindow
+               ? spec.window_tokens
+               : 0;
+}
+
+u64
+KvGeometry::tokenBytesPerBuffer(int layer) const
+{
+    const LayerKvSpec &spec =
+        specs_[static_cast<std::size_t>(layer)];
+    u64 per_layer = static_cast<u64>(spec.kv_heads) *
+                    static_cast<u64>(spec.head_dim) *
+                    static_cast<u64>(spec.bytes_per_elem);
     return config_.tensor_slicing
                ? per_layer * static_cast<u64>(config_.num_layers)
                : per_layer;
 }
 
-u64
-KvGeometry::tokenBytesTotal() const
+i64
+KvGeometry::tokensPerGroup(int layer) const
 {
-    return 2 * static_cast<u64>(config_.num_layers) *
-           static_cast<u64>(config_.num_kv_heads) *
-           static_cast<u64>(config_.head_dim) *
-           static_cast<u64>(config_.bytes_per_elem);
-}
-
-u64
-KvGeometry::perRequestBytes() const
-{
-    return static_cast<u64>(config_.max_context_len) *
-           tokenBytesPerBuffer();
-}
-
-u64
-KvGeometry::perRequestBytesAligned() const
-{
-    return roundUp(perRequestBytes(), groupBytes());
-}
-
-u64
-KvGeometry::bufferBytes() const
-{
-    return static_cast<u64>(config_.max_batch_size) *
-           perRequestBytesAligned();
-}
-
-u64
-KvGeometry::totalVirtualBytes() const
-{
-    return bufferBytes() * static_cast<u64>(numBuffers());
+    return static_cast<i64>(groupBytes() / tokenBytesPerBuffer(layer));
 }
 
 i64
-KvGeometry::tokensPerGroup() const
-{
-    return static_cast<i64>(groupBytes() / tokenBytesPerBuffer());
-}
-
-i64
-KvGeometry::groupsForTokens(i64 tokens) const
+KvGeometry::groupsForTokens(int layer, i64 tokens) const
 {
     if (tokens <= 0) {
         return 0;
     }
     const u64 bytes_needed =
-        static_cast<u64>(tokens) * tokenBytesPerBuffer();
+        static_cast<u64>(tokens) * tokenBytesPerBuffer(layer);
     return static_cast<i64>(ceilDiv(bytes_needed, groupBytes()));
+}
+
+i64
+KvGeometry::deadLeadGroups(int layer, i64 tokens) const
+{
+    const i64 window = windowTokens(layer);
+    if (window <= 0 || tokens <= window) {
+        return 0;
+    }
+    // Tokens [0, tokens - window) are behind the window; only groups
+    // entirely inside that range are dead (floor keeps the straddled
+    // group mapped).
+    return (tokens - window) / tokensPerGroup(layer);
+}
+
+i64
+KvGeometry::liveGroupsForTokens(int layer, i64 tokens) const
+{
+    return groupsForTokens(layer, tokens) -
+           deadLeadGroups(layer, tokens);
+}
+
+u64
+KvGeometry::perRequestBytes(int layer) const
+{
+    return static_cast<u64>(config_.max_context_len) *
+           tokenBytesPerBuffer(layer);
+}
+
+u64
+KvGeometry::perRequestBytesAligned(int layer) const
+{
+    return roundUp(perRequestBytes(layer), groupBytes());
+}
+
+u64
+KvGeometry::bufferBytesFor(int buffer) const
+{
+    return static_cast<u64>(config_.max_batch_size) *
+           perRequestBytesAligned(layerOfBuffer(buffer));
+}
+
+i64
+KvGeometry::maxGroupsPerRequest(int layer) const
+{
+    return groupsForTokens(layer, config_.max_context_len);
+}
+
+i64
+KvGeometry::handlesForTokens(i64 tokens) const
+{
+    i64 handles = 0;
+    for (int buffer = 0; buffer < numBuffers(); ++buffer) {
+        handles += liveGroupsForTokens(layerOfBuffer(buffer), tokens);
+    }
+    return handles;
+}
+
+i64
+KvGeometry::frontierHandlesForTokens(i64 tokens) const
+{
+    i64 handles = 0;
+    for (int buffer = 0; buffer < numBuffers(); ++buffer) {
+        handles += groupsForTokens(layerOfBuffer(buffer), tokens);
+    }
+    return handles;
+}
+
+void
+KvGeometry::requireUniformFootprint(const char *accessor) const
+{
+    panic_if(!uniform_footprint_,
+             "KvGeometry::", accessor,
+             " is only meaningful with a layer-uniform per-token "
+             "footprint; use the (layer) overload");
+}
+
+u64
+KvGeometry::tokenBytesPerBuffer() const
+{
+    requireUniformFootprint("tokenBytesPerBuffer");
+    return tokenBytesPerBuffer(0);
+}
+
+u64
+KvGeometry::tokenBytesTotal() const
+{
+    requireUniformFootprint("tokenBytesTotal");
+    const LayerKvSpec &first = specs_.front();
+    return 2 * static_cast<u64>(config_.num_layers) *
+           static_cast<u64>(first.kv_heads) *
+           static_cast<u64>(first.head_dim) *
+           static_cast<u64>(first.bytes_per_elem);
+}
+
+u64
+KvGeometry::perRequestBytes() const
+{
+    requireUniformFootprint("perRequestBytes");
+    return perRequestBytes(0);
+}
+
+u64
+KvGeometry::perRequestBytesAligned() const
+{
+    requireUniformFootprint("perRequestBytesAligned");
+    return perRequestBytesAligned(0);
+}
+
+u64
+KvGeometry::bufferBytes() const
+{
+    requireUniformFootprint("bufferBytes");
+    return static_cast<u64>(config_.max_batch_size) *
+           perRequestBytesAligned(0);
+}
+
+u64
+KvGeometry::totalVirtualBytes() const
+{
+    u64 total = 0;
+    for (int buffer = 0; buffer < numBuffers(); ++buffer) {
+        total += bufferBytesFor(buffer);
+    }
+    return total;
+}
+
+i64
+KvGeometry::tokensPerGroup() const
+{
+    requireUniformFootprint("tokensPerGroup");
+    return tokensPerGroup(0);
+}
+
+i64
+KvGeometry::groupsForTokens(i64 tokens) const
+{
+    requireUniformFootprint("groupsForTokens");
+    return groupsForTokens(0, tokens);
 }
 
 i64
 KvGeometry::maxGroupsPerRequest() const
 {
-    return groupsForTokens(config_.max_context_len);
+    requireUniformFootprint("maxGroupsPerRequest");
+    return groupsForTokens(0, config_.max_context_len);
 }
 
 u64
 KvGeometry::physBytesForTokens(i64 tokens) const
 {
-    return static_cast<u64>(groupsForTokens(tokens)) * groupBytes() *
-           static_cast<u64>(numBuffers());
+    u64 total = 0;
+    for (int buffer = 0; buffer < numBuffers(); ++buffer) {
+        total += static_cast<u64>(liveGroupsForTokens(
+                     layerOfBuffer(buffer), tokens)) *
+                 groupBytes();
+    }
+    return total;
 }
 
 u64
@@ -96,8 +258,18 @@ KvGeometry::wasteBytesForTokens(i64 tokens) const
     if (tokens <= 0) {
         return 0;
     }
-    return physBytesForTokens(tokens) -
-           static_cast<u64>(tokens) * tokenBytesTotal();
+    // Live payload: every buffer holds min(tokens, window) useful
+    // tokens plus whatever dead prefix the straddled group retains —
+    // only the in-window tokens count as useful here.
+    u64 useful = 0;
+    for (int buffer = 0; buffer < numBuffers(); ++buffer) {
+        const int layer = layerOfBuffer(buffer);
+        const i64 window = windowTokens(layer);
+        const i64 live =
+            window > 0 && tokens > window ? window : tokens;
+        useful += static_cast<u64>(live) * tokenBytesPerBuffer(layer);
+    }
+    return physBytesForTokens(tokens) - useful;
 }
 
 } // namespace vattn::core

@@ -1,6 +1,7 @@
 #include "core/vattention.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/prefix_hash.hh"
@@ -67,17 +68,17 @@ VAttention::allocReqId()
     // the entry with the fewest registered tokens only as a last
     // resort.
     int best = -1;
-    i64 best_groups = -1;
+    i64 best_handles = -1;
     if (config_.deferred_reclamation || config_.eager_allocation) {
         for (int slot : slots_.cachedLruOrder()) {
             if (config_.prefix_caching &&
                 !chains_[static_cast<std::size_t>(slot)].empty()) {
                 continue;
             }
-            const i64 groups = allocator_.groupsMapped(slot);
-            if (groups > best_groups) {
+            const i64 handles = allocator_.mappedHandles(slot);
+            if (handles > best_handles) {
                 best = slot;
-                best_groups = groups;
+                best_handles = handles;
             }
         }
     }
@@ -85,6 +86,10 @@ VAttention::allocReqId()
         slots_.activate(best).expectOk("activate cached slot");
         ++stats_.reused_cached_slots;
         chains_[static_cast<std::size_t>(best)].clear();
+        // A window-trimmed buffer restarts from empty (its lead can
+        // never rewind for the new request); untrimmed buffers are
+        // reusable as-is.
+        allocator_.resetWindowTrimmed(best);
         // The new request overwrites every retained group: none may
         // still be aliased by another slot.
         allocator_.privatizeFrom(best, 0);
@@ -113,6 +118,7 @@ VAttention::allocReqId()
             slots_.activate(victim).expectOk("activate cached slot");
             ++stats_.reused_cached_slots;
             chains_[static_cast<std::size_t>(victim)].clear();
+            allocator_.resetWindowTrimmed(victim);
             allocator_.privatizeFrom(victim, 0);
             return victim;
         }
@@ -144,7 +150,7 @@ VAttention::freeReqId(int req_id)
         stash.clear();
     }
     if (config_.deferred_reclamation &&
-        allocator_.groupsMapped(req_id) > 0) {
+        allocator_.mappedHandles(req_id) > 0) {
         // The slot's hash chain (if any) survives with its mappings:
         // cached slots ARE the prefix store.
         return slots_.moveToCached(req_id);
@@ -161,7 +167,9 @@ VAttention::clampChainToMapped(int slot)
     if (chain.empty()) {
         return;
     }
-    const i64 groups = allocator_.groupsMapped(slot);
+    // Only the intact leading groups can source a prefix: a window
+    // trim in any buffer voids the whole shareable prefix.
+    const i64 groups = allocator_.prefixGroupsMapped(slot);
     const i64 tpg = allocator_.geometry().tokensPerGroup();
     if (static_cast<i64>(chain.hashes.size()) > groups) {
         chain.hashes.resize(static_cast<std::size_t>(groups));
@@ -185,16 +193,15 @@ VAttention::canSwapOut(int req_id) const
         slots_.state(req_id) != SlotState::kActive) {
         return false;
     }
-    const i64 groups = allocator_.groupsMapped(req_id);
-    if (groups <= 0 ||
+    const i64 handles = allocator_.mappedHandles(req_id);
+    if (handles <= 0 ||
         !stashes_[static_cast<std::size_t>(req_id)].empty()) {
         return false;
     }
     if (allocator_.hasSharedGroups(req_id)) {
         return false; // another slot maps these physical pages
     }
-    return pool_.hostGroupsAvailable() >=
-           groups * allocator_.geometry().numBuffers();
+    return pool_.hostGroupsAvailable() >= handles;
 }
 
 bool
@@ -208,9 +215,8 @@ VAttention::canSwapIn(int req_id) const
     if (stash.empty()) {
         return false;
     }
-    const i64 nbuf = allocator_.geometry().numBuffers();
     const i64 need =
-        (stash.groups - allocator_.groupsMapped(req_id)) * nbuf;
+        stash.handles - allocator_.mappedHandles(req_id);
     // Cached slots are stealable supply, exactly as in step() — minus
     // alias-pinned mappings, whose steal frees no physical memory
     // (the same discount canAllocate applies). Without it a doomed
@@ -250,8 +256,8 @@ VAttention::swapOutReq(int req_id)
                                  "reqId already swapped out");
         return out;
     }
-    const i64 groups = allocator_.groupsMapped(req_id);
-    if (groups <= 0) {
+    const i64 handles = allocator_.mappedHandles(req_id);
+    if (handles <= 0) {
         out.status = errorStatus(ErrorCode::kFailedPrecondition,
                                  "no resident page-groups");
         return out;
@@ -265,19 +271,25 @@ VAttention::swapOutReq(int req_id)
         return out;
     }
     const i64 nbuf = allocator_.geometry().numBuffers();
-    if (pool_.hostGroupsAvailable() < groups * nbuf) {
+    if (pool_.hostGroupsAvailable() < handles) {
         out.status = errorStatus(ErrorCode::kOutOfMemory,
                                  "host swap tier full");
         return out;
     }
 
     driver_.consumeElapsedNs(); // open a fresh accounting window
+    // Stash exactly the live window of every buffer, remembering each
+    // buffer's lead so swap-in restores the same [lead, end) layout.
     stash.pages.resize(static_cast<std::size_t>(nbuf));
+    stash.leads.resize(static_cast<std::size_t>(nbuf));
     for (int b = 0; b < nbuf; ++b) {
         auto &buffer_pages =
             stash.pages[static_cast<std::size_t>(b)];
-        buffer_pages.reserve(static_cast<std::size_t>(groups));
-        for (i64 g = 0; g < groups; ++g) {
+        const i64 lead = allocator_.bufferLead(req_id, b);
+        const i64 end = allocator_.bufferEnd(req_id, b);
+        stash.leads[static_cast<std::size_t>(b)] = lead;
+        buffer_pages.reserve(static_cast<std::size_t>(end - lead));
+        for (i64 g = lead; g < end; ++g) {
             auto page = pool_.acquireHost();
             page.status().expectOk("host page acquire after check");
             const auto r = driver_.cuMemcpyDtoH(
@@ -287,7 +299,8 @@ VAttention::swapOutReq(int req_id)
             buffer_pages.push_back(page.value());
         }
     }
-    stash.groups = groups;
+    stash.groups = allocator_.groupsMapped(req_id);
+    stash.handles = handles;
     // Unmap the device groups; the slot's virtual layout is untouched,
     // so swap-in needs no address-space work at all.
     allocator_.releaseAll(req_id);
@@ -296,7 +309,7 @@ VAttention::swapOutReq(int req_id)
     chains_[static_cast<std::size_t>(req_id)].clear();
     last_seq_lens_[static_cast<std::size_t>(req_id)] = 0;
 
-    out.handles = groups * nbuf;
+    out.handles = handles;
     out.bytes = static_cast<u64>(out.handles) *
                 allocator_.geometry().groupBytes();
     out.critical_ns = driver_.consumeElapsedNs();
@@ -329,7 +342,15 @@ VAttention::swapInReq(int req_id)
     }
 
     driver_.consumeElapsedNs(); // open a fresh accounting window
-    auto status = ensureGroups(req_id, stash.groups, nullptr);
+    const i64 nbuf = allocator_.geometry().numBuffers();
+    std::vector<i64> ends(static_cast<std::size_t>(nbuf));
+    for (int b = 0; b < nbuf; ++b) {
+        ends[static_cast<std::size_t>(b)] =
+            stash.leads[static_cast<std::size_t>(b)] +
+            static_cast<i64>(
+                stash.pages[static_cast<std::size_t>(b)].size());
+    }
+    auto status = growToLayoutSteal(req_id, stash.leads, ends);
     if (!status.isOk()) {
         // Roll the partial growth back: a swapped slot is outside the
         // framework's preemption reach, so letting it hoard device
@@ -342,20 +363,21 @@ VAttention::swapInReq(int req_id)
         stats_.critical_ns += in.critical_ns;
         return in;
     }
-    const i64 nbuf = allocator_.geometry().numBuffers();
     for (int b = 0; b < nbuf; ++b) {
         auto &buffer_pages =
             stash.pages[static_cast<std::size_t>(b)];
-        for (i64 g = 0; g < stash.groups; ++g) {
+        const i64 lead = stash.leads[static_cast<std::size_t>(b)];
+        for (i64 g = 0;
+             g < static_cast<i64>(buffer_pages.size()); ++g) {
             const auto r = driver_.cuMemcpyHtoD(
-                allocator_.handleAt(req_id, b, g),
+                allocator_.handleAt(req_id, b, lead + g),
                 buffer_pages[static_cast<std::size_t>(g)]);
             panic_if(r != cuvmm::CuResult::kSuccess,
                      "swap-in copy failed: ", cuvmm::toString(r));
             pool_.releaseHost(buffer_pages[static_cast<std::size_t>(g)]);
         }
     }
-    in.handles = stash.groups * nbuf;
+    in.handles = stash.handles;
     in.bytes = static_cast<u64>(in.handles) *
                allocator_.geometry().groupBytes();
     stash.clear();
@@ -367,28 +389,30 @@ VAttention::swapInReq(int req_id)
     return in;
 }
 
-bool
+i64
 VAttention::stealOneCachedGroup()
 {
     for (int victim : slots_.cachedLruOrder()) {
-        if (allocator_.groupsMapped(victim) == 0) {
+        if (allocator_.mappedHandles(victim) == 0) {
             chains_[static_cast<std::size_t>(victim)].clear();
             slots_.moveToFree(victim).expectOk("empty cached slot");
             continue;
         }
+        const i64 before = allocator_.mappedHandles(victim);
         allocator_.shrinkTail(victim).expectOk("reclaim cached group");
-        stats_.reclaimed_handles += allocator_.geometry().numBuffers();
+        const i64 freed = before - allocator_.mappedHandles(victim);
+        stats_.reclaimed_handles += freed;
         // A stolen group may still be pinned by a sharer (aliased
         // prefix): the unmap then freed no physical memory, but the
         // victim's chain must forget the now-unmapped tail either way.
         clampChainToMapped(victim);
-        if (allocator_.groupsMapped(victim) == 0) {
+        if (allocator_.mappedHandles(victim) == 0) {
             chains_[static_cast<std::size_t>(victim)].clear();
             slots_.moveToFree(victim).expectOk("drained cached slot");
         }
-        return true;
+        return freed;
     }
-    return false;
+    return 0;
 }
 
 Status
@@ -402,11 +426,51 @@ VAttention::ensureGroups(int slot, i64 target, i64 *stolen)
         if (status.code() != ErrorCode::kOutOfMemory) {
             return status;
         }
-        if (!stealOneCachedGroup()) {
+        const i64 freed = stealOneCachedGroup();
+        if (freed == 0) {
             return status; // genuinely out of memory
         }
         if (stolen) {
-            *stolen += allocator_.geometry().numBuffers();
+            *stolen += freed;
+        }
+    }
+}
+
+Status
+VAttention::ensureTokensSteal(int slot, i64 tokens, i64 *stolen)
+{
+    while (true) {
+        auto status = allocator_.ensureTokens(slot, tokens);
+        if (status.isOk()) {
+            return status;
+        }
+        if (status.code() != ErrorCode::kOutOfMemory) {
+            return status;
+        }
+        const i64 freed = stealOneCachedGroup();
+        if (freed == 0) {
+            return status; // genuinely out of memory
+        }
+        if (stolen) {
+            *stolen += freed;
+        }
+    }
+}
+
+Status
+VAttention::growToLayoutSteal(int slot, const std::vector<i64> &leads,
+                              const std::vector<i64> &ends)
+{
+    while (true) {
+        auto status = allocator_.growToLayout(slot, leads, ends);
+        if (status.isOk()) {
+            return status;
+        }
+        if (status.code() != ErrorCode::kOutOfMemory) {
+            return status;
+        }
+        if (stealOneCachedGroup() == 0) {
+            return status; // genuinely out of memory
         }
     }
 }
@@ -613,6 +677,12 @@ VAttention::registerPrefix(int req_id, const PrefixQuery &query,
     if (chain.tokens == 0) {
         chain.clear();
     }
+    if (allocator_.geometry().hasWindows()) {
+        // A sliding-window trim may already have unmapped part of the
+        // registered prefix — only the intact leading groups may enter
+        // the store.
+        clampChainToMapped(req_id);
+    }
 }
 
 StepStats
@@ -651,15 +721,18 @@ VAttention::step(const std::vector<i64> &seq_lens)
             stats_.critical_ns += result.critical_ns;
             return result;
         }
-        const i64 target = allocator_.geometry().groupsForTokens(len);
-        if (target > allocator_.groupsMapped(slot)) {
-            auto status = ensureGroups(slot, target,
-                                       &result.handles_stolen);
+        if (allocator_.needsEnsureTokens(slot, len)) {
+            auto status = ensureTokensSteal(slot, len,
+                                            &result.handles_stolen);
             if (!status.isOk()) {
                 result.status = status;
                 result.critical_ns = driver_.consumeElapsedNs();
                 stats_.critical_ns += result.critical_ns;
                 return result;
+            }
+            if (allocator_.geometry().hasWindows()) {
+                // A window trim voids the slot's shareable prefix.
+                clampChainToMapped(slot);
             }
         }
     }
@@ -702,10 +775,10 @@ VAttention::computePhase(TimeNs window_ns)
             if (len <= 0 || len >= config_.max_context_len) {
                 continue;
             }
-            const i64 target =
-                allocator_.geometry().groupsForTokens(len + 1);
+            // Growth only: trimming the slot toward len + 1 here
+            // would unmap groups the in-flight iteration still reads.
             while (window_open &&
-                   allocator_.groupsMapped(slot) < target) {
+                   allocator_.needsGrowthForTokens(slot, len + 1)) {
                 // Gate on the estimated cost first: a real background
                 // thread that runs out of iteration time simply leaves
                 // the work for the next step()'s critical path.
@@ -713,10 +786,20 @@ VAttention::computePhase(TimeNs window_ns)
                     window_open = false;
                     break;
                 }
-                if (!ensureGroups(slot,
-                                  allocator_.groupsMapped(slot) + 1,
-                                  nullptr)
-                         .isOk()) {
+                bool grew = false;
+                while (true) {
+                    auto status =
+                        allocator_.growOneRowForTokens(slot, len + 1);
+                    if (status.isOk()) {
+                        grew = true;
+                        break;
+                    }
+                    if (status.code() != ErrorCode::kOutOfMemory ||
+                        stealOneCachedGroup() == 0) {
+                        break;
+                    }
+                }
+                if (!grew) {
                     window_open = false;
                     break;
                 }
@@ -732,15 +815,21 @@ VAttention::computePhase(TimeNs window_ns)
     if (config_.eager_allocation && window_open) {
         bool have_warm = false;
         for (int slot : slots_.cachedLruOrder()) {
-            if (allocator_.groupsMapped(slot) > 0) {
+            if (allocator_.mappedHandles(slot) > 0) {
                 have_warm = true;
                 break;
             }
         }
         const int warm = have_warm ? -1 : slots_.firstFree();
+        const auto &geom = allocator_.geometry();
+        i64 max_groups = std::numeric_limits<i64>::max();
+        for (int b = 0; b < geom.numBuffers(); ++b) {
+            max_groups = std::min(
+                max_groups,
+                geom.maxGroupsPerRequest(geom.layerOfBuffer(b)));
+        }
         const i64 eager_target =
-            std::min(config_.eager_groups,
-                     allocator_.geometry().maxGroupsPerRequest());
+            std::min(config_.eager_groups, max_groups);
         if (warm >= 0 && eager_target > 0) {
             bool warmed = false;
             while (window_open &&
@@ -783,7 +872,7 @@ VAttention::computePhase(TimeNs window_ns)
                 window_open = false;
                 break;
             }
-            if (!stealOneCachedGroup()) {
+            if (stealOneCachedGroup() == 0) {
                 break;
             }
         }
@@ -801,25 +890,28 @@ VAttention::canAllocate(i64 prompt_tokens) const
         return false;
     }
     const auto &geom = allocator_.geometry();
-    const i64 need = geom.groupsForTokens(prompt_tokens);
-    if (need > geom.maxGroupsPerRequest()) {
+    // Handle units throughout so heterogeneous layers sum correctly
+    // (for uniform configs every term is the old per-buffer count
+    // times numBuffers — the admission decision is unchanged).
+    if (geom.frontierHandlesForTokens(prompt_tokens) >
+        geom.frontierHandlesForTokens(config_.max_context_len)) {
         return false;
     }
+    const i64 need = geom.handlesForTokens(prompt_tokens);
 
     i64 best_cached = 0;
     i64 cached_total = 0;
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         if (slots_.state(slot) == SlotState::kCached) {
-            const i64 groups = allocator_.groupsMapped(slot);
-            cached_total += groups;
-            best_cached = std::max(best_cached, groups);
+            const i64 handles = allocator_.mappedHandles(slot);
+            cached_total += handles;
+            best_cached = std::max(best_cached, handles);
         }
     }
     if (slots_.numFree() == 0 && slots_.numCached() == 0) {
         return false;
     }
-    const i64 nbuf = geom.numBuffers();
-    const i64 extra_needed = std::max<i64>(0, need - best_cached) * nbuf;
+    const i64 extra_needed = std::max<i64>(0, need - best_cached);
     // Alias-pinned mappings are not real supply: stealing such a
     // cached group unmaps it but frees no physical memory (the sharer
     // keeps the handle), and privatizing a reused slot consumes pool
@@ -828,7 +920,7 @@ VAttention::canAllocate(i64 prompt_tokens) const
     // promising memory that ensure() can never deliver — optimism
     // here livelocks the admit/preempt cycle under pressure.
     const i64 supply = pool_.availableGroups() +
-                       (cached_total - best_cached) * nbuf -
+                       (cached_total - best_cached) -
                        allocator_.aliasedMappings();
     return extra_needed <= supply;
 }
@@ -839,10 +931,10 @@ VAttention::cachedHandles() const
     i64 total = 0;
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         if (slots_.state(slot) == SlotState::kCached) {
-            total += allocator_.groupsMapped(slot);
+            total += allocator_.mappedHandles(slot);
         }
     }
-    return total * allocator_.geometry().numBuffers();
+    return total;
 }
 
 bool
@@ -889,19 +981,22 @@ VAttention::auditInto(audit::AuditReport &report) const
                  static_cast<u64>(pool_.hostCreatedGroups()) *
                      pool_.groupBytes(),
                  " bytes");
+    const auto &geom = allocator_.geometry();
+    const int nbuf = geom.numBuffers();
     i64 stashed_pages = 0;
+    i64 recounted_handles = 0;
     for (int slot = 0; slot < config_.max_batch_size; ++slot) {
         // Free slots hold no mappings (cached/active ones may).
         if (slots_.state(slot) == SlotState::kFree &&
-            allocator_.groupsMapped(slot) != 0) {
+            allocator_.mappedHandles(slot) != 0) {
             report.fail("vattention: free slot ", slot, " still has ",
-                        allocator_.groupsMapped(slot),
-                        " groups mapped (freeReqId must unmap or "
+                        allocator_.mappedHandles(slot),
+                        " page-groups mapped (freeReqId must unmap or "
                         "cache)");
         }
-        // A host stash belongs to a leased (Active) slot, covers the
-        // same group count in every buffer, and its slot cannot be a
-        // prefix source (the KV left the device).
+        // A host stash belongs to a leased (Active) slot, records the
+        // live [lead, end) range of every buffer, and its slot cannot
+        // be a prefix source (the KV left the device).
         const auto &stash = stashes_[static_cast<std::size_t>(slot)];
         if (!stash.empty()) {
             if (slots_.state(slot) != SlotState::kActive) {
@@ -914,43 +1009,92 @@ VAttention::auditInto(audit::AuditReport &report) const
                 report.fail("vattention: swapped-out slot ", slot,
                             " is still registered as a prefix source");
             }
-            if (static_cast<i64>(stash.pages.size()) !=
-                allocator_.geometry().numBuffers()) {
+            if (static_cast<i64>(stash.pages.size()) != nbuf ||
+                static_cast<i64>(stash.leads.size()) != nbuf) {
                 report.fail("vattention: slot ", slot, " stashes ",
-                            stash.pages.size(), " buffers, expected ",
-                            allocator_.geometry().numBuffers());
-            }
-            for (const auto &buffer_pages : stash.pages) {
-                if (static_cast<i64>(buffer_pages.size()) !=
-                    stash.groups) {
-                    report.fail("vattention: slot ", slot,
-                                " stash buffer holds ",
-                                buffer_pages.size(),
-                                " pages but the stash claims ",
-                                stash.groups, " groups");
+                            stash.pages.size(), " buffers / ",
+                            stash.leads.size(), " leads, expected ",
+                            nbuf, " of each");
+            } else {
+                i64 live = 0;
+                for (int b = 0; b < nbuf; ++b) {
+                    const i64 lead =
+                        stash.leads[static_cast<std::size_t>(b)];
+                    const i64 size = static_cast<i64>(
+                        stash.pages[static_cast<std::size_t>(b)]
+                            .size());
+                    if (lead < 0 || lead + size > stash.groups) {
+                        report.fail(
+                            "vattention: slot ", slot, " buffer ", b,
+                            " stash covers groups [", lead, ", ",
+                            lead + size,
+                            ") outside the stashed frontier ",
+                            stash.groups);
+                    }
+                    if (!geom.hasWindows() &&
+                        (lead != 0 || size != stash.groups)) {
+                        report.fail(
+                            "vattention: slot ", slot, " buffer ", b,
+                            " stash covers [", lead, ", ", lead + size,
+                            ") but without window layers every buffer "
+                            "must stash [0, ",
+                            stash.groups, ")");
+                    }
+                    live += size;
+                    stashed_pages += size;
                 }
-                stashed_pages += static_cast<i64>(buffer_pages.size());
+                if (live != stash.handles) {
+                    report.fail("vattention: slot ", slot, " stashes ",
+                                live, " host pages but claims ",
+                                stash.handles, " live page-groups");
+                }
             }
         }
-        // A prefix chain never describes more than the slot has mapped.
+        // A prefix chain never describes more than the slot's intact
+        // leading groups hold (a window trim voids the prefix).
         const auto &chain = chains_[static_cast<std::size_t>(slot)];
         if (!chain.empty()) {
-            const i64 tpg = allocator_.geometry().tokensPerGroup();
-            const i64 covered = allocator_.geometry().groupsForTokens(
-                chain.tokens);
+            const i64 tpg = geom.tokensPerGroup();
+            const i64 covered = geom.groupsForTokens(chain.tokens);
+            const i64 prefix = allocator_.prefixGroupsMapped(slot);
             if (slots_.state(slot) == SlotState::kFree ||
-                static_cast<i64>(chain.hashes.size()) >
-                    allocator_.groupsMapped(slot) ||
-                covered > allocator_.groupsMapped(slot) ||
+                static_cast<i64>(chain.hashes.size()) > prefix ||
+                covered > prefix ||
                 chain.tokens >
                     (static_cast<i64>(chain.hashes.size()) + 1) * tpg) {
                 report.fail("vattention: slot ", slot,
                             " prefix chain (", chain.hashes.size(),
                             " hashes, ", chain.tokens,
                             " tokens) describes more than the slot's ",
-                            allocator_.groupsMapped(slot),
-                            " mapped groups hold");
+                            prefix, " intact prefix groups hold");
             }
+        }
+        // Per-layer window ledger: a slot last ensured at length len
+        // must sit exactly at the canonical layout — lead at the dead
+        // boundary, frontier at or past groupsForTokens (the overlap
+        // prefetcher may run one group ahead).
+        const i64 len = last_seq_lens_[static_cast<std::size_t>(slot)];
+        if (slots_.state(slot) == SlotState::kActive && len > 0 &&
+            stash.empty()) {
+            for (int b = 0; b < nbuf; ++b) {
+                const int layer = geom.layerOfBuffer(b);
+                const i64 lead = allocator_.bufferLead(slot, b);
+                const i64 end = allocator_.bufferEnd(slot, b);
+                const i64 want_lead = geom.deadLeadGroups(layer, len);
+                const i64 want_end = geom.groupsForTokens(layer, len);
+                if (lead != want_lead || end < want_end) {
+                    report.fail(
+                        "vattention: slot ", slot, " buffer ", b,
+                        " (layer ", layer, ") maps groups [", lead,
+                        ", ", end, ") but a context of ", len,
+                        " tokens requires the window layout [",
+                        want_lead, ", >=", want_end, ")");
+                }
+            }
+        }
+        for (int b = 0; b < nbuf; ++b) {
+            recounted_handles += allocator_.bufferEnd(slot, b) -
+                                 allocator_.bufferLead(slot, b);
         }
     }
     // Every host page handed out by the pool is owned by some stash.
@@ -958,6 +1102,13 @@ VAttention::auditInto(audit::AuditReport &report) const
                  "vattention: slots stash ", stashed_pages,
                  " host pages but the pool hands out ",
                  pool_.hostGroupsInUse());
+    // The per-buffer [lead, end) ranges re-summed across every slot
+    // must reproduce the allocator's handle ledger.
+    report.check(recounted_handles == allocator_.totalHandlesMapped(),
+                 "vattention: per-buffer ranges recount to ",
+                 recounted_handles, " mappings but the allocator's "
+                 "ledger says ",
+                 allocator_.totalHandlesMapped());
 }
 
 } // namespace vattn::core

@@ -253,6 +253,12 @@ class VAttention
     {
         return allocator_.groupsMapped(req_id);
     }
+    /** Page-group mappings the request holds across all buffers (the
+     *  real footprint under per-layer window trims). */
+    i64 mappedHandles(int req_id) const
+    {
+        return allocator_.mappedHandles(req_id);
+    }
     /** Handle mapped at (req_id, buffer, group) — aliasing tests. */
     cuvmm::MemHandle
     handleAt(int req_id, int buffer, i64 group) const
@@ -285,8 +291,18 @@ class VAttention
      *  pool exhaustion. */
     Status ensureGroups(int slot, i64 target, i64 *stolen);
 
-    /** Reclaim one group from the oldest cached slot. */
-    bool stealOneCachedGroup();
+    /** Bring @p slot to the canonical layout for @p tokens (window
+     *  trims + growth), stealing cached groups on pool exhaustion. */
+    Status ensureTokensSteal(int slot, i64 tokens, i64 *stolen);
+
+    /** Rebuild an empty slot to an explicit per-buffer layout
+     *  (swap-in), stealing cached groups on pool exhaustion. */
+    Status growToLayoutSteal(int slot, const std::vector<i64> &leads,
+                             const std::vector<i64> &ends);
+
+    /** Reclaim one group-row from the oldest cached slot; returns the
+     *  number of handle mappings freed (0 = nothing left to steal). */
+    i64 stealOneCachedGroup();
 
     /** Estimated driver cost of mapping one group on every buffer. */
     TimeNs mapAllBuffersCost() const;
@@ -315,16 +331,22 @@ class VAttention
     /** Host pages holding one swapped-out slot's KV. */
     struct HostStash
     {
-        /** pages[buffer][group], parallel to the device layout. */
+        /** pages[buffer][i] backs device group leads[buffer] + i —
+         *  only the live [lead, end) range of each buffer is stashed. */
         std::vector<std::vector<cuvmm::MemHandle>> pages;
-        i64 groups = 0; ///< groups per buffer stashed
+        /** Per-buffer lead at swap-out time (all 0 without windows). */
+        std::vector<i64> leads;
+        i64 groups = 0;  ///< device group frontier at swap-out
+        i64 handles = 0; ///< live page-group copies held (Σ sizes)
 
-        bool empty() const { return groups == 0; }
+        bool empty() const { return handles == 0; }
         void
         clear()
         {
             pages.clear();
+            leads.clear();
             groups = 0;
+            handles = 0;
         }
     };
 

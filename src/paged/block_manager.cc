@@ -1,5 +1,6 @@
 #include "paged/block_manager.hh"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/logging.hh"
@@ -334,9 +335,11 @@ RequestBlocks::~RequestBlocks()
 }
 
 RequestBlocks::RequestBlocks(RequestBlocks &&other) noexcept
-    : manager_(other.manager_), blocks_(std::move(other.blocks_))
+    : manager_(other.manager_), blocks_(std::move(other.blocks_)),
+      lead_(other.lead_)
 {
     other.blocks_.clear();
+    other.lead_ = 0;
 }
 
 RequestBlocks &
@@ -346,7 +349,9 @@ RequestBlocks::operator=(RequestBlocks &&other) noexcept
         releaseAll();
         manager_ = other.manager_;
         blocks_ = std::move(other.blocks_);
+        lead_ = other.lead_;
         other.blocks_.clear();
+        other.lead_ = 0;
     }
     return *this;
 }
@@ -365,6 +370,38 @@ RequestBlocks::ensureTokens(i64 tokens)
     return Status::ok();
 }
 
+void
+RequestBlocks::advanceLeadTo(i64 lead_blocks)
+{
+    if (lead_blocks <= lead_) {
+        return; // the lead never rewinds
+    }
+    if (blocks_.empty()) {
+        // A fresh list whose context already outran the window: skip
+        // the dead region without ever allocating it.
+        blocks_.assign(static_cast<std::size_t>(lead_blocks), kNoBlock);
+        lead_ = lead_blocks;
+        return;
+    }
+    const i64 stop =
+        std::min(lead_blocks, static_cast<i64>(blocks_.size()));
+    while (lead_ < stop) {
+        i32 &entry = blocks_[static_cast<std::size_t>(lead_)];
+        if (entry != kNoBlock) {
+            manager_->freeBlock(entry).expectOk(
+                "free dead window-lead block");
+            entry = kNoBlock;
+        }
+        ++lead_;
+    }
+    // A lead past the current frontier extends the table with dead
+    // entries (the next ensureTokens grows from there).
+    if (lead_blocks > static_cast<i64>(blocks_.size())) {
+        blocks_.resize(static_cast<std::size_t>(lead_blocks), kNoBlock);
+        lead_ = lead_blocks;
+    }
+}
+
 Status
 RequestBlocks::shareFrom(const RequestBlocks &parent, i64 prefix_tokens)
 {
@@ -375,6 +412,11 @@ RequestBlocks::shareFrom(const RequestBlocks &parent, i64 prefix_tokens)
     if (manager_ != parent.manager_) {
         return errorStatus(ErrorCode::kInvalidArgument,
                            "parent uses a different block pool");
+    }
+    if (parent.lead_ != 0) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "parent's leading blocks were freed by a "
+                           "sliding window; no intact prefix to share");
     }
     // Only whole blocks can be shared; a partial tail block would mix
     // two requests' tokens.
@@ -403,6 +445,10 @@ RequestBlocks::replaceBlock(std::size_t index, i32 new_block)
         return errorStatus(ErrorCode::kInvalidArgument,
                            "block index out of range");
     }
+    if (static_cast<i64>(index) < lead_) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "block index inside the dead window lead");
+    }
     auto status = manager_->freeBlock(blocks_[index]);
     if (!status.isOk()) {
         return status;
@@ -422,6 +468,7 @@ RequestBlocks::releaseForSwap()
 {
     std::vector<i32> blocks = std::move(blocks_);
     blocks_.clear();
+    lead_ = 0;
     return blocks;
 }
 
@@ -429,9 +476,13 @@ void
 RequestBlocks::releaseAll()
 {
     for (i32 block : blocks_) {
-        manager_->freeBlock(block).expectOk("RequestBlocks release");
+        if (block != kNoBlock) {
+            manager_->freeBlock(block).expectOk(
+                "RequestBlocks release");
+        }
     }
     blocks_.clear();
+    lead_ = 0;
 }
 
 i64

@@ -165,6 +165,10 @@ class BlockManager
 class RequestBlocks
 {
   public:
+    /** Sentinel in blocks() for a dead leading slot of a
+     *  sliding-window layer group (freed or never allocated). */
+    static constexpr i32 kNoBlock = -1;
+
     explicit RequestBlocks(BlockManager *manager);
     ~RequestBlocks();
 
@@ -175,6 +179,25 @@ class RequestBlocks
 
     /** Grow the block list to cover @p tokens tokens. */
     Status ensureTokens(i64 tokens);
+
+    /**
+     * Advance the dead-lead boundary of a sliding-window layer group:
+     * blocks below @p lead_blocks are freed back to the manager (a
+     * hash-cached block parks on the evictable LRU instead of being
+     * destroyed) and their entries become kNoBlock, keeping indexing
+     * absolute. On an empty list the dead region is skipped without
+     * ever allocating it. The lead never rewinds.
+     */
+    void advanceLeadTo(i64 lead_blocks);
+
+    /** First live block index (0 unless a window advanced it). */
+    i64 lead() const { return lead_; }
+
+    /** Blocks actually held (list size minus the dead lead). */
+    i64 liveBlockCount() const
+    {
+        return static_cast<i64>(blocks_.size()) - lead_;
+    }
 
     /**
      * Share the parent's blocks covering the first @p prefix_tokens
@@ -199,19 +222,22 @@ class RequestBlocks
     /**
      * Relinquish the block list without touching refcounts: the caller
      * has already moved every block's ownership elsewhere (swap-out
-     * transfers them to CPU blocks one by one). Returns the list.
+     * transfers them to CPU blocks one by one). Returns the list
+     * (kNoBlock entries below lead() included) and resets the lead.
      */
     std::vector<i32> releaseForSwap();
 
-    /** Release all blocks back to the manager. */
+    /** Release all blocks back to the manager (lead resets to 0). */
     void releaseAll();
 
     i64 numTokensCapacity() const;
+    /** Logical-to-physical table; entries below lead() are kNoBlock. */
     const std::vector<i32> &blocks() const { return blocks_; }
 
   private:
     BlockManager *manager_;
     std::vector<i32> blocks_;
+    i64 lead_ = 0; ///< blocks below this index are dead (kNoBlock)
 };
 
 } // namespace vattn::paged

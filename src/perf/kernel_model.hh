@@ -61,6 +61,34 @@ class KernelModel
     TimeNs decodeAttention(BackendKind kind, i64 total_kv_tokens,
                            int block_size = 0) const;
 
+    // ---- Sliding-window attention --------------------------------------
+    // Sliding-window layers attend over min(kv, window) tokens, so a
+    // model with windowed layers streams less KV (decode) and runs a
+    // banded score matrix (prefill). Both methods delegate to the
+    // uniform paths verbatim when the model has no sliding layers.
+
+    /**
+     * Chunked prefill with per-layer windows: each window class pays
+     * the banded causal trapezoid — a chunk at offset kv0 = kv - q
+     * attends min(p + 1, w) keys from position p.
+     */
+    TimeNs chunkedPrefillAttentionWindowed(BackendKind kind, i64 q_len,
+                                           i64 kv_len) const;
+
+    /**
+     * Decode attention with per-layer windows over a batch of KV
+     * lengths: each window class streams sum over requests of
+     * min(kv, window) tokens.
+     */
+    TimeNs decodeAttentionWindowed(BackendKind kind,
+                                   const std::vector<i64> &kv_lens,
+                                   int block_size = 0) const;
+
+    /** Attended key-token units of one window class for a chunk
+     *  (q_len == kv_len is a whole prompt); exposed for tests. */
+    static double windowedAttendedUnits(i64 q_len, i64 kv_len,
+                                        i64 window_tokens);
+
     // ---- Non-attention operators ---------------------------------------
 
     /** Linear/positionwise operators for @p tokens prefill tokens. */

@@ -31,6 +31,15 @@ struct ModelSpec
     i64 max_context_len;
     int bytes_per_elem = 2; ///< FP16 weights/KV
 
+    /**
+     * Sliding-window width per layer in tokens (0 = full attention).
+     * Empty means every layer is full attention — the Table-5 models.
+     * Mistral/Gemma-style architectures interleave full and
+     * sliding-window layers; the memory manager and roofline model
+     * both consult this list.
+     */
+    std::vector<i64> layer_window_tokens;
+
     // ---- Presets (Table 5) -------------------------------------------
     static ModelSpec yi6B();      ///< 32L, 32Q/4KV heads, 200K ctx
     static ModelSpec llama3_8B(); ///< 32L, 32Q/8KV heads
@@ -40,6 +49,32 @@ struct ModelSpec
     static ModelSpec gpt3_175B();
 
     static const std::vector<ModelSpec> &evaluationModels();
+
+    /**
+     * Copy of this spec with a Mistral-style attention interleave:
+     * every @p period-th layer (0, period, 2*period, ...) keeps full
+     * attention, the rest slide over @p window_tokens tokens. period 2
+     * is the 1:1 full/SWA pattern of Gemma-2-class models.
+     */
+    ModelSpec withSlidingWindowInterleave(i64 window_tokens,
+                                          int period = 2) const;
+
+    /** Any sliding-window layer in the spec? */
+    bool hasSlidingLayers() const;
+
+    /** Window width of @p layer (0 = full attention). */
+    i64 windowTokensOf(int layer) const;
+
+    /** One attention-shape class: all layers sharing a window. */
+    struct WindowClass
+    {
+        i64 window_tokens = 0; ///< 0 = full attention
+        int layers = 0;        ///< layers with this window
+    };
+
+    /** Layers grouped by window width (full class first when present);
+     *  a single class {0, num_layers} for uniform models. */
+    std::vector<WindowClass> windowClasses() const;
 
     // ---- Derived quantities -------------------------------------------
 

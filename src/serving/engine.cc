@@ -160,8 +160,10 @@ Engine::recomputeCostNs(const Request *request) const
     }
     // What evicting this request throws away: the prefill FLOPs of
     // every token already in its KV cache (decoded tokens included —
-    // recomputation replays them as prompt).
-    return kernel_.prefillAttention(config_.backend, ctx) +
+    // recomputation replays them as prompt). Sliding-window layers
+    // recompute only their banded score matrix.
+    return kernel_.chunkedPrefillAttentionWindowed(config_.backend,
+                                                   ctx, ctx) +
            kernel_.prefillLinear(ctx) + kernel_.commTime(ctx);
 }
 
@@ -444,16 +446,22 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
         const Request *request = chunk->request;
         const i64 kv_len = request->prefilled_tokens + chunk->tokens;
         prefill_tokens += chunk->tokens;
-        attn_ns += kernel_.chunkedPrefillAttention(config_.backend,
-                                                   chunk->tokens, kv_len);
+        attn_ns += kernel_.chunkedPrefillAttentionWindowed(
+            config_.backend, chunk->tokens, kv_len);
         new_blocks += blocksFor(kv_len, block_size_) -
                       blocksFor(request->prefilled_tokens, block_size_);
     }
-    i64 total_kv = 0;
+    // Per-request KV lengths: sliding-window layers stream only
+    // min(kv, window) tokens each (the sum is enough for uniform
+    // models, where decodeAttentionWindowed degenerates to the
+    // historical total-token path).
+    std::vector<i64> decode_kv_lens;
+    decode_kv_lens.reserve(decodes.size());
     for (const Request *request : decodes) {
-        total_kv += request->contextLen();
+        decode_kv_lens.push_back(request->contextLen());
     }
-    attn_ns += kernel_.decodeAttention(config_.backend, total_kv);
+    attn_ns += kernel_.decodeAttentionWindowed(config_.backend,
+                                               decode_kv_lens);
 
     // The linear operators and the all-reduce see one flat token
     // batch: chunk tokens plus one token per decode.
@@ -806,7 +814,9 @@ Engine::prefillOnce(i64 ctx)
     auto mem = backend_->ensure(active);
     panic_if(!mem.isOk(), "prefillOnce: prompt does not fit");
     result.mem_ns = mem.value();
-    result.attention_ns = kernel_.prefillAttention(config_.backend, ctx);
+    result.attention_ns =
+        kernel_.chunkedPrefillAttentionWindowed(config_.backend, ctx,
+                                                ctx);
     result.linear_ns = kernel_.prefillLinear(ctx);
     result.comm_ns = kernel_.commTime(ctx);
     const i64 new_blocks = blocksFor(ctx, block_size_);

@@ -12,14 +12,51 @@ PagedBackend::PagedBackend(const perf::ModelSpec &model, int tp,
                            i64 block_size, u64 budget_bytes,
                            bool enable_prefix_caching,
                            u64 host_swap_bytes, perf::PcieSpec pcie)
-    : bytes_per_block_(model.kvBytesPerTokenPerWorker(tp) *
-                       static_cast<u64>(block_size)),
-      budget_bytes_(budget_bytes),
-      pcie_(std::move(pcie)),
-      manager_(static_cast<i64>(budget_bytes / bytes_per_block_),
-               block_size, enable_prefix_caching,
-               static_cast<i64>(host_swap_bytes / bytes_per_block_))
+    : budget_bytes_(budget_bytes), pcie_(std::move(pcie))
 {
+    fatal_if(model.hasSlidingLayers() && enable_prefix_caching,
+             "paged prefix caching hashes whole-model blocks and is "
+             "not supported with sliding-window layers (vLLM's "
+             "hash-block scheme has the same restriction); disable "
+             "one of the two");
+    const auto classes = model.windowClasses();
+    groups_.reserve(classes.size());
+    for (const perf::ModelSpec::WindowClass &cls : classes) {
+        // Per-token bytes of this class's layers on one worker; the
+        // uniform single class reproduces kvBytesPerTokenPerWorker
+        // (including its integer division) exactly.
+        const u64 class_token_bytes =
+            2ULL * static_cast<u64>(cls.layers) *
+            static_cast<u64>(model.num_kv_heads) *
+            static_cast<u64>(model.head_dim) *
+            static_cast<u64>(model.bytes_per_elem) /
+            static_cast<u64>(tp);
+        const u64 bytes_per_block =
+            class_token_bytes * static_cast<u64>(block_size);
+        const u64 budget_share =
+            budget_bytes * static_cast<u64>(cls.layers) /
+            static_cast<u64>(model.num_layers);
+        const u64 host_share =
+            host_swap_bytes * static_cast<u64>(cls.layers) /
+            static_cast<u64>(model.num_layers);
+        groups_.push_back(LayerGroup{
+            cls.window_tokens, cls.layers, bytes_per_block,
+            paged::BlockManager(
+                static_cast<i64>(budget_share / bytes_per_block),
+                block_size, enable_prefix_caching,
+                static_cast<i64>(host_share / bytes_per_block))});
+    }
+}
+
+i64
+PagedBackend::deadLeadBlocks(const LayerGroup &group, i64 tokens) const
+{
+    if (group.window_tokens <= 0 || tokens <= group.window_tokens) {
+        return 0;
+    }
+    // Only blocks fully behind the window die; the straddled block
+    // stays (floor division).
+    return (tokens - group.window_tokens) / group.manager.blockSize();
 }
 
 bool
@@ -28,36 +65,50 @@ PagedBackend::canAdmit(i64 uncached_tokens) const
     // Reserve one block of headroom per running request so the next
     // decode iteration cannot immediately OOM (vLLM's watermark).
     // Evictable cached blocks count as capacity: allocation reclaims
-    // them transparently.
-    const i64 need = manager_.blocksFor(uncached_tokens) +
-                     static_cast<i64>(slots_.size());
-    return manager_.numAllocatable() >= need;
+    // them transparently. Every window class must fit: a sliding
+    // group only ever holds the live window of blocks.
+    for (const LayerGroup &group : groups_) {
+        const i64 need = group.manager.blocksFor(uncached_tokens) -
+                         deadLeadBlocks(group, uncached_tokens) +
+                         static_cast<i64>(slots_.size());
+        if (group.manager.numAllocatable() < need) {
+            return false;
+        }
+    }
+    return true;
 }
 
 Result<int>
 PagedBackend::allocSlot()
 {
     const int slot = next_slot_++;
-    slots_.emplace(slot,
-                   Slot{paged::RequestBlocks(&manager_), {}, 0, {}});
+    Slot state;
+    state.blocks.reserve(groups_.size());
+    for (LayerGroup &group : groups_) {
+        state.blocks.emplace_back(&group.manager);
+    }
+    state.cpu_blocks.resize(groups_.size());
+    state.swap_leads.assign(groups_.size(), 0);
+    slots_.emplace(slot, std::move(state));
     return slot;
 }
 
 i64
 PagedBackend::matchPrefix(const PrefixKey &key) const
 {
-    if (!manager_.prefixCacheEnabled() || key.empty()) {
+    const paged::BlockManager &manager = groups_[0].manager;
+    if (!manager.prefixCacheEnabled() || key.empty()) {
         return 0;
     }
-    const auto hashes = key.chunkHashes(manager_.blockSize());
+    const auto hashes = key.chunkHashes(manager.blockSize());
     i64 matched = 0;
     for (u64 hash : hashes) {
-        if (manager_.lookupHash(hash) < 0) {
+        if (manager.lookupHash(hash) < 0) {
             break;
         }
         ++matched;
     }
-    return matched * manager_.blockSize();
+    return matched * manager.blockSize();
 }
 
 Result<SlotLease>
@@ -68,25 +119,26 @@ PagedBackend::allocSlot(const PrefixKey &key, i64 max_cached)
         return Result<SlotLease>(slot.status());
     }
     SlotLease lease{slot.value(), 0, 0};
-    if (!manager_.prefixCacheEnabled() || key.empty()) {
+    paged::BlockManager &manager = groups_[0].manager;
+    if (!manager.prefixCacheEnabled() || key.empty()) {
         return lease;
     }
     Slot &state = slots_.at(lease.slot);
-    const i64 bs = manager_.blockSize();
+    const i64 bs = manager.blockSize();
     auto hashes = key.chunkHashes(bs);
     const auto shareable = static_cast<std::size_t>(
         std::min<i64>(static_cast<i64>(hashes.size()), max_cached / bs));
     for (std::size_t i = 0; i < shareable; ++i) {
-        const i32 block = manager_.lookupHash(hashes[i]);
+        const i32 block = manager.lookupHash(hashes[i]);
         if (block < 0) {
             break;
         }
-        manager_.refSharedBlock(block).expectOk("prefix block ref");
-        state.blocks.adoptBlock(block);
+        manager.refSharedBlock(block).expectOk("prefix block ref");
+        state.blocks[0].adoptBlock(block);
         state.hashes.push_back(hashes[i]);
         state.chain = hashes[i];
         lease.cached_tokens += bs;
-        prefix_.aliased_bytes += bytes_per_block_;
+        prefix_.aliased_bytes += groups_[0].bytes_per_block;
     }
     // Sharing is refcount bookkeeping over the up-front committed
     // pool: no driver latency (the CPU cost rides the overhead model).
@@ -96,27 +148,27 @@ PagedBackend::allocSlot(const PrefixKey &key, i64 max_cached)
 void
 PagedBackend::registerPrefix(int slot, const PrefixKey &key, i64 tokens)
 {
-    if (!manager_.prefixCacheEnabled() || key.empty()) {
+    paged::BlockManager &manager = groups_[0].manager;
+    if (!manager.prefixCacheEnabled() || key.empty()) {
         return;
     }
     auto it = slots_.find(slot);
     panic_if(it == slots_.end(), "registerPrefix on unknown slot ",
              slot);
     Slot &state = it->second;
-    const i64 bs = manager_.blockSize();
+    const auto &blocks = state.blocks[0].blocks();
+    const i64 bs = manager.blockSize();
     const i64 full =
         std::min(tokens, key.size) / bs;
     while (static_cast<i64>(state.hashes.size()) < full) {
         const i64 index = static_cast<i64>(state.hashes.size());
-        panic_if(index >=
-                     static_cast<i64>(state.blocks.blocks().size()),
+        panic_if(index >= static_cast<i64>(blocks.size()),
                  "registerPrefix beyond the slot's blocks");
         const u64 prev =
             state.hashes.empty() ? kPrefixHashSeed : state.chain;
         const u64 hash = key.rangeHash(prev, index * bs, bs);
-        manager_.setBlockHash(state.blocks.blocks()[
-                                  static_cast<std::size_t>(index)],
-                              hash);
+        manager.setBlockHash(blocks[static_cast<std::size_t>(index)],
+                             hash);
         state.hashes.push_back(hash);
         state.chain = hash;
     }
@@ -128,8 +180,11 @@ PagedBackend::freeSlot(int slot)
     auto it = slots_.find(slot);
     panic_if(it == slots_.end(), "freeSlot on unknown slot ", slot);
     // A slot freed while swapped out abandons its CPU blocks.
-    for (const i32 cpu_block : it->second.cpu_blocks) {
-        manager_.freeCpuBlock(cpu_block).expectOk("free CPU block");
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        for (const i32 cpu_block : it->second.cpu_blocks[g]) {
+            groups_[g].manager.freeCpuBlock(cpu_block).expectOk(
+                "free CPU block");
+        }
     }
     // RequestBlocks dtor drops the references; hashed refcount-0
     // blocks park on the evictable LRU (the prefix cache), the rest
@@ -140,7 +195,7 @@ PagedBackend::freeSlot(int slot)
 bool
 PagedBackend::supportsSwap() const
 {
-    return manager_.numCpuBlocks() > 0;
+    return groups_[0].manager.numCpuBlocks() > 0;
 }
 
 bool
@@ -150,17 +205,23 @@ PagedBackend::canSwapOut(int slot) const
     if (it == slots_.end() || it->second.swapped()) {
         return false;
     }
-    const auto &blocks = it->second.blocks.blocks();
-    if (blocks.empty() ||
-        static_cast<i64>(blocks.size()) > manager_.numCpuFree()) {
-        return false;
-    }
-    for (const i32 block : blocks) {
-        if (manager_.refCount(block) != 1) {
-            return false; // shared with another request: stays resident
+    i64 live_total = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        const auto &list = it->second.blocks[g];
+        live_total += list.liveBlockCount();
+        if (list.liveBlockCount() > groups_[g].manager.numCpuFree()) {
+            return false;
+        }
+        for (const i32 block : list.blocks()) {
+            if (block == paged::RequestBlocks::kNoBlock) {
+                continue;
+            }
+            if (groups_[g].manager.refCount(block) != 1) {
+                return false; // shared: stays resident
+            }
         }
     }
-    return true;
+    return live_total > 0;
 }
 
 bool
@@ -176,8 +237,14 @@ PagedBackend::canSwapIn(int slot) const
     for (const auto &[id, state] : slots_) {
         resident += state.swapped() ? 0 : 1;
     }
-    return manager_.numAllocatable() >=
-           static_cast<i64>(it->second.cpu_blocks.size()) + resident;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (groups_[g].manager.numAllocatable() <
+            static_cast<i64>(it->second.cpu_blocks[g].size()) +
+                resident) {
+            return false;
+        }
+    }
+    return true;
 }
 
 Result<SwapResult>
@@ -193,36 +260,51 @@ PagedBackend::swapOut(int slot)
         return Result<SwapResult>(ErrorCode::kFailedPrecondition,
                                   "slot already swapped out");
     }
-    if (state.blocks.blocks().empty()) {
+    i64 live_total = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        live_total += state.blocks[g].liveBlockCount();
+        for (const i32 block : state.blocks[g].blocks()) {
+            if (block == paged::RequestBlocks::kNoBlock) {
+                continue;
+            }
+            if (groups_[g].manager.refCount(block) != 1) {
+                return Result<SwapResult>(
+                    ErrorCode::kFailedPrecondition,
+                    "block shared with another request");
+            }
+        }
+        if (state.blocks[g].liveBlockCount() >
+            groups_[g].manager.numCpuFree()) {
+            return Result<SwapResult>(ErrorCode::kOutOfMemory,
+                                      "CPU block pool full");
+        }
+    }
+    if (live_total == 0) {
         return Result<SwapResult>(ErrorCode::kFailedPrecondition,
                                   "slot holds no blocks");
     }
-    for (const i32 block : state.blocks.blocks()) {
-        if (manager_.refCount(block) != 1) {
-            return Result<SwapResult>(
-                ErrorCode::kFailedPrecondition,
-                "block shared with another request");
+    u64 swapped_bytes = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        state.swap_leads[g] = state.blocks[g].lead();
+        const std::vector<i32> blocks =
+            state.blocks[g].releaseForSwap();
+        state.cpu_blocks[g].reserve(blocks.size());
+        for (const i32 block : blocks) {
+            if (block == paged::RequestBlocks::kNoBlock) {
+                continue;
+            }
+            auto cpu_block = groups_[g].manager.swapOutBlock(block);
+            cpu_block.status().expectOk("swapOutBlock after checks");
+            state.cpu_blocks[g].push_back(cpu_block.value());
         }
-    }
-    if (static_cast<i64>(state.blocks.blocks().size()) >
-        manager_.numCpuFree()) {
-        return Result<SwapResult>(ErrorCode::kOutOfMemory,
-                                  "CPU block pool full");
-    }
-    const std::vector<i32> blocks = state.blocks.releaseForSwap();
-    state.cpu_blocks.reserve(blocks.size());
-    for (const i32 block : blocks) {
-        auto cpu_block = manager_.swapOutBlock(block);
-        cpu_block.status().expectOk("swapOutBlock after checks");
-        state.cpu_blocks.push_back(cpu_block.value());
+        swapped_bytes += static_cast<u64>(state.cpu_blocks[g].size()) *
+                         groups_[g].bytes_per_block;
     }
     // Swapping invalidates the slot's registered hashes (the manager
     // dropped them with the device blocks); prefill re-registers from
     // scratch if the request is ever re-run through registerPrefix.
     state.hashes.clear();
     state.chain = 0;
-    const u64 swapped_bytes =
-        static_cast<u64>(blocks.size()) * bytes_per_block_;
     return SwapResult{swapped_bytes, pcie_.dtohNs(swapped_bytes)};
 }
 
@@ -239,19 +321,28 @@ PagedBackend::swapIn(int slot)
         return Result<SwapResult>(ErrorCode::kFailedPrecondition,
                                   "slot not swapped out");
     }
-    if (manager_.numAllocatable() <
-        static_cast<i64>(state.cpu_blocks.size())) {
-        return Result<SwapResult>(ErrorCode::kOutOfMemory,
-                                  "device block pool full");
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (groups_[g].manager.numAllocatable() <
+            static_cast<i64>(state.cpu_blocks[g].size())) {
+            return Result<SwapResult>(ErrorCode::kOutOfMemory,
+                                      "device block pool full");
+        }
     }
-    for (const i32 cpu_block : state.cpu_blocks) {
-        auto block = manager_.swapInBlock(cpu_block);
-        block.status().expectOk("swapInBlock after capacity check");
-        state.blocks.adoptBlock(block.value());
+    u64 swapped_bytes = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        // Restore the dead-lead boundary first so the revived table
+        // keeps absolute indexing for the window layers.
+        state.blocks[g].advanceLeadTo(state.swap_leads[g]);
+        for (const i32 cpu_block : state.cpu_blocks[g]) {
+            auto block = groups_[g].manager.swapInBlock(cpu_block);
+            block.status().expectOk("swapInBlock after capacity check");
+            state.blocks[g].adoptBlock(block.value());
+        }
+        swapped_bytes += static_cast<u64>(state.cpu_blocks[g].size()) *
+                         groups_[g].bytes_per_block;
+        state.cpu_blocks[g].clear();
+        state.swap_leads[g] = 0;
     }
-    const u64 swapped_bytes =
-        static_cast<u64>(state.cpu_blocks.size()) * bytes_per_block_;
-    state.cpu_blocks.clear();
     return SwapResult{swapped_bytes, pcie_.htodNs(swapped_bytes)};
 }
 
@@ -262,8 +353,12 @@ PagedBackend::slotPhysBytes(int slot) const
     if (it == slots_.end()) {
         return 0;
     }
-    return static_cast<u64>(it->second.blocks.blocks().size()) *
-           bytes_per_block_;
+    u64 bytes = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        bytes += static_cast<u64>(it->second.blocks[g].liveBlockCount()) *
+                 groups_[g].bytes_per_block;
+    }
+    return bytes;
 }
 
 Result<TimeNs>
@@ -272,9 +367,17 @@ PagedBackend::ensure(const ActiveLens &active)
     for (const auto &[slot, len] : active) {
         auto it = slots_.find(slot);
         panic_if(it == slots_.end(), "ensure on unknown slot ", slot);
-        auto status = it->second.blocks.ensureTokens(len);
-        if (!status.isOk()) {
-            return Result<TimeNs>(status);
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            // Free dead leading blocks before growing so a tight pool
+            // benefits from the reclaimed blocks in the same call.
+            if (groups_[g].window_tokens > 0) {
+                it->second.blocks[g].advanceLeadTo(
+                    deadLeadBlocks(groups_[g], len));
+            }
+            auto status = it->second.blocks[g].ensureTokens(len);
+            if (!status.isOk()) {
+                return Result<TimeNs>(status);
+            }
         }
     }
     // Block allocation is CPU-side list manipulation over memory that
@@ -291,39 +394,71 @@ PagedBackend::computeWindow(TimeNs window_ns)
 void
 PagedBackend::auditInto(audit::AuditReport &report) const
 {
-    manager_.auditInto(report);
+    for (const LayerGroup &group : groups_) {
+        group.manager.auditInto(report);
+    }
     // Slot-side cross-checks: this backend's slots are the only block
     // holders, so the references they hold must account for every
-    // refcount in the manager, and swapped slots must own every CPU
-    // block in use.
-    i64 held = 0;
-    i64 cpu_held = 0;
+    // refcount in each group's manager, and swapped slots must own
+    // every CPU block in use.
+    std::vector<i64> held(groups_.size(), 0);
+    std::vector<i64> cpu_held(groups_.size(), 0);
     for (const auto &[slot, state] : slots_) {
-        for (const i32 block : state.blocks.blocks()) {
-            if (manager_.refCount(block) < 1) {
-                report.fail("paged_backend: slot ", slot,
-                            " holds block ", block, " with refcount ",
-                            manager_.refCount(block),
-                            " (freed while still held)");
+        i64 live_total = 0;
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            const auto &list = state.blocks[g];
+            for (std::size_t i = 0; i < list.blocks().size(); ++i) {
+                const i32 block = list.blocks()[i];
+                if (block == paged::RequestBlocks::kNoBlock) {
+                    if (static_cast<i64>(i) >= list.lead()) {
+                        report.fail("paged_backend: slot ", slot,
+                                    " group ", g, " has a hole at "
+                                    "live index ", i,
+                                    " (kNoBlock past the lead)");
+                    }
+                    continue;
+                }
+                if (static_cast<i64>(i) < list.lead()) {
+                    report.fail(
+                        "paged_backend: slot ", slot, " group ", g,
+                        " still holds block ", block,
+                        " inside the dead window lead [0, ",
+                        list.lead(),
+                        ") — a rogue window-tail block survived "
+                        "eviction");
+                }
+                if (groups_[g].manager.refCount(block) < 1) {
+                    report.fail("paged_backend: slot ", slot,
+                                " holds block ", block,
+                                " with refcount ",
+                                groups_[g].manager.refCount(block),
+                                " (freed while still held)");
+                }
+                ++held[g];
+                ++live_total;
             }
-            ++held;
+            cpu_held[g] +=
+                static_cast<i64>(state.cpu_blocks[g].size());
         }
-        cpu_held += static_cast<i64>(state.cpu_blocks.size());
-        if (state.swapped() && !state.blocks.blocks().empty()) {
+        if (state.swapped() && live_total > 0) {
             report.fail("paged_backend: swapped slot ", slot,
-                        " still holds ", state.blocks.blocks().size(),
+                        " still holds ", live_total,
                         " device blocks");
         }
     }
-    report.check(held == manager_.totalRefCount(),
-                 "paged_backend: slots hold ", held,
-                 " device-block references but the manager counts ",
-                 manager_.totalRefCount(),
-                 " (a reference leaked outside the slots)");
-    report.check(cpu_held == manager_.numCpuInUse(),
-                 "paged_backend: slots own ", cpu_held,
-                 " CPU blocks but the manager has ",
-                 manager_.numCpuInUse(), " in use");
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        report.check(held[g] == groups_[g].manager.totalRefCount(),
+                     "paged_backend: group ", g, " slots hold ",
+                     held[g],
+                     " device-block references but the manager "
+                     "counts ",
+                     groups_[g].manager.totalRefCount(),
+                     " (a reference leaked outside the slots)");
+        report.check(cpu_held[g] == groups_[g].manager.numCpuInUse(),
+                     "paged_backend: group ", g, " slots own ",
+                     cpu_held[g], " CPU blocks but the manager has ",
+                     groups_[g].manager.numCpuInUse(), " in use");
+    }
     report.check(bytesInUse() <= budgetBytes(),
                  "paged_backend: ", bytesInUse(),
                  " bytes in use exceed the ", budgetBytes(),
@@ -334,7 +469,12 @@ u64
 PagedBackend::bytesInUse() const
 {
     // Evictable cached blocks are reclaimable capacity, not live use.
-    return static_cast<u64>(manager_.numLive()) * bytes_per_block_;
+    u64 bytes = 0;
+    for (const LayerGroup &group : groups_) {
+        bytes += static_cast<u64>(group.manager.numLive()) *
+                 group.bytes_per_block;
+    }
+    return bytes;
 }
 
 u64
@@ -348,7 +488,11 @@ PagedBackend::blocksHeld(int slot) const
 {
     auto it = slots_.find(slot);
     panic_if(it == slots_.end(), "blocksHeld on unknown slot ", slot);
-    return static_cast<i64>(it->second.blocks.blocks().size());
+    i64 held = 0;
+    for (const auto &list : it->second.blocks) {
+        held += list.liveBlockCount();
+    }
+    return held;
 }
 
 } // namespace vattn::serving

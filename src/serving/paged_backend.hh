@@ -12,6 +12,13 @@
  * park on an LRU evictable list instead of freeing, and a new request
  * whose prompt prefix matches a stored chain adopts the blocks by
  * reference (sharing is CPU-side bookkeeping — no data moves).
+ *
+ * Per-layer heterogeneous geometries: layers are grouped by attention
+ * window class (full vs each sliding-window width), one BlockManager
+ * per group with the budget split pro rata by layer count. Sliding
+ * groups free a request's dead leading blocks as its window advances;
+ * a uniform model collapses to the single historical manager with
+ * bit-identical arithmetic.
  */
 
 #ifndef VATTN_SERVING_PAGED_BACKEND_HH
@@ -52,7 +59,7 @@ class PagedBackend : public MemoryBackend
     Result<int> allocSlot() override;
     bool prefixCachingEnabled() const override
     {
-        return manager_.prefixCacheEnabled();
+        return groups_[0].manager.prefixCacheEnabled();
     }
     i64 matchPrefix(const PrefixKey &key) const override;
     Result<SlotLease> allocSlot(const PrefixKey &key,
@@ -75,31 +82,75 @@ class PagedBackend : public MemoryBackend
     Result<SwapResult> swapIn(int slot) override;
     u64 slotPhysBytes(int slot) const override;
 
-    paged::BlockManager &blockManager() { return manager_; }
-    i64 blockSize() const { return manager_.blockSize(); }
+    /** The full-attention group's manager (the only group on uniform
+     *  models — the historical accessor for tests and benches). */
+    paged::BlockManager &blockManager() { return groups_[0].manager; }
+    i64 blockSize() const { return groups_[0].manager.blockSize(); }
 
-    /** Blocks held by one slot (overhead-model inputs). */
+    /** Number of window classes (1 for uniform models). */
+    int numLayerGroups() const
+    {
+        return static_cast<int>(groups_.size());
+    }
+    /** Manager of window class @p group. */
+    paged::BlockManager &groupManager(int group)
+    {
+        return groups_[static_cast<std::size_t>(group)].manager;
+    }
+    /** Window width of class @p group (0 = full attention). */
+    i64 groupWindowTokens(int group) const
+    {
+        return groups_[static_cast<std::size_t>(group)].window_tokens;
+    }
+
+    /** Blocks held by one slot across all groups (overhead-model
+     *  inputs; dead window leads excluded). */
     i64 blocksHeld(int slot) const;
 
   private:
+    /** One window class: the layers sharing an attention window and
+     *  their dedicated block pool. */
+    struct LayerGroup
+    {
+        i64 window_tokens;   ///< 0 = full attention
+        int layers;          ///< layers in this class
+        u64 bytes_per_block; ///< 2 * layers * H * D * P * bs / tp
+        paged::BlockManager manager;
+    };
+
     struct Slot
     {
-        paged::RequestBlocks blocks;
-        /** Chained hash per full prompt block already registered. */
+        /** One block list per layer group, parallel to groups_. */
+        std::vector<paged::RequestBlocks> blocks;
+        /** Chained hash per full prompt block already registered
+         *  (prefix caching is uniform-only: group 0). */
         std::vector<u64> hashes;
         /** Running chain value after hashes.back(). */
         u64 chain = 0;
-        /** CPU block per former device block while swapped out (empty
-         *  = resident). */
-        std::vector<i32> cpu_blocks;
+        /** Per-group CPU blocks while swapped out (all empty =
+         *  resident). */
+        std::vector<std::vector<i32>> cpu_blocks;
+        /** Per-group dead-lead boundary at swap-out time. */
+        std::vector<i64> swap_leads;
 
-        bool swapped() const { return !cpu_blocks.empty(); }
+        bool
+        swapped() const
+        {
+            for (const auto &group : cpu_blocks) {
+                if (!group.empty()) {
+                    return true;
+                }
+            }
+            return false;
+        }
     };
 
-    u64 bytes_per_block_;
+    /** Dead leading blocks of a window class at context @p tokens. */
+    i64 deadLeadBlocks(const LayerGroup &group, i64 tokens) const;
+
     u64 budget_bytes_;
     perf::PcieSpec pcie_;
-    paged::BlockManager manager_;
+    std::vector<LayerGroup> groups_;
     std::unordered_map<int, Slot> slots_;
     int next_slot_ = 0;
     BackendPrefixStats prefix_;

@@ -40,6 +40,22 @@ VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
     config.prefix_caching = options.enable_prefix_caching;
     config.phys_budget_bytes = budget_bytes;
     config.host_swap_bytes = options.host_swap_bytes;
+    if (model.hasSlidingLayers()) {
+        // Per-layer geometries: sliding-window layers only keep the
+        // live window of KV mapped. Uniform models leave the list
+        // empty — the historical single-shape path, byte for byte.
+        config.layers.resize(
+            static_cast<std::size_t>(model.num_layers));
+        for (int layer = 0; layer < model.num_layers; ++layer) {
+            const i64 window = model.windowTokensOf(layer);
+            auto &spec =
+                config.layers[static_cast<std::size_t>(layer)];
+            if (window > 0) {
+                spec.kind = core::AttentionKind::kSlidingWindow;
+                spec.window_tokens = window;
+            }
+        }
+    }
     config.validate().expectOk("vAttention backend config");
 
     runtime_ = std::make_unique<core::VAttention>(*driver_, config);
@@ -200,8 +216,10 @@ VAttentionBackend::swapIn(int slot)
 u64
 VAttentionBackend::slotPhysBytes(int slot) const
 {
-    return static_cast<u64>(runtime_->groupsMapped(slot)) *
-           static_cast<u64>(runtime_->geometry().numBuffers()) *
+    // mappedHandles counts each buffer's live [lead, end) range:
+    // groupsMapped * numBuffers would over-state window-trimmed slots
+    // (the frontier includes unmapped dead leads).
+    return static_cast<u64>(runtime_->mappedHandles(slot)) *
            runtime_->geometry().groupBytes();
 }
 

@@ -116,6 +116,30 @@ openChatTrace(int n, u64 seed)
 }
 
 std::vector<Request>
+longContextTrace(int n, i64 min_prompt, i64 max_prompt, u64 seed)
+{
+    panic_if(min_prompt <= 0 || max_prompt < min_prompt,
+             "longContextTrace needs 0 < min_prompt <= max_prompt");
+    Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 0x77aaULL);
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(n));
+    // Center the log-normal on the geometric mean of the range so both
+    // ends are exercised; sigma 0.45 puts ~90% of mass inside it.
+    const double mu = 0.5 * (std::log(static_cast<double>(min_prompt)) +
+                             std::log(static_cast<double>(max_prompt)));
+    for (int i = 0; i < n; ++i) {
+        Request r;
+        r.id = static_cast<u64>(i);
+        r.prompt_tokens = clampTokens(rng.logNormal(mu, 0.45),
+                                      min_prompt, max_prompt);
+        r.max_new_tokens = clampTokens(
+            rng.logNormal(std::log(400.0), 0.5), 32, 2048);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+std::vector<Request>
 shareGptTrace(int n, u64 seed)
 {
     Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 0x9a9aULL);

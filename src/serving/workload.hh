@@ -75,6 +75,17 @@ std::vector<Request> sharedSystemPromptTrace(int n = 256,
                                              i64 user_mean = 512,
                                              u64 seed = 9);
 
+/**
+ * Long-context trace for the sliding-window geometry study: prompts
+ * log-normally spread over [@p min_prompt, @p max_prompt] (default
+ * 32K-128K, the regime where windowed layers evict most of their KV)
+ * with chat-sized decodes. Deterministic given the seed.
+ */
+std::vector<Request> longContextTrace(int n = 64,
+                                      i64 min_prompt = 32 * 1024,
+                                      i64 max_prompt = 128 * 1024,
+                                      u64 seed = 11);
+
 /** Assign Poisson arrival times at @p qps queries/second. */
 void assignPoissonArrivals(std::vector<Request> &trace, double qps,
                            u64 seed = 7);

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sliding-window attention in the performance model: the banded
+ * trapezoid attended-unit formula, the windowed kernel paths'
+ * bit-for-bit delegation on uniform models, the cost reduction on
+ * interleaved models, and the ModelSpec window-class bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/kernel_model.hh"
+#include "test_util.hh"
+
+namespace vattn::perf
+{
+namespace
+{
+
+TEST(ModelSpecWindows, InterleaveMarksOddLayers)
+{
+    const auto base = ModelSpec::yi6B();
+    EXPECT_FALSE(base.hasSlidingLayers());
+    EXPECT_EQ(base.windowTokensOf(0), 0);
+    EXPECT_EQ(base.windowClasses().size(), 1u);
+    EXPECT_EQ(base.windowClasses()[0].layers, base.num_layers);
+
+    const auto swa = base.withSlidingWindowInterleave(4096);
+    EXPECT_TRUE(swa.hasSlidingLayers());
+    EXPECT_EQ(swa.name, base.name + "-swa4096");
+    // Every period-th layer keeps full attention; the rest slide.
+    EXPECT_EQ(swa.windowTokensOf(0), 0);
+    EXPECT_EQ(swa.windowTokensOf(1), 4096);
+    EXPECT_EQ(swa.windowTokensOf(2), 0);
+    EXPECT_EQ(swa.windowTokensOf(3), 4096);
+
+    const auto classes = swa.windowClasses();
+    ASSERT_EQ(classes.size(), 2u);
+    // Full-attention class first, then the 4K window class; the 1:1
+    // interleave splits the layers evenly.
+    EXPECT_EQ(classes[0].window_tokens, 0);
+    EXPECT_EQ(classes[1].window_tokens, 4096);
+    EXPECT_EQ(classes[0].layers + classes[1].layers, swa.num_layers);
+    EXPECT_EQ(classes[1].layers, swa.num_layers / 2);
+}
+
+TEST(ModelSpecWindows, InterleaveRejectsBadArguments)
+{
+    test::ScopedThrowErrors guard;
+    EXPECT_THROW(ModelSpec::yi6B().withSlidingWindowInterleave(0),
+                 SimError);
+    EXPECT_THROW(ModelSpec::yi6B().withSlidingWindowInterleave(4096, 1),
+                 SimError);
+}
+
+TEST(WindowedAttendedUnits, MatchesClosedForms)
+{
+    using KM = KernelModel;
+    // Full attention (w = 0) and contexts inside the window reproduce
+    // the causal trapezoid (kv - q/2) * q.
+    EXPECT_DOUBLE_EQ(KM::windowedAttendedUnits(100, 100, 0),
+                     (100 - 50.0) * 100);
+    EXPECT_DOUBLE_EQ(KM::windowedAttendedUnits(100, 300, 1000),
+                     (300 - 50.0) * 100);
+    // Chunk entirely past the window: every query attends w keys.
+    EXPECT_DOUBLE_EQ(KM::windowedAttendedUnits(64, 5000, 256),
+                     64.0 * 256);
+    // Straddling chunk: kv0 = 0, kv = 300, w = 200 -> the first 200
+    // queries ramp 1..200, the last 100 attend 200 each.
+    // Model's continuous band: w^2/2 + (kv - w) * w = 40000.
+    EXPECT_DOUBLE_EQ(KM::windowedAttendedUnits(300, 300, 200),
+                     200.0 * 200 / 2 + 100.0 * 200);
+    // Monotonic in kv, bounded by q * w.
+    EXPECT_LE(KM::windowedAttendedUnits(64, 100000, 256), 64.0 * 256);
+}
+
+TEST(WindowedKernelPaths, DelegateVerbatimOnUniformModels)
+{
+    const KernelModel model(GpuSpec::a100(), ModelSpec::yi6B(), 1);
+    for (const auto kind :
+         {BackendKind::kFa2Paged, BackendKind::kFa2VAttention}) {
+        EXPECT_EQ(model.chunkedPrefillAttentionWindowed(kind, 2048,
+                                                        32768),
+                  model.chunkedPrefillAttention(kind, 2048, 32768));
+        const std::vector<i64> kv_lens = {1000, 2000, 4096};
+        EXPECT_EQ(model.decodeAttentionWindowed(kind, kv_lens),
+                  model.decodeAttention(kind, 7096));
+    }
+}
+
+TEST(WindowedKernelPaths, InterleaveCutsLongContextCost)
+{
+    const auto swa = ModelSpec::yi6B().withSlidingWindowInterleave(4096);
+    const KernelModel uniform(GpuSpec::a100(), ModelSpec::yi6B(), 1);
+    const KernelModel windowed(GpuSpec::a100(), swa, 1);
+    const auto kind = BackendKind::kFa2VAttention;
+
+    // 64K-token decode batch: windowed layers stream min(kv, 4096),
+    // so the interleaved model reads well under the uniform bytes.
+    const std::vector<i64> kv_lens = {64 * 1024};
+    EXPECT_LT(windowed.decodeAttentionWindowed(kind, kv_lens),
+              uniform.decodeAttention(kind, 64 * 1024));
+
+    // Prefill chunk deep into a long context: half the layers run the
+    // banded kernel, so attention time drops but stays above half the
+    // uniform cost (the full layers still pay in full).
+    const TimeNs uni =
+        uniform.chunkedPrefillAttention(kind, 2048, 64 * 1024);
+    const TimeNs win =
+        windowed.chunkedPrefillAttentionWindowed(kind, 2048, 64 * 1024);
+    EXPECT_LT(win, uni);
+    EXPECT_GT(win, uni / 2);
+
+    // Short contexts inside the window cost the same.
+    EXPECT_EQ(
+        windowed.chunkedPrefillAttentionWindowed(kind, 1024, 1024),
+        uniform.chunkedPrefillAttention(kind, 1024, 1024));
+}
+
+} // namespace
+} // namespace vattn::perf

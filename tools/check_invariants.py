@@ -39,6 +39,15 @@ BYTES_FIELD_RE = re.compile(
     r"(\w*bytes\w*)\s*(?:=[^;]*)?;"
 )
 
+# Sliding-window extents are token counts: an integer field whose
+# name mentions `window` must end in `_tokens` (window_tokens, never
+# window_size / window_len). Time-typed windows (TimeNs window_ns)
+# are covered by the TimeNs rule instead.
+WINDOW_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?(?:u64|i64|u32|i32|int)\s+"
+    r"(\w*window\w*)\s*(?:=[^;]*)?;"
+)
+
 # Wall-clock / libc-randomness reads that break simulation determinism.
 WALL_CLOCK_RE = re.compile(r"std::chrono")
 LIBC_RAND_RE = re.compile(r"(?:std::|\b)s?rand\s*\(")
@@ -89,6 +98,12 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
                         f"{where}: byte-quantity field `{m.group(1)}`"
                         " must end in `bytes` (sizes carry their unit)"
                     )
+            m = WINDOW_FIELD_RE.match(line)
+            if m and not m.group(1).rstrip("_").endswith("_tokens"):
+                problems.append(
+                    f"{where}: window field `{m.group(1)}` must end in"
+                    " `_tokens` (window extents are token counts)"
+                )
 
         if WALL_CLOCK_RE.search(line):
             problems.append(
@@ -130,6 +145,12 @@ def main() -> int:
     for path in sorted(src.rglob("*")):
         if path.suffix in {".hh", ".cc"}:
             problems.extend(check_file(path, args.root))
+
+    # bench_util.hh is shared infrastructure every benchmark links:
+    # hold it to the same conventions as src/.
+    bench_util = args.root / "bench" / "bench_util.hh"
+    if bench_util.is_file():
+        problems.extend(check_file(bench_util, args.root))
 
     for problem in problems:
         print(problem)
