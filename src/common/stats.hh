@@ -52,6 +52,11 @@ class Percentiles
     void add(double x);
     u64 count() const { return samples_.size(); }
 
+    /** Pre-size the sample store (allocation-free steady-state adds:
+     *  the engine reserves for a whole run's samples up front so the
+     *  per-iteration hot path never reallocates). */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     /** Value at quantile q in [0, 1] (linear interpolation). */
     double quantile(double q) const;
     double median() const { return quantile(0.5); }

@@ -295,7 +295,8 @@ KvAllocator::growRows(int slot, const std::vector<i64> &targets,
         }
         // Acquire + map the group on every buffer whose frontier is
         // here; only then commit the row.
-        std::vector<int> row;
+        std::vector<int> &row = row_scratch_;
+        row.clear();
         Status failure;
         for (int b = 0; b < nbuf; ++b) {
             BufferMappings &buffer =
@@ -312,6 +313,7 @@ KvAllocator::growRows(int slot, const std::vector<i64> &targets,
             auto status = mapOne(b, slot, group, handle.value());
             status.expectOk("page-group map");
             buffer.handles.push_back(handle.value());
+            ++total_mapped_;
             row.push_back(b);
         }
         if (!failure.isOk()) {
@@ -321,6 +323,7 @@ KvAllocator::growRows(int slot, const std::vector<i64> &targets,
                 unmapOne(*it, slot, group);
                 mappings.buffers[static_cast<std::size_t>(*it)]
                     .handles.pop_back();
+                --total_mapped_;
             }
             return failure;
         }
@@ -334,9 +337,9 @@ KvAllocator::growTo(int slot, i64 target_groups)
 {
     panic_if(slot < 0 || slot >= config_.max_batch_size,
              "slot out of range");
-    const std::vector<i64> targets(
+    targets_scratch_.assign(
         static_cast<std::size_t>(geom_.numBuffers()), target_groups);
-    return growRows(slot, targets, -1);
+    return growRows(slot, targets_scratch_, -1);
 }
 
 void
@@ -348,6 +351,7 @@ KvAllocator::advanceLead(int slot, int buffer, i64 target_lead)
     while (state.lead < stop) {
         unmapOne(buffer, slot, state.lead);
         ++state.lead;
+        --total_mapped_;
     }
     if (state.mapped() == 0 && state.end() < target_lead) {
         // Everything mapped (if anything) was dead — a fresh long
@@ -367,7 +371,8 @@ KvAllocator::ensureTokens(int slot, i64 tokens)
     panic_if(slot < 0 || slot >= config_.max_batch_size,
              "slot out of range");
     const int nbuf = geom_.numBuffers();
-    std::vector<i64> targets(static_cast<std::size_t>(nbuf));
+    std::vector<i64> &targets = targets_scratch_;
+    targets.assign(static_cast<std::size_t>(nbuf), 0);
     for (int b = 0; b < nbuf; ++b) {
         const int layer = geom_.layerOfBuffer(b);
         advanceLead(slot, b, geom_.deadLeadGroups(layer, tokens));
@@ -414,7 +419,8 @@ Status
 KvAllocator::growOneRowForTokens(int slot, i64 tokens)
 {
     const int nbuf = geom_.numBuffers();
-    std::vector<i64> targets(static_cast<std::size_t>(nbuf));
+    std::vector<i64> &targets = targets_scratch_;
+    targets.assign(static_cast<std::size_t>(nbuf), 0);
     for (int b = 0; b < nbuf; ++b) {
         targets[static_cast<std::size_t>(b)] =
             geom_.groupsForTokens(geom_.layerOfBuffer(b), tokens);
@@ -465,6 +471,7 @@ KvAllocator::resetWindowTrimmed(int slot)
         for (i64 group = buffer.lead; group < buffer.end(); ++group) {
             unmapOne(b, slot, group);
         }
+        total_mapped_ -= buffer.mapped();
         buffer.handles.clear();
         buffer.lead = 0;
     }
@@ -501,6 +508,7 @@ KvAllocator::aliasFrom(int dst, int src, i64 groups)
             mapOne(b, dst, group, handle).expectOk("alias map");
             dst_map.buffers[static_cast<std::size_t>(b)]
                 .handles.push_back(handle);
+            ++total_mapped_;
             ++aliased_mappings_;
         }
     }
@@ -597,6 +605,7 @@ KvAllocator::shrinkTail(int slot)
         }
         unmapOne(b, slot, buffer.end() - 1);
         buffer.handles.pop_back();
+        --total_mapped_;
         if (buffer.mapped() == 0) {
             // Fully drained: forget the (now moot) dead lead so the
             // slot really is empty for reuse.
@@ -620,16 +629,6 @@ KvAllocator::releaseAll(int slot)
         buffer.handles.clear();
         buffer.lead = 0;
     }
-}
-
-i64
-KvAllocator::totalHandlesMapped() const
-{
-    i64 total = 0;
-    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
-        total += mappedHandles(slot);
-    }
-    return total;
 }
 
 u64
@@ -749,6 +748,15 @@ KvAllocator::auditInto(audit::AuditReport &report) const
                  "kv_allocator: aliased-mappings ledger is ",
                  aliased_mappings_, " but per-handle counts show ",
                  aliased, " mappings beyond one per handle");
+    i64 recount = 0;
+    for (int slot = 0; slot < config_.max_batch_size; ++slot) {
+        recount += mappedHandles(slot);
+    }
+    report.check(recount == total_mapped_,
+                 "kv_allocator: total-mapped ledger is ", total_mapped_,
+                 " but a full recount over the slot tables finds ",
+                 recount, " mappings — a map or unmap bypassed the "
+                 "ledger");
 }
 
 } // namespace vattn::core

@@ -180,8 +180,11 @@ class KvAllocator
     void privatizeFrom(int slot, i64 from_group);
 
     /** Sum of mappedHandles over all slots (counts mappings; aliased
-     *  groups count once per mapping). */
-    i64 totalHandlesMapped() const;
+     *  groups count once per mapping). O(1): a ledger maintained at
+     *  every map/unmap — the serving hot path reads this several times
+     *  per iteration, and the audit cross-checks it against a full
+     *  recount. */
+    i64 totalHandlesMapped() const { return total_mapped_; }
     /** Mappings that alias another slot's physical group. */
     i64 aliasedMappings() const { return aliased_mappings_; }
     /** Unique physical bytes mapped (aliases counted once). */
@@ -253,6 +256,13 @@ class KvAllocator
     std::vector<LayerKv> layer_tensors_;
     std::vector<SlotMappings> slots_;
     i64 aliased_mappings_ = 0; ///< current mappings beyond one per handle
+    i64 total_mapped_ = 0;     ///< sum of mappedHandles over all slots
+
+    // Reusable growth scratch (clear()-not-reallocate): growth runs
+    // inside the serving hot path, so per-call vector churn here shows
+    // up in every decode iteration that crosses a group boundary.
+    std::vector<i64> targets_scratch_; ///< per-buffer growth targets
+    std::vector<int> row_scratch_;     ///< buffers mapped this row
 };
 
 } // namespace vattn::core

@@ -64,6 +64,10 @@ class ReqSlots
     /** Cached slots, least recently cached first (reclaim victims). */
     std::vector<int> cachedLruOrder() const;
 
+    /** Same order without the copy (per-iteration hot paths; the
+     *  caller must not mutate slot states while iterating). */
+    const std::list<int> &cachedOrder() const { return cached_order_; }
+
     /** Oldest cached slot, or -1. */
     int oldestCached() const;
 

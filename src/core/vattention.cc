@@ -70,7 +70,7 @@ VAttention::allocReqId()
     int best = -1;
     i64 best_handles = -1;
     if (config_.deferred_reclamation || config_.eager_allocation) {
-        for (int slot : slots_.cachedLruOrder()) {
+        for (int slot : slots_.cachedOrder()) {
             if (config_.prefix_caching &&
                 !chains_[static_cast<std::size_t>(slot)].empty()) {
                 continue;
@@ -106,7 +106,7 @@ VAttention::allocReqId()
         // the fewest registered tokens.
         int victim = -1;
         i64 victim_tokens = 0;
-        for (int slot : slots_.cachedLruOrder()) {
+        for (int slot : slots_.cachedOrder()) {
             const i64 tokens =
                 chains_[static_cast<std::size_t>(slot)].tokens;
             if (victim < 0 || tokens < victim_tokens) {
@@ -814,7 +814,7 @@ VAttention::computePhase(TimeNs window_ns)
     // needs to be warmed.
     if (config_.eager_allocation && window_open) {
         bool have_warm = false;
-        for (int slot : slots_.cachedLruOrder()) {
+        for (int slot : slots_.cachedOrder()) {
             if (allocator_.mappedHandles(slot) > 0) {
                 have_warm = true;
                 break;

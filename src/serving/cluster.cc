@@ -6,9 +6,21 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "sim/event_queue.hh"
 
 namespace vattn::serving
 {
+
+const char *
+toString(ClusterExecution mode)
+{
+    switch (mode) {
+      case ClusterExecution::kAuto: return "auto";
+      case ClusterExecution::kThreads: return "threads";
+      case ClusterExecution::kEventLoop: return "event_loop";
+    }
+    return "?";
+}
 
 namespace
 {
@@ -65,6 +77,7 @@ ServingCluster::ServingCluster(Config config)
              "cluster needs at least one replica");
     engines_.reserve(config_.replicas.size());
     for (const EngineConfig &engine_config : config_.replicas) {
+        // alloc-ok: cluster construction, once per replica
         engines_.push_back(std::make_unique<Engine>(engine_config));
     }
 }
@@ -144,6 +157,90 @@ ServingCluster::recordReplicaDone(const RunReport &report)
                                report.decode_tokens;
 }
 
+ClusterExecution
+ServingCluster::resolvedExecution() const
+{
+    if (config_.execution != ClusterExecution::kAuto) {
+        return config_.execution;
+    }
+    // Past the core count, extra threads only add creation and
+    // context-switch overhead on top of the same serialized work.
+    const unsigned cores = std::thread::hardware_concurrency();
+    return engines_.size() > static_cast<std::size_t>(
+                                 cores > 0 ? cores : 1)
+               ? ClusterExecution::kEventLoop
+               : ClusterExecution::kThreads;
+}
+
+void
+ServingCluster::runThreads(std::vector<std::vector<Request>> &shares,
+                           ClusterReport &report)
+{
+    const std::size_t n = engines_.size();
+    // Failures are rethrown in replica order so the outcome does not
+    // depend on thread scheduling.
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        workers.emplace_back([this, r, &shares, &report, &errors] {
+            try {
+                report.replicas[r] =
+                    engines_[r]->run(std::move(shares[r]));
+                recordReplicaDone(report.replicas[r]);
+            } catch (...) {
+                errors[r] = std::current_exception();
+            }
+        });
+    }
+    for (std::thread &worker : workers) {
+        worker.join();
+    }
+    for (const std::exception_ptr &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+void
+ServingCluster::runEventLoop(
+    std::vector<std::vector<Request>> &shares, ClusterReport &report)
+{
+    const std::size_t n = engines_.size();
+    // Discrete-event coordination over the replicas' virtual clocks:
+    // the heap always surfaces the replica with the earliest pending
+    // event (arrival or runnable work). Replicas are independent, so
+    // this ordering is about efficiency — each pop lets the replica
+    // run ahead until the next other-replica event, batching many
+    // scheduling steps per heap operation — not about correctness;
+    // any interleaving yields the same per-replica reports.
+    sim::EventQueue<std::size_t> ready;
+    ready.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        if (shares[r].empty()) {
+            continue; // matches Engine::run on an empty trace
+        }
+        engines_[r]->beginRun(std::move(shares[r]));
+        ready.push(engines_[r]->nextEventNs(), r);
+    }
+    while (!ready.empty()) {
+        const std::size_t r = ready.pop();
+        Engine &engine = *engines_[r];
+        const TimeNs horizon =
+            ready.empty() ? sim::kNoEventNs : ready.nextTimeNs();
+        while (engine.runActive() && engine.nextEventNs() <= horizon) {
+            engine.stepRun();
+        }
+        if (engine.runActive()) {
+            ready.push(engine.nextEventNs(), r);
+            continue;
+        }
+        report.replicas[r] = engine.endRun();
+        recordReplicaDone(report.replicas[r]);
+    }
+}
+
 ClusterReport
 ServingCluster::run(std::vector<Request> trace)
 {
@@ -172,30 +269,13 @@ ServingCluster::run(std::vector<Request> trace)
         report.assigned[r] = static_cast<i64>(shares[r].size());
     }
 
-    // Replicas are independent once routed: simulate each on its own
-    // worker thread. Failures are rethrown in replica order so the
-    // outcome does not depend on thread scheduling.
-    std::vector<std::exception_ptr> errors(n);
-    std::vector<std::thread> workers;
-    workers.reserve(n);
-    for (std::size_t r = 0; r < n; ++r) {
-        workers.emplace_back([this, r, &shares, &report, &errors] {
-            try {
-                report.replicas[r] =
-                    engines_[r]->run(std::move(shares[r]));
-                recordReplicaDone(report.replicas[r]);
-            } catch (...) {
-                errors[r] = std::current_exception();
-            }
-        });
-    }
-    for (std::thread &worker : workers) {
-        worker.join();
-    }
-    for (const std::exception_ptr &error : errors) {
-        if (error) {
-            std::rethrow_exception(error);
-        }
+    // Replicas are independent once routed, so both drivers produce
+    // the identical per-replica reports (pinned by the equivalence
+    // tests); the merge below is deterministic either way.
+    if (resolvedExecution() == ClusterExecution::kEventLoop) {
+        runEventLoop(shares, report);
+    } else {
+        runThreads(shares, report);
     }
 
     // ---- Merge, in replica order (deterministic) ---------------------
@@ -236,15 +316,49 @@ ServingCluster::run(std::vector<Request> trace)
         for (double x : replica.normalized_latency_s.sorted()) {
             merged.normalized_latency_s.add(x);
         }
-        merged.iterations.insert(merged.iterations.end(),
-                                 replica.iterations.begin(),
-                                 replica.iterations.end());
     }
-    std::stable_sort(merged.iterations.begin(), merged.iterations.end(),
-                     [](const IterationRecord &a,
-                        const IterationRecord &b) {
-                         return a.start_ns < b.start_ns;
-                     });
+
+    // Iteration records: k-way heap merge over the per-replica streams
+    // (each already in start_ns order — one engine's clock only moves
+    // forward). O(total log k) instead of re-sorting the concatenation;
+    // ties order by replica index, reproducing byte-for-byte what the
+    // historical concat + stable_sort by start_ns produced.
+    struct Cursor
+    {
+        const std::vector<IterationRecord> *records = nullptr;
+        std::size_t pos = 0;
+        std::size_t replica = 0;
+    };
+    const auto after = [](const Cursor &a, const Cursor &b) {
+        const TimeNs ta = (*a.records)[a.pos].start_ns;
+        const TimeNs tb = (*b.records)[b.pos].start_ns;
+        if (ta != tb) {
+            return ta > tb;
+        }
+        return a.replica > b.replica;
+    };
+    std::vector<Cursor> heap;
+    heap.reserve(n);
+    std::size_t total_iterations = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto &records = report.replicas[r].iterations;
+        total_iterations += records.size();
+        if (!records.empty()) {
+            heap.push_back(Cursor{&records, 0, r});
+        }
+    }
+    std::make_heap(heap.begin(), heap.end(), after);
+    merged.iterations.reserve(total_iterations);
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), after);
+        Cursor &cursor = heap.back();
+        merged.iterations.push_back((*cursor.records)[cursor.pos]);
+        if (++cursor.pos < cursor.records->size()) {
+            std::push_heap(heap.begin(), heap.end(), after);
+        } else {
+            heap.pop_back();
+        }
+    }
 
     // ---- Cross-replica imbalance -------------------------------------
     std::vector<double> requests(n);

@@ -3,11 +3,16 @@
  * Multi-replica serving: a ServingCluster owns N independently
  * configured Engine replicas behind a Router. Requests are routed up
  * front on the shared virtual arrival timeline (see router.hh), then
- * every replica simulates its share on its own std::thread worker, and
- * the per-replica RunReports merge — iteration records by timestamp,
- * latency samples in replica order — into one ClusterReport. The whole
- * pipeline is deterministic: the same configuration and trace produce
- * an identical merged report no matter how the threads interleave.
+ * every replica simulates its share — either on its own std::thread
+ * worker or cooperatively on one event-driven coordinator that always
+ * steps the replica with the earliest pending virtual-time event
+ * (ClusterExecution picks; the event loop wins once replicas
+ * outnumber hardware threads). The per-replica RunReports merge —
+ * iteration records k-way by timestamp, latency samples in replica
+ * order — into one ClusterReport. The whole pipeline is
+ * deterministic: the same configuration and trace produce an
+ * identical merged report no matter which execution mode ran it or
+ * how threads interleave.
  */
 
 #ifndef VATTN_SERVING_CLUSTER_HH
@@ -24,6 +29,23 @@
 
 namespace vattn::serving
 {
+
+/** How a cluster run drives its replicas. */
+enum class ClusterExecution : u8
+{
+    /** Event loop once replicas outnumber hardware threads (where
+     *  thread churn costs more than it buys), threads otherwise. */
+    kAuto,
+    /** One std::thread per replica (the historical behaviour). */
+    kThreads,
+    /** Single-threaded cooperative coordinator: repeatedly steps the
+     *  replica with the earliest next virtual-time event. No thread
+     *  creation, no context switches — the scalable path for
+     *  replica counts far beyond the core count. */
+    kEventLoop,
+};
+
+const char *toString(ClusterExecution mode);
 
 /** Merged result of one cluster run. */
 struct ClusterReport
@@ -56,6 +78,8 @@ class ServingCluster
          *  backend, KV budget — "replica skew" scenarios). */
         std::vector<EngineConfig> replicas;
         RoutingPolicy policy = RoutingPolicy::kJoinShortestQueue;
+        /** Replica driver (identical reports either way). */
+        ClusterExecution execution = ClusterExecution::kAuto;
     };
 
     /** Convenience: @p n identical replicas of @p engine. */
@@ -64,11 +88,14 @@ class ServingCluster
 
     explicit ServingCluster(Config config);
 
-    /** Route @p trace across the replicas and serve it, one thread
-     *  per replica. Single-shot: the replicas' virtual clocks are
-     *  consumed, so construct a fresh cluster per trace (a second
-     *  call panics). */
+    /** Route @p trace across the replicas and serve it (threads or
+     *  event loop per the config). Single-shot: the replicas' virtual
+     *  clocks are consumed, so construct a fresh cluster per trace (a
+     *  second call panics). */
     ClusterReport run(std::vector<Request> trace);
+
+    /** The driver run() will use (kAuto resolved). */
+    ClusterExecution resolvedExecution() const;
 
     /**
      * The deterministic routing pre-pass used by run(): the replica
@@ -107,6 +134,14 @@ class ServingCluster
 
     /** Worker-thread side of the accumulator. */
     void recordReplicaDone(const RunReport &report) EXCLUDES(mutex_);
+
+    /** Simulate every replica's share, one std::thread each. */
+    void runThreads(std::vector<std::vector<Request>> &shares,
+                    ClusterReport &report);
+    /** Simulate every replica's share on one cooperative
+     *  event-driven coordinator (earliest virtual event first). */
+    void runEventLoop(std::vector<std::vector<Request>> &shares,
+                      ClusterReport &report);
 
     Config config_;
     std::vector<std::unique_ptr<Engine>> engines_;

@@ -80,6 +80,7 @@ Engine::Engine(EngineConfig config)
             ? 0
             : config_.host_swap_bytes;
     if (perf::isPaged(config_.backend)) {
+        // alloc-ok: engine construction, once per replica
         backend_ = std::make_unique<PagedBackend>(
             config_.model, config_.tp, block_size_, budget,
             config_.enable_prefix_caching, host_bytes, config_.pcie);
@@ -91,6 +92,7 @@ Engine::Engine(EngineConfig config)
         options.enable_prefix_caching |= config_.enable_prefix_caching;
         options.host_swap_bytes =
             std::max(options.host_swap_bytes, host_bytes);
+        // alloc-ok: engine construction, once per replica
         auto backend = std::make_unique<VAttentionBackend>(
             config_.model, config_.tp, budget, options);
         vattn_backend_ = backend.get();
@@ -98,6 +100,13 @@ Engine::Engine(EngineConfig config)
             config_.pcie.toCopyModel());
         backend_ = std::move(backend);
     }
+    // Single admission gate: the composer's budgets, the starvation
+    // check and the backend all see prefix-discounted demand. Built
+    // once here so composing an iteration never constructs a
+    // std::function.
+    can_admit_ = [this](Request &request) {
+        return canAdmitRequest(request);
+    };
 }
 
 i64
@@ -122,21 +131,19 @@ Engine::canAdmitRequest(Request &request) const
 }
 
 void
-Engine::admitArrivals(const std::vector<Request *> &by_arrival,
-                      std::size_t &next_arrival)
+Engine::admitArrivals()
 {
-    while (next_arrival < by_arrival.size() &&
-           by_arrival[next_arrival]->arrival_ns <= clock_.now()) {
-        scheduler_.enqueue(by_arrival[next_arrival]);
-        ++next_arrival;
+    while (!arrivals_.empty() &&
+           arrivals_.nextTimeNs() <= clock_.now()) {
+        scheduler_.enqueue(arrivals_.pop());
     }
 }
 
-ActiveLens
-Engine::activeLens(const IterationPlan &plan) const
+const ActiveLens &
+Engine::activeLens(const IterationPlan &plan)
 {
-    ActiveLens active;
-    active.reserve(running_.size());
+    ActiveLens &active = active_lens_;
+    active.clear();
     for (const Request *request : running_) {
         i64 target = request->contextLen();
         // A prefill chunk's KV is written this iteration: reserve it.
@@ -365,12 +372,12 @@ Engine::totalBlocksIn(const std::vector<Request *> &requests,
     return total;
 }
 
-IterationPlan
-Engine::decodePlan() const
+const IterationPlan &
+Engine::decodePlan()
 {
-    IterationPlan plan;
-    plan.decodes = running_;
-    return plan;
+    plan_.clear();
+    plan_.decodes.assign(running_.begin(), running_.end());
+    return plan_;
 }
 
 void
@@ -419,15 +426,15 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
         prefix_alloc_ns + ensureWithPreemption(plan, report);
 
     // ---- Survivors (ensure may have preempted plan members) --------
-    std::vector<const PrefillChunk *> prefills;
-    prefills.reserve(plan.prefills.size());
+    std::vector<const PrefillChunk *> &prefills = iter_prefills_;
+    prefills.clear();
     for (const PrefillChunk &chunk : plan.prefills) {
         if (chunk.request->state == Request::State::kRunning) {
             prefills.push_back(&chunk);
         }
     }
-    std::vector<Request *> decodes;
-    decodes.reserve(plan.decodes.size());
+    std::vector<Request *> &decodes = iter_decodes_;
+    decodes.clear();
     for (Request *request : plan.decodes) {
         if (request->state == Request::State::kRunning) {
             decodes.push_back(request);
@@ -455,8 +462,8 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
     // min(kv, window) tokens each (the sum is enough for uniform
     // models, where decodeAttentionWindowed degenerates to the
     // historical total-token path).
-    std::vector<i64> decode_kv_lens;
-    decode_kv_lens.reserve(decodes.size());
+    std::vector<i64> &decode_kv_lens = iter_kv_lens_;
+    decode_kv_lens.clear();
     for (const Request *request : decodes) {
         decode_kv_lens.push_back(request->contextLen());
     }
@@ -550,7 +557,8 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
         }
     }
     // Each decode request produced one token.
-    std::vector<Request *> finished;
+    std::vector<Request *> &finished = iter_finished_;
+    finished.clear();
     for (Request *request : decodes) {
         ++request->generated;
         recordToken(request, report);
@@ -627,89 +635,129 @@ Engine::auditFinal() const
 }
 #endif
 
-RunReport
-Engine::run(std::vector<Request> trace)
+void
+Engine::beginRun(std::vector<Request> trace)
 {
-    RunReport report;
-    if (trace.empty()) {
-        return report;
-    }
+    panic_if(runActive(), "beginRun while a run is active");
 #if VATTN_AUDIT
     audit_last_state_.clear();
     audit_iter_ = 0;
 #endif
+    trace_ = std::move(trace);
+    run_report_ = RunReport{};
+    run_total_ = trace_.size();
+    run_finished_ = 0;
 
-    std::vector<Request *> by_arrival;
-    by_arrival.reserve(trace.size());
-    for (Request &request : trace) {
-        by_arrival.push_back(&request);
+    // Feed the arrival event queue in trace order: the heap pops in
+    // (arrival_ns, push-order) order, which is exactly the historical
+    // stable_sort-by-arrival admission sequence.
+    arrivals_.clear();
+    arrivals_.reserve(trace_.size());
+    i64 total_new_tokens = 0;
+    for (Request &request : trace_) {
+        arrivals_.push(request.arrival_ns, &request);
+        total_new_tokens += request.max_new_tokens;
     }
-    std::stable_sort(by_arrival.begin(), by_arrival.end(),
-                     [](const Request *a, const Request *b) {
-                         return a->arrival_ns < b->arrival_ns;
-                     });
 
-    // Single admission gate: the composer's budgets, the starvation
-    // check below and the backend all see prefix-discounted demand.
-    // (The scheduler itself counts swapped-out requests against the
-    // sequence cap — they hold slots and will rejoin.)
-    const auto can_admit = [this](Request &request) {
-        return canAdmitRequest(request);
-    };
+    // Reserve every sample store for the whole run up front, so the
+    // per-iteration hot path adds samples without reallocating.
+    const std::size_t n = trace_.size();
+    run_report_.latency_s.reserve(n);
+    run_report_.ttft_s.reserve(n);
+    run_report_.normalized_latency_s.reserve(n);
+    run_report_.tbt_s.reserve(
+        static_cast<std::size_t>(std::max<i64>(total_new_tokens, 0)));
+}
 
-    std::size_t next_arrival = 0;
-    std::size_t finished = 0;
-    while (finished < trace.size()) {
-        admitArrivals(by_arrival, next_arrival);
-        // Swapped requests come back before new admissions (they hold
-        // slots and finished prefill work; serving them first frees
-        // capacity soonest and preserves FCFS fairness).
-        swapInReady(report);
+TimeNs
+Engine::nextEventNs() const
+{
+    if (!runActive()) {
+        return sim::kNoEventNs;
+    }
+    if (!running_.empty() || scheduler_.hasWaiting() ||
+        scheduler_.hasSwapped()) {
+        return clock_.now(); // runnable work right now
+    }
+    panic_if(arrivals_.empty(), "engine idle with unfinished requests");
+    return arrivals_.nextTimeNs();
+}
 
-        if (running_.empty() && !scheduler_.hasWaiting()) {
-            panic_if(scheduler_.hasSwapped(),
-                     "swapped requests stranded on an idle engine");
-            panic_if(next_arrival >= by_arrival.size(),
-                     "engine idle with unfinished requests");
-            clock_.advanceTo(by_arrival[next_arrival]->arrival_ns);
-            continue;
-        }
+void
+Engine::stepRun()
+{
+    panic_if(!runActive(), "stepRun on an inactive engine");
+    admitArrivals();
+    // Swapped requests come back before new admissions (they hold
+    // slots and finished prefill work; serving them first frees
+    // capacity soonest and preserves FCFS fairness).
+    swapInReady(run_report_);
 
-        const i64 finished_before = report.num_requests;
-        const i64 dropped_before = report.dropped_requests;
+    if (running_.empty() && !scheduler_.hasWaiting()) {
+        panic_if(scheduler_.hasSwapped(),
+                 "swapped requests stranded on an idle engine");
+        panic_if(arrivals_.empty(),
+                 "engine idle with unfinished requests");
+        clock_.advanceTo(arrivals_.nextTimeNs());
+        return;
+    }
 
-        const IterationPlan plan =
-            composer_.compose(scheduler_, running_, can_admit);
-        if (plan.empty()) {
-            // Nothing runs and the head of the queue cannot be
-            // admitted with the device otherwise empty: its prompt
-            // exceeds the KV budget and never will fit. Fail that one
-            // request and keep serving.
-            panic_if(!running_.empty(),
-                     "empty plan with requests running");
-            Request *head = scheduler_.frontWaiting();
-            panic_if(!head, "empty plan with nothing waiting");
-            scheduler_.popFrontWaiting();
-            dropRequest(head, report);
-        } else {
-            runIteration(plan, report);
-        }
-        finished += static_cast<std::size_t>(
-            (report.num_requests - finished_before) +
-            (report.dropped_requests - dropped_before));
+    const i64 finished_before = run_report_.num_requests;
+    const i64 dropped_before = run_report_.dropped_requests;
+
+    composer_.composeInto(plan_, scheduler_, running_, can_admit_);
+    if (plan_.empty()) {
+        // Nothing runs and the head of the queue cannot be admitted
+        // with the device otherwise empty: its prompt exceeds the KV
+        // budget and never will fit. Fail that one request and keep
+        // serving.
+        panic_if(!running_.empty(), "empty plan with requests running");
+        Request *head = scheduler_.frontWaiting();
+        panic_if(!head, "empty plan with nothing waiting");
+        scheduler_.popFrontWaiting();
+        dropRequest(head, run_report_);
+    } else {
+        runIteration(plan_, run_report_);
+    }
+    run_finished_ += static_cast<std::size_t>(
+        (run_report_.num_requests - finished_before) +
+        (run_report_.dropped_requests - dropped_before));
 #if VATTN_AUDIT
-        auditTick();
+    auditTick();
 #endif
+}
+
+RunReport
+Engine::endRun()
+{
+    panic_if(runActive(), "endRun with requests still in flight");
+    if (run_total_ == 0) {
+        return RunReport{}; // run() never even starts the clock
     }
 #if VATTN_AUDIT
     auditFinal();
 #endif
-
-    report.makespan_ns = clock_.now();
+    run_report_.makespan_ns = clock_.now();
     const auto prefix_stats = backend_->prefixStats();
-    report.prefix_aliased_bytes = prefix_stats.aliased_bytes;
-    report.prefix_copied_bytes = prefix_stats.copied_bytes;
-    return report;
+    run_report_.prefix_aliased_bytes = prefix_stats.aliased_bytes;
+    run_report_.prefix_copied_bytes = prefix_stats.copied_bytes;
+    run_total_ = 0;
+    run_finished_ = 0;
+    trace_.clear();
+    return std::move(run_report_);
+}
+
+RunReport
+Engine::run(std::vector<Request> trace)
+{
+    if (trace.empty()) {
+        return RunReport{};
+    }
+    beginRun(std::move(trace));
+    while (runActive()) {
+        stepRun();
+    }
+    return endRun();
 }
 
 Engine::DecodeRun

@@ -25,6 +25,7 @@
 
 #include "common/audit.hh"
 #include "common/sim_clock.hh"
+#include "sim/event_queue.hh"
 #include "perf/backend_kind.hh"
 #include "perf/gpu_spec.hh"
 #include "perf/kernel_model.hh"
@@ -123,6 +124,31 @@ class Engine
     /** Serve a whole trace (offline or online per arrival times). */
     RunReport run(std::vector<Request> trace);
 
+    // ---- Incremental run API (event-driven drivers) -------------------
+    //
+    // run() is a thin wrapper over these three calls, so both entry
+    // points execute the identical loop body: beginRun() feeds the
+    // trace into the arrival event queue, stepRun() performs exactly
+    // one scheduling step (pending admissions + one iteration, or an
+    // idle jump to the next arrival), endRun() finalizes the report.
+    // A cluster coordinator interleaves many replicas by repeatedly
+    // stepping whichever one has the earliest nextEventNs().
+
+    /** Start an incremental run (the engine takes the trace). */
+    void beginRun(std::vector<Request> trace);
+    /** Requests still in flight (stepRun may be called)? */
+    bool runActive() const { return run_finished_ < run_total_; }
+    /**
+     * Virtual time of the engine's next action: now() when work is
+     * runnable immediately, the next arrival when idle, and
+     * sim::kNoEventNs when the run is complete.
+     */
+    TimeNs nextEventNs() const;
+    /** Execute one scheduling step (precondition: runActive()). */
+    void stepRun();
+    /** Finish the run and return the report. */
+    RunReport endRun();
+
     // ---- Microbenchmark entry points ----------------------------------
 
     struct DecodeRun
@@ -182,8 +208,8 @@ class Engine
     SimClock &clock() { return clock_; }
 
   private:
-    void admitArrivals(const std::vector<Request *> &by_arrival,
-                       std::size_t &next_arrival);
+    /** Move every arrival due at the current clock into the queue. */
+    void admitArrivals();
     /**
      * Prompt tokens the backend would actually have to back fresh,
      * refreshing the request's prefix-cache hint. The single source of
@@ -196,8 +222,9 @@ class Engine
     bool canAdmitRequest(Request &request) const;
     /** Per-request KV target lengths for this iteration: contextLen()
      *  for everything running, except prefill-chunk members whose
-     *  target includes the chunk being computed. */
-    ActiveLens activeLens(const IterationPlan &plan) const;
+     *  target includes the chunk being computed. Fills and returns the
+     *  reusable active_lens_ scratch (allocation-free steady state). */
+    const ActiveLens &activeLens(const IterationPlan &plan);
     /** ensure() with preemption-on-OOM; returns critical ns (swap-out
      *  stalls included — they happen inside the iteration). */
     TimeNs ensureWithPreemption(const IterationPlan &plan,
@@ -221,8 +248,9 @@ class Engine
     void recordToken(Request *request, RunReport &report);
     /** Execute one composed iteration (decodes + prefill chunks). */
     void runIteration(const IterationPlan &plan, RunReport &report);
-    /** Decode-only plan over the whole running set (microbenches). */
-    IterationPlan decodePlan() const;
+    /** Decode-only plan over the whole running set (microbenches);
+     *  rebuilt into the reusable plan_ scratch. */
+    const IterationPlan &decodePlan();
     static i64 maxBlocksIn(const std::vector<Request *> &requests,
                            i64 block_size);
     static i64 totalBlocksIn(const std::vector<Request *> &requests,
@@ -253,6 +281,27 @@ class Engine
     SimClock clock_;
     std::vector<Request *> running_; ///< admission order
     i64 block_size_ = 0;             ///< paged back-ends only
+
+    // ---- Incremental-run state (beginRun/stepRun/endRun) -------------
+    std::vector<Request> trace_; ///< requests owned for the active run
+    sim::EventQueue<Request *> arrivals_;
+    RunReport run_report_;
+    std::size_t run_total_ = 0;
+    std::size_t run_finished_ = 0;
+    /** Admission gate handed to the composer; built once so the hot
+     *  path never constructs a std::function. */
+    Scheduler::CanAdmit can_admit_;
+
+    // ---- Reusable per-iteration scratch ------------------------------
+    // clear()-not-reallocate: after the high-water batch shape has
+    // been seen, a steady-state iteration performs no heap
+    // allocations (asserted by the allocation-regression tests).
+    IterationPlan plan_;
+    ActiveLens active_lens_;
+    std::vector<const PrefillChunk *> iter_prefills_;
+    std::vector<Request *> iter_decodes_;
+    std::vector<i64> iter_kv_lens_;
+    std::vector<Request *> iter_finished_;
 #if VATTN_AUDIT
     /** Last audited state per request id (reachability tracking). */
     std::unordered_map<u64, Request::State> audit_last_state_;

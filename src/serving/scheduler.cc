@@ -114,10 +114,11 @@ Scheduler::clearWaiting()
     waiting_.clear();
 }
 
-std::vector<Request *>
-Scheduler::pickPrefillBatch(int num_running, const CanAdmit &can_admit)
+void
+Scheduler::pickPrefillBatch(int num_running, const CanAdmit &can_admit,
+                            std::vector<Request *> &picked)
 {
-    std::vector<Request *> picked;
+    picked.clear();
     i64 batched_tokens = 0;
     while (!waiting_.empty()) {
         Request *request = waiting_.front();
@@ -147,6 +148,13 @@ Scheduler::pickPrefillBatch(int num_running, const CanAdmit &can_admit)
         batched_tokens += request->remainingPromptTokens();
         picked.push_back(request);
     }
+}
+
+std::vector<Request *>
+Scheduler::pickPrefillBatch(int num_running, const CanAdmit &can_admit)
+{
+    std::vector<Request *> picked;
+    pickPrefillBatch(num_running, can_admit, picked);
     return picked;
 }
 
@@ -155,33 +163,45 @@ BatchComposer::BatchComposer(Scheduler::Config config)
 {
 }
 
-IterationPlan
-BatchComposer::compose(
-    Scheduler &scheduler, const std::vector<Request *> &running,
-    const Scheduler::CanAdmit &can_admit) const
+void
+BatchComposer::composeInto(
+    IterationPlan &plan, Scheduler &scheduler,
+    const std::vector<Request *> &running,
+    const Scheduler::CanAdmit &can_admit)
 {
+    plan.clear();
     if (config_.mode == SchedulingMode::kStallFreeChunked) {
-        return composeStallFreeChunked(scheduler, running, can_admit);
+        composeStallFreeChunked(plan, scheduler, running, can_admit);
+        return;
     }
-    return composePrefillPrioritized(scheduler, running, can_admit);
+    composePrefillPrioritized(plan, scheduler, running, can_admit);
 }
 
 IterationPlan
-BatchComposer::composePrefillPrioritized(
+BatchComposer::compose(
     Scheduler &scheduler, const std::vector<Request *> &running,
-    const Scheduler::CanAdmit &can_admit) const
+    const Scheduler::CanAdmit &can_admit)
 {
     IterationPlan plan;
-    auto prompts = scheduler.pickPrefillBatch(
-        static_cast<int>(running.size()), can_admit);
-    if (!prompts.empty()) {
-        plan.prefills.reserve(prompts.size());
-        for (Request *request : prompts) {
+    composeInto(plan, scheduler, running, can_admit);
+    return plan;
+}
+
+void
+BatchComposer::composePrefillPrioritized(
+    IterationPlan &plan, Scheduler &scheduler,
+    const std::vector<Request *> &running,
+    const Scheduler::CanAdmit &can_admit)
+{
+    scheduler.pickPrefillBatch(static_cast<int>(running.size()),
+                               can_admit, pick_scratch_);
+    if (!pick_scratch_.empty()) {
+        for (Request *request : pick_scratch_) {
             // Prefix-cache hits prefill only the uncached suffix.
             plan.prefills.push_back(PrefillChunk{
                 request, request->remainingPromptTokens(), true});
         }
-        return plan;
+        return;
     }
     // A running request can be mid-prefill only when a prefix-cache
     // hit delivered fewer tokens than its admission hint promised (the
@@ -196,18 +216,17 @@ BatchComposer::composePrefillPrioritized(
         }
     }
     if (!plan.prefills.empty()) {
-        return plan;
+        return;
     }
-    plan.decodes = running;
-    return plan;
+    plan.decodes.assign(running.begin(), running.end());
 }
 
-IterationPlan
+void
 BatchComposer::composeStallFreeChunked(
-    Scheduler &scheduler, const std::vector<Request *> &running,
+    IterationPlan &plan, Scheduler &scheduler,
+    const std::vector<Request *> &running,
     const Scheduler::CanAdmit &can_admit) const
 {
-    IterationPlan plan;
     i64 budget = config_.iterationTokenBudget();
 
     // Decodes always ride along: one token of budget each.
@@ -252,7 +271,6 @@ BatchComposer::composeStallFreeChunked(
         budget -= chunk;
         ++num_running;
     }
-    return plan;
 }
 
 } // namespace vattn::serving

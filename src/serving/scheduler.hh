@@ -70,6 +70,16 @@ struct IterationPlan
     bool mixed() const { return !prefills.empty() && !decodes.empty(); }
     /** Total prefill query tokens across all chunks. */
     i64 prefillTokens() const;
+
+    /** Empty the plan keeping vector capacity: the engine reuses one
+     *  plan across iterations, so composition is allocation-free once
+     *  the high-water batch shape has been seen. */
+    void
+    clear()
+    {
+        prefills.clear();
+        decodes.clear();
+    }
 };
 
 /** FCFS waiting-queue and admission policy. */
@@ -151,8 +161,14 @@ class Scheduler
     /**
      * Pick the prompts for the next prefill iteration: FCFS order,
      * gated by @p can_admit (memory) and the token/seq budgets.
-     * Picked requests are removed from the queue.
+     * Picked requests are removed from the queue and appended to
+     * @p picked (cleared first; capacity is reused so the per
+     * iteration hot path allocates nothing in steady state).
      */
+    void pickPrefillBatch(int num_running, const CanAdmit &can_admit,
+                          std::vector<Request *> &picked);
+
+    /** Convenience overload returning a fresh vector. */
     std::vector<Request *>
     pickPrefillBatch(int num_running, const CanAdmit &can_admit);
 
@@ -166,9 +182,9 @@ class Scheduler
 
 /**
  * Composes the next IterationPlan from the waiting queue and the
- * running set. Owns no state beyond the config: all queue mutation
- * happens through the Scheduler it is given, so the engine's view of
- * the queue stays authoritative.
+ * running set. Owns no policy state beyond the config (only reusable
+ * scratch storage): all queue mutation happens through the Scheduler
+ * it is given, so the engine's view of the queue stays authoritative.
  */
 class BatchComposer
 {
@@ -176,29 +192,41 @@ class BatchComposer
     explicit BatchComposer(Scheduler::Config config);
 
     /**
-     * Build the next iteration's plan. @p running is the engine's
-     * running set in admission order (possibly mid-prefill requests
-     * included); @p can_admit gates new admissions on memory. Picked
-     * waiting requests are popped from @p scheduler. An empty plan
-     * means nothing can run (idle, or head-of-line blocked).
+     * Build the next iteration's plan into @p plan (cleared first;
+     * its vectors keep their capacity, so steady-state composition is
+     * allocation-free). @p running is the engine's running set in
+     * admission order (possibly mid-prefill requests included);
+     * @p can_admit gates new admissions on memory. Picked waiting
+     * requests are popped from @p scheduler. An empty plan means
+     * nothing can run (idle, or head-of-line blocked).
      */
+    void
+    composeInto(IterationPlan &plan, Scheduler &scheduler,
+                const std::vector<Request *> &running,
+                const Scheduler::CanAdmit &can_admit);
+
+    /** Convenience overload returning a fresh plan (tests). */
     IterationPlan
     compose(Scheduler &scheduler, const std::vector<Request *> &running,
-            const Scheduler::CanAdmit &can_admit) const;
+            const Scheduler::CanAdmit &can_admit);
 
     const Scheduler::Config &config() const { return config_; }
 
   private:
-    IterationPlan
+    void
     composePrefillPrioritized(
-        Scheduler &scheduler, const std::vector<Request *> &running,
-        const Scheduler::CanAdmit &can_admit) const;
-    IterationPlan
+        IterationPlan &plan, Scheduler &scheduler,
+        const std::vector<Request *> &running,
+        const Scheduler::CanAdmit &can_admit);
+    void
     composeStallFreeChunked(
-        Scheduler &scheduler, const std::vector<Request *> &running,
+        IterationPlan &plan, Scheduler &scheduler,
+        const std::vector<Request *> &running,
         const Scheduler::CanAdmit &can_admit) const;
 
     Scheduler::Config config_;
+    /** pickPrefillBatch output, reused across iterations. */
+    std::vector<Request *> pick_scratch_;
 };
 
 } // namespace vattn::serving

@@ -20,8 +20,9 @@ VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
     // The device needs room for the KV budget; weights/activations are
     // modelled by the budget split in the engine, not materialized.
     dev_config.mem_bytes = roundUp(budget_bytes + 64 * MiB, 2 * MiB);
+    // alloc-ok: backend construction, once per engine
     device_ = std::make_unique<gpu::GpuDevice>(dev_config);
-    driver_ = std::make_unique<cuvmm::Driver>(*device_);
+    driver_ = std::make_unique<cuvmm::Driver>(*device_); // alloc-ok
 
     core::Config config;
     config.num_layers = model.num_layers;
@@ -58,6 +59,7 @@ VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
     }
     config.validate().expectOk("vAttention backend config");
 
+    // alloc-ok: backend construction, once per engine
     runtime_ = std::make_unique<core::VAttention>(*driver_, config);
     seq_lens_.assign(static_cast<std::size_t>(options.max_batch_size),
                      0);

@@ -228,4 +228,32 @@ assignOfflineArrivals(std::vector<Request> &trace)
     }
 }
 
+void
+assignDiurnalArrivals(std::vector<Request> &trace, double mean_qps,
+                      double period_s, double depth, u64 seed)
+{
+    fatal_if(mean_qps <= 0, "mean_qps must be positive");
+    fatal_if(period_s <= 0, "period_s must be positive");
+    fatal_if(depth < 0 || depth >= 1, "depth must be in [0, 1)");
+    Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 0x5aULL);
+    // Thinning: draw candidates from a homogeneous process at the
+    // peak rate, keep each with probability rate(t) / peak.
+    const double peak_qps = mean_qps * (1.0 + depth);
+    const double two_pi = 8.0 * std::atan(1.0);
+    double t_s = 0;
+    for (Request &r : trace) {
+        while (true) {
+            t_s += rng.exponential(peak_qps);
+            const double rate =
+                mean_qps *
+                (1.0 + depth * std::sin(two_pi * t_s / period_s));
+            if (rng.uniform() * peak_qps <= rate) {
+                break;
+            }
+        }
+        r.arrival_ns = static_cast<TimeNs>(t_s * 1e9);
+        r.state = Request::State::kPending;
+    }
+}
+
 } // namespace vattn::serving

@@ -93,6 +93,19 @@ void assignPoissonArrivals(std::vector<Request> &trace, double qps,
 /** Mark every request as arriving at t=0 (offline scenario). */
 void assignOfflineArrivals(std::vector<Request> &trace);
 
+/**
+ * Assign bursty diurnal arrival times: a Poisson process whose rate
+ * swings sinusoidally between (1 - @p depth) and (1 + @p depth) times
+ * @p mean_qps over each @p period_s-second "day". Peak hours pack
+ * requests into bursts while the troughs leave long idle gaps — the
+ * workload shape where an event-driven simulation core pays off (the
+ * engines jump over the gaps instead of iterating through them).
+ * Thinning (Lewis & Shedler) keeps the process exact.
+ */
+void assignDiurnalArrivals(std::vector<Request> &trace, double mean_qps,
+                           double period_s, double depth = 0.9,
+                           u64 seed = 13);
+
 } // namespace vattn::serving
 
 #endif // VATTN_SERVING_WORKLOAD_HH

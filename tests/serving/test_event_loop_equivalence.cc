@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Execution-mode equivalence: the event-driven paths must reproduce
+ * the historical drivers bit for bit.
+ *
+ *  - ServingCluster under ClusterExecution::kEventLoop vs kThreads on
+ *    a Figure-10-style online trace: identical merged and per-replica
+ *    reports, down to the full latency sample vectors and the
+ *    timestamp-merged iteration records.
+ *  - Engine::beginRun/stepRun/endRun driven externally vs run() on a
+ *    sparse-arrival trace: identical RunReport, identical iteration
+ *    records, and the idle steps jump the clock instead of spinning.
+ *  - The k-way iteration merge is pinned against its specification,
+ *    a stable sort of the concatenated per-replica streams.
+ */
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serving/cluster.hh"
+#include "test_util.hh"
+
+namespace vattn::serving
+{
+namespace
+{
+
+EngineConfig
+replicaConfig(SchedulingMode mode = SchedulingMode::kStallFreeChunked)
+{
+    EngineConfig config;
+    config.model = perf::ModelSpec::yi6B();
+    config.gpu = perf::GpuSpec::a100();
+    config.backend = perf::BackendKind::kFa2VAttention;
+    config.kv_budget_override = 8 * GiB;
+    config.scheduler.max_num_seqs = 4;
+    config.scheduler.max_batched_tokens = 8192;
+    config.scheduler.mode = mode;
+    config.vattn.max_batch_size = 4;
+    config.record_iterations = true;
+    return config;
+}
+
+void
+expectSameIterations(const std::vector<IterationRecord> &a,
+                     const std::vector<IterationRecord> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].start_ns, b[i].start_ns) << "record " << i;
+        EXPECT_EQ(a[i].duration_ns, b[i].duration_ns) << "record " << i;
+        EXPECT_EQ(a[i].is_prefill, b[i].is_prefill) << "record " << i;
+        EXPECT_EQ(a[i].batch, b[i].batch) << "record " << i;
+        EXPECT_EQ(a[i].mem_critical_ns, b[i].mem_critical_ns)
+            << "record " << i;
+        EXPECT_EQ(a[i].groups_mapped, b[i].groups_mapped)
+            << "record " << i;
+        EXPECT_EQ(a[i].prefill_chunk_tokens, b[i].prefill_chunk_tokens)
+            << "record " << i;
+        EXPECT_EQ(a[i].num_prefill_chunks, b[i].num_prefill_chunks)
+            << "record " << i;
+        EXPECT_EQ(a[i].decode_batch, b[i].decode_batch)
+            << "record " << i;
+    }
+}
+
+/** Bit-for-bit RunReport equality: every counter, every raw latency
+ *  sample, every iteration record. */
+void
+expectSameReport(const RunReport &a, const RunReport &b)
+{
+    EXPECT_EQ(a.num_requests, b.num_requests);
+    EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+    EXPECT_EQ(a.busy_ns, b.busy_ns);
+    EXPECT_EQ(a.prompt_tokens, b.prompt_tokens);
+    EXPECT_EQ(a.decode_tokens, b.decode_tokens);
+    EXPECT_EQ(a.decode_iterations, b.decode_iterations);
+    EXPECT_EQ(a.prefill_iterations, b.prefill_iterations);
+    EXPECT_EQ(a.mixed_iterations, b.mixed_iterations);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.peak_batch, b.peak_batch);
+    EXPECT_EQ(a.swap_outs, b.swap_outs);
+    EXPECT_EQ(a.swap_ins, b.swap_ins);
+    EXPECT_EQ(a.swap_out_bytes, b.swap_out_bytes);
+    EXPECT_EQ(a.swap_in_bytes, b.swap_in_bytes);
+    EXPECT_EQ(a.swap_stall_ns, b.swap_stall_ns);
+    EXPECT_EQ(a.dropped_requests, b.dropped_requests);
+    EXPECT_EQ(a.prefix_lookups, b.prefix_lookups);
+    EXPECT_EQ(a.prefix_hits, b.prefix_hits);
+    EXPECT_EQ(a.prefill_tokens_saved, b.prefill_tokens_saved);
+    EXPECT_EQ(a.prefix_aliased_bytes, b.prefix_aliased_bytes);
+    EXPECT_EQ(a.prefix_copied_bytes, b.prefix_copied_bytes);
+    EXPECT_EQ(a.latency_s.sorted(), b.latency_s.sorted());
+    EXPECT_EQ(a.ttft_s.sorted(), b.ttft_s.sorted());
+    EXPECT_EQ(a.tbt_s.sorted(), b.tbt_s.sorted());
+    EXPECT_EQ(a.normalized_latency_s.sorted(),
+              b.normalized_latency_s.sorted());
+    expectSameIterations(a.iterations, b.iterations);
+}
+
+/** Figure-10-shaped online load scaled to test size: long-context
+ *  summarization requests at a near-capacity Poisson rate. */
+std::vector<Request>
+onlineTrace(int n)
+{
+    auto trace = arxivOnlineTrace(n, /*seed=*/2);
+    assignPoissonArrivals(trace, /*qps=*/0.5, /*seed=*/2024);
+    return trace;
+}
+
+ClusterReport
+runCluster(ClusterExecution execution, const std::vector<Request> &trace)
+{
+    auto config = ServingCluster::uniform(
+        replicaConfig(), 3, RoutingPolicy::kJoinShortestQueue);
+    config.execution = execution;
+    ServingCluster cluster(std::move(config));
+    EXPECT_EQ(cluster.resolvedExecution(), execution);
+    return cluster.run(trace);
+}
+
+TEST(EventLoopEquivalence, ClusterEventLoopMatchesThreadsBitForBit)
+{
+    const auto trace = onlineTrace(18);
+    const auto threads = runCluster(ClusterExecution::kThreads, trace);
+    const auto events = runCluster(ClusterExecution::kEventLoop, trace);
+
+    ASSERT_EQ(threads.replicas.size(), events.replicas.size());
+    for (std::size_t r = 0; r < threads.replicas.size(); ++r) {
+        expectSameReport(threads.replicas[r], events.replicas[r]);
+    }
+    expectSameReport(threads.merged, events.merged);
+    EXPECT_EQ(threads.assigned, events.assigned);
+    EXPECT_DOUBLE_EQ(threads.request_imbalance, events.request_imbalance);
+    EXPECT_DOUBLE_EQ(threads.token_imbalance, events.token_imbalance);
+    EXPECT_DOUBLE_EQ(threads.busy_imbalance, events.busy_imbalance);
+    EXPECT_DOUBLE_EQ(threads.jain_fairness, events.jain_fairness);
+}
+
+TEST(EventLoopEquivalence, ClusterEquivalenceUnderPrefillPrioritized)
+{
+    // The other composer policy exercises monolithic prefill
+    // iterations and different preemption timing.
+    auto trace = onlineTrace(12);
+    ClusterReport reports[2];
+    const ClusterExecution modes[] = {ClusterExecution::kThreads,
+                                      ClusterExecution::kEventLoop};
+    for (int i = 0; i < 2; ++i) {
+        auto config = ServingCluster::uniform(
+            replicaConfig(SchedulingMode::kPrefillPrioritized), 2,
+            RoutingPolicy::kRoundRobin);
+        config.execution = modes[i];
+        ServingCluster cluster(std::move(config));
+        reports[i] = cluster.run(trace);
+    }
+    expectSameReport(reports[0].merged, reports[1].merged);
+}
+
+TEST(EventLoopEquivalence, AutoResolvesByCoreCount)
+{
+    const unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    auto config = ServingCluster::uniform(
+        replicaConfig(), 2, RoutingPolicy::kRoundRobin);
+    ServingCluster small(std::move(config));
+    EXPECT_EQ(small.resolvedExecution(),
+              2 > cores ? ClusterExecution::kEventLoop
+                        : ClusterExecution::kThreads);
+
+    // More replicas than any host has cores: must pick the event loop
+    // (this is the regime the coordinator exists for).
+    auto big_config = ServingCluster::uniform(
+        replicaConfig(), static_cast<int>(cores) + 1,
+        RoutingPolicy::kRoundRobin);
+    ServingCluster big(std::move(big_config));
+    EXPECT_EQ(big.resolvedExecution(), ClusterExecution::kEventLoop);
+
+    EXPECT_STREQ(toString(ClusterExecution::kAuto), "auto");
+    EXPECT_STREQ(toString(ClusterExecution::kThreads), "threads");
+    EXPECT_STREQ(toString(ClusterExecution::kEventLoop), "event_loop");
+}
+
+TEST(EventLoopEquivalence, MergedIterationsMatchStableSortSpec)
+{
+    // Pin the k-way merge against its specification: a stable sort of
+    // the concatenated per-replica streams by start time, replicas in
+    // index order. Any tie-break change shows up here.
+    const auto report =
+        runCluster(ClusterExecution::kEventLoop, onlineTrace(18));
+    std::vector<std::pair<std::size_t, const IterationRecord *>> spec;
+    for (std::size_t r = 0; r < report.replicas.size(); ++r) {
+        for (const auto &record : report.replicas[r].iterations) {
+            spec.emplace_back(r, &record);
+        }
+    }
+    std::stable_sort(spec.begin(), spec.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second->start_ns < b.second->start_ns;
+                     });
+    ASSERT_EQ(report.merged.iterations.size(), spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        EXPECT_EQ(report.merged.iterations[i].start_ns,
+                  spec[i].second->start_ns);
+        EXPECT_EQ(report.merged.iterations[i].duration_ns,
+                  spec[i].second->duration_ns);
+        EXPECT_EQ(report.merged.iterations[i].batch,
+                  spec[i].second->batch);
+    }
+}
+
+// ---- Engine step API ------------------------------------------------
+
+/** Sparse arrivals: long idle gaps between chat requests, the trace
+ *  shape where the idle-skip path does all the work. */
+std::vector<Request>
+sparseTrace(int n)
+{
+    auto trace = openChatTrace(n, /*seed=*/3);
+    assignPoissonArrivals(trace, /*qps=*/0.05, /*seed=*/71);
+    return trace;
+}
+
+TEST(EventLoopEquivalence, StepApiMatchesRunOnSparseTrace)
+{
+    const auto trace = sparseTrace(16);
+
+    Engine whole(replicaConfig());
+    const RunReport via_run = whole.run(trace);
+
+    Engine stepped(replicaConfig());
+    EXPECT_EQ(stepped.nextEventNs(), sim::kNoEventNs); // no active run
+    stepped.beginRun(trace);
+    while (stepped.runActive()) {
+        // The engine's next event never precedes its clock, and while
+        // active it is always a real timestamp.
+        const TimeNs next = stepped.nextEventNs();
+        ASSERT_NE(next, sim::kNoEventNs);
+        ASSERT_GE(next, stepped.clock().now());
+        stepped.stepRun();
+    }
+    EXPECT_EQ(stepped.nextEventNs(), sim::kNoEventNs);
+    const RunReport via_steps = stepped.endRun();
+
+    expectSameReport(via_run, via_steps);
+    // Sparse load: most of the makespan is idle gaps the engine
+    // jumped over, not simulated busy time.
+    EXPECT_LT(via_steps.busy_ns, via_steps.makespan_ns / 2);
+}
+
+TEST(EventLoopEquivalence, IdleEngineJumpsToNextArrival)
+{
+    constexpr TimeNs kHourNs = 3'600'000'000'000ULL;
+    auto trace = sparseTrace(2);
+    trace[0].arrival_ns = 0;
+    trace[1].arrival_ns = kHourNs; // an hour of virtual time later
+    Engine engine(replicaConfig());
+    engine.beginRun(std::move(trace));
+
+    // Serve the first request to completion.
+    while (engine.runActive() &&
+           engine.nextEventNs() <= engine.clock().now()) {
+        engine.stepRun();
+    }
+    ASSERT_TRUE(engine.runActive());
+    // Idle: the next event is the second arrival, an hour of virtual
+    // time away. One step must jump the clock straight there.
+    EXPECT_EQ(engine.nextEventNs(), kHourNs);
+    engine.stepRun();
+    EXPECT_EQ(engine.clock().now(), kHourNs);
+
+    while (engine.runActive()) {
+        engine.stepRun();
+    }
+    const auto report = engine.endRun();
+    EXPECT_EQ(report.num_requests, 2);
+}
+
+TEST(EventLoopEquivalence, StepApiGuardsMisuse)
+{
+    test::ScopedThrowErrors guard;
+    Engine engine(replicaConfig());
+    EXPECT_THROW(engine.stepRun(), SimError); // no active run
+
+    engine.beginRun(sparseTrace(4));
+    EXPECT_THROW(engine.beginRun(sparseTrace(4)), SimError); // nested
+    EXPECT_THROW(engine.endRun(), SimError); // requests in flight
+    while (engine.runActive()) {
+        engine.stepRun();
+    }
+    EXPECT_EQ(engine.endRun().num_requests, 4);
+
+    // A drained engine reports no pending events and an empty begin/
+    // end cycle yields the zero report.
+    Engine fresh(replicaConfig());
+    fresh.beginRun({});
+    EXPECT_FALSE(fresh.runActive());
+    EXPECT_EQ(fresh.endRun().num_requests, 0);
+}
+
+} // namespace
+} // namespace vattn::serving

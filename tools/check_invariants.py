@@ -13,6 +13,15 @@ Machine-checks the conventions the simulator's correctness leans on:
                 SimClock and common/rng.hh only.
   3. memory   — no naked `new` in src/; ownership goes through
                 std::unique_ptr / std::make_unique or containers.
+  4. hot path — src/ never calls std::this_thread (sleep_for/yield
+                wait on the wall clock; the event-driven core jumps
+                virtual time instead), and heap allocation via
+                make_unique/make_shared in src/serving/ must carry an
+                `alloc-ok` annotation (same line or the line above)
+                naming why it is off the per-iteration path. The
+                allocation-regression tests enforce the steady state
+                at runtime; the annotation keeps new call sites
+                deliberate at review time.
 
 Usage: tools/check_invariants.py [--root DIR]
 Exits non-zero and prints file:line diagnostics on violations.
@@ -56,6 +65,16 @@ LIBC_RAND_RE = re.compile(r"(?:std::|\b)s?rand\s*\(")
 # before matching.
 NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:])")
 
+# Wall-clock waiting: sleep_for/sleep_until/yield spin the host
+# scheduler, which simulation code must never do (idle time is jumped
+# over on the virtual clock).
+THIS_THREAD_RE = re.compile(r"std::this_thread")
+
+# Heap allocation in the serving layer: fine at construction, a perf
+# bug inside the per-iteration hot path. Call sites declare which with
+# an `alloc-ok` comment.
+ALLOC_CALL_RE = re.compile(r"\bmake_(?:unique|shared)\s*<")
+
 BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 LINE_COMMENT_RE = re.compile(r"//[^\n]*")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -78,6 +97,8 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
     code = strip_comments_and_strings(raw)
     rel = path.relative_to(root)
     problems: list[str] = []
+    raw_lines = raw.splitlines()
+    in_serving = rel.parts[:2] == ("src", "serving")
 
     for lineno, line in enumerate(code.splitlines(), start=1):
         where = f"{rel}:{lineno}"
@@ -120,6 +141,25 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
                 f"{where}: naked `new` — own memory via"
                 " std::unique_ptr / std::make_unique or a container"
             )
+        if THIS_THREAD_RE.search(line):
+            problems.append(
+                f"{where}: std::this_thread in simulation code —"
+                " never wait on the wall clock; jump virtual time on"
+                " the event queue instead"
+            )
+        if in_serving and ALLOC_CALL_RE.search(line):
+            annotated = any(
+                "alloc-ok" in raw_lines[i]
+                for i in (lineno - 2, lineno - 1)
+                if 0 <= i < len(raw_lines)
+            )
+            if not annotated:
+                problems.append(
+                    f"{where}: heap allocation in src/serving/ without"
+                    " an `alloc-ok` annotation — hoist it off the"
+                    " per-iteration path or mark the call site"
+                    " `// alloc-ok: <why>`"
+                )
 
     return problems
 

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Diff machine-readable bench reports against a baseline run.
+
+Every bench binary writes a ``BENCH_<name>.json`` report (see
+bench/bench_util.hh JsonReport): a ``metrics`` object of scalar
+results. CI keeps the previous run's reports in an actions cache; this
+script compares the current directory of reports against that baseline
+and flags per-metric regressions, so a perf PR sees its trajectory in
+the job log instead of only in manually eyeballed tables.
+
+What is compared:
+
+  - numeric metrics only, matched by (bench, key);
+  - host-dependent keys are skipped: anything containing ``wall`` or
+    ``speedup`` measures the CI runner, not the simulator (benches
+    name their wall-clock metrics accordingly on purpose);
+  - direction comes from the key name: throughput-like keys must not
+    drop, latency-like keys must not grow; keys with no recognizable
+    direction are reported as drift but never fail the job;
+  - a report whose ``smoke`` flag differs from the baseline's is
+    skipped entirely (full and smoke runs are incomparable).
+
+Exit status: 1 when any directional metric regresses by more than
+``--threshold`` (relative), 0 otherwise. A missing baseline (first
+run, expired cache) is a clean pass — there is nothing to diff.
+
+Usage: tools/diff_bench_json.py --baseline DIR --current DIR
+                                [--threshold 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Substrings marking a metric as measured on the host, not in the
+# simulation. These never gate CI: runner hardware varies run to run.
+HOST_DEPENDENT = ("wall", "speedup")
+
+# Key-name direction heuristics. First match wins; checked on the
+# lower-cased key. "lower" = smaller is better (latencies, stalls),
+# "higher" = bigger is better (throughputs, hit rates).
+LOWER_IS_BETTER = (
+    "latency",
+    "_ms",
+    "_ns",
+    "_s",
+    "p50",
+    "p90",
+    "p99",
+    "median",
+    "stall",
+    "overhead",
+    "preemption",
+    "time",
+)
+HIGHER_IS_BETTER = (
+    "throughput",
+    "tokens_per",
+    "per_second",
+    "bandwidth",
+    "qps",
+    "hit_rate",
+    "requests",
+    "saved",
+)
+
+
+def direction(key: str) -> str:
+    lowered = key.lower()
+    for marker in HIGHER_IS_BETTER:
+        if marker in lowered:
+            return "higher"
+    for marker in LOWER_IS_BETTER:
+        if marker in lowered:
+            return "lower"
+    return "either"
+
+
+def load_reports(directory: pathlib.Path) -> dict[str, dict]:
+    """Map bench name -> parsed report for every BENCH_*.json."""
+    reports: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"diff_bench_json: skipping unreadable {path}: "
+                  f"{error}", file=sys.stderr)
+            continue
+        name = report.get("bench", path.stem.removeprefix("BENCH_"))
+        reports[name] = report
+    return reports
+
+
+def numeric_metrics(report: dict) -> dict[str, float]:
+    metrics = report.get("metrics", {})
+    out: dict[str, float] = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if any(marker in key.lower() for marker in HOST_DEPENDENT):
+            continue
+        out[key] = float(value)
+    return out
+
+
+def relative_change(baseline: float, current: float) -> float:
+    if baseline == 0:
+        return 0.0 if current == 0 else float("inf")
+    return (current - baseline) / abs(baseline)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="directory of the previous run's "
+                        "BENCH_*.json reports")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="directory of this run's reports")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative regression tolerance per metric "
+                        "(default 0.05 = 5%%)")
+    args = parser.parse_args()
+
+    if not args.current.is_dir():
+        print(f"diff_bench_json: no current report dir {args.current}",
+              file=sys.stderr)
+        return 2
+    if not args.baseline.is_dir():
+        print(f"diff_bench_json: no baseline at {args.baseline} "
+              "(first run or expired cache) — nothing to diff")
+        return 0
+
+    baseline_reports = load_reports(args.baseline)
+    current_reports = load_reports(args.current)
+    if not baseline_reports:
+        print("diff_bench_json: baseline directory holds no reports "
+              "— nothing to diff")
+        return 0
+
+    rows: list[tuple[str, str, float, float, float, str]] = []
+    regressions = 0
+    for bench, current in sorted(current_reports.items()):
+        baseline = baseline_reports.get(bench)
+        if baseline is None:
+            print(f"  [new bench] {bench}")
+            continue
+        if baseline.get("smoke") != current.get("smoke"):
+            print(f"  [skipped] {bench}: smoke flag differs between "
+                  "runs")
+            continue
+        base_metrics = numeric_metrics(baseline)
+        cur_metrics = numeric_metrics(current)
+        for key in sorted(cur_metrics):
+            if key not in base_metrics:
+                continue
+            before = base_metrics[key]
+            after = cur_metrics[key]
+            change = relative_change(before, after)
+            if abs(change) <= args.threshold:
+                continue
+            sense = direction(key)
+            regressed = (sense == "lower" and change > 0) or \
+                        (sense == "higher" and change < 0)
+            if regressed:
+                verdict = "REGRESSION"
+                regressions += 1
+            elif sense == "either":
+                verdict = "drift"
+            else:
+                verdict = "improved"
+            rows.append((bench, key, before, after, change, verdict))
+
+    if rows:
+        widths = (max(len(r[0]) for r in rows),
+                  max(len(r[1]) for r in rows))
+        header = (f"{'bench':<{widths[0]}}  {'metric':<{widths[1]}}  "
+                  f"{'baseline':>14}  {'current':>14}  {'change':>8}  "
+                  "verdict")
+        print(header)
+        print("-" * len(header))
+        for bench, key, before, after, change, verdict in rows:
+            print(f"{bench:<{widths[0]}}  {key:<{widths[1]}}  "
+                  f"{before:>14.6g}  {after:>14.6g}  "
+                  f"{change:>+7.1%}  {verdict}")
+    else:
+        print("diff_bench_json: no tracked metric moved beyond "
+              f"{args.threshold:.0%}")
+
+    if regressions:
+        print(f"diff_bench_json: {regressions} metric(s) regressed "
+              f"beyond {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
