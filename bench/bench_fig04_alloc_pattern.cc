@@ -42,12 +42,12 @@ main()
             }
             auto run = engine.decodeOnlyVaried(contexts, 300);
             peak_alloc =
-                std::max(peak_alloc, run.alloc_bytes_per_second / 1e6);
+                std::max(peak_alloc, run.alloc_bytes_per_s / 1e6);
             table.addRow({
                 Table::integer(batch),
                 Table::integer(run.effective_batch),
                 Table::num(run.tokens_per_second, 0),
-                Table::num(run.alloc_bytes_per_second / 1e6, 1),
+                Table::num(run.alloc_bytes_per_s / 1e6, 1),
             });
         }
         json.printTable("Figure 4: " + setupLabel(setup), table);

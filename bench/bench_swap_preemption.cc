@@ -60,7 +60,7 @@ pressuredConfig(perf::BackendKind kind,
     serving::EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = kind;
     // ~40K tokens of KV: prompts are admitted comfortably, but decode
     // growth pushes the admitted set far past the budget.

@@ -43,7 +43,11 @@ main()
 
     Table table({"model", "w/o slicing", "w/ slicing", "reduction"});
     for (const auto &base : evalSetups()) {
-        for (int tp : {1, 2}) {
+        for (int tp : {1, 2, 4, 8}) {
+            // GQA bound: a worker needs at least one whole KV head.
+            if (base.model.num_kv_heads % tp != 0) {
+                continue;
+            }
             const i64 plain = blockSize(base.model, tp, false);
             const i64 sliced = blockSize(base.model, tp, true);
             table.addRow({
@@ -54,6 +58,10 @@ main()
                                static_cast<double>(sliced),
                            0) + "x",
             });
+            const std::string key = base.model.name + "_tp" +
+                                    std::to_string(tp);
+            json.metric(key + "_block_tokens_plain", plain);
+            json.metric(key + "_block_tokens_sliced", sliced);
         }
     }
     json.printTable("Table 10 (paper: 2048->64, 4096->128, 1024->32, "

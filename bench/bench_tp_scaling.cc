@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Replicas x tensor-parallelism sweep on a fixed 8-GPU budget: the
+ * same Llama-3-8B fleet deployed as 8xTP-1, 4xTP-2, 2xTP-4 or 1xTP-8
+ * and offered the same total load. More TP per replica means fewer,
+ * larger engines: per-worker KV shrinks 1/TP (bigger effective batch
+ * per engine) while every layer pays two all-reduces on the NCCL-style
+ * cost model (nccl_spec.hh), so the interconnect share of busy time
+ * climbs with TP. The sweep runs both workload regimes (short-context
+ * online chat and 32K-128K long-context) on a vAttention and a paged
+ * back-end, reporting throughput, TTFT/TBT percentiles, comm share and
+ * preemptions per arm.
+ */
+
+#include "bench_util.hh"
+
+#include "common/logging.hh"
+#include "perf/nccl_spec.hh"
+#include "serving/cluster.hh"
+#include "serving/workload.hh"
+
+using namespace vattn;
+using namespace vattn::bench;
+
+namespace
+{
+
+constexpr int kTotalGpus = 8;
+
+/** One point of the sweep: tp * replicas == kTotalGpus always. */
+struct Arm
+{
+    int tp;
+    int replicas;
+};
+
+constexpr Arm kArms[] = {{1, 8}, {2, 4}, {4, 2}, {8, 1}};
+
+struct Workload
+{
+    const char *name; ///< table caption fragment
+    const char *key;  ///< JSON metric prefix
+    double total_qps; ///< offered load across the whole fleet
+    std::vector<serving::Request> (*make)(int n);
+    int full_n;
+    int smoke_n;
+};
+
+std::vector<serving::Request>
+makeChat(int n)
+{
+    return serving::openChatTrace(n);
+}
+
+std::vector<serving::Request>
+makeLongContext(int n)
+{
+    return serving::longContextTrace(n);
+}
+
+serving::EngineConfig
+armConfig(int tp, perf::BackendKind backend)
+{
+    auto config =
+        makeEngineConfig(Setup{perf::ModelSpec::llama3_8B(), tp},
+                         backend);
+    // The α–β link model (not the legacy flat constant): A100 fleets
+    // talk over NVLink gen-3, so tree wins the small decode
+    // all-reduces and ring the large prefill ones.
+    config.nccl = perf::NcclSpec::nvlinkGen3();
+    return config;
+}
+
+double
+commShare(const serving::RunReport &report)
+{
+    return report.busy_ns == 0
+               ? 0.0
+               : static_cast<double>(report.comm_ns) /
+                     static_cast<double>(report.busy_ns);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Replicas x TP sweep on a fixed 8-GPU budget",
+           "Llama-3-8B, A100 NVLink gen-3 collectives, same offered "
+           "load per arm; seconds unless noted");
+    JsonReport json("tp_scaling");
+
+    const Workload workloads[] = {
+        {"online chat", "chat", 8.0, makeChat, 384, 24},
+        {"long-context 32K-128K", "longctx", 0.25, makeLongContext, 48,
+         8},
+    };
+    const perf::BackendKind backends[] = {
+        perf::BackendKind::kFa2VAttention,
+        perf::BackendKind::kFa2Paged,
+    };
+
+    // Per-worker KV shard: exactly 1/TP of the whole-model footprint
+    // for every arm (the GQA heads divide evenly at 1/2/4/8).
+    const auto model = perf::ModelSpec::llama3_8B();
+    for (const Arm &arm : kArms) {
+        const u64 shard = model.kvBytesPerTokenPerWorker(arm.tp);
+        fatal_if(shard * static_cast<u64>(arm.tp) !=
+                     model.kvBytesPerToken(),
+                 "per-worker KV bytes must shrink proportionally to "
+                 "1/TP");
+        json.metric("kv_bytes_per_token_per_worker_tp" +
+                        std::to_string(arm.tp),
+                    static_cast<i64>(shard));
+    }
+
+    for (const Workload &workload : workloads) {
+        for (perf::BackendKind backend : backends) {
+            Table table({"fleet", "req/min", "decode tok/s", "TTFT p50",
+                         "TTFT p99", "TBT p50", "TBT p99", "comm share",
+                         "preempt"});
+            double prev_share = -1.0;
+            for (const Arm &arm : kArms) {
+                auto cluster_config = serving::ServingCluster::uniform(
+                    armConfig(arm.tp, backend), arm.replicas,
+                    serving::RoutingPolicy::kJoinShortestQueue);
+                serving::ServingCluster cluster(
+                    std::move(cluster_config));
+
+                auto trace = workload.make(
+                    smokeN(workload.full_n, workload.smoke_n));
+                serving::assignPoissonArrivals(trace,
+                                               workload.total_qps);
+                const auto report = cluster.run(std::move(trace));
+
+                const double share = commShare(report.merged);
+                table.addRow({
+                    std::to_string(arm.replicas) + " x TP-" +
+                        std::to_string(arm.tp),
+                    Table::num(report.merged.requestsPerMinute(), 1),
+                    Table::num(report.merged.decodeTokensPerSecond(),
+                               0),
+                    Table::num(report.merged.ttft_s.median(), 2),
+                    Table::num(report.merged.ttft_s.p99(), 2),
+                    Table::num(report.merged.tbt_s.median(), 3),
+                    Table::num(report.merged.tbt_s.p99(), 3),
+                    Table::num(100.0 * share, 1) + "%",
+                    Table::integer(
+                        static_cast<i64>(report.merged.preemptions)),
+                });
+
+                // The in-bench acceptance check: every step up in TP
+                // must spend a strictly larger fraction of busy time
+                // in all-reduces (TP-1 spends none).
+                fatal_if(share <= prev_share,
+                         "comm share must grow monotonically with TP");
+                prev_share = share;
+
+                const std::string key = std::string(workload.key) +
+                                        "_" + toString(backend) +
+                                        "_tp" + std::to_string(arm.tp);
+                json.metric(key + "_req_per_min",
+                            report.merged.requestsPerMinute());
+                json.metric(key + "_decode_tok_per_s",
+                            report.merged.decodeTokensPerSecond());
+                json.metric(key + "_ttft_p99_s",
+                            report.merged.ttft_s.p99());
+                json.metric(key + "_tbt_p99_s",
+                            report.merged.tbt_s.p99());
+                json.metric(key + "_comm_share", share);
+                json.metric(
+                    key + "_preemptions",
+                    static_cast<i64>(report.merged.preemptions));
+            }
+            json.printTable(std::string(workload.name) + ", " +
+                                toString(backend) + " (" +
+                                std::to_string(kTotalGpus) +
+                                " GPUs total)",
+                            table);
+        }
+    }
+
+    // The overlap knob: hiding all-reduces behind compute on the
+    // biggest-TP arm shows how much of the comm share is hideable.
+    {
+        auto config =
+            armConfig(8, perf::BackendKind::kFa2VAttention);
+        config.overlap_comm = true;
+        serving::ServingCluster cluster(serving::ServingCluster::uniform(
+            config, 1, serving::RoutingPolicy::kJoinShortestQueue));
+        auto trace = makeChat(smokeN(384, 24));
+        serving::assignPoissonArrivals(trace, 8.0);
+        const auto report = cluster.run(std::move(trace));
+        const double share = commShare(report.merged);
+        std::printf("\nwith overlap_comm at 1 x TP-8 (chat): comm "
+                    "share %.1f%% (only the non-hideable excess over "
+                    "compute remains on the critical path)\n",
+                    100.0 * share);
+        json.metric("chat_FA2_vAttention_tp8_overlap_comm_share",
+                    share);
+    }
+    return 0;
+}

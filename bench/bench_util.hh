@@ -73,7 +73,7 @@ makeEngineConfig(const Setup &setup, perf::BackendKind backend,
     serving::EngineConfig config;
     config.model = setup.model;
     config.gpu = gpu;
-    config.tp = setup.tp;
+    config.tp_degree = setup.tp;
     config.backend = backend;
     config.scheduler.max_num_seqs = 256;
     config.scheduler.max_batched_tokens = 192 * 1024;

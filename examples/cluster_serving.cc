@@ -31,7 +31,7 @@ main(int argc, char **argv)
     serving::EngineConfig engine;
     engine.model = perf::ModelSpec::yi6B();
     engine.gpu = perf::GpuSpec::a100();
-    engine.tp = 1;
+    engine.tp_degree = 1;
     engine.backend = perf::BackendKind::kFa2VAttention;
     engine.scheduler.max_num_seqs = 256;
     engine.scheduler.max_batched_tokens = 8192;

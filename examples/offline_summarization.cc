@@ -40,7 +40,7 @@ main(int argc, char **argv)
         serving::EngineConfig config;
         config.model = perf::ModelSpec::llama3_8B();
         config.gpu = perf::GpuSpec::a100();
-        config.tp = 2;
+        config.tp_degree = 2;
         config.backend = kind;
         config.scheduler.max_num_seqs = 128;
         config.scheduler.max_batched_tokens = 128 * 1024;

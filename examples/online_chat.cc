@@ -72,7 +72,7 @@ runPrefixCacheStudy(double qps)
         serving::EngineConfig config;
         config.model = perf::ModelSpec::yi6B();
         config.gpu = perf::GpuSpec::a100();
-        config.tp = 1;
+        config.tp_degree = 1;
         config.backend = kind;
         config.scheduler.max_num_seqs = 256;
         config.scheduler.max_batched_tokens = 8192;
@@ -149,7 +149,7 @@ main(int argc, char **argv)
         serving::EngineConfig config;
         config.model = perf::ModelSpec::yi6B();
         config.gpu = perf::GpuSpec::a100();
-        config.tp = 1;
+        config.tp_degree = 1;
         config.backend = kind;
         config.scheduler.max_num_seqs = 256;
         config.scheduler.max_batched_tokens = 8192;
@@ -178,7 +178,7 @@ main(int argc, char **argv)
     for (PageGroup group : kAllPageGroups) {
         serving::EngineConfig config;
         config.model = perf::ModelSpec::yi6B();
-        config.tp = 1;
+        config.tp_degree = 1;
         config.backend = perf::BackendKind::kFa2VAttention;
         config.vattn.page_group = group;
         config.scheduler.max_batched_tokens = 8192;

@@ -41,13 +41,46 @@ class WorkerGroup
 
     int numWorkers() const { return static_cast<int>(workers_.size()); }
     VAttention &worker(int index);
+    const VAttention &worker(int index) const;
     cuvmm::Driver &driver(int index);
 
     /** Lease the same reqId on every worker. */
     Result<int> allocReqId();
 
+    /**
+     * Lease the same reqId on every worker, adopting cached prefix
+     * page-groups: each worker aliases its own shard of the cached
+     * prefix, so the workers must agree on the slot AND on how many
+     * tokens the cache served.
+     */
+    Result<int> allocReqIdWithPrefix(const PrefixQuery &query,
+                                     i64 max_cached,
+                                     i64 *cached_tokens);
+
+    /** Register the slot's computed prefix on every worker. */
+    void registerPrefix(int req_id, const PrefixQuery &query,
+                        i64 tokens);
+
     /** Free the reqId on every worker. */
     Status freeReqId(int req_id);
+
+    // ---- Symmetric queries (answered by worker 0) ---------------------
+    // Lockstep makes every worker's answer identical by construction;
+    // auditInto verifies that construction, so reads stay O(1) in TP.
+
+    bool canAllocate(i64 prompt_tokens) const;
+    PrefixHit matchPrefix(const PrefixQuery &query) const;
+    TimeNs lastPrefixAllocNs() const;
+    bool canSwapOut(int req_id) const;
+    bool canSwapIn(int req_id) const;
+    u64 hostSwapBudgetBytes() const;
+    const KvGeometry &geometry() const;
+    const RuntimeStats &stats() const;
+    /** Physical KV bytes mapped on ONE worker (each worker holds a
+     *  1/tp shard; see physBytesMappedTotal for the group sum). */
+    u64 physBytesMappedPerWorker() const;
+    u64 budgetBytesPerWorker() const;
+    i64 mappedHandles(int req_id) const;
 
     /**
      * Step every worker with the same lengths. The returned stats are
@@ -80,6 +113,16 @@ class WorkerGroup
     bool inLockstep() const;
 
     bool checkInvariants() const;
+
+    /**
+     * Whole-stack audit of every worker (driver + pool + allocator +
+     * runtime) plus the cross-worker state-equality check: lockstep
+     * workers fed identical control inputs must hold identical slot
+     * states, group counts and pool levels — a divergence is reported
+     * with the worker index and the quantity that drifted, not
+     * panicked, so audit builds localize the corruption.
+     */
+    void auditInto(audit::AuditReport &report) const;
 
   private:
     struct Worker

@@ -57,10 +57,18 @@ constexpr double kLinearEff = 0.65;
 
 } // namespace
 
-KernelModel::KernelModel(GpuSpec gpu, ModelSpec model, int tp)
-    : gpu_(std::move(gpu)), model_(std::move(model)), tp_(tp)
+KernelModel::KernelModel(GpuSpec gpu, ModelSpec model, int tp,
+                         NcclSpec nccl)
+    : gpu_(std::move(gpu)), model_(std::move(model)), tp_(tp),
+      nccl_(std::move(nccl))
 {
     fatal_if(tp_ <= 0, "tensor parallel degree must be positive");
+    if (!nccl_.enabled()) {
+        // Unset spec: the historical hardcoded constants, derived from
+        // this GPU's NVLink bandwidth (keeps default-config goldens
+        // byte-identical).
+        nccl_ = NcclSpec::legacy(gpu_.nvlink_bytes_per_s);
+    }
 }
 
 bool
@@ -345,13 +353,16 @@ KernelModel::commTime(i64 tokens) const
     if (tp_ <= 1 || tokens <= 0) {
         return 0;
     }
-    // Two all-reduces per layer (attention out + MLP out); ring
-    // all-reduce moves ~2x the payload per step pair.
-    const double bytes_per_allreduce =
-        static_cast<double>(tokens) * model_.hidden_size *
-        model_.bytes_per_elem * 2.0 * (tp_ - 1) / tp_;
+    // Two all-reduces per layer (attention out + MLP out) over the
+    // iteration's activation tensor. The spec prices one collective in
+    // seconds; the single nanosecond cast happens here, exactly where
+    // the historical formula cast it, so the legacy default spec is
+    // bit-identical to the old hardcoded arithmetic.
+    const double payload_bytes = static_cast<double>(tokens) *
+                                 model_.hidden_size *
+                                 model_.bytes_per_elem;
     const double per_allreduce_s =
-        5e-6 + bytes_per_allreduce / gpu_.nvlink_bytes_per_s;
+        nccl_.allReduceSeconds(payload_bytes, tp_);
     return static_cast<TimeNs>(per_allreduce_s * 2.0 *
                                model_.num_layers * 1e9);
 }

@@ -18,6 +18,7 @@
 #include "perf/backend_kind.hh"
 #include "perf/gpu_spec.hh"
 #include "perf/model_spec.hh"
+#include "perf/nccl_spec.hh"
 
 namespace vattn::perf
 {
@@ -26,11 +27,19 @@ namespace vattn::perf
 class KernelModel
 {
   public:
-    KernelModel(GpuSpec gpu, ModelSpec model, int tp);
+    /**
+     * @param nccl collective cost model pricing the TP all-reduces; an
+     *        unset spec (the default) resolves to NcclSpec::legacy over
+     *        the GPU's NVLink bandwidth — bit-for-bit the historical
+     *        hardcoded commTime constants.
+     */
+    KernelModel(GpuSpec gpu, ModelSpec model, int tp,
+                NcclSpec nccl = {});
 
     const GpuSpec &gpu() const { return gpu_; }
     const ModelSpec &model() const { return model_; }
     int tp() const { return tp_; }
+    const NcclSpec &nccl() const { return nccl_; }
 
     // ---- Attention ---------------------------------------------------
 
@@ -127,6 +136,7 @@ class KernelModel
     GpuSpec gpu_;
     ModelSpec model_;
     int tp_;
+    NcclSpec nccl_;
 };
 
 } // namespace vattn::perf

@@ -181,7 +181,11 @@ ModelSpec::kvBytesPerToken() const
 u64
 ModelSpec::kvBytesPerTokenPerWorker(int tp) const
 {
-    return kvBytesPerToken() / static_cast<u64>(tp);
+    // Via the head count, not kvBytesPerToken()/tp: a non-divisible
+    // TP degree must fail loudly, never round.
+    return 2ULL * static_cast<u64>(num_layers) *
+           static_cast<u64>(kvHeadsPerWorker(tp)) *
+           static_cast<u64>(head_dim) * static_cast<u64>(bytes_per_elem);
 }
 
 } // namespace vattn::perf

@@ -1,0 +1,152 @@
+#include "perf/nccl_spec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vattn::perf
+{
+
+namespace
+{
+
+/** ceil(log2(n)) for n >= 2: tree depth of an n-rank group. */
+int
+log2Ceil(int n)
+{
+    int depth = 0;
+    int reach = 1;
+    while (reach < n) {
+        reach *= 2;
+        ++depth;
+    }
+    return depth;
+}
+
+} // namespace
+
+double
+NcclSpec::allReduceSeconds(double payload_bytes, int ranks) const
+{
+    if (ranks <= 1 || payload_bytes <= 0) {
+        return 0;
+    }
+    fatal_if(ring_bytes_per_s <= 0 && tree_bytes_per_s <= 0,
+             "NcclSpec ", name, " enables no algorithm");
+    double best = -1;
+    if (ring_bytes_per_s > 0) {
+        // 2(n-1) steps, each moving B/n over every link concurrently.
+        // The bandwidth term is written in the exact floating-point
+        // operation order of the historical commTime formula so the
+        // legacy() preset (hop latency 0) reproduces it bit for bit.
+        const double ring =
+            base_latency_s +
+            2.0 * (ranks - 1) * hop_latency_s +
+            payload_bytes * 2.0 * (ranks - 1) / ranks /
+                ring_bytes_per_s;
+        best = ring;
+    }
+    if (tree_bytes_per_s > 0) {
+        // Reduce up + broadcast down a binary tree: the full payload
+        // crosses a link twice, but only 2*ceil(lg n) hop latencies
+        // are serialized — the small-message winner.
+        const double tree =
+            base_latency_s +
+            2.0 * log2Ceil(ranks) * hop_latency_s +
+            payload_bytes * 2.0 / tree_bytes_per_s;
+        best = best < 0 ? tree : std::min(best, tree);
+    }
+    return best;
+}
+
+double
+NcclSpec::allGatherSeconds(double payload_bytes, int ranks) const
+{
+    if (ranks <= 1 || payload_bytes <= 0) {
+        return 0;
+    }
+    fatal_if(ring_bytes_per_s <= 0 && tree_bytes_per_s <= 0,
+             "NcclSpec ", name, " enables no algorithm");
+    double best = -1;
+    if (ring_bytes_per_s > 0) {
+        // (n-1) steps, each forwarding one B/n shard per link.
+        const double ring =
+            base_latency_s +
+            (ranks - 1) * hop_latency_s +
+            payload_bytes * (ranks - 1) / ranks / ring_bytes_per_s;
+        best = ring;
+    }
+    if (tree_bytes_per_s > 0) {
+        // Pipelined broadcast of every shard down ceil(lg n) hops.
+        const double tree =
+            base_latency_s +
+            log2Ceil(ranks) * hop_latency_s +
+            payload_bytes / tree_bytes_per_s;
+        best = best < 0 ? tree : std::min(best, tree);
+    }
+    return best;
+}
+
+TimeNs
+NcclSpec::allReduceNs(u64 bytes, int ranks) const
+{
+    return static_cast<TimeNs>(
+        allReduceSeconds(static_cast<double>(bytes), ranks) * 1e9);
+}
+
+TimeNs
+NcclSpec::allGatherNs(u64 bytes, int ranks) const
+{
+    return static_cast<TimeNs>(
+        allGatherSeconds(static_cast<double>(bytes), ranks) * 1e9);
+}
+
+NcclSpec
+NcclSpec::legacy(double link_bytes_per_s)
+{
+    NcclSpec spec;
+    spec.name = "legacy-flat";
+    spec.ring_bytes_per_s = link_bytes_per_s;
+    spec.tree_bytes_per_s = 0; // ring-only: the historical formula
+    spec.base_latency_s = 5e-6;
+    spec.hop_latency_s = 0;
+    return spec;
+}
+
+NcclSpec
+NcclSpec::nvlinkGen3()
+{
+    NcclSpec spec;
+    spec.name = "nvlink-gen3";
+    spec.ring_bytes_per_s = 300e9; // A100 NVLink3 per direction
+    spec.tree_bytes_per_s = 240e9; // tree sustains ~80% of the bus
+    spec.base_latency_s = 3.6e-6;
+    spec.hop_latency_s = 0.6e-6;
+    return spec;
+}
+
+NcclSpec
+NcclSpec::nvlinkGen4()
+{
+    NcclSpec spec;
+    spec.name = "nvlink-gen4";
+    spec.ring_bytes_per_s = 450e9; // H100 NVLink4 per direction
+    spec.tree_bytes_per_s = 360e9;
+    spec.base_latency_s = 3.2e-6;
+    spec.hop_latency_s = 0.5e-6;
+    return spec;
+}
+
+NcclSpec
+NcclSpec::pcieFallback()
+{
+    NcclSpec spec;
+    spec.name = "pcie-fallback";
+    spec.ring_bytes_per_s = 24e9; // gen4 x16 effective
+    spec.tree_bytes_per_s = 20e9;
+    spec.base_latency_s = 8e-6;
+    spec.hop_latency_s = 1.5e-6;
+    return spec;
+}
+
+} // namespace vattn::perf

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * NCCL-style collective-communication cost model for the tensor-
+ * parallel all-reduce/all-gather traffic between TP workers: a
+ * latency–bandwidth (α–β) model with ring and tree algorithms over a
+ * named link generation, sitting next to perf/pcie_spec.hh in the
+ * interconnect layer.
+ *
+ * Per collective the model charges a fixed launch/rendezvous latency
+ * (α, `base_latency_s`), a per-hop link-traversal latency for each
+ * algorithm step (`hop_latency_s`), and a bandwidth term (β) from the
+ * bytes each algorithm actually moves over the busiest link:
+ *
+ *   ring all-reduce : 2(n-1) steps of B/n  -> 2(n-1)/n * B / bw
+ *   tree all-reduce : reduce + broadcast   -> 2 * B / bw, 2*ceil(lg n) hops
+ *   ring all-gather : (n-1) steps of B/n   -> (n-1)/n * B / bw
+ *   tree all-gather : pipelined broadcast  -> B / bw, ceil(lg n) hops
+ *
+ * Algorithm selection is message-size dependent, as in NCCL's tuner:
+ * each collective takes the cheaper of the enabled algorithms, so
+ * small messages ride the tree (few hops dominate) and large messages
+ * ride the ring (best bus bandwidth). Disable an algorithm by setting
+ * its bandwidth to 0.
+ *
+ * The `legacy()` preset reproduces the historical hardcoded constants
+ * of `KernelModel::commTime` bit for bit (5µs launch + flat-link ring
+ * with no per-hop latency), which is what keeps the fig09/fig10
+ * golden outputs byte-identical on default configurations.
+ */
+
+#ifndef VATTN_PERF_NCCL_SPEC_HH
+#define VATTN_PERF_NCCL_SPEC_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace vattn::perf
+{
+
+/** α–β collective cost model of one TP group's interconnect. */
+struct NcclSpec
+{
+    std::string name;
+    /** Per-direction link bandwidth of the ring algorithm (0 disables
+     *  the ring). */
+    double ring_bytes_per_s = 0;
+    /** Effective link bandwidth of the tree algorithm (0 disables the
+     *  tree; NCCL's tree sustains less than the ring's bus rate). */
+    double tree_bytes_per_s = 0;
+    /** α: fixed launch/rendezvous latency charged once per
+     *  collective. */
+    double base_latency_s = 0;
+    /** Per-hop link-traversal latency charged per algorithm step. */
+    double hop_latency_s = 0;
+
+    /** An empty name means "unset": consumers substitute the legacy
+     *  default derived from the GPU's NVLink bandwidth. */
+    bool enabled() const { return !name.empty(); }
+
+    /**
+     * All-reduce of a @p payload_bytes tensor across @p ranks workers,
+     * in seconds: the cheaper of the enabled algorithms (0 when the
+     * group is trivial). Double-precision seconds so callers control
+     * where the single nanosecond cast happens (KernelModel::commTime
+     * must cast exactly where the legacy code did).
+     */
+    double allReduceSeconds(double payload_bytes, int ranks) const;
+
+    /** All-gather producing @p payload_bytes gathered output across
+     *  @p ranks workers, in seconds. */
+    double allGatherSeconds(double payload_bytes, int ranks) const;
+
+    /** Nanosecond conveniences over the seconds forms. */
+    TimeNs allReduceNs(u64 bytes, int ranks) const;
+    TimeNs allGatherNs(u64 bytes, int ranks) const;
+
+    // ---- Presets ------------------------------------------------------
+
+    /**
+     * The historical hardcoded model: 5µs launch plus a flat ring over
+     * @p link_bytes_per_s with no per-hop latency. Bit-for-bit the old
+     * `KernelModel::commTime` arithmetic — the default when a config
+     * leaves its spec unset.
+     */
+    static NcclSpec legacy(double link_bytes_per_s);
+    /** NVLink gen3 (A100 platform: 300 GB/s per direction). */
+    static NcclSpec nvlinkGen3();
+    /** NVLink gen4 (H100 platform: 450 GB/s per direction). */
+    static NcclSpec nvlinkGen4();
+    /** PCIe-switched fallback for boxes without NVLink. */
+    static NcclSpec pcieFallback();
+};
+
+} // namespace vattn::perf
+
+#endif // VATTN_PERF_NCCL_SPEC_HH

@@ -103,7 +103,7 @@ ServingCluster::estimateFor(const Request &request, int replica) const
                 kernel.decodeAttention(config.backend, mid_ctx) +
                 kernel.commTime(1));
     const u64 kv_bytes =
-        config.model.kvBytesPerTokenPerWorker(config.tp) *
+        config.model.kvBytesPerTokenPerWorker(config.tp_degree) *
         static_cast<u64>(request.totalLen());
     return Router::Estimate{service, kv_bytes};
 }
@@ -304,6 +304,7 @@ ServingCluster::run(std::vector<Request> trace)
         merged.makespan_ns =
             std::max(merged.makespan_ns, replica.makespan_ns);
         merged.busy_ns += replica.busy_ns;
+        merged.comm_ns += replica.comm_ns;
         for (double x : replica.latency_s.sorted()) {
             merged.latency_s.add(x);
         }

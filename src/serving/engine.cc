@@ -56,17 +56,18 @@ EngineConfig::kvBudgetPerWorker() const
     const double usable =
         gpu_mem_util * static_cast<double>(gpu.mem_bytes);
     const double weights =
-        static_cast<double>(model.weightBytesPerWorker(tp));
+        static_cast<double>(model.weightBytesPerWorker(tp_degree));
     const double budget = usable - weights -
                           static_cast<double>(activation_reserve_bytes);
     fatal_if(budget <= 0, "model ", model.name,
-             " does not fit on ", tp, "x ", gpu.name);
+             " does not fit on ", tp_degree, "x ", gpu.name);
     return static_cast<u64>(budget);
 }
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)),
-      kernel_(config_.gpu, config_.model, config_.tp),
+      kernel_(config_.gpu, config_.model, config_.tp_degree,
+              config_.nccl),
       overhead_(),
       scheduler_(config_.scheduler),
       composer_(config_.scheduler),
@@ -82,7 +83,7 @@ Engine::Engine(EngineConfig config)
     if (perf::isPaged(config_.backend)) {
         // alloc-ok: engine construction, once per replica
         backend_ = std::make_unique<PagedBackend>(
-            config_.model, config_.tp, block_size_, budget,
+            config_.model, config_.tp_degree, block_size_, budget,
             config_.enable_prefix_caching, host_bytes, config_.pcie);
     } else {
         auto options = config_.vattn;
@@ -94,10 +95,9 @@ Engine::Engine(EngineConfig config)
             std::max(options.host_swap_bytes, host_bytes);
         // alloc-ok: engine construction, once per replica
         auto backend = std::make_unique<VAttentionBackend>(
-            config_.model, config_.tp, budget, options);
+            config_.model, config_.tp_degree, budget, options);
         vattn_backend_ = backend.get();
-        vattn_backend_->driver().latency().setCopyModel(
-            config_.pcie.toCopyModel());
+        vattn_backend_->setCopyModel(config_.pcie.toCopyModel());
         backend_ = std::move(backend);
     }
     // Single admission gate: the composer's budgets, the starvation
@@ -476,7 +476,15 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
     const TimeNs linear_ns = prefill_tokens > 0
                                  ? kernel_.prefillLinear(token_units)
                                  : kernel_.decodeLinear(decode_batch);
-    const TimeNs comm_ns = kernel_.commTime(token_units);
+    // All-reduce cost of the flat token batch. With overlap enabled,
+    // comm hides behind attention + linear and only the exposed
+    // remainder lengthens the iteration (the accounting below reports
+    // that exposed portion — what the replica actually paid).
+    TimeNs comm_ns = kernel_.commTime(token_units);
+    if (config_.overlap_comm) {
+        const TimeNs hideable = attn_ns + linear_ns;
+        comm_ns = comm_ns > hideable ? comm_ns - hideable : 0;
+    }
     const TimeNs gpu_ns = attn_ns + linear_ns + comm_ns;
 
     // ---- CPU time --------------------------------------------------
@@ -503,6 +511,7 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
     const TimeNs start = clock_.now();
     clock_.advance(mem_ns + gpu_ns + cpu_ns);
     report.busy_ns += mem_ns + gpu_ns + cpu_ns;
+    report.comm_ns += comm_ns;
     const bool pure_prefill = plan.decodes.empty();
     if (pure_prefill) {
         ++report.prefill_iterations;
@@ -525,7 +534,7 @@ Engine::runIteration(const IterationPlan &plan, RunReport &report)
         report.iterations.push_back(IterationRecord{
             start, clock_.now() - start, pure_prefill, batch, mem_ns,
             groups, prefill_tokens, static_cast<i64>(prefills.size()),
-            decode_batch});
+            decode_batch, comm_ns});
     }
 
     // ---- Token emission --------------------------------------------
@@ -825,9 +834,9 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
     result.tokens_per_second =
         elapsed_s > 0 ? static_cast<double>(tokens) / elapsed_s : 0.0;
     const u64 bytes1 = backend_->bytesInUse();
-    result.alloc_bytes_per_second =
+    result.alloc_bytes_per_s =
         bytes1 > bytes0 && elapsed_s > 0
-            ? static_cast<double>(bytes1 - bytes0) * config_.tp /
+            ? static_cast<double>(bytes1 - bytes0) * config_.tp_degree /
                   elapsed_s
             : 0.0;
     result.mean_iter_ms = result.iter_ms.mean();

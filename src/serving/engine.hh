@@ -30,6 +30,7 @@
 #include "perf/gpu_spec.hh"
 #include "perf/kernel_model.hh"
 #include "perf/model_spec.hh"
+#include "perf/nccl_spec.hh"
 #include "perf/overhead_model.hh"
 #include "perf/pcie_spec.hh"
 #include "serving/memory_backend.hh"
@@ -81,8 +82,20 @@ struct EngineConfig
 {
     perf::ModelSpec model = perf::ModelSpec::yi6B();
     perf::GpuSpec gpu = perf::GpuSpec::a100();
-    int tp = 1;
+    /** Tensor-parallel degree: the replica runs one lockstep worker
+     *  per rank (num_kv_heads/tp KV shards, §5.3); kernel times use
+     *  the per-worker head counts and commTime adds the all-reduces. */
+    int tp_degree = 1;
     perf::BackendKind backend = perf::BackendKind::kFa2VAttention;
+    /** Interconnect collective cost model for TP all-reduces. The
+     *  default (unset) resolves to NcclSpec::legacy(gpu.nvlink) — the
+     *  historical flat α–β numbers, bit-for-bit. */
+    perf::NcclSpec nccl = {};
+    /** Overlap the per-iteration all-reduce time with attention +
+     *  linear compute: only the exposed portion (comm beyond the
+     *  compute it can hide behind) lengthens the iteration. Off by
+     *  default — the historical fully-serialized accounting. */
+    bool overlap_comm = false;
 
     /** vLLM-style memory split: KV gets util * mem - weights -
      *  activation reserve (per worker). */
@@ -154,7 +167,7 @@ class Engine
     struct DecodeRun
     {
         double tokens_per_second = 0;
-        double alloc_bytes_per_second = 0; ///< KV commit rate, all workers
+        double alloc_bytes_per_s = 0; ///< KV commit rate, all workers
         double mean_iter_ms = 0;
         /** Requests still running at the end; smaller than the asked
          *  batch when the KV budget forced preemptions (vLLM-style). */

@@ -32,6 +32,9 @@ struct IterationRecord
     i64 prefill_chunk_tokens = 0; ///< query tokens across prefill chunks
     i64 num_prefill_chunks = 0;
     i64 decode_batch = 0; ///< decode requests that emitted a token
+    /** Interconnect time on this iteration's critical path (the
+     *  all-reduce cost at TP > 1, minus any overlapped portion). */
+    TimeNs comm_ns = 0;
 };
 
 /** Result of one engine run. */
@@ -56,6 +59,11 @@ struct RunReport
      *  apart from recomputations). */
     u64 preemptions = 0;
     i64 peak_batch = 0;
+    /** Tensor-parallel interconnect time accumulated on iteration
+     *  critical paths (2 all-reduces per layer at TP > 1; 0 at TP=1).
+     *  A subset of busy_ns — the comm share of an engine's time is
+     *  comm_ns / busy_ns. */
+    TimeNs comm_ns = 0;
 
     // ---- Host-memory swap tier (all zero under kRecompute) ---------
     /** Preemptions resolved by swapping the victim's KV to host. */

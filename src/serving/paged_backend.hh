@@ -19,6 +19,13 @@
  * groups free a request's dead leading blocks as its window advances;
  * a uniform model collapses to the single historical manager with
  * bit-identical arithmetic.
+ *
+ * Tensor parallelism: one block pool per TP worker, each sized for a
+ * num_kv_heads/tp KV shard and driven in lockstep — every mutation is
+ * applied to all workers and must produce identical results (the pool
+ * logic is deterministic, so divergence is a bug and panics).
+ * Symmetric queries are answered by worker 0; auditInto() verifies the
+ * cross-worker state equality that makes worker 0 representative.
  */
 
 #ifndef VATTN_SERVING_PAGED_BACKEND_HH
@@ -41,12 +48,14 @@ class PagedBackend : public MemoryBackend
   public:
     /**
      * @param model model architecture (for per-token KV bytes)
-     * @param tp tensor-parallel degree (capacity is per worker)
+     * @param tp tensor-parallel degree: one lockstep block pool per
+     *        worker, each holding a num_kv_heads/tp shard
      * @param block_size tokens per KV block
      * @param budget_bytes per-worker KV pool bytes
      * @param enable_prefix_caching hash-block prefix cache (§8.1)
-     * @param host_swap_bytes CPU block pool for preempt-by-swap, the
-     *        vLLM --swap-space model (0 disables the tier)
+     * @param host_swap_bytes per-worker CPU block pool for
+     *        preempt-by-swap, the vLLM --swap-space model (0 disables
+     *        the tier)
      * @param pcie link pricing the swap copies (block sharing itself
      *        stays free; only swap traffic crosses PCIe)
      */
@@ -59,20 +68,24 @@ class PagedBackend : public MemoryBackend
     Result<int> allocSlot() override;
     bool prefixCachingEnabled() const override
     {
-        return groups_[0].manager.prefixCacheEnabled();
+        return workers_[0].groups[0].manager.prefixCacheEnabled();
     }
     i64 matchPrefix(const PrefixKey &key) const override;
     Result<SlotLease> allocSlot(const PrefixKey &key,
                                 i64 max_cached) override;
     void registerPrefix(int slot, const PrefixKey &key,
                         i64 tokens) override;
-    BackendPrefixStats prefixStats() const override { return prefix_; }
+    BackendPrefixStats prefixStats() const override
+    {
+        return workers_[0].prefix;
+    }
     void freeSlot(int slot) override;
     Result<TimeNs> ensure(const ActiveLens &active) override;
     void computeWindow(TimeNs window_ns) override;
     u64 bytesInUse() const override;
     u64 budgetBytes() const override;
-    /** Block-manager self-audit + slot/manager cross-checks. */
+    /** Per-worker block-manager self-audits + slot/manager
+     *  cross-checks + the cross-worker lockstep-equality check. */
     void auditInto(audit::AuditReport &report) const override;
 
     bool supportsSwap() const override;
@@ -82,29 +95,45 @@ class PagedBackend : public MemoryBackend
     Result<SwapResult> swapIn(int slot) override;
     u64 slotPhysBytes(int slot) const override;
 
-    /** The full-attention group's manager (the only group on uniform
+    /** Number of lockstep TP workers (block-pool replicas). */
+    int numWorkers() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /** Worker 0's full-attention manager (the only group on uniform
      *  models — the historical accessor for tests and benches). */
-    paged::BlockManager &blockManager() { return groups_[0].manager; }
-    i64 blockSize() const { return groups_[0].manager.blockSize(); }
+    paged::BlockManager &blockManager()
+    {
+        return workers_[0].groups[0].manager;
+    }
+    i64 blockSize() const
+    {
+        return workers_[0].groups[0].manager.blockSize();
+    }
 
     /** Number of window classes (1 for uniform models). */
     int numLayerGroups() const
     {
-        return static_cast<int>(groups_.size());
+        return static_cast<int>(workers_[0].groups.size());
     }
-    /** Manager of window class @p group. */
+    /** Worker 0's manager of window class @p group. */
     paged::BlockManager &groupManager(int group)
     {
-        return groups_[static_cast<std::size_t>(group)].manager;
+        return workers_[0]
+            .groups[static_cast<std::size_t>(group)]
+            .manager;
     }
     /** Window width of class @p group (0 = full attention). */
     i64 groupWindowTokens(int group) const
     {
-        return groups_[static_cast<std::size_t>(group)].window_tokens;
+        return workers_[0]
+            .groups[static_cast<std::size_t>(group)]
+            .window_tokens;
     }
 
-    /** Blocks held by one slot across all groups (overhead-model
-     *  inputs; dead window leads excluded). */
+    /** Blocks held by one slot across all groups, per worker
+     *  (overhead-model inputs; dead window leads excluded). */
     i64 blocksHeld(int slot) const;
 
   private:
@@ -114,13 +143,13 @@ class PagedBackend : public MemoryBackend
     {
         i64 window_tokens;   ///< 0 = full attention
         int layers;          ///< layers in this class
-        u64 bytes_per_block; ///< 2 * layers * H * D * P * bs / tp
+        u64 bytes_per_block; ///< 2 * layers * H_kv/tp * D * P * bs
         paged::BlockManager manager;
     };
 
     struct Slot
     {
-        /** One block list per layer group, parallel to groups_. */
+        /** One block list per layer group, parallel to groups. */
         std::vector<paged::RequestBlocks> blocks;
         /** Chained hash per full prompt block already registered
          *  (prefix caching is uniform-only: group 0). */
@@ -145,15 +174,40 @@ class PagedBackend : public MemoryBackend
         }
     };
 
-    /** Dead leading blocks of a window class at context @p tokens. */
-    i64 deadLeadBlocks(const LayerGroup &group, i64 tokens) const;
+    /** One TP worker's complete block-pool state. The pool logic is
+     *  deterministic, so feeding every worker the same call sequence
+     *  keeps the replicas byte-identical (verified by auditInto). */
+    struct WorkerPool
+    {
+        std::vector<LayerGroup> groups;
+        std::unordered_map<int, Slot> slots;
+        int next_slot = 0;
+        BackendPrefixStats prefix;
+
+        i64 deadLeadBlocks(const LayerGroup &group, i64 tokens) const;
+        bool canAdmit(i64 uncached_tokens) const;
+        int allocSlot();
+        i64 matchPrefix(const PrefixKey &key) const;
+        SlotLease adoptPrefix(int slot, const PrefixKey &key,
+                              i64 max_cached);
+        void registerPrefix(int slot, const PrefixKey &key,
+                            i64 tokens);
+        void freeSlot(int slot);
+        Status ensureSlot(int slot, i64 len);
+        bool canSwapOut(int slot) const;
+        bool canSwapIn(int slot) const;
+        Result<u64> swapOutSlot(int slot);
+        Result<u64> swapInSlot(int slot);
+        u64 slotPhysBytes(int slot) const;
+        u64 bytesInUse() const;
+        i64 blocksHeld(int slot) const;
+        void auditInto(audit::AuditReport &report,
+                       std::size_t worker) const;
+    };
 
     u64 budget_bytes_;
     perf::PcieSpec pcie_;
-    std::vector<LayerGroup> groups_;
-    std::unordered_map<int, Slot> slots_;
-    int next_slot_ = 0;
-    BackendPrefixStats prefix_;
+    std::vector<WorkerPool> workers_;
 };
 
 } // namespace vattn::serving

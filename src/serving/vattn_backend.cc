@@ -15,15 +15,6 @@ VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
                                      int tp, u64 budget_bytes,
                                      Options options)
 {
-    gpu::GpuDevice::Config dev_config;
-    dev_config.name = "simGPU-worker0";
-    // The device needs room for the KV budget; weights/activations are
-    // modelled by the budget split in the engine, not materialized.
-    dev_config.mem_bytes = roundUp(budget_bytes + 64 * MiB, 2 * MiB);
-    // alloc-ok: backend construction, once per engine
-    device_ = std::make_unique<gpu::GpuDevice>(dev_config);
-    driver_ = std::make_unique<cuvmm::Driver>(*device_); // alloc-ok
-
     core::Config config;
     config.num_layers = model.num_layers;
     config.num_kv_heads = model.kvHeadsPerWorker(tp);
@@ -59,23 +50,38 @@ VAttentionBackend::VAttentionBackend(const perf::ModelSpec &model,
     }
     config.validate().expectOk("vAttention backend config");
 
+    // Each device needs room for its worker's KV shard budget;
+    // weights/activations are modelled by the budget split in the
+    // engine, not materialized.
+    const u64 device_mem_bytes =
+        roundUp(budget_bytes + 64 * MiB, 2 * MiB);
     // alloc-ok: backend construction, once per engine
-    runtime_ = std::make_unique<core::VAttention>(*driver_, config);
+    group_ = std::make_unique<core::WorkerGroup>(tp, config,
+                                                 device_mem_bytes);
     seq_lens_.assign(static_cast<std::size_t>(options.max_batch_size),
                      0);
     prefix_caching_ = options.enable_prefix_caching;
 }
 
+void
+VAttentionBackend::setCopyModel(
+    const cuvmm::LatencyModel::CopyModel &model)
+{
+    for (int w = 0; w < group_->numWorkers(); ++w) {
+        group_->driver(w).latency().setCopyModel(model);
+    }
+}
+
 bool
 VAttentionBackend::canAdmit(i64 uncached_tokens) const
 {
-    return runtime_->canAllocate(uncached_tokens);
+    return group_->canAllocate(uncached_tokens);
 }
 
 Result<int>
 VAttentionBackend::allocSlot()
 {
-    return runtime_->allocReqId();
+    return group_->allocReqId();
 }
 
 core::PrefixQuery
@@ -83,7 +89,7 @@ VAttentionBackend::buildQuery(const PrefixKey &key) const
 {
     core::PrefixQuery query;
     query.total_tokens = key.size;
-    const i64 tpg = runtime_->geometry().tokensPerGroup();
+    const i64 tpg = group_->geometry().tokensPerGroup();
     query.group_hashes = key.chunkHashes(tpg);
     query.tail_hash = [key, tpg](u64 prev, i64 groups, i64 n) {
         return key.rangeHash(prev, groups * tpg, n);
@@ -97,27 +103,27 @@ VAttentionBackend::matchPrefix(const PrefixKey &key) const
     if (!prefix_caching_ || key.empty()) {
         return 0;
     }
-    return runtime_->matchPrefix(buildQuery(key)).tokens;
+    return group_->matchPrefix(buildQuery(key)).tokens;
 }
 
 Result<SlotLease>
 VAttentionBackend::allocSlot(const PrefixKey &key, i64 max_cached)
 {
     if (!prefix_caching_ || key.empty()) {
-        auto slot = runtime_->allocReqId();
+        auto slot = group_->allocReqId();
         if (!slot.isOk()) {
             return Result<SlotLease>(slot.status());
         }
         return SlotLease{slot.value(), 0, 0};
     }
     i64 cached = 0;
-    auto slot = runtime_->allocReqIdWithPrefix(buildQuery(key),
-                                               max_cached, &cached);
+    auto slot = group_->allocReqIdWithPrefix(buildQuery(key),
+                                             max_cached, &cached);
     if (!slot.isOk()) {
         return Result<SlotLease>(slot.status());
     }
     return SlotLease{slot.value(), cached,
-                     runtime_->lastPrefixAllocNs()};
+                     group_->lastPrefixAllocNs()};
 }
 
 void
@@ -127,14 +133,14 @@ VAttentionBackend::registerPrefix(int slot, const PrefixKey &key,
     if (!prefix_caching_ || key.empty()) {
         return;
     }
-    runtime_->registerPrefix(slot, buildQuery(key), tokens);
+    group_->registerPrefix(slot, buildQuery(key), tokens);
 }
 
 BackendPrefixStats
 VAttentionBackend::prefixStats() const
 {
-    const auto &stats = runtime_->stats();
-    const u64 group_bytes = runtime_->geometry().groupBytes();
+    const auto &stats = group_->stats();
+    const u64 group_bytes = group_->geometry().groupBytes();
     return BackendPrefixStats{
         static_cast<u64>(stats.prefix_aliased_handles) * group_bytes,
         static_cast<u64>(stats.prefix_copied_handles) * group_bytes,
@@ -145,7 +151,7 @@ void
 VAttentionBackend::freeSlot(int slot)
 {
     seq_lens_[static_cast<std::size_t>(slot)] = 0;
-    runtime_->freeReqId(slot).expectOk("freeReqId");
+    group_->freeReqId(slot).expectOk("freeReqId");
 }
 
 Result<TimeNs>
@@ -155,7 +161,10 @@ VAttentionBackend::ensure(const ActiveLens &active)
     for (const auto &[slot, len] : active) {
         seq_lens_[static_cast<std::size_t>(slot)] = len;
     }
-    last_step_ = runtime_->step(seq_lens_);
+    // Workers allocate their shards concurrently, so the group's
+    // critical path is one worker's (the stats are worker 0's, with
+    // divergence panics inside the group).
+    last_step_ = group_->step(seq_lens_);
     if (!last_step_.status.isOk()) {
         return Result<TimeNs>(last_step_.status);
     }
@@ -169,31 +178,31 @@ VAttentionBackend::ensure(const ActiveLens &active)
 void
 VAttentionBackend::computeWindow(TimeNs window_ns)
 {
-    runtime_->computePhase(window_ns);
+    group_->computePhase(window_ns);
 }
 
 bool
 VAttentionBackend::supportsSwap() const
 {
-    return runtime_->hostSwapBudgetBytes() > 0;
+    return group_->hostSwapBudgetBytes() > 0;
 }
 
 bool
 VAttentionBackend::canSwapOut(int slot) const
 {
-    return runtime_->canSwapOut(slot);
+    return group_->canSwapOut(slot);
 }
 
 bool
 VAttentionBackend::canSwapIn(int slot) const
 {
-    return runtime_->canSwapIn(slot);
+    return group_->canSwapIn(slot);
 }
 
 Result<SwapResult>
 VAttentionBackend::swapOut(int slot)
 {
-    const auto stats = runtime_->swapOutReq(slot);
+    const auto stats = group_->swapOutReq(slot);
     if (!stats.status.isOk()) {
         return Result<SwapResult>(stats.status);
     }
@@ -204,7 +213,7 @@ VAttentionBackend::swapOut(int slot)
 Result<SwapResult>
 VAttentionBackend::swapIn(int slot)
 {
-    const auto stats = runtime_->swapInReq(slot);
+    const auto stats = group_->swapInReq(slot);
     if (!stats.status.isOk()) {
         // The failed attempt still did modeled driver work (cached
         // steals, partial remap + rollback). An error result carries
@@ -221,20 +230,22 @@ VAttentionBackend::slotPhysBytes(int slot) const
     // mappedHandles counts each buffer's live [lead, end) range:
     // groupsMapped * numBuffers would over-state window-trimmed slots
     // (the frontier includes unmapped dead leads).
-    return static_cast<u64>(runtime_->mappedHandles(slot)) *
-           runtime_->geometry().groupBytes();
+    return static_cast<u64>(group_->mappedHandles(slot)) *
+           group_->geometry().groupBytes();
 }
 
 u64
 VAttentionBackend::bytesInUse() const
 {
-    return runtime_->physBytesMapped();
+    // Per-worker shard bytes (workers are symmetric): the engine's
+    // budget and admission math are per worker throughout.
+    return group_->physBytesMappedPerWorker();
 }
 
 u64
 VAttentionBackend::budgetBytes() const
 {
-    return runtime_->budgetBytes();
+    return group_->budgetBytesPerWorker();
 }
 
 } // namespace vattn::serving

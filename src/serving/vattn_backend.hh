@@ -1,10 +1,13 @@
 /**
  * @file
- * The vAttention memory backend: owns a simulated GPU device, a VMM
- * driver instance and the core::VAttention runtime, and adapts them to
- * the engine's MemoryBackend interface. ensure() forwards to the
- * Table-4 step() API; computeWindow() drives the background-allocation
- * model (§6.1.1).
+ * The vAttention memory backend: owns a lockstep core::WorkerGroup —
+ * one simulated GPU, VMM driver and core::VAttention runtime per
+ * tensor-parallel worker, each holding a num_kv_heads/tp KV shard
+ * (§5.3) — and adapts it to the engine's MemoryBackend interface.
+ * ensure() forwards to the Table-4 step() API on every worker;
+ * computeWindow() drives the background-allocation model (§6.1.1).
+ * Symmetric queries are answered by worker 0; the audit layer's
+ * cross-worker state-equality check verifies that symmetry.
  */
 
 #ifndef VATTN_SERVING_VATTN_BACKEND_HH
@@ -12,9 +15,8 @@
 
 #include <memory>
 
-#include "core/vattention.hh"
+#include "core/worker_group.hh"
 #include "cuvmm/driver.hh"
-#include "gpu/device.hh"
 #include "perf/model_spec.hh"
 #include "serving/memory_backend.hh"
 
@@ -40,14 +42,14 @@ class VAttentionBackend : public MemoryBackend
          *  regardless). */
         bool enable_prefix_caching = false;
         /** Pinned host bytes for the KV swap tier (0 = no tier; the
-         *  engine must preempt with recomputation). */
+         *  engine must preempt with recomputation). Per worker. */
         u64 host_swap_bytes = 0;
     };
 
     /**
      * @param model model architecture
-     * @param tp tensor-parallel degree (one worker is simulated; all
-     *        workers behave identically, §5.3)
+     * @param tp tensor-parallel degree: one lockstep worker per rank,
+     *        each with num_kv_heads/tp heads (§5.3)
      * @param budget_bytes per-worker physical KV budget
      */
     VAttentionBackend(const perf::ModelSpec &model, int tp,
@@ -72,10 +74,11 @@ class VAttentionBackend : public MemoryBackend
     void computeWindow(TimeNs window_ns) override;
     u64 bytesInUse() const override;
     u64 budgetBytes() const override;
-    /** Whole-stack audit of driver + pool + allocator + runtime. */
+    /** Whole-stack audit of every worker (driver + pool + allocator +
+     *  runtime) plus the cross-worker lockstep-equality check. */
     void auditInto(audit::AuditReport &report) const override
     {
-        runtime_->auditInto(report);
+        group_->auditInto(report);
     }
 
     bool supportsSwap() const override;
@@ -85,10 +88,19 @@ class VAttentionBackend : public MemoryBackend
     Result<SwapResult> swapIn(int slot) override;
     u64 slotPhysBytes(int slot) const override;
 
-    core::VAttention &runtime() { return *runtime_; }
-    const core::VAttention &runtime() const { return *runtime_; }
-    cuvmm::Driver &driver() { return *driver_; }
-    gpu::GpuDevice &device() { return *device_; }
+    /** The lockstep TP worker group backing this replica. */
+    core::WorkerGroup &workerGroup() { return *group_; }
+    const core::WorkerGroup &workerGroup() const { return *group_; }
+
+    /** Worker 0's runtime/driver (workers are symmetric; the
+     *  historical single-worker accessors for tests and benches). */
+    core::VAttention &runtime() { return group_->worker(0); }
+    const core::VAttention &runtime() const { return group_->worker(0); }
+    cuvmm::Driver &driver() { return group_->driver(0); }
+
+    /** Install the PCIe copy-cost parameters on EVERY worker's driver
+     *  (swap copies run on all shards concurrently). */
+    void setCopyModel(const cuvmm::LatencyModel::CopyModel &model);
 
     /** Result of the most recent ensure() (for iteration traces). */
     const core::StepStats &lastStep() const { return last_step_; }
@@ -97,9 +109,7 @@ class VAttentionBackend : public MemoryBackend
     /** Group-granularity hash query over a request's token ids. */
     core::PrefixQuery buildQuery(const PrefixKey &key) const;
 
-    std::unique_ptr<gpu::GpuDevice> device_;
-    std::unique_ptr<cuvmm::Driver> driver_;
-    std::unique_ptr<core::VAttention> runtime_;
+    std::unique_ptr<core::WorkerGroup> group_;
     std::vector<i64> seq_lens_;
     core::StepStats last_step_;
     bool prefix_caching_ = false;

@@ -64,7 +64,7 @@ TEST(LinkSanity, EveryLayerLinks)
 
     // serving (+ perf via ModelSpec/GpuSpec defaults): the engine.
     serving::EngineConfig engine_config;
-    engine_config.tp = 1;
+    engine_config.tp_degree = 1;
     serving::Engine engine(engine_config);
     EXPECT_GT(engine_config.kvBudgetPerWorker(), 0u);
 }

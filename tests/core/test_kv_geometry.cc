@@ -60,6 +60,31 @@ TEST(KvGeometry, PerTokenKvBytesMatchesSection4)
     EXPECT_EQ(yi34.tokenBytesTotal(), 240 * KiB);
 }
 
+TEST(KvGeometry, ShardedFootprintMatchesModelSpecAcrossTp)
+{
+    // The geometry built from a per-worker config (H = H_kv/tp) and
+    // the ModelSpec's analytic kvBytesPerTokenPerWorker must agree for
+    // every legal TP degree, including the GQA boundary tp ==
+    // num_kv_heads — the two are computed in different layers, so this
+    // pins their consistency.
+    for (const perf::ModelSpec &model :
+         {perf::ModelSpec::yi6B(), perf::ModelSpec::llama3_8B(),
+          perf::ModelSpec::yi34B()}) {
+        for (int tp = 1; tp <= model.num_kv_heads; tp *= 2) {
+            if (model.num_kv_heads % tp != 0) {
+                continue;
+            }
+            KvGeometry geom(configFor(model, tp, PageGroup::k2MB));
+            EXPECT_EQ(geom.tokenBytesTotal(),
+                      model.kvBytesPerTokenPerWorker(tp))
+                << model.name << " tp=" << tp;
+            EXPECT_EQ(geom.tokenBytesTotal() * tp,
+                      model.kvBytesPerToken())
+                << model.name << " tp=" << tp;
+        }
+    }
+}
+
 /** Table 8: tokens per page-group ("block size") per model/TP/group. */
 struct Table8Case
 {

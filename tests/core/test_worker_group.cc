@@ -216,5 +216,72 @@ TEST(WorkerGroup, LockstepAcrossSwapCycles)
     EXPECT_TRUE(group.inLockstep());
 }
 
+TEST(WorkerGroup, AuditPassesOnHealthyGroup)
+{
+    WorkerGroup group(2, tpConfig(), 64 * MiB);
+    const int r1 = group.allocReqId().value();
+    std::vector<i64> lens(4, 0);
+    lens[static_cast<std::size_t>(r1)] = 3000;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+
+    audit::AuditReport report;
+    group.auditInto(report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(WorkerGroup, AuditLocalizesInjectedWorkerDesync)
+{
+    // Corruption injection: drive ONE worker's runtime directly —
+    // exactly the bug class the lockstep design must catch — by
+    // growing worker 1's sequence past the group-agreed length. The
+    // audit must fail, name the diverging worker/slot and describe the
+    // drift actionably (not just "mismatch").
+    WorkerGroup group(2, tpConfig(), 64 * MiB);
+    const int r1 = group.allocReqId().value();
+    std::vector<i64> lens(4, 0);
+    lens[static_cast<std::size_t>(r1)] = 1000;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+    EXPECT_TRUE(group.inLockstep());
+
+    // Worker 1 silently steps ahead: its slot maps more groups and
+    // more physical bytes than worker 0's.
+    std::vector<i64> ahead = lens;
+    ahead[static_cast<std::size_t>(r1)] = 5000;
+    ASSERT_TRUE(group.worker(1).step(ahead).status.isOk());
+    EXPECT_FALSE(group.inLockstep());
+
+    audit::AuditReport report;
+    group.auditInto(report);
+    ASSERT_FALSE(report.ok());
+    const std::string text = report.toString();
+    EXPECT_NE(text.find("worker 1"), std::string::npos) << text;
+    EXPECT_NE(text.find("desynced"), std::string::npos) << text;
+    EXPECT_NE(text.find("slot " + std::to_string(r1)),
+              std::string::npos)
+        << text;
+}
+
+TEST(WorkerGroup, AuditCatchesLifecycleDesync)
+{
+    // A second injection flavour: one worker frees the request while
+    // the others keep it live (a lost/duplicated control message).
+    WorkerGroup group(3, tpConfig(), 64 * MiB);
+    const int r1 = group.allocReqId().value();
+    std::vector<i64> lens(4, 0);
+    lens[static_cast<std::size_t>(r1)] = 500;
+    ASSERT_TRUE(group.step(lens).status.isOk());
+
+    ASSERT_TRUE(group.worker(2).freeReqId(r1).isOk());
+    EXPECT_FALSE(group.inLockstep());
+
+    audit::AuditReport report;
+    group.auditInto(report);
+    ASSERT_FALSE(report.ok());
+    const std::string text = report.toString();
+    EXPECT_NE(text.find("worker 2"), std::string::npos) << text;
+    EXPECT_NE(text.find("lockstep divergence"), std::string::npos)
+        << text;
+}
+
 } // namespace
 } // namespace vattn::core

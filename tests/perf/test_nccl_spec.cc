@@ -1,0 +1,174 @@
+/**
+ * @file
+ * NcclSpec collective-cost-model tests, anchored by golden pins of the
+ * historical hardcoded KernelModel::commTime arithmetic: the legacy()
+ * preset (and the unset-spec default) must reproduce those numbers bit
+ * for bit, while the real link presets get the α–β behaviours — tree
+ * wins small messages, ring wins large ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/kernel_model.hh"
+#include "perf/nccl_spec.hh"
+#include "test_util.hh"
+
+namespace vattn::perf
+{
+namespace
+{
+
+// ---- Golden pins of the legacy commTime arithmetic -----------------
+// Exact values of the pre-NcclSpec hardcoded formula
+//   per_s = 5e-6 + tokens*hidden*P * 2(tp-1)/tp / 300e9
+//   ns    = per_s * 2 * layers * 1e9
+// on A100 NVLink (300 GB/s). Any drift here means default-config runs
+// (fig09/fig10 goldens included) are no longer byte-identical.
+
+TEST(NcclSpec, LegacyCommTimeGoldenPins)
+{
+    KernelModel tp2(GpuSpec::a100(), ModelSpec::llama3_8B(), 2);
+    EXPECT_EQ(tp2.commTime(1000), 2067626u);
+    EXPECT_EQ(tp2.commTime(1), 321747u);
+
+    KernelModel tp4(GpuSpec::a100(), ModelSpec::llama3_8B(), 4);
+    EXPECT_EQ(tp4.commTime(1000), 2941440u);
+
+    KernelModel yi34_tp2(GpuSpec::a100(), ModelSpec::yi34B(), 2);
+    EXPECT_EQ(yi34_tp2.commTime(1000), 6334400u);
+    KernelModel yi34_tp8(GpuSpec::a100(), ModelSpec::yi34B(), 8);
+    EXPECT_EQ(yi34_tp8.commTime(512), 5738022u);
+}
+
+TEST(NcclSpec, CommTimeZeroAtTpOneOrNoTokens)
+{
+    KernelModel tp1(GpuSpec::a100(), ModelSpec::llama3_8B(), 1);
+    EXPECT_EQ(tp1.commTime(1000), 0u);
+    KernelModel tp2(GpuSpec::a100(), ModelSpec::llama3_8B(), 2);
+    EXPECT_EQ(tp2.commTime(0), 0u);
+    EXPECT_EQ(tp2.commTime(-5), 0u);
+}
+
+TEST(NcclSpec, UnsetSpecResolvesToLegacyDefault)
+{
+    // A default-constructed spec is the "unset" sentinel: the kernel
+    // model substitutes legacy(nvlink) — passing that explicitly must
+    // change nothing, for any token count.
+    KernelModel implicit(GpuSpec::a100(), ModelSpec::yi34B(), 2);
+    KernelModel explicit_legacy(
+        GpuSpec::a100(), ModelSpec::yi34B(), 2,
+        NcclSpec::legacy(GpuSpec::a100().nvlink_bytes_per_s));
+    for (i64 tokens : {1, 7, 100, 4096, 100000}) {
+        EXPECT_EQ(implicit.commTime(tokens),
+                  explicit_legacy.commTime(tokens))
+            << "tokens=" << tokens;
+    }
+    EXPECT_FALSE(NcclSpec{}.enabled());
+    EXPECT_EQ(implicit.nccl().name, "legacy-flat");
+}
+
+TEST(NcclSpec, LegacyPresetMatchesHandFormula)
+{
+    const NcclSpec spec = NcclSpec::legacy(300e9);
+    const double payload = 8192000.0; // 1000 tok * 4096 * 2B
+    const double expect = 5e-6 + payload * 2.0 * 1 / 2 / 300e9;
+    EXPECT_DOUBLE_EQ(spec.allReduceSeconds(payload, 2), expect);
+}
+
+// ---- α–β behaviour of the real presets -----------------------------
+
+TEST(NcclSpec, TreeWinsSmallMessagesRingWinsLarge)
+{
+    const NcclSpec spec = NcclSpec::nvlinkGen3();
+    const int ranks = 8;
+    const auto ring = [&](double bytes) {
+        return spec.base_latency_s +
+               2.0 * (ranks - 1) * spec.hop_latency_s +
+               bytes * 2.0 * (ranks - 1) / ranks / spec.ring_bytes_per_s;
+    };
+    const auto tree = [&](double bytes) {
+        return spec.base_latency_s + 2.0 * 3 * spec.hop_latency_s +
+               bytes * 2.0 / spec.tree_bytes_per_s;
+    };
+    // 1KB: hop latencies dominate, the 3-level tree beats the 7-step
+    // ring. 64MB: bus bandwidth dominates, the ring beats the tree.
+    const double small = 1024.0;
+    const double large = 64.0 * 1024 * 1024;
+    EXPECT_LT(tree(small), ring(small));
+    EXPECT_DOUBLE_EQ(spec.allReduceSeconds(small, ranks), tree(small));
+    EXPECT_LT(ring(large), tree(large));
+    EXPECT_DOUBLE_EQ(spec.allReduceSeconds(large, ranks), ring(large));
+}
+
+TEST(NcclSpec, AllGatherCheaperThanAllReduce)
+{
+    // An all-gather moves each byte across the ring once; an
+    // all-reduce moves it twice. Same α, half the β.
+    const NcclSpec spec = NcclSpec::nvlinkGen4();
+    for (int ranks : {2, 4, 8}) {
+        for (double bytes : {4096.0, 1e6, 1e8}) {
+            EXPECT_LT(spec.allGatherSeconds(bytes, ranks),
+                      spec.allReduceSeconds(bytes, ranks))
+                << "ranks=" << ranks << " bytes=" << bytes;
+        }
+    }
+}
+
+TEST(NcclSpec, CostGrowsWithRanksAndPayload)
+{
+    const NcclSpec spec = NcclSpec::nvlinkGen3();
+    EXPECT_EQ(spec.allReduceSeconds(1e6, 1), 0.0);
+    EXPECT_EQ(spec.allGatherSeconds(1e6, 1), 0.0);
+    double prev = 0;
+    for (int ranks : {2, 4, 8}) {
+        const double cost = spec.allReduceSeconds(1e6, ranks);
+        EXPECT_GT(cost, prev) << "ranks=" << ranks;
+        prev = cost;
+    }
+    EXPECT_GT(spec.allReduceSeconds(2e6, 4),
+              spec.allReduceSeconds(1e6, 4));
+    EXPECT_GT(spec.allReduceNs(2'000'000, 4),
+              spec.allReduceNs(1'000'000, 4));
+    EXPECT_GT(spec.allGatherNs(2'000'000, 4), 0u);
+}
+
+TEST(NcclSpec, PcieFallbackIsSlowerThanNvlink)
+{
+    const double bytes = 8e6;
+    EXPECT_GT(NcclSpec::pcieFallback().allReduceSeconds(bytes, 4),
+              NcclSpec::nvlinkGen3().allReduceSeconds(bytes, 4));
+    EXPECT_GT(NcclSpec::nvlinkGen3().allReduceSeconds(bytes, 4),
+              NcclSpec::nvlinkGen4().allReduceSeconds(bytes, 4));
+}
+
+TEST(NcclSpec, SpecWithNoAlgorithmIsFatal)
+{
+    NcclSpec broken;
+    broken.name = "broken";
+    test::ScopedThrowErrors guard;
+    EXPECT_THROW(broken.allReduceSeconds(1e6, 2), SimError);
+    EXPECT_THROW(broken.allGatherSeconds(1e6, 2), SimError);
+}
+
+// ---- GQA sharding boundaries (§5.1.3) ------------------------------
+
+TEST(NcclSpec, GqaShardingBoundaries)
+{
+    const ModelSpec llama = ModelSpec::llama3_8B(); // 8 KV heads
+    // tp == num_kv_heads: exactly one KV head per worker is legal.
+    EXPECT_EQ(llama.kvHeadsPerWorker(8), 1);
+    EXPECT_EQ(llama.kvBytesPerTokenPerWorker(8),
+              llama.kvBytesPerToken() / 8);
+    // Query heads keep their own divisibility: 32 / 8 = 4.
+    EXPECT_EQ(llama.qHeadsPerWorker(8), 4);
+
+    // Non-divisible shardings are configuration errors, not silent
+    // rounding: 8 KV heads cannot split across 3 or 16 workers.
+    test::ScopedThrowErrors guard;
+    EXPECT_THROW(llama.kvHeadsPerWorker(3), SimError);
+    EXPECT_THROW(llama.kvHeadsPerWorker(16), SimError);
+    EXPECT_THROW(llama.kvBytesPerTokenPerWorker(5), SimError);
+}
+
+} // namespace
+} // namespace vattn::perf

@@ -78,7 +78,7 @@ tinyEngineConfig(perf::BackendKind kind)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = kind;
     config.kv_budget_override = 2 * GiB;
     config.scheduler.max_num_seqs = 8;
@@ -195,7 +195,7 @@ TEST(EngineTest, DecodeOnlyThroughputSane)
     // with 2MB groups) so the decode run commits new memory.
     auto run = engine.decodeOnly(8, 2040, 50);
     EXPECT_GT(run.tokens_per_second, 50.0);
-    EXPECT_GT(run.alloc_bytes_per_second, 0.0);
+    EXPECT_GT(run.alloc_bytes_per_s, 0.0);
     EXPECT_GT(run.mean_iter_ms, 0.0);
     EXPECT_EQ(run.iter_ms.count(), 50u);
 }
@@ -258,7 +258,7 @@ TEST(EngineTest, KvBudgetComputation)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     // 0.9*80GB - ~11.3GB weights - 2GB reserve ~= 58.7GB.
     EXPECT_NEAR(static_cast<double>(config.kvBudgetPerWorker()) /
                     static_cast<double>(GiB),

@@ -17,7 +17,7 @@ replicaConfig(perf::BackendKind kind = perf::BackendKind::kFa2VAttention)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = kind;
     config.kv_budget_override = 2 * GiB;
     config.scheduler.max_num_seqs = 8;

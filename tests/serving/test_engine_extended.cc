@@ -16,7 +16,7 @@ baseConfig(perf::BackendKind kind)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = kind;
     config.kv_budget_override = 2 * GiB;
     config.scheduler.max_num_seqs = 8;
@@ -191,9 +191,9 @@ TEST(EngineExtended, ZeroIterationDecodeRunIsFinite)
     Engine engine(baseConfig(perf::BackendKind::kFa2VAttention));
     const auto run = engine.decodeOnly(2, 512, 0);
     EXPECT_EQ(run.tokens_per_second, 0.0);
-    EXPECT_EQ(run.alloc_bytes_per_second, 0.0);
+    EXPECT_EQ(run.alloc_bytes_per_s, 0.0);
     EXPECT_TRUE(std::isfinite(run.tokens_per_second));
-    EXPECT_TRUE(std::isfinite(run.alloc_bytes_per_second));
+    EXPECT_TRUE(std::isfinite(run.alloc_bytes_per_s));
 }
 
 TEST(EngineExtended, VattnStatsExposedThroughBackend)

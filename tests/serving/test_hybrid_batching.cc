@@ -23,7 +23,7 @@ tinyConfig(perf::BackendKind kind)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = kind;
     config.kv_budget_override = 2 * GiB;
     config.scheduler.max_num_seqs = 8;
@@ -415,7 +415,7 @@ TEST(HybridEngine, StallFreeCutsTailTbtOnLongPromptTrace)
     auto run = [](SchedulingMode mode) {
         EngineConfig config;
         config.model = perf::ModelSpec::yi6B();
-        config.tp = 1;
+        config.tp_degree = 1;
         config.backend = perf::BackendKind::kFa2VAttention;
         config.scheduler.max_num_seqs = 256;
         config.scheduler.max_batched_tokens = 192 * 1024;
@@ -467,7 +467,7 @@ TEST_P(GoldenRegression, PrefillPrioritizedReproducesPreRefactorRun)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = golden.kind;
     config.kv_budget_override = golden.kv_budget_override;
     config.scheduler.max_num_seqs = 256;

@@ -19,7 +19,7 @@ baseConfig(perf::BackendKind kind, bool caching)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = kind;
     config.scheduler.max_num_seqs = 64;
     config.scheduler.max_batched_tokens = 16384;

@@ -36,7 +36,7 @@ pressureConfig(perf::BackendKind kind, PreemptionPolicy policy)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = kind;
     // Room for the four 2000-token prompts but not for all of their
     // decoded contexts: pressure peaks mid-decode.
@@ -160,7 +160,7 @@ TEST(VictimPolicy, LifoPreemptsTheMostRecentlyAdmitted)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = perf::BackendKind::kFa2VAttention;
     config.kv_budget_override = kvBytes(2500);
     config.scheduler.max_num_seqs = 8;
@@ -181,7 +181,7 @@ TEST(VictimPolicy, SmallestRecomputeEvictsCheapestFirst)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = perf::BackendKind::kFa2VAttention;
     config.kv_budget_override = kvBytes(2500);
     config.scheduler.max_num_seqs = 8;
@@ -204,7 +204,7 @@ TEST(GracefulDrop, MidDecodeGrowthBeyondBudgetDropsTheRequest)
     EngineConfig config;
     config.model = perf::ModelSpec::yi6B();
     config.gpu = perf::GpuSpec::a100();
-    config.tp = 1;
+    config.tp_degree = 1;
     config.backend = perf::BackendKind::kFa2Paged;
     config.kv_budget_override = kvBytes(1500);
     config.scheduler.max_num_seqs = 4;

@@ -5,8 +5,12 @@ Machine-checks the conventions the simulator's correctness leans on:
 
   1. naming   — fields of type TimeNs end in `_ns`; integer fields
                 whose name mentions bytes end in `bytes` (ratios may
-                start with `bytes_per_`). Mixed units inside one
-                struct are how latency/capacity accounting bugs start.
+                start with `bytes_per_`); double fields whose name
+                mentions bytes are bandwidths and end in `_bytes_per_s`
+                (the perf specs — GPU links, PCIe, NCCL collectives —
+                all quote rates in bytes/second). Mixed units inside
+                one struct are how latency/capacity accounting bugs
+                start.
   2. sim-time — simulation code (src/) never reads wall clocks or
                 libc randomness: `std::chrono` clocks, std::rand and
                 friends are forbidden there. Determinism comes from
@@ -45,6 +49,14 @@ TIMENS_FIELD_RE = re.compile(
 # (e.g. budget_bytes, swap_out_bytes) or be a `bytes_per_*` ratio.
 BYTES_FIELD_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:const\s+)?(?:u64|i64|u32|i32)\s+"
+    r"(\w*bytes\w*)\s*(?:=[^;]*)?;"
+)
+
+# Floating-point field whose name mentions bytes: a bandwidth, and
+# must end `_bytes_per_s` (gpu_spec / pcie_spec / nccl_spec quote
+# every link rate in bytes per second).
+BANDWIDTH_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?double\s+"
     r"(\w*bytes\w*)\s*(?:=[^;]*)?;"
 )
 
@@ -119,6 +131,12 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
                         f"{where}: byte-quantity field `{m.group(1)}`"
                         " must end in `bytes` (sizes carry their unit)"
                     )
+            m = BANDWIDTH_FIELD_RE.match(line)
+            if m and not m.group(1).rstrip("_").endswith("_bytes_per_s"):
+                problems.append(
+                    f"{where}: bandwidth field `{m.group(1)}` must end"
+                    " in `_bytes_per_s` (link rates carry their unit)"
+                )
             m = WINDOW_FIELD_RE.match(line)
             if m and not m.group(1).rstrip("_").endswith("_tokens"):
                 problems.append(

@@ -17,6 +17,12 @@ What is compared:
   - direction comes from the key name: throughput-like keys must not
     drop, latency-like keys must not grow; keys with no recognizable
     direction are reported as drift but never fail the job;
+  - interconnect metrics (``comm_ns``, ``comm_share``, ...) are
+    lower-is-better like other time costs, but gate at their own
+    ``--comm-threshold`` (default 2x the base tolerance): comm time is
+    a modelled subset of busy time, so any batching or scheduling
+    change legitimately moves it more than it moves end-to-end
+    latencies — growth beyond the wider band still fails the job;
   - a report whose ``smoke`` flag differs from the baseline's is
     skipped entirely (full and smoke runs are incomparable).
 
@@ -43,6 +49,7 @@ HOST_DEPENDENT = ("wall", "speedup")
 # lower-cased key. "lower" = smaller is better (latencies, stalls),
 # "higher" = bigger is better (throughputs, hit rates).
 LOWER_IS_BETTER = (
+    "comm",
     "latency",
     "_ms",
     "_ns",
@@ -60,12 +67,20 @@ HIGHER_IS_BETTER = (
     "throughput",
     "tokens_per",
     "per_second",
+    "per_min",
+    "per_s",
     "bandwidth",
     "qps",
     "hit_rate",
     "requests",
     "saved",
 )
+
+
+def is_comm_metric(key: str) -> bool:
+    """Interconnect-cost metrics (comm_ns sums, comm shares) gate at
+    their own, wider tolerance — see the module docstring."""
+    return "comm" in key.lower()
 
 
 def direction(key: str) -> str:
@@ -124,7 +139,13 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=0.05,
                         help="relative regression tolerance per metric "
                         "(default 0.05 = 5%%)")
+    parser.add_argument("--comm-threshold", type=float, default=None,
+                        help="tolerance for interconnect metrics "
+                        "(keys containing `comm`); defaults to twice "
+                        "--threshold")
     args = parser.parse_args()
+    if args.comm_threshold is None:
+        args.comm_threshold = 2.0 * args.threshold
 
     if not args.current.is_dir():
         print(f"diff_bench_json: no current report dir {args.current}",
@@ -161,7 +182,9 @@ def main() -> int:
             before = base_metrics[key]
             after = cur_metrics[key]
             change = relative_change(before, after)
-            if abs(change) <= args.threshold:
+            tolerance = (args.comm_threshold if is_comm_metric(key)
+                         else args.threshold)
+            if abs(change) <= tolerance:
                 continue
             sense = direction(key)
             regressed = (sense == "lower" and change > 0) or \
