@@ -46,7 +46,7 @@ main()
             table.addRow({
                 Table::integer(batch),
                 Table::integer(run.effective_batch),
-                Table::num(run.tokens_per_second, 0),
+                Table::num(run.tokens_per_s, 0),
                 Table::num(run.alloc_bytes_per_s / 1e6, 1),
             });
         }

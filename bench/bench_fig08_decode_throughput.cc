@@ -38,7 +38,7 @@ main()
                 serving::Engine engine(
                     makeEngineConfig(setup, kinds[i]));
                 tput[i] = engine.decodeOnly(batch, 16 * 1024, 400)
-                              .tokens_per_second;
+                              .tokens_per_s;
             }
             table.addRow({
                 Table::integer(batch),

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Growable circular double-ended queue. std::deque allocates and
+ * frees fixed-size blocks as elements stream through it, which puts
+ * heap traffic on any steady-state loop that pushes and pops at the
+ * high-water shape (the serving scheduler's FCFS queues do exactly
+ * that). RingDeque keeps one power-of-two buffer that only grows:
+ * once the high-water capacity has been seen, every push/pop is
+ * pointer arithmetic with no allocation at all.
+ */
+
+#ifndef VATTN_COMMON_RING_DEQUE_HH
+#define VATTN_COMMON_RING_DEQUE_HH
+
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vattn
+{
+
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() = default;
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    T &front()
+    {
+        panic_if(empty(), "front() on an empty RingDeque");
+        return buf_[head_];
+    }
+    const T &front() const
+    {
+        panic_if(empty(), "front() on an empty RingDeque");
+        return buf_[head_];
+    }
+    T &back()
+    {
+        panic_if(empty(), "back() on an empty RingDeque");
+        return buf_[wrap(head_ + count_ - 1)];
+    }
+    const T &back() const
+    {
+        panic_if(empty(), "back() on an empty RingDeque");
+        return buf_[wrap(head_ + count_ - 1)];
+    }
+
+    void
+    push_back(const T &value)
+    {
+        reserveOneMore();
+        buf_[wrap(head_ + count_)] = value;
+        ++count_;
+    }
+
+    void
+    push_front(const T &value)
+    {
+        reserveOneMore();
+        head_ = wrap(head_ + buf_.size() - 1);
+        buf_[head_] = value;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(empty(), "pop_front() on an empty RingDeque");
+        buf_[head_] = T{};
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    void
+    pop_back()
+    {
+        panic_if(empty(), "pop_back() on an empty RingDeque");
+        buf_[wrap(head_ + count_ - 1)] = T{};
+        --count_;
+    }
+
+    /** Drop all elements; capacity is retained. */
+    void
+    clear()
+    {
+        while (!empty()) {
+            pop_front();
+        }
+        head_ = 0;
+    }
+
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const T *;
+        using reference = const T &;
+
+        const_iterator(const RingDeque *owner, std::size_t pos)
+            : owner_(owner), pos_(pos)
+        {
+        }
+        const T &operator*() const
+        {
+            return owner_->buf_[owner_->wrap(owner_->head_ + pos_)];
+        }
+        const_iterator &operator++()
+        {
+            ++pos_;
+            return *this;
+        }
+        bool operator==(const const_iterator &other) const
+        {
+            return pos_ == other.pos_;
+        }
+        bool operator!=(const const_iterator &other) const
+        {
+            return pos_ != other.pos_;
+        }
+
+      private:
+        const RingDeque *owner_;
+        std::size_t pos_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count_}; }
+
+  private:
+    std::size_t
+    wrap(std::size_t index) const
+    {
+        // Capacity is always a power of two (or zero, never indexed).
+        return index & (buf_.size() - 1);
+    }
+
+    void
+    reserveOneMore()
+    {
+        if (count_ < buf_.size()) {
+            return;
+        }
+        const std::size_t grown =
+            buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+        std::vector<T> next(grown);
+        for (std::size_t i = 0; i < count_; ++i) {
+            next[i] = buf_[wrap(head_ + i)];
+        }
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace vattn
+
+#endif // VATTN_COMMON_RING_DEQUE_HH

@@ -56,6 +56,9 @@ class Percentiles
      *  the engine reserves for a whole run's samples up front so the
      *  per-iteration hot path never reallocates). */
     void reserve(std::size_t n) { samples_.reserve(n); }
+    /** Reserved sample slots (the online path grows geometrically at
+     *  submission time and needs to see where it stands). */
+    std::size_t capacity() const { return samples_.capacity(); }
 
     /** Value at quantile q in [0, 1] (linear interpolation). */
     double quantile(double q) const;

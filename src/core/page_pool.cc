@@ -111,7 +111,9 @@ PagePool::sharedExtraRefs() const
     i64 extra = 0;
     for (const auto &[handle, count] : refs_) {
         (void)handle;
-        extra += count - 1;
+        if (count > 0) {
+            extra += count - 1;
+        }
     }
     return extra;
 }
@@ -126,14 +128,20 @@ PagePool::auditInto(audit::AuditReport &report) const
                  "page_pool: ", freeGroups(), " free + ",
                  groups_in_use_, " in-use groups != ", created_,
                  " created (a handle leaked out of the pool)");
-    report.check(static_cast<i64>(refs_.size()) == groups_in_use_,
-                 "page_pool: ", refs_.size(),
-                 " refcount entries but ", groups_in_use_,
+    i64 handed_out = 0;
+    for (const auto &[handle, count] : refs_) {
+        (void)handle;
+        if (count > 0) {
+            ++handed_out;
+        }
+    }
+    report.check(handed_out == groups_in_use_,
+                 "page_pool: ", handed_out,
+                 " positive refcount entries but ", groups_in_use_,
                  " groups handed out");
     for (const auto &[handle, count] : refs_) {
         if (count < 1) {
-            report.fail("page_pool: handed-out handle ", handle,
-                        " has refcount ", count);
+            continue; // parked entry: handle is back in the free pool
         }
         if (driver_.handleSize(handle) != groupBytes()) {
             report.fail("page_pool: handed-out handle ", handle,
@@ -170,7 +178,8 @@ void
 PagePool::addRef(cuvmm::MemHandle handle)
 {
     auto it = refs_.find(handle);
-    panic_if(it == refs_.end(), "addRef on a handle not handed out");
+    panic_if(it == refs_.end() || it->second < 1,
+             "addRef on a handle not handed out");
     ++it->second;
 }
 
@@ -194,11 +203,15 @@ void
 PagePool::release(cuvmm::MemHandle handle)
 {
     auto it = refs_.find(handle);
-    panic_if(groups_in_use_ <= 0 || it == refs_.end(),
+    panic_if(groups_in_use_ <= 0 || it == refs_.end() ||
+                 it->second < 1,
              "pool release without acquire");
     panic_if(it->second != 1,
              "pool release of a handle still referenced elsewhere");
-    refs_.erase(it);
+    // Park the entry at zero instead of erasing it: the handle cycles
+    // back through acquire() and reusing the node keeps the
+    // release/acquire steady state off the heap.
+    it->second = 0;
     --groups_in_use_;
     free_.push_back(handle);
 }
@@ -207,11 +220,12 @@ void
 PagePool::releaseDestroyed(cuvmm::MemHandle handle)
 {
     auto it = refs_.find(handle);
-    panic_if(groups_in_use_ <= 0 || it == refs_.end(),
+    panic_if(groups_in_use_ <= 0 || it == refs_.end() ||
+                 it->second < 1,
              "pool release without acquire");
     panic_if(it->second != 1,
              "destroying a handle still referenced elsewhere");
-    refs_.erase(it);
+    refs_.erase(it); // gone for good: never returns through acquire()
     --groups_in_use_;
     --created_;
 }

@@ -19,9 +19,40 @@ toString(SlotState state)
 ReqSlots::ReqSlots(int capacity)
     : capacity_(capacity), num_free_(capacity),
       states_(static_cast<std::size_t>(capacity), SlotState::kFree),
-      cached_pos_(static_cast<std::size_t>(capacity))
+      cached_next_(static_cast<std::size_t>(capacity), -1),
+      cached_prev_(static_cast<std::size_t>(capacity), -1)
 {
     fatal_if(capacity <= 0, "ReqSlots needs positive capacity");
+}
+
+void
+ReqSlots::linkCachedBack(int slot)
+{
+    cached_prev_[static_cast<std::size_t>(slot)] = cached_tail_;
+    cached_next_[static_cast<std::size_t>(slot)] = -1;
+    if (cached_tail_ >= 0) {
+        cached_next_[static_cast<std::size_t>(cached_tail_)] = slot;
+    } else {
+        cached_head_ = slot;
+    }
+    cached_tail_ = slot;
+}
+
+void
+ReqSlots::unlinkCached(int slot)
+{
+    const int prev = cached_prev_[static_cast<std::size_t>(slot)];
+    const int next = cached_next_[static_cast<std::size_t>(slot)];
+    if (prev >= 0) {
+        cached_next_[static_cast<std::size_t>(prev)] = next;
+    } else {
+        cached_head_ = next;
+    }
+    if (next >= 0) {
+        cached_prev_[static_cast<std::size_t>(next)] = prev;
+    } else {
+        cached_tail_ = prev;
+    }
 }
 
 void
@@ -48,7 +79,7 @@ ReqSlots::activate(int slot)
         --num_free_;
         break;
       case SlotState::kCached:
-        cached_order_.erase(cached_pos_[static_cast<std::size_t>(slot)]);
+        unlinkCached(slot);
         break;
       case SlotState::kActive:
         return errorStatus(ErrorCode::kFailedPrecondition,
@@ -70,9 +101,7 @@ ReqSlots::moveToCached(int slot)
     }
     s = SlotState::kCached;
     --num_active_;
-    cached_order_.push_back(slot);
-    cached_pos_[static_cast<std::size_t>(slot)] =
-        std::prev(cached_order_.end());
+    linkCachedBack(slot);
     return Status::ok();
 }
 
@@ -87,9 +116,7 @@ ReqSlots::cacheFreeSlot(int slot)
     }
     s = SlotState::kCached;
     --num_free_;
-    cached_order_.push_back(slot);
-    cached_pos_[static_cast<std::size_t>(slot)] =
-        std::prev(cached_order_.end());
+    linkCachedBack(slot);
     return Status::ok();
 }
 
@@ -106,7 +133,7 @@ ReqSlots::moveToFree(int slot)
         --num_active_;
         break;
       case SlotState::kCached:
-        cached_order_.erase(cached_pos_[static_cast<std::size_t>(slot)]);
+        unlinkCached(slot);
         break;
     }
     s = SlotState::kFree;
@@ -128,13 +155,12 @@ ReqSlots::firstFree() const
 std::vector<int>
 ReqSlots::cachedLruOrder() const
 {
-    return {cached_order_.begin(), cached_order_.end()};
-}
-
-int
-ReqSlots::oldestCached() const
-{
-    return cached_order_.empty() ? -1 : cached_order_.front();
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(numCached()));
+    for (int slot : cachedOrder()) {
+        out.push_back(slot);
+    }
+    return out;
 }
 
 std::vector<int>

@@ -6,12 +6,17 @@
  * completed requests whose physical page-groups were deliberately kept
  * mapped (deferred reclamation, §6.1.2) so a future request can reuse
  * them without any driver calls.
+ *
+ * The LRU order of cached slots is an intrusive doubly-linked list
+ * threaded through two per-slot index arrays: each slot appears at
+ * most once, so linking and unlinking are O(1) pointer swaps with no
+ * heap traffic — request retirement sits on the serving steady-state
+ * path and must stay allocation-free.
  */
 
 #ifndef VATTN_CORE_REQ_SLOTS_HH
 #define VATTN_CORE_REQ_SLOTS_HH
 
-#include <list>
 #include <vector>
 
 #include "common/status.hh"
@@ -61,30 +66,76 @@ class ReqSlots
     /** Lowest-numbered free slot, or -1. */
     int firstFree() const;
 
-    /** Cached slots, least recently cached first (reclaim victims). */
+    /** Cached slots, least recently cached first (reclaim victims).
+     *  Copies — safe to mutate slot states while walking it. */
     std::vector<int> cachedLruOrder() const;
 
-    /** Same order without the copy (per-iteration hot paths; the
+    /** In-place view of the same order (per-iteration hot paths; the
      *  caller must not mutate slot states while iterating). */
-    const std::list<int> &cachedOrder() const { return cached_order_; }
+    class CachedOrderView
+    {
+      public:
+        class iterator
+        {
+          public:
+            iterator(const std::vector<int> *next, int slot)
+                : next_(next), slot_(slot)
+            {
+            }
+            int operator*() const { return slot_; }
+            iterator &operator++()
+            {
+                slot_ = (*next_)[static_cast<std::size_t>(slot_)];
+                return *this;
+            }
+            bool operator!=(const iterator &other) const
+            {
+                return slot_ != other.slot_;
+            }
+
+          private:
+            const std::vector<int> *next_;
+            int slot_;
+        };
+
+        CachedOrderView(const std::vector<int> *next, int head)
+            : next_(next), head_(head)
+        {
+        }
+        iterator begin() const { return {next_, head_}; }
+        iterator end() const { return {next_, -1}; }
+
+      private:
+        const std::vector<int> *next_;
+        int head_;
+    };
+
+    CachedOrderView cachedOrder() const
+    {
+        return {&cached_next_, cached_head_};
+    }
 
     /** Oldest cached slot, or -1. */
-    int oldestCached() const;
+    int oldestCached() const { return cached_head_; }
 
     /** All active slots in ascending order. */
     std::vector<int> activeSlots() const;
 
   private:
     void checkSlot(int slot) const;
+    void linkCachedBack(int slot);
+    void unlinkCached(int slot);
 
     int capacity_;
     int num_active_ = 0;
     int num_free_;
     std::vector<SlotState> states_;
-    /** Cached slots in insertion order (front = oldest). */
-    std::list<int> cached_order_;
-    /** Iterator into cached_order_ per slot (valid when Cached). */
-    std::vector<std::list<int>::iterator> cached_pos_;
+    /** Intrusive LRU chain over cached slots (head = oldest). A
+     *  slot's links are only meaningful while it is Cached. */
+    std::vector<int> cached_next_;
+    std::vector<int> cached_prev_;
+    int cached_head_ = -1;
+    int cached_tail_ = -1;
 };
 
 } // namespace vattn::core

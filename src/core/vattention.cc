@@ -389,10 +389,115 @@ VAttention::swapInReq(int req_id)
     return in;
 }
 
+Result<VAttention::HostKvImage>
+VAttention::exportSwapped(int req_id)
+{
+    if (req_id < 0 || req_id >= config_.max_batch_size) {
+        return Result<HostKvImage>(ErrorCode::kInvalidArgument,
+                                   "bad reqId");
+    }
+    if (slots_.state(req_id) != SlotState::kActive) {
+        return Result<HostKvImage>(ErrorCode::kFailedPrecondition,
+                                   "reqId not active");
+    }
+    auto &stash = stashes_[static_cast<std::size_t>(req_id)];
+    if (stash.empty()) {
+        return Result<HostKvImage>(ErrorCode::kFailedPrecondition,
+                                   "reqId not swapped out");
+    }
+
+    driver_.consumeElapsedNs(); // open a fresh accounting window
+    HostKvImage image;
+    image.buffer_leads = stash.leads;
+    image.buffer_sizes.reserve(stash.pages.size());
+    for (const auto &buffer_pages : stash.pages) {
+        image.buffer_sizes.push_back(
+            static_cast<i64>(buffer_pages.size()));
+    }
+    image.groups = stash.groups;
+    image.handles = stash.handles;
+    image.bytes = static_cast<u64>(stash.handles) *
+                  allocator_.geometry().groupBytes();
+    // The payload stays put in node-shared host memory: the donor's
+    // host pages return to its pool without any copy.
+    for (const auto &buffer_pages : stash.pages) {
+        for (cuvmm::MemHandle page : buffer_pages) {
+            pool_.releaseHost(page);
+        }
+    }
+    stash.clear();
+    // Post-swap-out the slot holds no device mappings, so this frees
+    // the reqId outright (no cached-slot detour even with deferred
+    // reclamation).
+    freeReqId(req_id).expectOk("free exported reqId");
+    stats_.critical_ns += driver_.consumeElapsedNs();
+    return image;
+}
+
+bool
+VAttention::canImportSwapped(i64 handles) const
+{
+    if (handles <= 0 || pool_.hostGroupsAvailable() < handles) {
+        return false;
+    }
+    // allocReqId succeeds whenever any slot is non-active (free or
+    // cached — cached slots are evictable supply).
+    return slots_.numActive() < config_.max_batch_size;
+}
+
+Result<int>
+VAttention::importSwapped(const HostKvImage &image)
+{
+    const i64 nbuf = allocator_.geometry().numBuffers();
+    if (static_cast<i64>(image.buffer_leads.size()) != nbuf ||
+        static_cast<i64>(image.buffer_sizes.size()) != nbuf ||
+        image.handles <= 0) {
+        return Result<int>(ErrorCode::kInvalidArgument,
+                           "image geometry mismatch");
+    }
+    if (pool_.hostGroupsAvailable() < image.handles) {
+        return Result<int>(ErrorCode::kOutOfMemory,
+                           "host swap tier full");
+    }
+    auto slot = allocReqId();
+    if (!slot.isOk()) {
+        return slot;
+    }
+    const int req_id = slot.value();
+    driver_.consumeElapsedNs(); // open a fresh accounting window
+    // allocReqId's cached-reuse path deliberately keeps the previous
+    // tenant's mappings (deferred reclamation); an adopted migrant
+    // instead starts exactly like a swapped-out slot — no device
+    // mappings, stash holding the full image — so the regular
+    // swapInReq revives it.
+    allocator_.releaseAll(req_id);
+    auto &stash = stashes_[static_cast<std::size_t>(req_id)];
+    stash.pages.resize(static_cast<std::size_t>(nbuf));
+    stash.leads = image.buffer_leads;
+    for (i64 b = 0; b < nbuf; ++b) {
+        auto &buffer_pages = stash.pages[static_cast<std::size_t>(b)];
+        const i64 count = image.buffer_sizes[static_cast<std::size_t>(b)];
+        buffer_pages.reserve(static_cast<std::size_t>(count));
+        for (i64 g = 0; g < count; ++g) {
+            auto page = pool_.acquireHost();
+            page.status().expectOk("host page acquire after check");
+            buffer_pages.push_back(page.value());
+        }
+    }
+    stash.groups = image.groups;
+    stash.handles = image.handles;
+    last_seq_lens_[static_cast<std::size_t>(req_id)] = 0;
+    stats_.critical_ns += driver_.consumeElapsedNs();
+    return req_id;
+}
+
 i64
 VAttention::stealOneCachedGroup()
 {
-    for (int victim : slots_.cachedLruOrder()) {
+    // Walk from the LRU head: either the head is empty (free it and
+    // look at the next-oldest) or one group is stolen from it and we
+    // are done, so no snapshot of the order is ever needed.
+    for (int victim; (victim = slots_.oldestCached()) >= 0;) {
         if (allocator_.mappedHandles(victim) == 0) {
             chains_[static_cast<std::size_t>(victim)].clear();
             slots_.moveToFree(victim).expectOk("empty cached slot");

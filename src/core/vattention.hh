@@ -215,6 +215,38 @@ class VAttention
     i64 hostGroupsInUse() const { return pool_.hostGroupsInUse(); }
     u64 hostSwapBudgetBytes() const { return pool_.hostBudgetBytes(); }
 
+    // ---- Cross-replica migration ------------------------------------
+    //
+    // A swapped-out request's host stash can be detached from this
+    // runtime — freeing its reqId — and re-attached to another runtime
+    // of identical geometry on the same node. Replicas on one node
+    // share host memory, so the handover itself is modeled zero-copy:
+    // the donor paid the DtoH copies at swap-out, the adopter pays
+    // HtoD at its own swapInReq.
+
+    /** A detached host-tier KV image: layout bookkeeping only (the
+     *  simulated payload stays put in shared host memory). */
+    struct HostKvImage
+    {
+        std::vector<i64> buffer_leads; ///< per-buffer live lead
+        std::vector<i64> buffer_sizes; ///< per-buffer live page count
+        i64 groups = 0;                ///< device group frontier
+        i64 handles = 0;               ///< Σ buffer_sizes
+        u64 bytes = 0;                 ///< handles * groupBytes
+    };
+
+    /** Detach @p req_id's stash (the slot must be swapped out) and
+     *  free the reqId; the donor's host pages return to its pool. */
+    Result<HostKvImage> exportSwapped(int req_id);
+
+    /** Could importSwapped admit an image of @p handles page-groups
+     *  right now (leasable reqId + host-tier supply)? */
+    bool canImportSwapped(i64 handles) const;
+
+    /** Lease a fresh reqId holding @p image in swapped-out state; the
+     *  regular swapInReq then revives it on this runtime. */
+    Result<int> importSwapped(const HostKvImage &image);
+
     /**
      * Ensure physical backing for the given context lengths
      * (seq_lens[reqId], 0 for inactive slots; size must be B).

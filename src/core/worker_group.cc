@@ -142,6 +142,40 @@ WorkerGroup::swapInReq(int req_id)
     return first;
 }
 
+Result<VAttention::HostKvImage>
+WorkerGroup::exportSwapped(int req_id)
+{
+    auto first = workers_[0].runtime->exportSwapped(req_id);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        auto other = workers_[w].runtime->exportSwapped(req_id);
+        panic_if(other.isOk() != first.isOk() ||
+                     (first.isOk() &&
+                      (other.value().handles != first.value().handles ||
+                       other.value().bytes != first.value().bytes)),
+                 "TP workers diverged in exportSwapped");
+    }
+    return first;
+}
+
+bool
+WorkerGroup::canImportSwapped(i64 handles) const
+{
+    return workers_[0].runtime->canImportSwapped(handles);
+}
+
+Result<int>
+WorkerGroup::importSwapped(const VAttention::HostKvImage &image)
+{
+    auto first = workers_[0].runtime->importSwapped(image);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        auto other = workers_[w].runtime->importSwapped(image);
+        panic_if(other.isOk() != first.isOk() ||
+                     (first.isOk() && other.value() != first.value()),
+                 "TP workers diverged in importSwapped");
+    }
+    return first;
+}
+
 void
 WorkerGroup::computePhase(TimeNs window_ns)
 {

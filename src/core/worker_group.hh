@@ -102,6 +102,21 @@ class WorkerGroup
     /** Swap the reqId back in on every worker, in lockstep. */
     SwapStats swapInReq(int req_id);
 
+    /**
+     * Detach the reqId's host stash on every worker (cross-replica
+     * migration). Lockstep makes every worker's image identical except
+     * for the opaque host-page identities, so worker 0's image
+     * describes the whole group: an adopting group rebuilds one shard
+     * per worker from it.
+     */
+    Result<VAttention::HostKvImage> exportSwapped(int req_id);
+
+    /** Could every worker import an image of @p handles page-groups? */
+    bool canImportSwapped(i64 handles) const;
+
+    /** Adopt the image into the same fresh reqId on every worker. */
+    Result<int> importSwapped(const VAttention::HostKvImage &image);
+
     /** Physical KV bytes mapped across ALL workers. */
     u64 physBytesMappedTotal() const;
 

@@ -1,7 +1,5 @@
 #include "gpu/page_table.hh"
 
-#include <vector>
-
 #include "common/logging.hh"
 
 namespace vattn::gpu
@@ -23,16 +21,10 @@ PageTable::map(Addr va, PhysAddr pa, u64 size, PageSize page,
     return map_.insert(va, va + size, Extent{pa, page, access});
 }
 
-Status
-PageTable::setAccess(Addr va, u64 size, Access access)
+bool
+PageTable::coversWholeExtents(Addr va, u64 size) const
 {
-    if (size == 0) {
-        return errorStatus(ErrorCode::kInvalidArgument, "zero size");
-    }
-    // Verify the range decomposes into whole extents first (no partial
-    // side effects on failure, and access never leaks outside [va, size)).
     Addr cursor = va;
-    std::vector<Addr> starts;
     bool bad = false;
     map_.forEachIn(va, va + size, [&](const auto &e) {
         if (bad) {
@@ -42,17 +34,31 @@ PageTable::setAccess(Addr va, u64 size, Access access)
             bad = true; // gap or extent crossing the range boundary
             return;
         }
-        starts.push_back(e.start);
         cursor = e.end;
     });
-    if (bad || cursor != va + size) {
+    return !bad && cursor == va + size;
+}
+
+Status
+PageTable::setAccess(Addr va, u64 size, Access access)
+{
+    if (size == 0) {
+        return errorStatus(ErrorCode::kInvalidArgument, "zero size");
+    }
+    // Verify the range decomposes into whole extents first (no partial
+    // side effects on failure, and access never leaks outside [va, size)).
+    if (!coversWholeExtents(va, size)) {
         return errorStatus(ErrorCode::kFailedPrecondition,
                            "range not fully mapped as whole extents");
     }
-    for (Addr s : starts) {
-        Extent *extent = map_.findValue(s);
-        panic_if(!extent, "extent vanished during setAccess");
+    // Validated: the extents tile [va, va + size) exactly, so each
+    // one starts where the previous ended.
+    for (Addr cursor = va; cursor < va + size;) {
+        const auto entry = map_.findExact(cursor);
+        panic_if(!entry, "extent vanished during setAccess");
+        Extent *extent = map_.findValue(cursor);
         extent->access = access;
+        cursor = entry->end;
     }
     return Status::ok();
 }
@@ -65,26 +71,15 @@ PageTable::unmap(Addr va, u64 size)
     }
     // The range must decompose into whole extents with no gaps and no
     // partial overlap at either boundary.
-    Addr cursor = va;
-    std::vector<Addr> starts;
-    bool bad = false;
-    map_.forEachIn(va, va + size, [&](const auto &e) {
-        if (bad) {
-            return;
-        }
-        if (e.start != cursor || e.end > va + size) {
-            bad = true;
-            return;
-        }
-        starts.push_back(e.start);
-        cursor = e.end;
-    });
-    if (bad || cursor != va + size) {
+    if (!coversWholeExtents(va, size)) {
         return errorStatus(ErrorCode::kFailedPrecondition,
                            "range does not match mapped extents");
     }
-    for (Addr s : starts) {
-        map_.eraseAt(s).expectOk("page table erase");
+    for (Addr cursor = va; cursor < va + size;) {
+        const auto entry = map_.findExact(cursor);
+        panic_if(!entry, "extent vanished during unmap");
+        map_.eraseAt(cursor).expectOk("page table erase");
+        cursor = entry->end;
     }
     return Status::ok();
 }

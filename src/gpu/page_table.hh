@@ -85,6 +85,9 @@ class PageTable
     }
 
   private:
+    /** Do whole extents tile [va, va + size) exactly? */
+    bool coversWholeExtents(Addr va, u64 size) const;
+
     struct Extent
     {
         PhysAddr phys;

@@ -221,6 +221,20 @@ BlockManager::swapInBlock(i32 cpu_block)
     return block;
 }
 
+Result<i32>
+BlockManager::acquireCpuBlock()
+{
+    if (cpu_free_list_.empty()) {
+        return Result<i32>(ErrorCode::kOutOfMemory,
+                           num_cpu_blocks_ == 0 ? "CPU pool disabled"
+                                                : "CPU pool full");
+    }
+    const i32 cpu_block = cpu_free_list_.back();
+    cpu_free_list_.pop_back();
+    cpu_in_use_[static_cast<std::size_t>(cpu_block)] = true;
+    return cpu_block;
+}
+
 Status
 BlockManager::freeCpuBlock(i32 cpu_block)
 {

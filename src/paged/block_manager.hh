@@ -120,6 +120,11 @@ class BlockManager
     /** Return a CPU block without swapping it in (request dropped). */
     Status freeCpuBlock(i32 cpu_block);
 
+    /** Take a CPU block straight from the free pool without a device
+     *  copy (migration import: the payload is already in host memory,
+     *  handed over from the donor replica). kOutOfMemory when full. */
+    Result<i32> acquireCpuBlock();
+
     /**
      * Self-audit: the free list, evictable LRU and live (refcount > 0)
      * blocks partition the pool; evictable blocks keep a valid hash

@@ -22,6 +22,16 @@ toString(ClusterExecution mode)
     return "?";
 }
 
+const char *
+toString(RoutingMode mode)
+{
+    switch (mode) {
+      case RoutingMode::kStatic: return "static";
+      case RoutingMode::kLive: return "live";
+    }
+    return "?";
+}
+
 namespace
 {
 
@@ -278,6 +288,15 @@ ServingCluster::run(std::vector<Request> trace)
         runThreads(shares, report);
     }
 
+    mergeReports(report);
+    return report;
+}
+
+void
+ServingCluster::mergeReports(ClusterReport &report)
+{
+    const std::size_t n = report.replicas.size();
+
     // ---- Merge, in replica order (deterministic) ---------------------
     RunReport &merged = report.merged;
     for (const RunReport &replica : report.replicas) {
@@ -294,6 +313,13 @@ ServingCluster::run(std::vector<Request> trace)
         merged.swap_in_bytes += replica.swap_in_bytes;
         merged.swap_stall_ns += replica.swap_stall_ns;
         merged.dropped_requests += replica.dropped_requests;
+        merged.slo_requests += replica.slo_requests;
+        merged.slo_met_requests += replica.slo_met_requests;
+        merged.slo_violations_ttft += replica.slo_violations_ttft;
+        merged.slo_violations_tbt += replica.slo_violations_tbt;
+        merged.shed_requests += replica.shed_requests;
+        merged.migrations_in += replica.migrations_in;
+        merged.migrations_out += replica.migrations_out;
         merged.prefix_lookups += replica.prefix_lookups;
         merged.prefix_hits += replica.prefix_hits;
         merged.prefill_tokens_saved += replica.prefill_tokens_saved;
@@ -376,6 +402,224 @@ ServingCluster::run(std::vector<Request> trace)
     report.token_imbalance = maxOverMean(tokens);
     report.busy_imbalance = maxOverMean(busy);
     report.jain_fairness = jainIndex(requests);
+}
+
+void
+ServingCluster::advanceAllTo(TimeNs horizon_ns)
+{
+    const std::size_t n = engines_.size();
+    const auto pump = [horizon_ns](Engine &engine) {
+        while (engine.runActive() &&
+               engine.nextEventNs() < horizon_ns) {
+            engine.stepRun();
+        }
+    };
+    // Replicas with no event before the horizon have nothing to do;
+    // skipping them keeps the threads mode from spawning workers for
+    // idle replicas on every submission.
+    std::vector<std::size_t> pending;
+    pending.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        if (engines_[r]->runActive() &&
+            engines_[r]->nextEventNs() < horizon_ns) {
+            pending.push_back(r);
+        }
+    }
+    if (pending.size() <= 1 ||
+        resolvedExecution() != ClusterExecution::kThreads) {
+        // Replicas are independent within the window, so sequential
+        // order is irrelevant (the event-loop mode and the one-worker
+        // degenerate case share this path).
+        for (const std::size_t r : pending) {
+            pump(*engines_[r]);
+        }
+        return;
+    }
+    std::vector<std::exception_ptr> errors(pending.size());
+    std::vector<std::thread> workers;
+    workers.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        workers.emplace_back([&, i] {
+            try {
+                pump(*engines_[pending[i]]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (std::thread &worker : workers) {
+        worker.join();
+    }
+    for (const std::exception_ptr &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+void
+ServingCluster::maybeMigrate()
+{
+    if (engines_.size() < 2) {
+        return;
+    }
+    // Donor: the worst-loaded replica (saturation trumps score, then
+    // higher score, then lower index — mirror image of routeLive's
+    // receiver ordering, so both are pure functions of the
+    // snapshots). Receiver: routeLive's pick among the others.
+    std::vector<Router::LiveLoad> loads;
+    loads.reserve(engines_.size());
+    for (const auto &engine : engines_) {
+        loads.push_back(engine->liveLoad());
+    }
+    std::size_t donor = 0;
+    std::size_t receiver = 0;
+    for (std::size_t r = 1; r < engines_.size(); ++r) {
+        const bool worse =
+            (loads[r].kv_saturated && !loads[donor].kv_saturated) ||
+            (loads[r].kv_saturated == loads[donor].kv_saturated &&
+             Router::liveScore(loads[r]) >
+                 Router::liveScore(loads[donor]));
+        if (worse) {
+            donor = r;
+        }
+        const bool better =
+            (loads[receiver].kv_saturated && !loads[r].kv_saturated) ||
+            (loads[receiver].kv_saturated == loads[r].kv_saturated &&
+             Router::liveScore(loads[r]) <
+                 Router::liveScore(loads[receiver]));
+        if (better) {
+            receiver = r;
+        }
+    }
+    if (donor == receiver || loads[donor].queued == 0) {
+        return;
+    }
+    // A handoff only pays off when the receiver can actually start
+    // the migrant: an unsaturated replica with an empty queue.
+    // Migrating into another line just trades one wait for another
+    // (plus a swap round-trip when KV moves with it).
+    if (loads[receiver].kv_saturated || loads[receiver].queued > 0) {
+        return;
+    }
+    // And only when the gap is worth it: the donor is saturated while
+    // the receiver is not, or the scores differ by more than one
+    // queued request's weight (hysteresis — without it near-balanced
+    // replicas would trade the same request back and forth at
+    // successive arrivals).
+    const double gap = Router::liveScore(loads[donor]) -
+                       Router::liveScore(loads[receiver]);
+    const bool pressured =
+        loads[donor].kv_saturated && !loads[receiver].kv_saturated;
+    if (!pressured && gap <= 3.0) {
+        return;
+    }
+    // Swapped requests first: moving one also moves its KV off the
+    // donor's host tier (through the shared-host handover), which is
+    // what relieves an overcommitted replica. Fall back to handing
+    // off a queued request (pure bookkeeping, no KV anywhere).
+    Engine &from = *engines_[donor];
+    Engine &to = *engines_[receiver];
+    if (!from.migrateSwappedTo(to)) {
+        from.migrateQueuedTo(to);
+    }
+}
+
+void
+ServingCluster::start(const OnlineOptions &options)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(run_started_,
+             "ServingCluster::start: the cluster already served a "
+             "trace or session (single-shot; construct a fresh one)");
+    run_started_ = true;
+    online_started_ = true;
+    online_options_ = options;
+    online_assigned_.assign(engines_.size(), 0);
+
+    std::vector<Router::Replica> replicas;
+    replicas.reserve(engines_.size());
+    for (const auto &engine : engines_) {
+        replicas.push_back(
+            Router::Replica{engine->backend().budgetBytes()});
+    }
+    online_router_ = // alloc-ok: session start, once per cluster
+        std::make_unique<Router>(config_.policy, std::move(replicas));
+    for (const auto &engine : engines_) {
+        engine->beginOnline(options.expected_requests);
+    }
+}
+
+Status
+ServingCluster::submit(Request request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!online_started_) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "submit before start(): no online session "
+                           "is open");
+    }
+    if (online_shutdown_) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "submit after shutdown(): the online "
+                           "session is closed");
+    }
+    if (request.arrival_ns < online_last_arrival_ns_) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "online arrivals must be submitted in "
+                           "time order");
+    }
+    online_last_arrival_ns_ = request.arrival_ns;
+
+    // Bring every replica up to the arrival instant first: live
+    // routing and migration must see the cluster as it stands *now*,
+    // not as of the previous arrival.
+    advanceAllTo(request.arrival_ns);
+    if (online_options_.migration) {
+        maybeMigrate();
+    }
+
+    int chosen = 0;
+    if (online_options_.routing == RoutingMode::kLive) {
+        chosen = online_router_->routeLive(
+            request.arrival_ns, [this](int replica) {
+                return engines_[static_cast<std::size_t>(replica)]
+                    ->liveLoad();
+            });
+    } else {
+        chosen = online_router_->route(
+            request.arrival_ns, [this, &request](int replica) {
+                return estimateFor(request, replica);
+            });
+    }
+    ++online_assigned_[static_cast<std::size_t>(chosen)];
+    return engines_[static_cast<std::size_t>(chosen)]->submitOnline(
+        std::move(request));
+}
+
+ClusterReport
+ServingCluster::shutdown()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(!online_started_ || online_shutdown_,
+             "ServingCluster::shutdown without an open session");
+    online_shutdown_ = true;
+
+    const std::size_t n = engines_.size();
+    ClusterReport report;
+    report.replicas.resize(n);
+    report.assigned = online_assigned_;
+
+    advanceAllTo(sim::kNoEventNs); // drain every replica completely
+    for (std::size_t r = 0; r < n; ++r) {
+        engines_[r]->closeOnline();
+        report.replicas[r] = engines_[r]->endRun();
+        ++progress_.replicas_finished;
+        progress_.requests_finished += report.replicas[r].num_requests;
+        progress_.tokens_served += report.replicas[r].prompt_tokens +
+                                   report.replicas[r].decode_tokens;
+    }
+    mergeReports(report);
     return report;
 }
 

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/thread_annotations.hh"
 #include "serving/engine.hh"
 #include "serving/metrics.hh"
@@ -46,6 +47,35 @@ enum class ClusterExecution : u8
 };
 
 const char *toString(ClusterExecution mode);
+
+/** How the online serving path places each arrival on a replica. */
+enum class RoutingMode : u8
+{
+    /** The offline pre-pass policy (Config::policy) applied at
+     *  dispatch time, fed by the router's own estimate model — it
+     *  never observes the replicas. */
+    kStatic,
+    /** Router::routeLive over each replica's actual state (queue
+     *  depth, KV pressure, comm share, prefill debt) sampled at the
+     *  arrival instant. */
+    kLive,
+};
+
+const char *toString(RoutingMode mode);
+
+/** Online-session knobs (ServingCluster::start). */
+struct OnlineOptions
+{
+    RoutingMode routing = RoutingMode::kStatic;
+    /** Rebalance at arrival instants: when one replica is saturated
+     *  (or far more loaded) and another is not, one queued-or-swapped
+     *  request migrates toward the idle replica (swapped requests
+     *  move their KV through the host swap tier). */
+    bool migration = false;
+    /** Expected session size, a per-replica sample-store reservation
+     *  hint (zero is always correct; growth is amortized). */
+    std::size_t expected_requests = 0;
+};
 
 /** Merged result of one cluster run. */
 struct ClusterReport
@@ -97,6 +127,41 @@ class ServingCluster
     /** The driver run() will use (kAuto resolved). */
     ClusterExecution resolvedExecution() const;
 
+    // ---- Online serving (start / submit / shutdown) ------------------
+    //
+    // The streaming alternative to run(): requests are submitted one
+    // at a time as they arrive (any thread), each dispatched to a
+    // replica the moment it is submitted — after every replica has
+    // simulated up to the arrival instant, so live routing and
+    // migration decisions see the cluster as it actually stands at
+    // that virtual time. Deterministic like run(): the same submission
+    // sequence produces the same merged report in either execution
+    // mode (threads and event loop pump identical per-replica work
+    // between arrivals; replicas are independent within a window).
+
+    /**
+     * Open an online session. Single-shot like run() (and mutually
+     * exclusive with it): a cluster serves one trace or one online
+     * session in its lifetime.
+     */
+    void start(const OnlineOptions &options = {}) EXCLUDES(mutex_);
+
+    /**
+     * Submit one arrival. Thread-safe; arrivals must be submitted in
+     * non-decreasing arrival_ns order (the shared virtual timeline).
+     * Errors — submission before start(), after shutdown(), or out of
+     * time order — are reported, not panicked: the submission side is
+     * the system's untrusted edge.
+     */
+    Status submit(Request request) EXCLUDES(mutex_);
+
+    /**
+     * Drain every replica, close the session and return the merged
+     * report (same shape run() produces, plus the online counters:
+     * goodput, SLO-violation breakdown, shed and migration counts).
+     */
+    ClusterReport shutdown() EXCLUDES(mutex_);
+
     /**
      * The deterministic routing pre-pass used by run(): the replica
      * index chosen for each request of @p trace, in trace order.
@@ -143,15 +208,37 @@ class ServingCluster
     void runEventLoop(std::vector<std::vector<Request>> &shares,
                       ClusterReport &report);
 
+    /** Step every replica until its next event is at or past
+     *  @p horizon_ns (kNoEventNs drains them completely). Replicas
+     *  are independent within the window, so the threads and
+     *  event-loop modes produce identical per-replica state. */
+    void advanceAllTo(TimeNs horizon_ns) REQUIRES(mutex_);
+    /** One rebalance step at an arrival instant: migrate at most one
+     *  request from the most- to the least-loaded replica when the
+     *  gap warrants it (deterministic, pure function of live state). */
+    void maybeMigrate() REQUIRES(mutex_);
+    /** Merge per-replica reports into report.merged + imbalance stats
+     *  (shared by run() and shutdown()). */
+    static void mergeReports(ClusterReport &report);
+
     Config config_;
     std::vector<std::unique_ptr<Engine>> engines_;
 
     /** Guards the cross-thread run state below: the single-shot flag
-     *  (run() may race itself from different threads) and the merge
-     *  progress the worker threads write. */
+     *  (run() may race itself from different threads), the merge
+     *  progress the worker threads write, and the whole online
+     *  session (submit serializes replica pumping behind it). */
     mutable std::mutex mutex_;
     bool run_started_ GUARDED_BY(mutex_) = false;
     Progress progress_ GUARDED_BY(mutex_);
+
+    // ---- Online-session state (all behind mutex_) --------------------
+    bool online_started_ GUARDED_BY(mutex_) = false;
+    bool online_shutdown_ GUARDED_BY(mutex_) = false;
+    OnlineOptions online_options_ GUARDED_BY(mutex_);
+    std::unique_ptr<Router> online_router_ GUARDED_BY(mutex_);
+    TimeNs online_last_arrival_ns_ GUARDED_BY(mutex_) = 0;
+    std::vector<i64> online_assigned_ GUARDED_BY(mutex_);
 };
 
 } // namespace vattn::serving

@@ -270,6 +270,61 @@ Engine::dropRequest(Request *request, RunReport &report)
     request->state = Request::State::kDropped;
     request->finish_ns = clock_.now();
     ++report.dropped_requests;
+    report.addRejected(*request);
+    if (request->stream != nullptr && request->stream->on_finish) {
+        request->stream->on_finish(*request);
+    }
+}
+
+TimeNs
+Engine::prefillCostNs(const Request *request) const
+{
+    const i64 tokens = request->remainingPromptTokens();
+    if (tokens <= 0) {
+        return 0;
+    }
+    return kernel_.chunkedPrefillAttentionWindowed(config_.backend,
+                                                   tokens, tokens) +
+           kernel_.prefillLinear(tokens) + kernel_.commTime(tokens);
+}
+
+void
+Engine::shedRequest(Request *request, RunReport &report)
+{
+    request->state = Request::State::kShed;
+    request->finish_ns = clock_.now();
+    ++report.shed_requests;
+    report.addRejected(*request);
+    if (request->stream != nullptr && request->stream->on_finish) {
+        request->stream->on_finish(*request);
+    }
+}
+
+void
+Engine::shedHopeless(RunReport &report)
+{
+    if (!config_.shed_on_ttft) {
+        return;
+    }
+    // Head-of-queue only: under FCFS the head starts next, so its
+    // earliest possible first token is now + its own prefill — a
+    // certain miss at that bound is a certain miss, full stop.
+    // Requests further back would need the whole queue's prefill sum
+    // (an estimate that degrades with depth), and they get the same
+    // exact check when they reach the head.
+    while (scheduler_.hasWaiting()) {
+        Request *head = scheduler_.frontWaiting();
+        if (head->ttft_deadline_ns <= 0) {
+            break; // FCFS: an undeadlined head is served, not skipped
+        }
+        const TimeNs deadline =
+            head->arrival_ns + head->ttft_deadline_ns;
+        if (clock_.now() + prefillCostNs(head) <= deadline) {
+            break;
+        }
+        scheduler_.popFrontWaiting();
+        shedRequest(head, report);
+    }
 }
 
 TimeNs
@@ -336,6 +391,9 @@ Engine::finishRequest(Request *request, RunReport &report)
     request->finish_ns = clock_.now();
     report.addRequest(*request);
     running_.erase(std::find(running_.begin(), running_.end(), request));
+    if (request->stream != nullptr && request->stream->on_finish) {
+        request->stream->on_finish(*request);
+    }
 }
 
 void
@@ -347,6 +405,29 @@ Engine::recordToken(Request *request, RunReport &report)
                                              request->last_token_ns));
     }
     request->last_token_ns = now;
+    // ---- SLO verdicts + streaming (inert for offline requests) -----
+    // last_emit_ns survives preemption epochs (last_token_ns does
+    // not), so these see the token gaps a client would observe.
+    const bool first = request->last_emit_ns == 0;
+    if (first) {
+        if (request->ttft_deadline_ns > 0 &&
+            now > request->arrival_ns + request->ttft_deadline_ns) {
+            request->ttft_violated = true;
+        }
+    } else if (request->tbt_deadline_ns > 0 &&
+               now - request->last_emit_ns >
+                   request->tbt_deadline_ns) {
+        request->tbt_violated = true;
+    }
+    request->last_emit_ns = now;
+    if (request->stream != nullptr) {
+        if (first && request->stream->on_first_token) {
+            request->stream->on_first_token(*request);
+        }
+        if (request->stream->on_token) {
+            request->stream->on_token(*request);
+        }
+    }
 }
 
 i64
@@ -647,7 +728,8 @@ Engine::auditFinal() const
 void
 Engine::beginRun(std::vector<Request> trace)
 {
-    panic_if(runActive(), "beginRun while a run is active");
+    panic_if(runActive() || online_open_,
+             "beginRun while a run is active");
 #if VATTN_AUDIT
     audit_last_state_.clear();
     audit_iter_ = 0;
@@ -696,17 +778,28 @@ void
 Engine::stepRun()
 {
     panic_if(!runActive(), "stepRun on an inactive engine");
+    const i64 shed_before = run_report_.shed_requests;
     admitArrivals();
     // Swapped requests come back before new admissions (they hold
     // slots and finished prefill work; serving them first frees
     // capacity soonest and preserves FCFS fairness).
     swapInReady(run_report_);
+    // Deadline-aware admission: certain TTFT misses are shed before
+    // they consume prefill capacity (no-op unless configured).
+    shedHopeless(run_report_);
 
     if (running_.empty() && !scheduler_.hasWaiting()) {
         panic_if(scheduler_.hasSwapped(),
                  "swapped requests stranded on an idle engine");
-        panic_if(arrivals_.empty(),
-                 "engine idle with unfinished requests");
+        run_finished_ += static_cast<std::size_t>(
+            run_report_.shed_requests - shed_before);
+        if (arrivals_.empty()) {
+            // Only reachable when shedding just retired the last
+            // in-flight requests (accounted above).
+            panic_if(runActive(),
+                     "engine idle with unfinished requests");
+            return;
+        }
         clock_.advanceTo(arrivals_.nextTimeNs());
         return;
     }
@@ -730,7 +823,8 @@ Engine::stepRun()
     }
     run_finished_ += static_cast<std::size_t>(
         (run_report_.num_requests - finished_before) +
-        (run_report_.dropped_requests - dropped_before));
+        (run_report_.dropped_requests - dropped_before) +
+        (run_report_.shed_requests - shed_before));
 #if VATTN_AUDIT
     auditTick();
 #endif
@@ -740,6 +834,11 @@ RunReport
 Engine::endRun()
 {
     panic_if(runActive(), "endRun with requests still in flight");
+    panic_if(online_open_,
+             "endRun with the online session still open");
+    owned_.clear();
+    last_submit_ns_ = 0;
+    online_tbt_target_ = 0;
     if (run_total_ == 0) {
         return RunReport{}; // run() never even starts the clock
     }
@@ -754,6 +853,217 @@ Engine::endRun()
     run_finished_ = 0;
     trace_.clear();
     return std::move(run_report_);
+}
+
+void
+Engine::beginOnline(std::size_t expected_requests)
+{
+    panic_if(runActive() || online_open_,
+             "beginOnline while a run is active");
+#if VATTN_AUDIT
+    audit_last_state_.clear();
+    audit_iter_ = 0;
+#endif
+    trace_.clear();
+    owned_.clear();
+    arrivals_.clear();
+    run_report_ = RunReport{};
+    run_total_ = 0;
+    run_finished_ = 0;
+    last_submit_ns_ = 0;
+    online_tbt_target_ = 0;
+    online_open_ = true;
+    if (expected_requests > 0) {
+        // Head start for the per-submission geometric reservation
+        // (reserveOnlineSamples); TBT pre-sizes there too, from the
+        // submitted decode budgets.
+        run_report_.latency_s.reserve(expected_requests);
+        run_report_.ttft_s.reserve(expected_requests);
+        run_report_.normalized_latency_s.reserve(expected_requests);
+    }
+}
+
+void
+Engine::gcOnline()
+{
+    const auto terminal = [](const Request &request) {
+        switch (request.state) {
+          case Request::State::kFinished:
+          case Request::State::kDropped:
+          case Request::State::kShed:
+          case Request::State::kMigrated:
+            return true;
+          default:
+            return false;
+        }
+    };
+    while (!owned_.empty() && terminal(owned_.front())) {
+        owned_.pop_front();
+    }
+}
+
+Status
+Engine::submitOnline(Request request)
+{
+    if (!online_open_) {
+        return errorStatus(ErrorCode::kFailedPrecondition,
+                           "no online session open (call beginOnline "
+                           "before submitting)");
+    }
+    if (request.arrival_ns < last_submit_ns_) {
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "online arrivals must be time-ordered");
+    }
+    last_submit_ns_ = request.arrival_ns;
+    gcOnline();
+    reserveOnlineSamples(request);
+    request.state = Request::State::kPending;
+    // alloc-ok: one deque node per submission, off the iteration path
+    owned_.push_back(std::move(request));
+    arrivals_.push(owned_.back().arrival_ns, &owned_.back());
+    ++run_total_;
+    return Status::ok();
+}
+
+void
+Engine::closeOnline()
+{
+    panic_if(!online_open_, "closeOnline without an open session");
+    online_open_ = false;
+}
+
+Router::LiveLoad
+Engine::liveLoad() const
+{
+    Router::LiveLoad load;
+    load.queued = static_cast<i64>(scheduler_.numWaiting() +
+                                   scheduler_.numSwapped());
+    load.running = static_cast<i64>(running_.size());
+    // Prompt tokens admitted but not yet prefilled: what a new arrival
+    // must wait out before its own prefill can start.
+    for (const Request *request : scheduler_.waitingQueue()) {
+        load.prefill_debt_tokens += request->remainingPromptTokens();
+    }
+    for (const Request *request : running_) {
+        load.prefill_debt_tokens += request->remainingPromptTokens();
+    }
+    const u64 budget = backend_->budgetBytes();
+    load.kv_pressure =
+        budget > 0 ? static_cast<double>(backend_->bytesInUse()) /
+                         static_cast<double>(budget)
+                   : 1.0;
+    load.comm_share =
+        run_report_.busy_ns > 0
+            ? static_cast<double>(run_report_.comm_ns) /
+                  static_cast<double>(run_report_.busy_ns)
+            : 0.0;
+    load.kv_saturated = !backend_->canAdmit(1);
+    return load;
+}
+
+void
+Engine::reserveOnlineSamples(const Request &request)
+{
+    // Per-request samples: one latency/TTFT/normalized each, up to
+    // max_new_tokens TBT gaps. Growth is geometric (doubling), so the
+    // amortized cost per submission is O(1) and stepRun's adds stay
+    // reallocation-free — the open-ended-session analogue of
+    // beginRun's whole-trace reservation.
+    const auto grow = [](Percentiles &samples, std::size_t target) {
+        if (samples.capacity() < target) {
+            // alloc-ok: geometric sample-store growth at submission
+            samples.reserve(std::max(target, 2 * samples.capacity()));
+        }
+    };
+    const std::size_t requests = run_total_ + 1;
+    grow(run_report_.latency_s, requests);
+    grow(run_report_.ttft_s, requests);
+    grow(run_report_.normalized_latency_s, requests);
+    online_tbt_target_ +=
+        static_cast<std::size_t>(request.max_new_tokens);
+    grow(run_report_.tbt_s, online_tbt_target_);
+}
+
+void
+Engine::adoptMigrant(Request request, bool swapped)
+{
+    reserveOnlineSamples(request);
+    // alloc-ok: one deque node per migration, an explicit rebalancing
+    // action off the iteration path
+    owned_.push_back(std::move(request));
+    Request *adopted = &owned_.back();
+    ++run_total_;
+    ++run_report_.migrations_in;
+    if (swapped) {
+        adopted->state = Request::State::kSwapped;
+        scheduler_.pushSwapped(adopted);
+    } else {
+        scheduler_.enqueue(adopted);
+    }
+}
+
+bool
+Engine::migrateQueuedTo(Engine &target)
+{
+    Request *victim = scheduler_.backWaiting();
+    if (victim == nullptr) {
+        return false;
+    }
+    // The tail of the queue migrates: the requests that waited longest
+    // keep their position here (FCFS-fair), and the mover starts fresh
+    // on the target (a queued request holds no KV anywhere).
+    Request moved = *victim;
+    moved.slot = -1;
+    moved.prefix_hint = 0; // the target's prefix cache is its own
+    scheduler_.popBackWaiting();
+    victim->state = Request::State::kMigrated;
+    victim->finish_ns = clock_.now();
+    ++run_finished_;
+    ++run_report_.migrations_out;
+    target.adoptMigrant(std::move(moved), /*swapped=*/false);
+    return true;
+}
+
+bool
+Engine::migrateSwappedTo(Engine &target)
+{
+    if (!backend_->supportsKvExport() ||
+        !target.backend_->supportsKvExport()) {
+        return false;
+    }
+    Request *victim = scheduler_.backSwapped();
+    if (victim == nullptr) {
+        return false;
+    }
+    auto image = backend_->exportSwapped(victim->slot);
+    if (!image.isOk()) {
+        return false;
+    }
+    if (!target.backend_->canImportSwapped(image.value())) {
+        // Roll back: the donor just released these exact resources,
+        // so re-importing its own image cannot fail. The victim never
+        // left its queue slot — the attempt is side-effect-free.
+        auto slot = backend_->importSwapped(image.value());
+        slot.status().expectOk("donor re-import after refused migration");
+        victim->slot = slot.value();
+        return false;
+    }
+    auto slot = target.backend_->importSwapped(image.value());
+    slot.status().expectOk("importSwapped after canImportSwapped");
+    scheduler_.popBackSwapped();
+    // The target owns a live copy holding the imported slot; the
+    // donor's object stays behind as a tombstone. Computed state
+    // travels with the copy — the KV image preserves it, so nothing
+    // is recomputed (the target's swap-in pays only the HtoD copy).
+    Request moved = *victim;
+    moved.slot = slot.value();
+    victim->state = Request::State::kMigrated;
+    victim->slot = -1;
+    victim->finish_ns = clock_.now();
+    ++run_finished_;
+    ++run_report_.migrations_out;
+    target.adoptMigrant(std::move(moved), /*swapped=*/true);
+    return true;
 }
 
 RunReport
@@ -831,7 +1141,7 @@ Engine::decodeOnlyVaried(const std::vector<i64> &initial_ctx,
 #endif
     const double elapsed_s = SimClock::toSeconds(clock_.now() - t0);
     // Zero iterations leave the clock untouched; report 0, not 0/0.
-    result.tokens_per_second =
+    result.tokens_per_s =
         elapsed_s > 0 ? static_cast<double>(tokens) / elapsed_s : 0.0;
     const u64 bytes1 = backend_->bytesInUse();
     result.alloc_bytes_per_s =

@@ -19,6 +19,7 @@
 #ifndef VATTN_SERVING_ENGINE_HH
 #define VATTN_SERVING_ENGINE_HH
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "perf/pcie_spec.hh"
 #include "serving/memory_backend.hh"
 #include "serving/metrics.hh"
+#include "serving/router.hh"
 #include "serving/scheduler.hh"
 #include "serving/vattn_backend.hh"
 #include "serving/workload.hh"
@@ -124,6 +126,13 @@ struct EngineConfig
     /** PCIe link pricing swap copies and the kAuto cost comparison. */
     perf::PcieSpec pcie = perf::PcieSpec::gen4x16();
 
+    // ---- SLO-aware admission ----------------------------------------
+    /** Shed waiting requests whose TTFT deadline is already impossible
+     *  to meet (earliest possible first token past the deadline)
+     *  instead of serving them late. Off by default — the historical
+     *  serve-everything behaviour, bit-for-bit. */
+    bool shed_on_ttft = false;
+
     /** Per-worker KV pool size implied by the settings above. */
     u64 kvBudgetPerWorker() const;
 };
@@ -162,11 +171,61 @@ class Engine
     /** Finish the run and return the report. */
     RunReport endRun();
 
+    // ---- Online submission (streaming serving path) -------------------
+    //
+    // The offline API hands over a whole trace up front; the online
+    // API feeds requests mid-flight: beginOnline() opens a session,
+    // submitOnline() adds one request (arrival times must be
+    // non-decreasing — the driver dispatches arrivals in virtual-time
+    // order), closeOnline() ends the stream. The session is driven by
+    // the same nextEventNs()/stepRun() loop and finalized by endRun()
+    // once every submitted request terminated. Terminal requests are
+    // garbage-collected off the front of the ownership deque, so live
+    // memory is bounded by the in-flight set, not the session length.
+
+    /** Open an online session. @p expected_requests pre-sizes the
+     *  report's sample stores (0 = grow on demand). */
+    void beginOnline(std::size_t expected_requests = 0);
+    /** Feed one request mid-flight. Errors — instead of panicking —
+     *  when no session is open or arrivals go back in time. */
+    Status submitOnline(Request request);
+    /** Declare the stream finished; drain via stepRun, then endRun. */
+    void closeOnline();
+    bool onlineOpen() const { return online_open_; }
+    /** Requests currently owned by the session (bounded-memory
+     *  checks: stays O(in-flight) as terminal requests are GC'd). */
+    std::size_t ownedRequests() const { return owned_.size(); }
+
+    // ---- Live load & cross-replica migration --------------------------
+
+    /** Live state snapshot for SLO-aware routing (Router::routeLive). */
+    Router::LiveLoad liveLoad() const;
+
+    /**
+     * Hand the newest waiting request to @p target. No KV moves — a
+     * queued request holds none — so this is pure bookkeeping: the
+     * donor keeps a kMigrated tombstone, the target enqueues a copy.
+     * False when nothing is queued.
+     */
+    bool migrateQueuedTo(Engine &target);
+
+    /**
+     * Hand the newest swapped-out request to @p target over the host
+     * tier: the KV image is exported here (freeing this replica's
+     * slot and host pages) and imported there; the target's regular
+     * swap-in then pays the HtoD copy. The whole lockstep TP group
+     * migrates as a unit on both sides. False when there is no
+     * movable request or the target cannot adopt the image (wrong
+     * backend family or geometry, no free slot, host tier full) — the
+     * donor re-imports its own image, so failure is side-effect-free.
+     */
+    bool migrateSwappedTo(Engine &target);
+
     // ---- Microbenchmark entry points ----------------------------------
 
     struct DecodeRun
     {
-        double tokens_per_second = 0;
+        double tokens_per_s = 0;
         double alloc_bytes_per_s = 0; ///< KV commit rate, all workers
         double mean_iter_ms = 0;
         /** Requests still running at the end; smaller than the asked
@@ -256,6 +315,21 @@ class Engine
     /** Permanently reject a request whose KV demand can never be met
      *  (graceful per-request failure; keeps serving). */
     void dropRequest(Request *request, RunReport &report);
+    /** Modeled prefill time of the request's remaining prompt (the
+     *  shedding check's earliest-possible-first-token estimate). */
+    TimeNs prefillCostNs(const Request *request) const;
+    /** Shed queue heads whose TTFT deadline is already impossible
+     *  (no-op unless EngineConfig::shed_on_ttft). */
+    void shedHopeless(RunReport &report);
+    void shedRequest(Request *request, RunReport &report);
+    /** Pop terminal requests off the front of the ownership deque. */
+    void gcOnline();
+    /** Grow the report's sample stores geometrically at submission
+     *  time so stepRun's sample adds never reallocate (the online
+     *  analogue of beginRun's whole-trace reservation). */
+    void reserveOnlineSamples(const Request &request);
+    /** Take ownership of a migrated-in request and queue it. */
+    void adoptMigrant(Request request, bool swapped);
     void finishRequest(Request *request, RunReport &report);
     /** TBT bookkeeping at every token emission. */
     void recordToken(Request *request, RunReport &report);
@@ -304,6 +378,18 @@ class Engine
     /** Admission gate handed to the composer; built once so the hot
      *  path never constructs a std::function. */
     Scheduler::CanAdmit can_admit_;
+
+    // ---- Online-session state ----------------------------------------
+    /** Requests owned by an online session: a deque for stable
+     *  addresses (the arrival queue and scheduler hold pointers) with
+     *  terminal requests popped off the front (bounded memory). */
+    std::deque<Request> owned_;
+    bool online_open_ = false;
+    /** Newest submitted arrival time (monotone-submission contract). */
+    TimeNs last_submit_ns_ = 0;
+    /** Total TBT samples the submissions so far could emit (the
+     *  online sample-store reservation target). */
+    std::size_t online_tbt_target_ = 0;
 
     // ---- Reusable per-iteration scratch ------------------------------
     // clear()-not-reallocate: after the high-water batch shape has

@@ -60,6 +60,41 @@ struct SwapResult
     TimeNs stall_ns = 0;
 };
 
+/**
+ * A swapped-out request's host-tier KV image, detached from the donor
+ * backend so another replica of identical geometry can re-adopt it
+ * (cross-replica migration over the host tier). Each backend family
+ * fills its own fields; the rest stay empty. The image carries
+ * layout/bookkeeping only — the simulated KV payload lives in host
+ * memory, which replicas on one node share, so the handover itself is
+ * modeled zero-copy: the donor paid the device->host copy at swap-out,
+ * the adopter pays host->device at swap-in.
+ */
+struct SwappedKvImage
+{
+    /** Total KV bytes parked on the host tier. */
+    u64 bytes = 0;
+
+    // ---- vAttention backends: per-KV-buffer page runs --------------
+    /** First live page-group per buffer ([lead, lead+size)). */
+    std::vector<i64> buffer_leads;
+    /** Live host pages per buffer. */
+    std::vector<i64> buffer_sizes;
+    /** Allocation frontier in groups (restores the virtual layout). */
+    i64 group_frontier = 0;
+    /** Total live page-groups across buffers. */
+    i64 handles = 0;
+
+    // ---- Paged backends: per-layer-group CPU block runs ------------
+    /** Host blocks held per layer group. */
+    std::vector<i64> group_blocks;
+    /** Dead-lead boundary per layer group (sliding windows: blocks
+     *  before the lead were trimmed and never swap back). */
+    std::vector<i64> group_leads;
+
+    bool empty() const { return bytes == 0; }
+};
+
 /** KV memory manager abstraction used by the engine. */
 class MemoryBackend
 {
@@ -171,6 +206,43 @@ class MemoryBackend
     {
         (void)slot;
         return 0;
+    }
+
+    // ---- Cross-replica migration (optional capability) --------------
+    //
+    // A swapped-out slot's host-tier KV image can be exported —
+    // detaching it from this backend and freeing the slot — and
+    // imported into another backend of identical geometry, which
+    // leases a fresh slot holding the image in swapped state. The
+    // regular swapIn() then resumes the request on the adopter.
+
+    /** Can this backend export/import swapped KV images? */
+    virtual bool supportsKvExport() const { return false; }
+
+    /** Detach a swapped-out slot's host image and free the slot. */
+    virtual Result<SwappedKvImage>
+    exportSwapped(int slot)
+    {
+        (void)slot;
+        return Result<SwappedKvImage>(ErrorCode::kUnimplemented,
+                                      "backend cannot export KV");
+    }
+
+    /** Could importSwapped(@p image) succeed right now (free slot +
+     *  host-tier capacity on every worker)? */
+    virtual bool canImportSwapped(const SwappedKvImage &image) const
+    {
+        (void)image;
+        return false;
+    }
+
+    /** Adopt an exported image into a fresh slot (swapped state). */
+    virtual Result<int>
+    importSwapped(const SwappedKvImage &image)
+    {
+        (void)image;
+        return Result<int>(ErrorCode::kUnimplemented,
+                           "backend cannot import KV");
     }
 
     /** Release a slot (completion or preemption). */

@@ -59,6 +59,16 @@ RunReport::prefillSavedFraction() const
            static_cast<double>(prompt_tokens);
 }
 
+double
+RunReport::goodput() const
+{
+    if (slo_requests == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(slo_met_requests) /
+           static_cast<double>(slo_requests);
+}
+
 void
 RunReport::addRequest(const Request &request)
 {
@@ -74,6 +84,31 @@ RunReport::addRequest(const Request &request)
             SimClock::toSeconds(request.finish_ns -
                                 request.arrival_ns) /
             static_cast<double>(request.generated));
+    }
+    if (request.hasSlo()) {
+        ++slo_requests;
+        if (request.ttft_violated) {
+            ++slo_violations_ttft;
+        }
+        if (request.tbt_violated) {
+            ++slo_violations_tbt;
+        }
+        if (!request.ttft_violated && !request.tbt_violated) {
+            ++slo_met_requests;
+        }
+    }
+}
+
+void
+RunReport::addRejected(const Request &request)
+{
+    // Dropped and shed requests were never served: they count against
+    // goodput (an SLO-carrying request the system failed) without
+    // polluting the latency percentiles, and without a TTFT/TBT
+    // violation tally — dropped_requests / shed_requests carry the
+    // breakdown.
+    if (request.hasSlo()) {
+        ++slo_requests;
     }
 }
 

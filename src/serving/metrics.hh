@@ -85,6 +85,27 @@ struct RunReport
      *  served tokens). */
     i64 dropped_requests = 0;
 
+    // ---- Online serving / SLOs (all zero for offline traces) ------
+    /** Terminated requests that carried a TTFT or TBT deadline (the
+     *  goodput denominator: finished, dropped and shed alike). */
+    i64 slo_requests = 0;
+    /** SLO-carrying requests that finished with every deadline met
+     *  (the goodput numerator). */
+    i64 slo_met_requests = 0;
+    /** Finished requests whose first token missed its TTFT deadline. */
+    i64 slo_violations_ttft = 0;
+    /** Finished requests with at least one inter-token gap over the
+     *  TBT deadline (user-visible gaps: swap stalls count). */
+    i64 slo_violations_tbt = 0;
+    /** Requests rejected at admission because their TTFT deadline was
+     *  already impossible (deadline-aware shedding; disjoint from
+     *  dropped_requests). */
+    i64 shed_requests = 0;
+    /** Requests this replica adopted from another replica. */
+    u64 migrations_in = 0;
+    /** Requests this replica handed off to another replica. */
+    u64 migrations_out = 0;
+
     // ---- §8.1 prefix caching (all zero when disabled) --------------
     /** Slot allocations that consulted the prefix cache. */
     i64 prefix_lookups = 0;
@@ -120,9 +141,15 @@ struct RunReport
     double prefixHitRate() const;
     /** Fraction of prompt tokens served from the prefix cache. */
     double prefillSavedFraction() const;
+    /** Fraction of SLO-carrying requests that met every deadline
+     *  (0 when the trace carried no deadlines). */
+    double goodput() const;
 
     /** Accumulate a finished request's timestamps. */
     void addRequest(const Request &request);
+    /** Accumulate a request that terminated unserved (dropped or
+     *  shed): it joins the goodput denominator but no percentile. */
+    void addRejected(const Request &request);
 };
 
 } // namespace vattn::serving

@@ -363,6 +363,81 @@ PagedBackend::WorkerPool::swapInSlot(int slot)
     return swapped_bytes;
 }
 
+Result<u64>
+PagedBackend::WorkerPool::exportSlot(int slot, SwappedKvImage &image)
+{
+    auto it = slots.find(slot);
+    if (it == slots.end()) {
+        return Result<u64>(ErrorCode::kInvalidArgument,
+                           "unknown slot");
+    }
+    Slot &state = it->second;
+    if (!state.swapped()) {
+        return Result<u64>(ErrorCode::kFailedPrecondition,
+                           "only swapped-out slots can export");
+    }
+    // The image carries the per-group block counts and dead-lead
+    // boundaries; the CPU blocks themselves return to this worker's
+    // pool — logically their payload moves to the adopter's host pool
+    // (same node, modeled zero-copy).
+    image.group_blocks.assign(groups.size(), 0);
+    image.group_leads.assign(groups.size(), 0);
+    u64 bytes = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        image.group_blocks[g] =
+            static_cast<i64>(state.cpu_blocks[g].size());
+        image.group_leads[g] = state.swap_leads[g];
+        bytes += static_cast<u64>(state.cpu_blocks[g].size()) *
+                 groups[g].bytes_per_block;
+    }
+    // freeSlot releases the CPU blocks and drops the (empty, already
+    // released at swap-out) device block lists.
+    freeSlot(slot);
+    image.bytes = bytes;
+    return bytes;
+}
+
+bool
+PagedBackend::WorkerPool::canImportImage(
+    const SwappedKvImage &image) const
+{
+    if (image.group_blocks.size() != groups.size()) {
+        return false; // geometry mismatch: different window classes
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].manager.numCpuFree() < image.group_blocks[g]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Result<int>
+PagedBackend::WorkerPool::importImage(const SwappedKvImage &image)
+{
+    if (!canImportImage(image)) {
+        return Result<int>(ErrorCode::kOutOfMemory,
+                           "host pool cannot hold the imported image");
+    }
+    const int slot = allocSlot();
+    Slot &state = slots.at(slot);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        state.swap_leads[g] = image.group_leads[g];
+        state.cpu_blocks[g].reserve(
+            static_cast<std::size_t>(image.group_blocks[g]));
+        for (i64 b = 0; b < image.group_blocks[g]; ++b) {
+            auto cpu_block = groups[g].manager.acquireCpuBlock();
+            cpu_block.status().expectOk(
+                "acquireCpuBlock after capacity check");
+            state.cpu_blocks[g].push_back(cpu_block.value());
+        }
+    }
+    // The slot is born swapped-out: the regular swapIn path revives
+    // it (advanceLeadTo restores the window boundary, adoptBlock the
+    // device residency).
+    return slot;
+}
+
 u64
 PagedBackend::WorkerPool::slotPhysBytes(int slot) const
 {
@@ -587,6 +662,51 @@ u64
 PagedBackend::slotPhysBytes(int slot) const
 {
     return workers_[0].slotPhysBytes(slot);
+}
+
+Result<SwappedKvImage>
+PagedBackend::exportSwapped(int slot)
+{
+    // Per-worker shards export in lockstep; the image records one
+    // worker's counts and per-worker bytes (the shards are identical
+    // — the same convention SwapResult::bytes uses).
+    SwappedKvImage image;
+    auto first = workers_[0].exportSlot(slot, image);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        SwappedKvImage other_image;
+        auto other = workers_[w].exportSlot(slot, other_image);
+        panic_if(other.isOk() != first.isOk() ||
+                     (first.isOk() && other.value() != first.value()),
+                 "TP workers diverged in exportSwapped");
+    }
+    if (!first.isOk()) {
+        return Result<SwappedKvImage>(first.status());
+    }
+    return image;
+}
+
+bool
+PagedBackend::canImportSwapped(const SwappedKvImage &image) const
+{
+    return supportsSwap() && !image.group_blocks.empty() &&
+           workers_[0].canImportImage(image);
+}
+
+Result<int>
+PagedBackend::importSwapped(const SwappedKvImage &image)
+{
+    if (image.group_blocks.empty()) {
+        return Result<int>(ErrorCode::kInvalidArgument,
+                           "not a paged-backend image");
+    }
+    auto first = workers_[0].importImage(image);
+    for (std::size_t w = 1; w < workers_.size(); ++w) {
+        auto other = workers_[w].importImage(image);
+        panic_if(other.isOk() != first.isOk() ||
+                     (first.isOk() && other.value() != first.value()),
+                 "TP workers diverged in importSwapped");
+    }
+    return first;
 }
 
 Result<TimeNs>

@@ -95,6 +95,11 @@ class PagedBackend : public MemoryBackend
     Result<SwapResult> swapIn(int slot) override;
     u64 slotPhysBytes(int slot) const override;
 
+    bool supportsKvExport() const override { return supportsSwap(); }
+    Result<SwappedKvImage> exportSwapped(int slot) override;
+    bool canImportSwapped(const SwappedKvImage &image) const override;
+    Result<int> importSwapped(const SwappedKvImage &image) override;
+
     /** Number of lockstep TP workers (block-pool replicas). */
     int numWorkers() const
     {
@@ -198,6 +203,9 @@ class PagedBackend : public MemoryBackend
         bool canSwapIn(int slot) const;
         Result<u64> swapOutSlot(int slot);
         Result<u64> swapInSlot(int slot);
+        Result<u64> exportSlot(int slot, SwappedKvImage &image);
+        bool canImportImage(const SwappedKvImage &image) const;
+        Result<int> importImage(const SwappedKvImage &image);
         u64 slotPhysBytes(int slot) const;
         u64 bytesInUse() const;
         i64 blocksHeld(int slot) const;

@@ -8,6 +8,7 @@
 #define VATTN_SERVING_REQUEST_HH
 
 #include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "common/prefix_hash.hh"
@@ -15,6 +16,26 @@
 
 namespace vattn::serving
 {
+
+struct Request;
+
+/**
+ * Per-token streaming hooks for the online serving path. The struct
+ * is owned by the submitter (it outlives the request) and attached to
+ * a Request as a non-owning pointer, so installing callbacks adds no
+ * per-request heap traffic and the engine hot loop stays
+ * allocation-free: invoking a pre-built std::function allocates
+ * nothing.
+ *
+ * on_finish fires at every terminal transition — finished, dropped
+ * and shed alike; the request's state says which.
+ */
+struct StreamCallbacks
+{
+    std::function<void(const Request &)> on_first_token;
+    std::function<void(const Request &)> on_token;
+    std::function<void(const Request &)> on_finish;
+};
 
 /** One inference request flowing through the engine. */
 struct Request
@@ -30,6 +51,14 @@ struct Request
          *  the budget (recorded in RunReport::dropped_requests, never
          *  in the latency percentiles). */
         kDropped,
+        /** Rejected at admission because its TTFT deadline was already
+         *  impossible to meet (SLO-aware shedding; counted in
+         *  RunReport::shed_requests, separately from drops). */
+        kShed,
+        /** Moved to another replica (cross-replica migration). The
+         *  donor keeps this husk only as a tombstone; the adopting
+         *  engine owns the live copy. */
+        kMigrated,
     };
 
     u64 id = 0;
@@ -42,6 +71,14 @@ struct Request
      * When non-empty, size() == prompt_tokens.
      */
     std::vector<i32> token_ids;
+
+    // ---- Service-level objectives (0 = no deadline) -----------------
+    /** Max acceptable time-to-first-token, relative to arrival. */
+    TimeNs ttft_deadline_ns = 0;
+    /** Max acceptable gap between consecutive output tokens. */
+    TimeNs tbt_deadline_ns = 0;
+    /** Streaming hooks (non-owning; null for offline runs). */
+    const StreamCallbacks *stream = nullptr;
 
     // Mutable runtime state.
     State state = State::kPending;
@@ -64,7 +101,24 @@ struct Request
     /** Emission time of the newest output token (TBT bookkeeping);
      *  0 until the first token of the current computation epoch. */
     TimeNs last_token_ns = 0;
+    /**
+     * Emission time of the newest *user-visible* token. Unlike
+     * last_token_ns this survives preemption epochs (swap-outs reset
+     * last_token_ns so the percentile samples skip the stall, the
+     * historical accounting), so SLO checking sees the gaps a client
+     * would actually observe. 0 until the first token ever.
+     */
+    TimeNs last_emit_ns = 0;
     TimeNs finish_ns = 0;
+    /** Deadline verdicts, latched at emission time (SLO fields). */
+    bool ttft_violated = false;
+    bool tbt_violated = false;
+
+    /** Carries a TTFT or TBT deadline (participates in goodput). */
+    bool hasSlo() const
+    {
+        return ttft_deadline_ns > 0 || tbt_deadline_ns > 0;
+    }
 
     /** Tokens currently in the KV cache. */
     i64 contextLen() const { return prefilled_tokens + generated; }

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Thread-safe submission queue: the handoff between request producers
+ * (API frontends, trace replayers, load generators) and the serving
+ * loop that pumps ServingCluster::submit. Producers push from any
+ * thread; the consumer drains in FIFO order — which, when producers
+ * push in arrival-time order, is exactly the monotone submission
+ * order the online path requires. close() lets producers signal the
+ * end of the stream so the consumer can drain and shut down.
+ */
+
+#ifndef VATTN_SERVING_REQUEST_QUEUE_HH
+#define VATTN_SERVING_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "serving/request.hh"
+
+namespace vattn::serving
+{
+
+/** Unbounded MPSC-style queue of pending submissions. */
+class RequestQueue
+{
+  public:
+    /** Enqueue one request. Panics after close() — a producer racing
+     *  past the end-of-stream marker is a bug, not load. */
+    void
+    push(Request request)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            panic_if(closed_, "RequestQueue::push after close");
+            // alloc-ok: one node per submission, producer side
+            pending_.push_back(std::move(request));
+        }
+        ready_.notify_one();
+    }
+
+    /** Dequeue the oldest request into @p out without blocking.
+     *  Returns false when the queue is momentarily empty. */
+    bool
+    tryPop(Request &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (pending_.empty()) {
+            return false;
+        }
+        out = std::move(pending_.front());
+        pending_.pop_front();
+        return true;
+    }
+
+    /** Dequeue the oldest request, blocking until one is available or
+     *  the queue is closed and drained (then returns false). */
+    bool
+    pop(Request &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock,
+                    [this] { return closed_ || !pending_.empty(); });
+        if (pending_.empty()) {
+            return false; // closed and drained
+        }
+        out = std::move(pending_.front());
+        pending_.pop_front();
+        return true;
+    }
+
+    /** Move every pending request into @p out (appending), FIFO. */
+    void
+    drainInto(std::vector<Request> &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (Request &request : pending_) {
+            out.push_back(std::move(request));
+        }
+        pending_.clear();
+    }
+
+    /** Mark the end of the stream; wakes blocked consumers. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pending_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Request> pending_;
+    bool closed_ = false;
+};
+
+} // namespace vattn::serving
+
+#endif // VATTN_SERVING_REQUEST_QUEUE_HH

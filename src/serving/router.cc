@@ -94,6 +94,49 @@ Router::route(TimeNs arrival_ns,
     return chosen;
 }
 
+double
+Router::liveScore(const LiveLoad &load)
+{
+    // Queued requests dominate: each one must wait out a whole prefill
+    // ahead of the arrival. Prefill debt is normalized to typical-
+    // prompt units (4Ki tokens) so token counts don't drown out queue
+    // depth; KV pressure and comm share are [0, 1]-ish nudges that
+    // separate otherwise-equal replicas.
+    return 3.0 * static_cast<double>(load.queued) +
+           static_cast<double>(load.running) +
+           static_cast<double>(load.prefill_debt_tokens) / 4096.0 +
+           4.0 * load.kv_pressure + 2.0 * load.comm_share;
+}
+
+int
+Router::routeLive(TimeNs arrival_ns,
+                  const std::function<LiveLoad(int)> &load)
+{
+    panic_if(!load, "routeLive: null load sampler");
+    panic_if(arrival_ns < last_arrival_ns_,
+             "routeLive: arrivals must be time-ordered");
+    last_arrival_ns_ = arrival_ns;
+
+    int best = 0;
+    LiveLoad best_load = load(0);
+    double best_score = liveScore(best_load);
+    for (int i = 1; i < numReplicas(); ++i) {
+        const LiveLoad candidate = load(i);
+        const double score = liveScore(candidate);
+        // Lexicographic: saturation flag, then score, then index.
+        const bool wins =
+            (best_load.kv_saturated && !candidate.kv_saturated) ||
+            (best_load.kv_saturated == candidate.kv_saturated &&
+             score < best_score);
+        if (wins) {
+            best = i;
+            best_load = candidate;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
 i64
 Router::outstanding(int replica) const
 {

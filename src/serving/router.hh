@@ -72,6 +72,46 @@ class Router
     int route(TimeNs arrival_ns,
               const std::function<Estimate(int replica)> &estimate);
 
+    // ---- Live routing (the online serving path) ----------------------
+    //
+    // The static policies above model load from their own estimates and
+    // never look at the replicas. The live mode instead samples each
+    // replica's actual state at dispatch time — queue depth, KV
+    // pressure, communication share, in-flight prefill debt — so
+    // routing reacts to skew the estimate model cannot see (bursty
+    // tenants, heterogeneous replicas, migration).
+
+    /** One replica's live state, sampled at dispatch time. */
+    struct LiveLoad
+    {
+        i64 queued = 0;  ///< waiting + swapped-out requests
+        i64 running = 0; ///< running batch size
+        /** Prompt tokens admitted but not yet prefilled (the work a
+         *  new arrival must wait out before its own prefill). */
+        i64 prefill_debt_tokens = 0;
+        double kv_pressure = 0.0; ///< bytesInUse / budget, [0, 1]
+        /** Collective-communication share of recent iteration time
+         *  (high share = TP-bound replica, slow to absorb load). */
+        double comm_share = 0.0;
+        /** Backend cannot admit a typical request right now. */
+        bool kv_saturated = false;
+    };
+
+    /** Composite badness of one live snapshot (lower is better).
+     *  Exposed so tests can pin the ordering. */
+    static double liveScore(const LiveLoad &load);
+
+    /**
+     * Route one arrival using live replica state: @p load is sampled
+     * once per replica and the least-loaded replica wins. The order is
+     * lexicographic — an unsaturated replica always beats a saturated
+     * one, then lower liveScore, then lower index — so the decision is
+     * a pure function of the snapshots (deterministic across runs and
+     * execution modes).
+     */
+    int routeLive(TimeNs arrival_ns,
+                  const std::function<LiveLoad(int replica)> &load);
+
     // ---- Introspection (load model as of the last routed arrival) ----
 
     int numReplicas() const { return static_cast<int>(states_.size()); }

@@ -77,6 +77,19 @@ Scheduler::popFrontWaiting()
     waiting_.pop_front();
 }
 
+Request *
+Scheduler::backWaiting() const
+{
+    return waiting_.empty() ? nullptr : waiting_.back();
+}
+
+void
+Scheduler::popBackWaiting()
+{
+    panic_if(waiting_.empty(), "popBackWaiting on an empty queue");
+    waiting_.pop_back();
+}
+
 void
 Scheduler::pushSwapped(Request *request)
 {
@@ -98,6 +111,19 @@ Scheduler::popFrontSwapped()
 {
     panic_if(swapped_.empty(), "popFrontSwapped on an empty queue");
     swapped_.pop_front();
+}
+
+Request *
+Scheduler::backSwapped() const
+{
+    return swapped_.empty() ? nullptr : swapped_.back();
+}
+
+void
+Scheduler::popBackSwapped()
+{
+    panic_if(swapped_.empty(), "popBackSwapped on an empty queue");
+    swapped_.pop_back();
 }
 
 void

@@ -23,10 +23,10 @@
 #ifndef VATTN_SERVING_SCHEDULER_HH
 #define VATTN_SERVING_SCHEDULER_HH
 
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/ring_deque.hh"
 #include "serving/request.hh"
 
 namespace vattn::serving
@@ -119,6 +119,12 @@ class Scheduler
     Request *frontWaiting() const;
     /** Remove the head of the queue (the composer admitted it). */
     void popFrontWaiting();
+    /** Newest waiting request (nullptr when the queue is empty) —
+     *  migration steals from the tail, preserving FCFS for the
+     *  requests that have waited longest. */
+    Request *backWaiting() const;
+    /** Remove the tail of the queue (it migrated away). */
+    void popBackWaiting();
 
     // ---- Swapped queue ----------------------------------------------
     //
@@ -135,18 +141,22 @@ class Scheduler
     Request *frontSwapped() const;
     /** Remove the head of the swapped queue (swap-in succeeded). */
     void popFrontSwapped();
+    /** Newest swapped request (nullptr when none). */
+    Request *backSwapped() const;
+    /** Remove the tail of the swapped queue (it migrated away). */
+    void popBackSwapped();
     /** Drop everything queued (microbenchmark teardown); dropped
      *  requests are reset to kPending with no computed state so they
      *  can be re-enqueued later without stale slot/progress fields. */
     void clearWaiting();
 
     /** The FCFS waiting queue, oldest first (audits/introspection). */
-    const std::deque<Request *> &waitingQueue() const
+    const RingDeque<Request *> &waitingQueue() const
     {
         return waiting_;
     }
     /** The swapped-out queue, oldest first (audits/introspection). */
-    const std::deque<Request *> &swappedQueue() const
+    const RingDeque<Request *> &swappedQueue() const
     {
         return swapped_;
     }
@@ -176,8 +186,8 @@ class Scheduler
 
   private:
     Config config_;
-    std::deque<Request *> waiting_;
-    std::deque<Request *> swapped_;
+    RingDeque<Request *> waiting_;
+    RingDeque<Request *> swapped_;
 };
 
 /**

@@ -22,6 +22,10 @@ toString(Request::State state)
         return "Finished";
     case Request::State::kDropped:
         return "Dropped";
+    case Request::State::kShed:
+        return "Shed";
+    case Request::State::kMigrated:
+        return "Migrated";
     }
     return "<invalid>";
 }
@@ -35,15 +39,22 @@ isLegalTransition(Request::State from, Request::State to)
         return to == State::kWaiting;
     case State::kWaiting:
         return to == State::kRunning || to == State::kDropped ||
-               to == State::kPending;
+               to == State::kPending || to == State::kShed ||
+               to == State::kMigrated;
     case State::kRunning:
         return to == State::kWaiting || to == State::kSwapped ||
                to == State::kFinished || to == State::kDropped;
     case State::kSwapped:
-        return to == State::kRunning;
+        return to == State::kRunning || to == State::kMigrated;
     case State::kFinished:
     case State::kDropped:
+    case State::kShed:
         return false; // terminal
+    case State::kMigrated:
+        // Terminal on the donor; the adopting replica resumes its own
+        // copy from kWaiting/kSwapped, which the donor's tombstone
+        // never re-enters.
+        return false;
     }
     return false;
 }
@@ -54,9 +65,9 @@ isReachableState(Request::State from, Request::State to)
     if (from == to) {
         return true;
     }
-    // Six states: a fixed-point sweep over the transition relation
-    // terminates in at most five rounds.
-    constexpr int kNumStates = 6;
+    // Eight states: a fixed-point sweep over the transition relation
+    // terminates in at most seven rounds.
+    constexpr int kNumStates = 8;
     bool reachable[kNumStates] = {};
     reachable[static_cast<int>(from)] = true;
     for (int round = 0; round < kNumStates - 1; ++round) {

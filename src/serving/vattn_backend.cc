@@ -224,6 +224,60 @@ VAttentionBackend::swapIn(int slot)
     return SwapResult{stats.bytes, stats.critical_ns};
 }
 
+Result<SwappedKvImage>
+VAttentionBackend::exportSwapped(int slot)
+{
+    auto image = group_->exportSwapped(slot);
+    if (!image.isOk()) {
+        return Result<SwappedKvImage>(image.status());
+    }
+    seq_lens_[static_cast<std::size_t>(slot)] = 0;
+    const auto &core_image = image.value();
+    SwappedKvImage out;
+    // Per-worker shard bytes, the same convention SwapResult::bytes
+    // uses (each worker stashed its own shard of identical shape).
+    out.bytes = core_image.bytes;
+    out.buffer_leads = core_image.buffer_leads;
+    out.buffer_sizes = core_image.buffer_sizes;
+    out.group_frontier = core_image.groups;
+    out.handles = core_image.handles;
+    return out;
+}
+
+bool
+VAttentionBackend::canImportSwapped(const SwappedKvImage &image) const
+{
+    if (!supportsSwap() || image.buffer_leads.empty() ||
+        image.buffer_sizes.size() != image.buffer_leads.size()) {
+        return false;
+    }
+    if (static_cast<i64>(image.buffer_leads.size()) !=
+        group_->geometry().numBuffers()) {
+        return false;
+    }
+    return group_->canImportSwapped(image.handles);
+}
+
+Result<int>
+VAttentionBackend::importSwapped(const SwappedKvImage &image)
+{
+    if (image.buffer_leads.empty()) {
+        return Result<int>(ErrorCode::kInvalidArgument,
+                           "not a vAttention-backend image");
+    }
+    core::VAttention::HostKvImage core_image;
+    core_image.buffer_leads = image.buffer_leads;
+    core_image.buffer_sizes = image.buffer_sizes;
+    core_image.groups = image.group_frontier;
+    core_image.handles = image.handles;
+    core_image.bytes = image.bytes;
+    auto slot = group_->importSwapped(core_image);
+    if (slot.isOk()) {
+        seq_lens_[static_cast<std::size_t>(slot.value())] = 0;
+    }
+    return slot;
+}
+
 u64
 VAttentionBackend::slotPhysBytes(int slot) const
 {

@@ -88,6 +88,11 @@ class VAttentionBackend : public MemoryBackend
     Result<SwapResult> swapIn(int slot) override;
     u64 slotPhysBytes(int slot) const override;
 
+    bool supportsKvExport() const override { return supportsSwap(); }
+    Result<SwappedKvImage> exportSwapped(int slot) override;
+    bool canImportSwapped(const SwappedKvImage &image) const override;
+    Result<int> importSwapped(const SwappedKvImage &image) override;
+
     /** The lockstep TP worker group backing this replica. */
     core::WorkerGroup &workerGroup() { return *group_; }
     const core::WorkerGroup &workerGroup() const { return *group_; }

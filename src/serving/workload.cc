@@ -49,6 +49,32 @@ computeStats(const std::vector<Request> &trace)
     stats.mean_prompt = prompt_sum / n;
     stats.mean_decode = decode_sum / n;
     stats.mean_pd_ratio = ratio_sum / n;
+
+    // Burstiness of the arrival process (0 unless arrivals assigned):
+    // CV of the sorted inter-arrival gaps. Poisson gives ~1; bursty
+    // multi-tenant traces run well above it.
+    std::vector<TimeNs> arrivals;
+    arrivals.reserve(trace.size());
+    for (const Request &r : trace) {
+        arrivals.push_back(r.arrival_ns);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    if (arrivals.size() >= 2 && arrivals.back() > 0) {
+        double mean = 0;
+        double m2 = 0;
+        double count = 0;
+        for (std::size_t i = 1; i < arrivals.size(); ++i) {
+            const double gap =
+                static_cast<double>(arrivals[i] - arrivals[i - 1]);
+            count += 1;
+            const double delta = gap - mean;
+            mean += delta / count;
+            m2 += delta * (gap - mean);
+        }
+        if (mean > 0) {
+            stats.arrival_cv = std::sqrt(m2 / count) / mean;
+        }
+    }
     return stats;
 }
 
@@ -202,6 +228,61 @@ sharedSystemPromptTrace(int n, int tenants, i64 system_tokens,
         r.max_new_tokens = clampTokens(
             rng.logNormal(std::log(160.0), 0.5), 16, 1024);
         trace.push_back(std::move(r));
+    }
+    return trace;
+}
+
+std::vector<Request>
+skewedTenantOnlineTrace(int n, double hot_fraction, double mean_qps,
+                        double period_s, u64 seed)
+{
+    fatal_if(n <= 0, "need at least one request");
+    fatal_if(hot_fraction < 0 || hot_fraction >= 1,
+             "hot_fraction must be in [0, 1)");
+    fatal_if(mean_qps <= 0, "mean_qps must be positive");
+    Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 0x7e47ULL);
+    const int n_hot =
+        static_cast<int>(std::llround(hot_fraction * n));
+    const int n_background = n - n_hot;
+
+    // Background tenants: conversational load breathing with the
+    // diurnal cycle (peaks and troughs, but no clumping beyond it).
+    std::vector<Request> trace = shareGptTrace(n_background, seed + 1);
+    assignDiurnalArrivals(trace, mean_qps, period_s, 0.9, seed + 2);
+    double horizon_s = 1.0;
+    for (const Request &r : trace) {
+        horizon_s = std::max(
+            horizon_s, static_cast<double>(r.arrival_ns) / 1e9);
+    }
+
+    // The hot tenant: same request shapes, pathological arrivals —
+    // clumps of 4-32 requests at ~40x the mean rate, dropped at
+    // uniformly random points of the day (bursts land in the diurnal
+    // troughs too, where a static router has stale load estimates).
+    std::vector<Request> hot = shareGptTrace(n_hot, seed + 3);
+    const double burst_qps = 40.0 * mean_qps;
+    std::size_t next = 0;
+    while (next < hot.size()) {
+        const i64 burst = clampTokens(
+            rng.logNormal(std::log(10.0), 0.5), 4, 32);
+        double t_s = rng.uniform() * horizon_s;
+        for (i64 k = 0; k < burst && next < hot.size(); ++k, ++next) {
+            t_s += rng.exponential(burst_qps);
+            hot[next].arrival_ns = static_cast<TimeNs>(t_s * 1e9);
+            hot[next].state = Request::State::kPending;
+        }
+    }
+    trace.insert(trace.end(), hot.begin(), hot.end());
+
+    // The online path submits in arrival order: sort (stable, so
+    // same-instant requests keep background-before-hot order) and
+    // re-id positionally.
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival_ns < b.arrival_ns;
+                     });
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        trace[i].id = static_cast<u64>(i);
     }
     return trace;
 }

@@ -37,6 +37,10 @@ struct TraceStats
     i64 max_decode = 0;
     double mean_decode = 0;
     double mean_pd_ratio = 0; ///< prompt:decode token ratio
+    /** Coefficient of variation of the sorted inter-arrival gaps:
+     *  ~1 for a Poisson process, >1 for bursty arrivals, 0 when the
+     *  trace has no arrival times assigned. */
+    double arrival_cv = 0;
 };
 
 TraceStats computeStats(const std::vector<Request> &trace);
@@ -85,6 +89,24 @@ std::vector<Request> longContextTrace(int n = 64,
                                       i64 min_prompt = 32 * 1024,
                                       i64 max_prompt = 128 * 1024,
                                       u64 seed = 11);
+
+/**
+ * Skewed multi-tenant online trace, arrivals included: background
+ * tenants offer conversational chat load that breathes with a
+ * diurnal cycle (assignDiurnalArrivals), while one hot tenant fires
+ * @p hot_fraction of the requests in tight bursts — clumps of 4-32
+ * requests landing within a fraction of a second, dropped anywhere in
+ * the day. The bursts are what static routing cannot see coming: a
+ * whole clump lands on whichever replica the estimate model liked at
+ * that instant, while live routing spreads it. Requests are returned
+ * sorted by arrival time (the submission order the online path
+ * requires); ids are positional after the sort.
+ */
+std::vector<Request> skewedTenantOnlineTrace(int n,
+                                             double hot_fraction = 0.4,
+                                             double mean_qps = 2.0,
+                                             double period_s = 60.0,
+                                             u64 seed = 17);
 
 /** Assign Poisson arrival times at @p qps queries/second. */
 void assignPoissonArrivals(std::vector<Request> &trace, double qps,

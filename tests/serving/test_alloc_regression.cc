@@ -268,6 +268,39 @@ TEST_P(SteadyStateDecode, IterationsAreAllocationFree)
     EXPECT_GE(window, 16) << "under " << toString(GetParam());
 }
 
+TEST_P(SteadyStateDecode, OnlineStreamingIterationsAreAllocationFree)
+{
+#if VATTN_AUDIT
+    GTEST_SKIP() << "audit builds run per-iteration audits, which "
+                    "allocate by design";
+#endif
+    // The online analogue with per-token streaming callbacks
+    // installed: submission may allocate (deque nodes, sample-store
+    // reservations), but the step loop that follows must not — token
+    // emission invokes pre-built std::functions without heap traffic.
+    Engine engine(steadyConfig(GetParam()));
+    long long events = 0;
+    StreamCallbacks callbacks; // built once, like a real client
+    callbacks.on_first_token = [&events](const Request &) {
+        ++events;
+    };
+    callbacks.on_token = [&events](const Request &) { ++events; };
+    callbacks.on_finish = [&events](const Request &) { ++events; };
+
+    auto trace = steadyTrace();
+    engine.beginOnline(trace.size());
+    for (auto &request : trace) {
+        request.stream = &callbacks;
+        ASSERT_TRUE(engine.submitOnline(request).isOk());
+    }
+    engine.closeOnline();
+    const int window = longestZeroAllocWindow(engine);
+    const RunReport report = engine.endRun();
+    EXPECT_EQ(report.num_requests, 4);
+    EXPECT_GT(events, 0);
+    EXPECT_GE(window, 16) << "under " << toString(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Modes, SteadyStateDecode,
     ::testing::Values(SchedulingMode::kPrefillPrioritized,

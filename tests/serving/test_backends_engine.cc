@@ -194,7 +194,7 @@ TEST(EngineTest, DecodeOnlyThroughputSane)
     // Start just below a page-group boundary (2048 tokens for Yi-6B
     // with 2MB groups) so the decode run commits new memory.
     auto run = engine.decodeOnly(8, 2040, 50);
-    EXPECT_GT(run.tokens_per_second, 50.0);
+    EXPECT_GT(run.tokens_per_s, 50.0);
     EXPECT_GT(run.alloc_bytes_per_s, 0.0);
     EXPECT_GT(run.mean_iter_ms, 0.0);
     EXPECT_EQ(run.iter_ms.count(), 50u);

@@ -117,7 +117,7 @@ TEST(EngineExtended, DecodeOnlyPreemptsWhenOversubscribed)
     EXPECT_GT(run.preemptions, 0u);
     EXPECT_LT(run.effective_batch, 8);
     EXPECT_GT(run.effective_batch, 0);
-    EXPECT_GT(run.tokens_per_second, 0.0);
+    EXPECT_GT(run.tokens_per_s, 0.0);
 }
 
 TEST(EngineExtended, ThroughputOrderingAcrossBackends)
@@ -129,7 +129,7 @@ TEST(EngineExtended, ThroughputOrderingAcrossBackends)
         auto config = baseConfig(kind);
         config.kv_budget_override = 0; // 8 x 16K tokens must fit
         Engine engine(config);
-        return engine.decodeOnly(8, 16 * 1024, 100).tokens_per_second;
+        return engine.decodeOnly(8, 16 * 1024, 100).tokens_per_s;
     };
     const double vllm = tput(perf::BackendKind::kVllmPaged);
     const double fi = tput(perf::BackendKind::kFiPaged);
@@ -190,9 +190,9 @@ TEST(EngineExtended, ZeroIterationDecodeRunIsFinite)
     // elapsed time either.
     Engine engine(baseConfig(perf::BackendKind::kFa2VAttention));
     const auto run = engine.decodeOnly(2, 512, 0);
-    EXPECT_EQ(run.tokens_per_second, 0.0);
+    EXPECT_EQ(run.tokens_per_s, 0.0);
     EXPECT_EQ(run.alloc_bytes_per_s, 0.0);
-    EXPECT_TRUE(std::isfinite(run.tokens_per_second));
+    EXPECT_TRUE(std::isfinite(run.tokens_per_s));
     EXPECT_TRUE(std::isfinite(run.alloc_bytes_per_s));
 }
 

@@ -124,6 +124,63 @@ TEST(Workload, OfflineArrivalsAllZero)
     }
 }
 
+TEST(Workload, SkewedTenantTraceIsSortedAndPositionallyIdd)
+{
+    auto trace = skewedTenantOnlineTrace(400);
+    ASSERT_EQ(trace.size(), 400u);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, i);
+        EXPECT_GT(trace[i].prompt_tokens, 0);
+        EXPECT_GT(trace[i].max_new_tokens, 0);
+        if (i > 0) {
+            EXPECT_GE(trace[i].arrival_ns, trace[i - 1].arrival_ns);
+        }
+    }
+}
+
+TEST(Workload, SkewedTenantTraceIsBurstierThanPoisson)
+{
+    auto skewed = skewedTenantOnlineTrace(400);
+    const auto skewed_stats = computeStats(skewed);
+
+    auto poisson = shareGptTrace(400, 4);
+    assignPoissonArrivals(poisson, 2.0, 99);
+    const auto poisson_stats = computeStats(poisson);
+
+    // A Poisson process has inter-arrival CV ~ 1; the hot tenant's
+    // bursts push the skewed trace well past it.
+    EXPECT_NEAR(poisson_stats.arrival_cv, 1.0, 0.35);
+    EXPECT_GT(skewed_stats.arrival_cv, 1.5);
+    EXPECT_GT(skewed_stats.arrival_cv,
+              poisson_stats.arrival_cv + 0.5);
+}
+
+TEST(Workload, SkewedTenantTraceDeterministicForSeed)
+{
+    auto a = skewedTenantOnlineTrace(128, 0.4, 2.0, 60.0, 17);
+    auto b = skewedTenantOnlineTrace(128, 0.4, 2.0, 60.0, 17);
+    auto c = skewedTenantOnlineTrace(128, 0.4, 2.0, 60.0, 18);
+    ASSERT_EQ(a.size(), b.size());
+    bool differs = a.size() != c.size();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].max_new_tokens, b[i].max_new_tokens);
+        if (!differs && i < c.size()) {
+            differs = a[i].arrival_ns != c[i].arrival_ns ||
+                      a[i].prompt_tokens != c[i].prompt_tokens;
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, ArrivalCvZeroWithoutArrivalTimes)
+{
+    auto trace = arxivOfflineTrace(10);
+    assignOfflineArrivals(trace);
+    EXPECT_EQ(computeStats(trace).arrival_cv, 0.0);
+}
+
 TEST(Scheduler, FcfsOrder)
 {
     Scheduler scheduler(Scheduler::Config{8, 100000});

@@ -8,9 +8,15 @@ Machine-checks the conventions the simulator's correctness leans on:
                 start with `bytes_per_`); double fields whose name
                 mentions bytes are bandwidths and end in `_bytes_per_s`
                 (the perf specs — GPU links, PCIe, NCCL collectives —
-                all quote rates in bytes/second). Mixed units inside
-                one struct are how latency/capacity accounting bugs
-                start.
+                all quote rates in bytes/second); fields whose name
+                mentions a deadline are absolute-or-relative times and
+                end in `_ns` (an SLO compared against the virtual
+                clock in the wrong unit silently admits everything);
+                double fields whose name contains `_per_` are rates
+                and end in `_per_s` (per-second is the project's one
+                rate denominator — `_per_second`, `_per_sec` spellings
+                drift into unit confusion). Mixed units inside one
+                struct are how latency/capacity accounting bugs start.
   2. sim-time — simulation code (src/) never reads wall clocks or
                 libc randomness: `std::chrono` clocks, std::rand and
                 friends are forbidden there. Determinism comes from
@@ -58,6 +64,24 @@ BYTES_FIELD_RE = re.compile(
 BANDWIDTH_FIELD_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:const\s+)?double\s+"
     r"(\w*bytes\w*)\s*(?:=[^;]*)?;"
+)
+
+# Deadline fields are times and must carry the `_ns` unit, whatever
+# their declared type (a TimeNs deadline is caught by the TimeNs rule
+# too; an i64/u64 one only here).
+DEADLINE_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?(?:TimeNs|u64|i64|u32|i32|int)\s+"
+    r"(\w*deadline\w*)\s*(?:=[^;]*)?;"
+)
+
+# Rate fields: a numeric field with a time denominator must quote it
+# as `_per_s` — the project's single rate spelling (`_per_second`,
+# `_per_sec`, `_per_minute` drift into unit confusion). Per-item
+# ratios (`_per_token`, `_per_worker`) are not rates and pass.
+RATE_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?(?:double|float|u64|i64)\s+"
+    r"(\w*_per_(?:s|sec|second|seconds|min|minute|ms|us|ns)_?)"
+    r"\s*(?:=[^;]*)?;"
 )
 
 # Sliding-window extents are token counts: an integer field whose
@@ -142,6 +166,20 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
                 problems.append(
                     f"{where}: window field `{m.group(1)}` must end in"
                     " `_tokens` (window extents are token counts)"
+                )
+            m = DEADLINE_FIELD_RE.match(line)
+            if m and not m.group(1).rstrip("_").endswith("_ns"):
+                problems.append(
+                    f"{where}: deadline field `{m.group(1)}` must end"
+                    " in `_ns` (SLO deadlines compare against the"
+                    " virtual clock)"
+                )
+            m = RATE_FIELD_RE.match(line)
+            if m and not m.group(1).rstrip("_").endswith("_per_s"):
+                problems.append(
+                    f"{where}: rate field `{m.group(1)}` must end in"
+                    " `_per_s` (per-second is the one rate"
+                    " denominator)"
                 )
 
         if WALL_CLOCK_RE.search(line):

@@ -23,6 +23,13 @@ What is compared:
     a modelled subset of busy time, so any batching or scheduling
     change legitimately moves it more than it moves end-to-end
     latencies — growth beyond the wider band still fails the job;
+  - online-serving quality metrics have their own class, classified
+    *before* the generic name heuristics (``shed_requests`` would
+    otherwise read as a throughput via the ``requests`` marker):
+    ``goodput`` must not drop; SLO-violation, shed and migration
+    counts must not grow. Both gate at ``--slo-threshold`` (default
+    0.25): these are small integer counts near an admission cliff, so
+    tiny scheduling shifts move them by whole percents of themselves;
   - a report whose ``smoke`` flag differs from the baseline's is
     skipped entirely (full and smoke runs are incomparable).
 
@@ -76,6 +83,12 @@ HIGHER_IS_BETTER = (
     "saved",
 )
 
+# Online-serving quality metrics. Matched before the generic lists:
+# "shed_requests" and "slo_requests" contain the HIGHER_IS_BETTER
+# marker "requests" but are emphatically not throughputs.
+SLO_GOOD = ("goodput",)
+SLO_COST = ("slo_violation", "shed", "migration")
+
 
 def is_comm_metric(key: str) -> bool:
     """Interconnect-cost metrics (comm_ns sums, comm shares) gate at
@@ -83,8 +96,21 @@ def is_comm_metric(key: str) -> bool:
     return "comm" in key.lower()
 
 
+def is_slo_metric(key: str) -> bool:
+    """Online-serving quality metrics gate at --slo-threshold — see
+    the module docstring."""
+    lowered = key.lower()
+    return any(marker in lowered for marker in SLO_GOOD + SLO_COST)
+
+
 def direction(key: str) -> str:
     lowered = key.lower()
+    for marker in SLO_GOOD:
+        if marker in lowered:
+            return "higher"
+    for marker in SLO_COST:
+        if marker in lowered:
+            return "lower"
     for marker in HIGHER_IS_BETTER:
         if marker in lowered:
             return "higher"
@@ -143,6 +169,10 @@ def main() -> int:
                         help="tolerance for interconnect metrics "
                         "(keys containing `comm`); defaults to twice "
                         "--threshold")
+    parser.add_argument("--slo-threshold", type=float, default=0.25,
+                        help="tolerance for online-serving quality "
+                        "metrics (goodput, SLO violations, shed and "
+                        "migration counts; default 0.25 = 25%%)")
     args = parser.parse_args()
     if args.comm_threshold is None:
         args.comm_threshold = 2.0 * args.threshold
@@ -182,8 +212,12 @@ def main() -> int:
             before = base_metrics[key]
             after = cur_metrics[key]
             change = relative_change(before, after)
-            tolerance = (args.comm_threshold if is_comm_metric(key)
-                         else args.threshold)
+            if is_slo_metric(key):
+                tolerance = args.slo_threshold
+            elif is_comm_metric(key):
+                tolerance = args.comm_threshold
+            else:
+                tolerance = args.threshold
             if abs(change) <= tolerance:
                 continue
             sense = direction(key)
